@@ -1,0 +1,213 @@
+package merchandiser
+
+// One benchmark per table and figure of the paper's evaluation (Section 7),
+// plus the §7.2 overhead microbenchmark and the ablation benches DESIGN.md
+// calls out. The benchmarks run the experiment harnesses at reduced scale
+// (Quick mode) and report simulated-makespan metrics alongside wall time,
+// so `go test -bench=. -benchmem` regenerates every experiment.
+
+import (
+	"io"
+	"strings"
+	"testing"
+
+	"merchandiser/internal/experiments"
+	"merchandiser/internal/hm"
+	"merchandiser/internal/model"
+	"merchandiser/internal/placement"
+	"merchandiser/internal/pmc"
+)
+
+func benchCfg() experiments.Config {
+	return experiments.Config{Quick: true, Seed: 1, StepSec: 0.0005}
+}
+
+// benchArtifacts trains the correlation function once per benchmark
+// process.
+var benchArt *experiments.Artifacts
+
+func artifacts(b *testing.B) *experiments.Artifacts {
+	b.Helper()
+	if benchArt == nil {
+		a, err := experiments.Prepare(benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchArt = a
+	}
+	return benchArt
+}
+
+var benchEval *experiments.Eval
+
+func evaluation(b *testing.B) *experiments.Eval {
+	b.Helper()
+	if benchEval == nil {
+		e, err := experiments.RunEvaluation(artifacts(b), benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		benchEval = e
+	}
+	return benchEval
+}
+
+func BenchmarkTable1PatternDetection(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := experiments.Table1(io.Discard, benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable2ApplicationFootprints(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := experiments.Table2(io.Discard, benchCfg()); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig3PhaseSensitivity(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig3(io.Discard, benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Phase == "writeback" {
+				b.ReportMetric(r.T50, "writeback-T50-rel")
+			}
+		}
+	}
+}
+
+func BenchmarkFig4OverallPerformance(b *testing.B) {
+	art := artifacts(b)
+	for i := 0; i < b.N; i++ {
+		eval, err := experiments.RunEvaluation(art, benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		experiments.Fig4(io.Discard, eval)
+		b.ReportMetric(eval.MeanSpeedup("Merchandiser"), "merch-speedup")
+		b.ReportMetric(eval.MeanSpeedup("MemoryOptimizer"), "memopt-speedup")
+		b.ReportMetric(eval.MeanSpeedup("MemoryMode"), "memmode-speedup")
+	}
+}
+
+func BenchmarkFig5LoadBalance(b *testing.B) {
+	eval := evaluation(b)
+	for i := 0; i < b.N; i++ {
+		experiments.Fig5(io.Discard, eval)
+		b.ReportMetric(eval.Runs["SpGEMM"]["Merchandiser"].ACV, "spgemm-merch-acv")
+		b.ReportMetric(eval.Runs["SpGEMM"]["MemoryOptimizer"].ACV, "spgemm-memopt-acv")
+	}
+}
+
+func BenchmarkFig6Bandwidth(b *testing.B) {
+	eval := evaluation(b)
+	for i := 0; i < b.N; i++ {
+		experiments.Fig6(io.Discard, eval)
+		b.ReportMetric(experiments.AvgBandwidth(eval.Runs["WarpX"]["Merchandiser"], hm.DRAM), "merch-dram-GBs")
+		b.ReportMetric(experiments.AvgBandwidth(eval.Runs["WarpX"]["MemoryOptimizer"], hm.DRAM), "memopt-dram-GBs")
+	}
+}
+
+func BenchmarkTable3ModelSelection(b *testing.B) {
+	art := artifacts(b)
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table3(io.Discard, art, benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Model == "GBR" {
+				b.ReportMetric(r.R2, "gbr-r2")
+			}
+		}
+	}
+}
+
+func BenchmarkFig7EventSelection(b *testing.B) {
+	art := artifacts(b)
+	for i := 0; i < b.N; i++ {
+		points, err := experiments.Fig7(io.Discard, art, benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, p := range points {
+			if p.Events == 8 {
+				b.ReportMetric(p.RegularR2, "regular-r2-8ev")
+				b.ReportMetric(p.IrregularR2, "irregular-r2-8ev")
+			}
+		}
+	}
+}
+
+func BenchmarkTable4ModelAccuracy(b *testing.B) {
+	eval := evaluation(b)
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table4(io.Discard, eval)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var avg float64
+		for _, r := range rows {
+			avg += r.Model
+		}
+		b.ReportMetric(avg/float64(len(rows))*100, "model-accuracy-%")
+	}
+}
+
+// BenchmarkPredictionOverhead measures one Equation 1 + Equation 2
+// prediction — the §7.2 claim that the online modeling costs ~0.03 ms per
+// decision.
+func BenchmarkPredictionOverhead(b *testing.B) {
+	art := artifacts(b)
+	ev := pmc.Counters{Values: map[string]float64{}}
+	for _, e := range pmc.SelectedEvents {
+		ev.Values[e] = 1
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		est := model.EstimateAccesses(1e7, 64<<20, 80<<20, 1.2)
+		_ = art.Perf.Predict(3.0, 1.0, ev, est/(2e7))
+	}
+}
+
+// BenchmarkAlgorithm1 measures one full greedy partitioning over 24 tasks.
+func BenchmarkAlgorithm1(b *testing.B) {
+	art := artifacts(b)
+	tasks := make([]placement.TaskInput, 24)
+	for i := range tasks {
+		tasks[i] = placement.TaskInput{
+			Name: string(rune('a' + i)), TPmOnly: 2 + float64(i%5), TDramOnly: 1,
+			TotalAccesses: 1e7, FootprintPages: 2000,
+			Events: pmc.Counters{Values: map[string]float64{}},
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := placement.GreedyLoadBalance(tasks, 2048, art.Perf, placement.Config{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkAblations runs the SpGEMM ablation harness (Algorithm 1 step
+// size, trained vs linear f, α refinement, page mapping, task semantics)
+// and reports each variant's simulated end-to-end time.
+func BenchmarkAblations(b *testing.B) {
+	art := artifacts(b)
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Ablations(io.Discard, art, benchCfg())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			name := strings.NewReplacer(" ", "-", "%", "pct", "(", "", ")", "").Replace(r.Variant)
+			b.ReportMetric(r.TotalTime, name+"-sim-s")
+		}
+	}
+}

@@ -1,0 +1,153 @@
+package merchandiser
+
+import (
+	"fmt"
+
+	"merchandiser/internal/access"
+	"merchandiser/internal/hm"
+)
+
+// Pattern re-exports the access-pattern descriptor for app builders.
+type Pattern = access.Pattern
+
+// Pattern kinds, re-exported.
+const (
+	Stream  = access.Stream
+	Strided = access.Strided
+	Stencil = access.Stencil
+	Random  = access.Random
+)
+
+// ObjectDef declares one data object of a built app. This plays the role
+// of the paper's LB_HM_config call: it tells the runtime which objects to
+// manage and how large they are.
+type ObjectDef struct {
+	Name  string
+	Owner string // owning task name, "" for shared objects
+	Bytes uint64
+}
+
+// AccessDef declares one access stream of a task phase.
+type AccessDef struct {
+	Object          string
+	Pattern         Pattern
+	ProgramAccesses float64
+	WriteFrac       float64
+}
+
+// PhaseDef declares one phase of a task.
+type PhaseDef struct {
+	Name           string
+	ComputeSeconds float64
+	Accesses       []AccessDef
+}
+
+// TaskDef declares one task.
+type TaskDef struct {
+	Name   string
+	Phases []PhaseDef
+}
+
+// InstanceScaler adjusts a task's work per instance; it receives the
+// instance index and returns a multiplier applied to object sizes is NOT
+// supported (objects are fixed) — the multiplier scales program accesses
+// and compute, modeling input variation at fixed footprint.
+type InstanceScaler func(instance int, taskName string) float64
+
+// AppBuilder declaratively assembles an App from object and task
+// definitions — the quickest way to put a custom workload on the
+// simulator (see examples/customapp).
+type AppBuilder struct {
+	AppName   string
+	Objects   []ObjectDef
+	Tasks     []TaskDef
+	Instances int
+	// Scale, when non-nil, varies per-task work across instances
+	// (default: constant 1).
+	Scale InstanceScaler
+}
+
+// Build validates the definition and returns an App.
+func (b *AppBuilder) Build() (App, error) {
+	if b.AppName == "" {
+		return nil, fmt.Errorf("merchandiser: app needs a name")
+	}
+	if len(b.Objects) == 0 || len(b.Tasks) == 0 {
+		return nil, fmt.Errorf("merchandiser: app %q needs objects and tasks", b.AppName)
+	}
+	if b.Instances <= 0 {
+		return nil, fmt.Errorf("merchandiser: app %q needs a positive instance count", b.AppName)
+	}
+	names := map[string]bool{}
+	for _, o := range b.Objects {
+		if o.Bytes == 0 {
+			return nil, fmt.Errorf("merchandiser: object %q has zero size", o.Name)
+		}
+		if names[o.Name] {
+			return nil, fmt.Errorf("merchandiser: duplicate object %q", o.Name)
+		}
+		names[o.Name] = true
+	}
+	for _, t := range b.Tasks {
+		for _, ph := range t.Phases {
+			for _, a := range ph.Accesses {
+				if !names[a.Object] {
+					return nil, fmt.Errorf("merchandiser: task %q references unknown object %q", t.Name, a.Object)
+				}
+				if err := a.Pattern.Validate(); err != nil {
+					return nil, fmt.Errorf("merchandiser: task %q: %w", t.Name, err)
+				}
+			}
+		}
+	}
+	return &builtApp{def: b}, nil
+}
+
+type builtApp struct {
+	def  *AppBuilder
+	objs map[string]*hm.Object
+}
+
+func (a *builtApp) Name() string      { return a.def.AppName }
+func (a *builtApp) NumInstances() int { return a.def.Instances }
+
+func (a *builtApp) Setup(mem *Memory) error {
+	a.objs = map[string]*hm.Object{}
+	for _, od := range a.def.Objects {
+		o, err := mem.Alloc(od.Name, od.Owner, od.Bytes, hm.PM)
+		if err != nil {
+			return err
+		}
+		a.objs[od.Name] = o
+	}
+	return nil
+}
+
+func (a *builtApp) Instance(i int, mem *Memory) ([]TaskWork, error) {
+	var works []TaskWork
+	for _, td := range a.def.Tasks {
+		scale := 1.0
+		if a.def.Scale != nil {
+			scale = a.def.Scale(i, td.Name)
+			if scale <= 0 {
+				return nil, fmt.Errorf("merchandiser: scale for task %q instance %d is %v", td.Name, i, scale)
+			}
+		}
+		tw := TaskWork{Name: td.Name}
+		for _, pd := range td.Phases {
+			ph := Phase{Name: pd.Name, ComputeSeconds: pd.ComputeSeconds * scale}
+			for ai, ad := range pd.Accesses {
+				ph.Accesses = append(ph.Accesses, PhaseAccess{
+					Obj:             a.objs[ad.Object],
+					Pattern:         ad.Pattern,
+					ProgramAccesses: ad.ProgramAccesses * scale,
+					WriteFrac:       ad.WriteFrac,
+					Seed:            int64(ai + 1),
+				})
+			}
+			tw.Phases = append(tw.Phases, ph)
+		}
+		works = append(works, tw)
+	}
+	return works, nil
+}

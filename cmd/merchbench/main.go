@@ -1,0 +1,133 @@
+// Command merchbench regenerates the paper's tables and figures on the
+// simulated heterogeneous-memory platform.
+//
+// Usage:
+//
+//	merchbench -exp all                  # everything (slow)
+//	merchbench -exp fig4                 # one experiment
+//	merchbench -exp fig4 -quick          # reduced scale
+//	merchbench -exp all -json out.json   # machine-readable summary too
+//
+// Experiments: table1 table2 table3 table4 fig3 fig4 fig5 fig6 fig7 alpha
+// ablations.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"merchandiser/internal/experiments"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment to run: table1,table2,table3,table4,fig3,fig4,fig5,fig6,fig7,alpha,ablations,cxl or 'all'")
+	quick := flag.Bool("quick", false, "reduced scale (smaller apps and corpus)")
+	seed := flag.Int64("seed", 1, "random seed")
+	jsonPath := flag.String("json", "", "also write a machine-readable summary to this file")
+	flag.Parse()
+
+	cfg := experiments.Config{Quick: *quick, Seed: *seed}
+	want := map[string]bool{}
+	for _, e := range strings.Split(*exp, ",") {
+		want[strings.TrimSpace(e)] = true
+	}
+	all := want["all"]
+	w := os.Stdout
+
+	needsArtifacts := all || want["table3"] || want["table4"] || want["fig4"] ||
+		want["fig5"] || want["fig6"] || want["fig7"] || want["alpha"] || want["ablations"]
+	needsEval := all || want["table4"] || want["fig4"] || want["fig5"] ||
+		want["fig6"] || want["alpha"] || *jsonPath != ""
+
+	var art *experiments.Artifacts
+	var eval *experiments.Eval
+	var err error
+	if needsArtifacts || *jsonPath != "" {
+		start := time.Now()
+		art, err = experiments.Prepare(cfg)
+		fail(err)
+		fmt.Fprintf(w, "offline: correlation function trained on %d samples, held-out R²=%.3f (%.1fs)\n\n",
+			len(art.Samples), art.TestR2, time.Since(start).Seconds())
+	}
+	if needsEval {
+		start := time.Now()
+		eval, err = experiments.RunEvaluation(art, cfg)
+		fail(err)
+		fmt.Fprintf(w, "evaluation: 5 applications x policies executed (%.1fs)\n\n", time.Since(start).Seconds())
+	}
+
+	var fig3Rows []experiments.Fig3Row
+	var table3Rows []experiments.Table3Row
+	var table4Rows []experiments.Table4Row
+	var fig7Points []experiments.Fig7Point
+	var ablationRows []experiments.AblationRow
+
+	if all || want["table1"] {
+		fail(experiments.Table1(w, cfg))
+		fmt.Fprintln(w)
+	}
+	if all || want["table2"] {
+		fail(experiments.Table2(w, cfg))
+		fmt.Fprintln(w)
+	}
+	if all || want["fig3"] {
+		fig3Rows, err = experiments.Fig3(w, cfg)
+		fail(err)
+	}
+	if all || want["fig4"] {
+		experiments.Fig4(w, eval)
+	}
+	if all || want["fig5"] {
+		experiments.Fig5(w, eval)
+	}
+	if all || want["fig6"] {
+		experiments.Fig6(w, eval)
+	}
+	if all || want["table3"] {
+		table3Rows, err = experiments.Table3(w, art, cfg)
+		fail(err)
+	}
+	if all || want["fig7"] {
+		fig7Points, err = experiments.Fig7(w, art, cfg)
+		fail(err)
+	}
+	if all || want["table4"] {
+		table4Rows, err = experiments.Table4(w, eval)
+		fail(err)
+	}
+	if all || want["alpha"] {
+		fail(experiments.AlphaStudy(w, eval))
+	}
+	if all || want["ablations"] {
+		ablationRows, err = experiments.Ablations(w, art, cfg)
+		fail(err)
+	}
+	if want["cxl"] { // not part of 'all': it retrains and re-runs everything
+		_, err := experiments.CXL(w, cfg)
+		fail(err)
+	}
+
+	if *jsonPath != "" {
+		sum := experiments.Summarize(art, eval, cfg)
+		sum.Fig3 = fig3Rows
+		sum.Table3 = table3Rows
+		sum.Table4 = table4Rows
+		sum.Fig7 = fig7Points
+		sum.Ablations = ablationRows
+		f, err := os.Create(*jsonPath)
+		fail(err)
+		fail(sum.WriteJSON(f))
+		fail(f.Close())
+		fmt.Fprintf(w, "summary written to %s\n", *jsonPath)
+	}
+}
+
+func fail(err error) {
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "merchbench:", err)
+		os.Exit(1)
+	}
+}

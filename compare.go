@@ -1,0 +1,54 @@
+package merchandiser
+
+import (
+	"fmt"
+
+	"merchandiser/internal/stats"
+)
+
+// Comparison is one policy's outcome in a Compare run.
+type Comparison struct {
+	Policy string
+	// TotalSeconds is the end-to-end simulated time (sum of instance
+	// makespans).
+	TotalSeconds float64
+	// Speedup is relative to the first policy in the comparison.
+	Speedup float64
+	// ACV is the average coefficient of variation of task times — the
+	// paper's load-imbalance metric (smaller is more balanced).
+	ACV float64
+	// MigratedPages counts pages moved into fast memory.
+	MigratedPages uint64
+}
+
+// Compare runs the same application under each policy on fresh memory and
+// returns one row per policy, with speedups normalized to the first
+// (conventionally PM-only). This is the Figure 4 measurement loop as a
+// library call.
+func (s *System) Compare(app App, opts Options, policies ...Policy) ([]Comparison, error) {
+	if len(policies) == 0 {
+		return nil, fmt.Errorf("merchandiser: nothing to compare")
+	}
+	out := make([]Comparison, 0, len(policies))
+	var baselineTime float64
+	for i, pol := range policies {
+		res, err := s.Run(app, pol, opts)
+		if err != nil {
+			return nil, fmt.Errorf("merchandiser: %s under %s: %w", app.Name(), pol.Name(), err)
+		}
+		if i == 0 {
+			baselineTime = res.TotalTime
+		}
+		c := Comparison{
+			Policy:        pol.Name(),
+			TotalSeconds:  res.TotalTime,
+			ACV:           stats.ACV(res.TaskTimeMatrix()),
+			MigratedPages: res.MigratedToDRAM,
+		}
+		if res.TotalTime > 0 {
+			c.Speedup = baselineTime / res.TotalTime
+		}
+		out = append(out, c)
+	}
+	return out, nil
+}

@@ -1,0 +1,65 @@
+package merchandiser_test
+
+import (
+	"fmt"
+
+	"merchandiser"
+)
+
+// ExampleAppBuilder defines a two-task application declaratively and runs
+// it under Merchandiser.
+func ExampleAppBuilder() {
+	spec := merchandiser.DefaultSpec()
+	spec.Tiers[merchandiser.DRAM].CapacityBytes = 4 << 20
+	spec.Tiers[merchandiser.PM].CapacityBytes = 32 << 20
+	spec.LLCBytes = 128 << 10
+
+	sys, err := merchandiser.NewSystem(spec, merchandiser.TrainNone)
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	app, err := (&merchandiser.AppBuilder{
+		AppName: "example",
+		Objects: []merchandiser.ObjectDef{
+			{Name: "big", Owner: "worker", Bytes: 8 << 20},
+		},
+		Tasks: []merchandiser.TaskDef{{
+			Name: "worker",
+			Phases: []merchandiser.PhaseDef{{
+				Name: "scan", ComputeSeconds: 0.01,
+				Accesses: []merchandiser.AccessDef{{
+					Object:          "big",
+					Pattern:         merchandiser.Pattern{Kind: merchandiser.Stream, ElemSize: 8},
+					ProgramAccesses: 5e7,
+				}},
+			}},
+		}},
+		Instances: 2,
+	}).Build()
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	res, err := sys.Run(app, sys.Merchandiser(), merchandiser.Options{StepSec: 0.001})
+	if err != nil {
+		fmt.Println("error:", err)
+		return
+	}
+	fmt.Println("instances:", len(res.Instances))
+	// Output: instances: 2
+}
+
+// ExampleClassifyTrace recognizes a streaming pattern from a recorded
+// access trace — the workflow when source code is unavailable.
+func ExampleClassifyTrace() {
+	rec := merchandiser.NewTraceRecorder()
+	region, _ := rec.Alloc("array", 1<<20)
+	for i := uint64(0); i < 1000; i++ {
+		rec.Touch(region, i*8, false)
+	}
+	for _, c := range merchandiser.ClassifyTrace(rec, 8) {
+		fmt.Println(c.Region, c.Pattern.Kind)
+	}
+	// Output: array Stream
+}

@@ -1,0 +1,3 @@
+module merchandiser
+
+go 1.22

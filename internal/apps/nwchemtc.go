@@ -1,0 +1,311 @@
+package apps
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"merchandiser/internal/access"
+	"merchandiser/internal/dense"
+	"merchandiser/internal/hm"
+	"merchandiser/internal/ir"
+	"merchandiser/internal/task"
+)
+
+// NWChemTCConfig parameterizes the tensor-contraction proxy.
+type NWChemTCConfig struct {
+	Tasks     int // worker threads (paper: 24)
+	Tiles     int // tensor tiles per task instance
+	TileDim   int // real contraction tile edge
+	Instances int
+	Rep       float64
+	Seed      int64
+}
+
+func (c NWChemTCConfig) withDefaults() NWChemTCConfig {
+	if c.Tasks <= 0 {
+		c.Tasks = 24
+	}
+	if c.Tiles <= 0 {
+		c.Tiles = 96
+	}
+	if c.TileDim <= 0 {
+		c.TileDim = 32
+	}
+	if c.Instances <= 0 {
+		c.Instances = 6
+	}
+	if c.Rep <= 0 {
+		c.Rep = 2
+	}
+	return c
+}
+
+// NWChemTC is the NWChem tensor-contraction component (the cytosine-like
+// input of Table 2), with the five execution phases of Figure 3: Input
+// Processing, Index Search, Accumulation, Writeback and Output Sorting.
+// Tiles are distributed to tasks with a skewed occupancy (block-sparse
+// tensors), the application-inherent imbalance of §7.2. A real dense tile
+// contraction runs at construction time; its checksum verifies that
+// placement policies never change results.
+type NWChemTC struct {
+	cfg NWChemTCConfig
+	// work[i][t] is task t's tile workload (in tile units) for instance i.
+	work [][]float64
+	// checksums[i] sums instance i's real tile contractions — identical
+	// under every placement policy.
+	checksums []float64
+	// gatherFrac[t] is the fraction of task t's accumulation traffic that
+	// is gather (vs streaming) — tile index orders differ per tile type,
+	// the paper's "inequable tensors with different memory access
+	// patterns". Gather-heavy tasks run slower per access, so the slowest
+	// task is NOT the one with the most accesses — the divergence that
+	// defeats hot-page-chasing PGO.
+	gatherFrac []float64
+	checksum   float64
+
+	tins []*hm.Object // per-task tile slices of the first input tensor
+	t2   *hm.Object   // shared second operand tensor
+	idx  *hm.Object   // shared index maps
+	outs []*hm.Object // per-task output buffers
+}
+
+// NewNWChemTC builds the proxy, contracting real tiles for the checksum
+// and drawing the per-task tile occupancy.
+func NewNWChemTC(cfg NWChemTCConfig) (*NWChemTC, error) {
+	cfg = cfg.withDefaults()
+	app := &NWChemTC{cfg: cfg}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// Real tile contraction: C += A·B on TileDim² tiles.
+	a, err := dense.NewMatrix(cfg.TileDim, cfg.TileDim)
+	if err != nil {
+		return nil, err
+	}
+	b, _ := dense.NewMatrix(cfg.TileDim, cfg.TileDim)
+	c, _ := dense.NewMatrix(cfg.TileDim, cfg.TileDim)
+	for i := range a.Data {
+		a.Data[i] = rng.Float64()
+		b.Data[i] = rng.Float64()
+	}
+	for r := 0; r < cfg.TileDim; r++ {
+		for k := 0; k < cfg.TileDim; k++ {
+			av := a.At(r, k)
+			for j := 0; j < cfg.TileDim; j++ {
+				c.Set(r, j, c.At(r, j)+av*b.At(k, j))
+			}
+		}
+	}
+	for _, v := range c.Data {
+		app.checksum += v
+	}
+
+	// Tile occupancy: block-sparse tensors give tasks unequal work with a
+	// heavy-ish tail. The tensor's block-sparsity is a property of the
+	// molecule, so the per-task distribution is fixed across instances
+	// (different inputs contract the same sparsity structure) with mild
+	// per-instance jitter.
+	base := make([]float64, cfg.Tasks)
+	app.gatherFrac = make([]float64, cfg.Tasks)
+	for t := range base {
+		base[t] = math.Exp(rng.NormFloat64()*0.3) * float64(cfg.Tiles) / float64(cfg.Tasks)
+		app.gatherFrac[t] = 0.15 + 0.7*rng.Float64()
+	}
+	for i := 0; i < cfg.Instances; i++ {
+		w := make([]float64, cfg.Tasks)
+		for t := range w {
+			w[t] = base[t] * math.Exp(rng.NormFloat64()*0.1)
+		}
+		app.work = append(app.work, w)
+		// Contract one real tile per task unit of work (capped): the
+		// per-instance checksum is a cross-policy correctness witness.
+		var sum float64
+		tiles := 0
+		for t := range w {
+			tiles += int(w[t])
+		}
+		if tiles > 64 {
+			tiles = 64
+		}
+		for k := 0; k < tiles; k++ {
+			for r := 0; r < cfg.TileDim; r++ {
+				for j := 0; j < cfg.TileDim; j++ {
+					var acc float64
+					for x := 0; x < cfg.TileDim; x++ {
+						acc += a.At(r, x) * b.At(x, (j+k)%cfg.TileDim)
+					}
+					sum += acc
+				}
+			}
+		}
+		app.checksums = append(app.checksums, sum)
+	}
+	return app, nil
+}
+
+// InstanceChecksums returns the per-instance real contraction sums.
+func (n *NWChemTC) InstanceChecksums() []float64 { return n.checksums }
+
+// Name implements task.App.
+func (n *NWChemTC) Name() string { return "NWChem-TC" }
+
+// NumInstances implements task.App.
+func (n *NWChemTC) NumInstances() int { return n.cfg.Instances }
+
+// Checksum returns the real contraction checksum.
+func (n *NWChemTC) Checksum() float64 { return n.checksum }
+
+func (n *NWChemTC) taskName(t int) string { return fmt.Sprintf("worker%02d", t) }
+
+// Setup implements task.App: tiles of the first tensor are partitioned
+// across workers (block-sparse tile ownership); the second operand and
+// the index maps are shared.
+func (n *NWChemTC) Setup(mem *hm.Memory) error {
+	var err error
+	if n.t2, err = mem.Alloc("nwchem/T2", "", 8<<20, hm.PM); err != nil {
+		return err
+	}
+	if n.idx, err = mem.Alloc("nwchem/idx", "", 2<<20, hm.PM); err != nil {
+		return err
+	}
+	n.tins = make([]*hm.Object, n.cfg.Tasks)
+	n.outs = make([]*hm.Object, n.cfg.Tasks)
+	for t := 0; t < n.cfg.Tasks; t++ {
+		// Tile slice sized by the task's occupancy share.
+		share := n.work[0][t] * float64(n.cfg.Tasks) / float64(n.cfg.Tiles)
+		tb := uint64(share * float64(28<<20) / float64(n.cfg.Tasks))
+		if tb < mem.Spec.PageSize {
+			tb = mem.Spec.PageSize
+		}
+		o, err := mem.Alloc(fmt.Sprintf("nwchem/Tin%02d", t), n.taskName(t), tb, hm.PM)
+		if err != nil {
+			return err
+		}
+		n.tins[t] = o
+		out, err := mem.Alloc(fmt.Sprintf("nwchem/out%02d", t), n.taskName(t), 512<<10, hm.PM)
+		if err != nil {
+			return err
+		}
+		n.outs[t] = out
+	}
+	return nil
+}
+
+// PhaseNames are Figure 3's five execution phases, in program order.
+var PhaseNames = []string{
+	"input-processing", "index-search", "accumulation", "writeback", "output-sorting",
+}
+
+// phasesFor builds the five phases for one task's tile workload w
+// (tile units).
+func (n *NWChemTC) phasesFor(t int, w float64) []hm.Phase {
+	unit := w * n.cfg.Rep * 1e5 // element accesses per tile unit
+	inStream := access.Pattern{Kind: access.Stream, ElemSize: 8}
+	inGather := access.Pattern{Kind: access.Random, ElemSize: 8, Skew: 0.4}
+	idxGather := access.Pattern{Kind: access.Random, ElemSize: 4}
+	outStream := access.Pattern{Kind: access.Stream, ElemSize: 8}
+	outShuffle := access.Pattern{Kind: access.Random, ElemSize: 8}
+	return []hm.Phase{
+		{
+			// Input Processing: stream the needed input tiles — memory
+			// bound on reads (Figure 3: −26.2% at 50% DRAM).
+			Name:           PhaseNames[0],
+			ComputeSeconds: 2e-9 * unit,
+			Accesses: []hm.PhaseAccess{
+				{Obj: n.tins[t], Pattern: inStream, ProgramAccesses: unit * 2},
+			},
+		},
+		{
+			// Index Search: mostly compute over small index maps —
+			// nearly insensitive to placement.
+			Name:           PhaseNames[1],
+			ComputeSeconds: 1.6e-8 * unit,
+			Accesses: []hm.PhaseAccess{
+				{Obj: n.idx, Pattern: idxGather, ProgramAccesses: unit / 4, Seed: 2},
+			},
+		},
+		{
+			// Accumulation: fetch input elements for the contraction —
+			// the stream/gather mix depends on the task's tile index
+			// order. Gathers hit the task's own tiles and the shared
+			// second operand.
+			Name:           PhaseNames[2],
+			ComputeSeconds: 4e-9 * unit,
+			Accesses: []hm.PhaseAccess{
+				{Obj: n.tins[t], Pattern: inGather, ProgramAccesses: unit * 1.5 * n.gatherFrac[t], Seed: 3},
+				{Obj: n.t2, Pattern: inGather, ProgramAccesses: unit * 0.5 * n.gatherFrac[t], Seed: 4},
+				{Obj: n.tins[t], Pattern: inStream, ProgramAccesses: unit * 2 * (1 - n.gatherFrac[t]) * 4},
+			},
+		},
+		{
+			// Writeback: stream the produced tile out — write-dominated,
+			// the phase the paper finds most sensitive (−47.5% at 50%).
+			Name:           PhaseNames[3],
+			ComputeSeconds: 5e-10 * unit,
+			Accesses: []hm.PhaseAccess{
+				{Obj: n.outs[t], Pattern: outStream, ProgramAccesses: unit * 2, WriteFrac: 0.95},
+			},
+		},
+		{
+			// Output Sorting: permute the output buffer in place.
+			Name:           PhaseNames[4],
+			ComputeSeconds: 2e-9 * unit,
+			Accesses: []hm.PhaseAccess{
+				{Obj: n.outs[t], Pattern: outShuffle, ProgramAccesses: unit, WriteFrac: 0.5, Seed: 4},
+			},
+		},
+	}
+}
+
+// Instance implements task.App.
+func (n *NWChemTC) Instance(i int, mem *hm.Memory) ([]hm.TaskWork, error) {
+	works := make([]hm.TaskWork, n.cfg.Tasks)
+	for t := 0; t < n.cfg.Tasks; t++ {
+		works[t] = hm.TaskWork{
+			Name:   n.taskName(t),
+			Phases: n.phasesFor(t, n.work[i][t]),
+		}
+	}
+	return works, nil
+}
+
+// PhaseWork returns a single-task work consisting only of the named phase
+// at the mean tile workload — the Figure 3 harness runs each phase alone
+// under controlled DRAM ratios.
+func (n *NWChemTC) PhaseWork(phase string) (hm.TaskWork, error) {
+	w := float64(n.cfg.Tiles) / float64(n.cfg.Tasks)
+	for pi, name := range PhaseNames {
+		if name == phase {
+			all := n.phasesFor(0, w)
+			return hm.TaskWork{Name: "phase-" + phase, Phases: []hm.Phase{all[pi]}}, nil
+		}
+	}
+	return hm.TaskWork{}, fmt.Errorf("apps: unknown NWChem-TC phase %q", phase)
+}
+
+// EntireTaskWork returns all five phases as one task (Figure 3's "Entire
+// Task" bar).
+func (n *NWChemTC) EntireTaskWork() hm.TaskWork {
+	w := float64(n.cfg.Tiles) / float64(n.cfg.Tasks)
+	return hm.TaskWork{Name: "entire-task", Phases: n.phasesFor(0, w)}
+}
+
+// IR implements IRApp (expected: Stream + Random — Table 1).
+func (n *NWChemTC) IR() ir.Program {
+	return ir.Program{
+		Name: "NWChem-TC",
+		Kernels: []ir.Kernel{{
+			Name: "contract",
+			Body: []ir.Stmt{ir.Loop{Var: "e", Bound: "elems", Body: []ir.Stmt{
+				// out[e] = Tin[map[e]] * x — gather input, stream output.
+				ir.Assign{
+					LHS: ir.Ref{Array: "out", ElemSize: 8, Index: ir.Ix("e")},
+					RHS: []ir.Ref{{Array: "Tin", ElemSize: 8, Index: ir.IndirectIx("map", 4, ir.Ix("e"))}},
+				},
+			}}},
+		}},
+	}
+}
+
+var _ task.App = (*NWChemTC)(nil)
+var _ IRApp = (*NWChemTC)(nil)

@@ -1,0 +1,201 @@
+package apps
+
+import (
+	"fmt"
+
+	"merchandiser/internal/access"
+	"merchandiser/internal/hm"
+	"merchandiser/internal/ir"
+	"merchandiser/internal/pic"
+	"merchandiser/internal/task"
+)
+
+// WarpXConfig parameterizes the beam-plasma PIC proxy.
+type WarpXConfig struct {
+	Tasks     int // domain blocks (paper: 24 OpenMP threads)
+	GridX     int
+	GridY     int
+	Particles int // total macro-particles
+	Instances int // PIC time steps (each is a task instance)
+	Rep       float64
+	Seed      int64
+}
+
+func (c WarpXConfig) withDefaults() WarpXConfig {
+	if c.Tasks <= 0 {
+		c.Tasks = 24
+	}
+	if c.GridX <= 0 {
+		c.GridX = 192
+	}
+	if c.GridY <= 0 {
+		c.GridY = 128
+	}
+	if c.Particles <= 0 {
+		c.Particles = 700_000
+	}
+	if c.Instances <= 0 {
+		c.Instances = 6
+	}
+	if c.Rep <= 0 {
+		c.Rep = 400
+	}
+	return c
+}
+
+// WarpX is the plasma-simulation proxy: a real 2D PIC run (internal/pic)
+// provides per-block particle counts and migration across time steps; the
+// simulator workload streams each block's particle arrays (48-byte
+// records → the Strided pattern of Table 1) and sweeps its field tiles
+// with a 5-point stencil. Blocks are uniformly loaded, so — as the paper
+// notes for WarpX — there is no application-inherent load imbalance; any
+// imbalance is created by data placement.
+type WarpX struct {
+	cfg    WarpXConfig
+	counts [][]int // [instance][block] particles pushed
+	energy []float64
+
+	particles []*hm.Object
+	fields    []*hm.Object
+}
+
+// NewWarpX builds the proxy and runs the real PIC simulation for all
+// instances up front to obtain per-block workloads.
+func NewWarpX(cfg WarpXConfig) (*WarpX, error) {
+	cfg = cfg.withDefaults()
+	g, err := pic.NewGrid(cfg.GridX, cfg.GridY, 1, 1, 0.2)
+	if err != nil {
+		return nil, err
+	}
+	blocks := pic.InitUniformPlasma(g, cfg.Tasks, cfg.Particles, 0.4, cfg.Seed)
+	app := &WarpX{cfg: cfg}
+	for i := 0; i < cfg.Instances; i++ {
+		counts := make([]int, cfg.Tasks)
+		var departed []pic.Particle
+		for b, blk := range blocks {
+			st, d := pic.PushBlock(g, blk, -1)
+			counts[b] = st.Pushed
+			departed = append(departed, d...)
+		}
+		pic.Exchange(blocks, departed, g.Width())
+		g.UpdateFields()
+		app.counts = append(app.counts, counts)
+		app.energy = append(app.energy, g.FieldEnergy())
+	}
+	return app, nil
+}
+
+// Name implements task.App.
+func (w *WarpX) Name() string { return "WarpX" }
+
+// NumInstances implements task.App.
+func (w *WarpX) NumInstances() int { return w.cfg.Instances }
+
+// FieldEnergies returns the per-step field energies of the real PIC run —
+// identical across placement policies.
+func (w *WarpX) FieldEnergies() []float64 { return w.energy }
+
+func (w *WarpX) taskName(t int) string { return fmt.Sprintf("block%02d", t) }
+
+// Setup implements task.App: per-block particle and field objects. The
+// particle arrays are sized for the worst instance so migration between
+// blocks stays in place.
+func (w *WarpX) Setup(mem *hm.Memory) error {
+	w.particles = make([]*hm.Object, w.cfg.Tasks)
+	w.fields = make([]*hm.Object, w.cfg.Tasks)
+	cellsPerBlock := (w.cfg.GridX + 1) * (w.cfg.GridY + 1) / w.cfg.Tasks
+	for t := 0; t < w.cfg.Tasks; t++ {
+		maxN := 0
+		for i := range w.counts {
+			if w.counts[i][t] > maxN {
+				maxN = w.counts[i][t]
+			}
+		}
+		pBytes := uint64(maxN) * 48 * 12 / 10 // 20% headroom, like real PIC buffers
+		o, err := mem.Alloc(fmt.Sprintf("warpx/part%02d", t), w.taskName(t), pBytes, hm.PM)
+		if err != nil {
+			return err
+		}
+		w.particles[t] = o
+		// Five field components (Ex, Ey, Bz, Jx, Jy) per block.
+		fBytes := uint64(cellsPerBlock) * 5 * 8
+		f, err := mem.Alloc(fmt.Sprintf("warpx/field%02d", t), w.taskName(t), fBytes, hm.PM)
+		if err != nil {
+			return err
+		}
+		w.fields[t] = f
+	}
+	return nil
+}
+
+// Instance implements task.App.
+func (w *WarpX) Instance(i int, mem *hm.Memory) ([]hm.TaskWork, error) {
+	works := make([]hm.TaskWork, w.cfg.Tasks)
+	particleScan := access.Pattern{Kind: access.Strided, ElemSize: 8, StrideBytes: 48}
+	fieldStencil := access.Pattern{Kind: access.Stencil, ElemSize: 8, Points: 5}
+	for t := 0; t < w.cfg.Tasks; t++ {
+		n := float64(w.counts[i][t]) * w.cfg.Rep
+		cells := float64((w.cfg.GridX+1)*(w.cfg.GridY+1)) / float64(w.cfg.Tasks) * w.cfg.Rep
+		works[t] = hm.TaskWork{
+			Name: w.taskName(t),
+			Phases: []hm.Phase{
+				{
+					// Gather fields + push + deposit: 6 field reads and
+					// 8 deposit updates per particle plus the particle
+					// record itself.
+					Name:           "push-deposit",
+					ComputeSeconds: 2.5e-8 * n,
+					Accesses: []hm.PhaseAccess{
+						{Obj: w.particles[t], Pattern: particleScan, ProgramAccesses: n * 6, WriteFrac: 0.5},
+						{Obj: w.fields[t], Pattern: fieldStencil, ProgramAccesses: n * 8, WriteFrac: 0.4},
+					},
+				},
+				{
+					Name:           "field-update",
+					ComputeSeconds: 4e-9 * cells,
+					Accesses: []hm.PhaseAccess{
+						{Obj: w.fields[t], Pattern: fieldStencil, ProgramAccesses: cells * 10, WriteFrac: 0.4},
+					},
+				},
+			},
+		}
+	}
+	return works, nil
+}
+
+// IR implements IRApp (expected classification: Strided for the particle
+// records, Stencil for the field sweep — Table 1's "Strided, Stencil").
+func (w *WarpX) IR() ir.Program {
+	return ir.Program{
+		Name: "WarpX",
+		Kernels: []ir.Kernel{
+			{
+				Name: "push",
+				Body: []ir.Stmt{ir.Loop{Var: "p", Bound: "npart", Body: []ir.Stmt{
+					// particles are 6-field records: x = part[6*p].
+					ir.Assign{
+						LHS: ir.Ref{Array: "part", ElemSize: 8, Index: ir.Affine("p", 6, 0)},
+						RHS: []ir.Ref{{Array: "part", ElemSize: 8, Index: ir.Affine("p", 6, 1)}},
+					},
+				}}},
+			},
+			{
+				Name: "fdtd",
+				Body: []ir.Stmt{ir.Loop{Var: "i", Bound: "cells", Body: []ir.Stmt{
+					ir.Assign{
+						LHS: ir.Ref{Array: "field", ElemSize: 8, Index: ir.Ix("i")},
+						RHS: []ir.Ref{
+							{Array: "field", ElemSize: 8, Index: ir.Affine("i", 1, -1)},
+							{Array: "field", ElemSize: 8, Index: ir.Affine("i", 1, 1)},
+							{Array: "field", ElemSize: 8, Index: ir.Affine("i", 1, -192)},
+							{Array: "field", ElemSize: 8, Index: ir.Affine("i", 1, 192)},
+						},
+					},
+				}}},
+			},
+		},
+	}
+}
+
+var _ task.App = (*WarpX)(nil)
+var _ IRApp = (*WarpX)(nil)

@@ -1,0 +1,309 @@
+package cache
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func newTestCache(t *testing.T, size, ways, pf int) *SetAssociative {
+	t.Helper()
+	c, err := NewSetAssociative(Config{SizeBytes: size, Ways: ways, PrefetchDegree: pf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewSetAssociativeValidation(t *testing.T) {
+	cases := []Config{
+		{SizeBytes: 0, Ways: 4},
+		{SizeBytes: 1024, Ways: 0},
+		{SizeBytes: 1000, Ways: 4},       // not divisible by ways*line
+		{SizeBytes: 3 * 64 * 4, Ways: 4}, // 3 sets: not a power of two
+	}
+	for _, cfg := range cases {
+		if _, err := NewSetAssociative(cfg); err == nil {
+			t.Fatalf("config %+v should be rejected", cfg)
+		}
+	}
+	if _, err := NewSetAssociative(Config{SizeBytes: 4096, Ways: 4}); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+}
+
+func TestHitAfterMiss(t *testing.T) {
+	c := newTestCache(t, 4096, 4, 0)
+	if c.Access(0, false) {
+		t.Fatal("first access should miss")
+	}
+	if !c.Access(0, false) {
+		t.Fatal("second access should hit")
+	}
+	if !c.Access(63, false) {
+		t.Fatal("same-line access should hit")
+	}
+	if c.Access(64, false) {
+		t.Fatal("next line should miss")
+	}
+	s := c.Stats()
+	if s.Accesses != 4 || s.Hits != 2 || s.Misses != 2 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	// 2 ways, 1 set: third distinct line evicts the least recently used.
+	c := newTestCache(t, 2*64, 2, 0)
+	c.Access(0*64, false)
+	c.Access(1*64, false)
+	c.Access(0*64, false) // line 0 is now MRU
+	c.Access(2*64, false) // evicts line 1
+	if !c.Contains(0 * 64) {
+		t.Fatal("line 0 should survive (MRU)")
+	}
+	if c.Contains(1 * 64) {
+		t.Fatal("line 1 should be evicted (LRU)")
+	}
+	if !c.Contains(2 * 64) {
+		t.Fatal("line 2 should be resident")
+	}
+	if s := c.Stats(); s.Evictions != 1 {
+		t.Fatalf("evictions = %d, want 1", s.Evictions)
+	}
+}
+
+func TestWritebackOnDirtyEviction(t *testing.T) {
+	c := newTestCache(t, 64, 1, 0) // single line
+	c.Access(0, true)              // dirty
+	c.Access(64, false)            // evicts dirty line
+	c.Access(128, false)           // evicts clean line
+	s := c.Stats()
+	if s.Writebacks != 1 {
+		t.Fatalf("writebacks = %d, want 1", s.Writebacks)
+	}
+	if s.Evictions != 2 {
+		t.Fatalf("evictions = %d, want 2", s.Evictions)
+	}
+}
+
+func TestStreamMissRatioExact(t *testing.T) {
+	// Streaming over 8-byte elements with no prefetch: one miss per 64-byte
+	// line, 1 miss per 8 accesses.
+	c := newTestCache(t, 1<<16, 8, 0)
+	n := 8192
+	for i := 0; i < n; i++ {
+		c.Access(uint64(i*8), false)
+	}
+	got := c.Stats().MissRatio()
+	want := 1.0 / 8
+	if got < want*0.99 || got > want*1.01 {
+		t.Fatalf("stream miss ratio = %v, want ≈ %v", got, want)
+	}
+}
+
+func TestPrefetcherHidesStreamMisses(t *testing.T) {
+	noPf := newTestCache(t, 1<<15, 8, 0)
+	pf := newTestCache(t, 1<<15, 8, 4)
+	for i := 0; i < 4096; i++ {
+		addr := uint64(i * 8)
+		noPf.Access(addr, false)
+		pf.Access(addr, false)
+	}
+	if pf.Stats().Misses >= noPf.Stats().Misses {
+		t.Fatalf("prefetching should reduce demand misses: %d vs %d",
+			pf.Stats().Misses, noPf.Stats().Misses)
+	}
+	if acc := pf.Stats().PrefetchAccuracy(); acc < 0.9 {
+		t.Fatalf("stream prefetch accuracy = %v, want > 0.9", acc)
+	}
+}
+
+func TestPrefetcherUselessOnRandom(t *testing.T) {
+	c := newTestCache(t, 1<<15, 8, 4)
+	r := rand.New(rand.NewSource(7))
+	for i := 0; i < 4096; i++ {
+		c.Access(uint64(r.Intn(1<<26))*64, false)
+	}
+	// Random accesses rarely form stride runs, so few prefetches fire and
+	// almost none are useful.
+	s := c.Stats()
+	if s.PrefetchIssued > s.Accesses/4 {
+		t.Fatalf("too many prefetches on random: %d of %d", s.PrefetchIssued, s.Accesses)
+	}
+	if s.PrefetchAccuracy() > 0.5 {
+		t.Fatalf("random prefetch accuracy suspiciously high: %v", s.PrefetchAccuracy())
+	}
+}
+
+func TestRandomMissRatioTracksWorkingSet(t *testing.T) {
+	// Working set = 4x cache: expect ~75% misses in steady state.
+	const cacheBytes = 1 << 14
+	c := newTestCache(t, cacheBytes, 8, 0)
+	r := rand.New(rand.NewSource(3))
+	wsLines := 4 * cacheBytes / 64
+	// Warm up, then measure.
+	for i := 0; i < 20000; i++ {
+		c.Access(uint64(r.Intn(wsLines))*64, false)
+	}
+	c2 := c.Stats()
+	model := MissModel{CacheBytes: cacheBytes}.Random(4 * cacheBytes)
+	got := c2.MissRatio()
+	if got < model-0.1 || got > model+0.1 {
+		t.Fatalf("random miss ratio = %v, model says %v", got, model)
+	}
+}
+
+func TestReset(t *testing.T) {
+	c := newTestCache(t, 4096, 4, 2)
+	for i := 0; i < 100; i++ {
+		c.Access(uint64(i*64), false)
+	}
+	c.Reset()
+	if s := c.Stats(); s != (Stats{}) {
+		t.Fatalf("stats after reset: %+v", s)
+	}
+	if c.Contains(0) {
+		t.Fatal("contents should be cleared")
+	}
+}
+
+func TestCacheNeverExceedsCapacityProperty(t *testing.T) {
+	// Property: after any access sequence, the number of resident lines is
+	// at most sets*ways. We probe residency via Contains over the touched
+	// addresses.
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		c, err := NewSetAssociative(Config{SizeBytes: 8 * 64 * 2, Ways: 2})
+		if err != nil {
+			return false
+		}
+		touched := map[uint64]bool{}
+		for i := 0; i < 500; i++ {
+			a := uint64(r.Intn(1 << 12))
+			c.Access(a, r.Intn(2) == 0)
+			touched[a/64] = true
+		}
+		resident := 0
+		for l := range touched {
+			if c.Contains(l * 64) {
+				resident++
+			}
+		}
+		return resident <= 8*2
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMissModelStream(t *testing.T) {
+	m := MissModel{CacheBytes: 1 << 20}
+	if got := m.Stream(8); got != 0.125 {
+		t.Fatalf("Stream(8) = %v, want 0.125", got)
+	}
+	if got := m.Stream(128); got != 1 {
+		t.Fatalf("Stream(128) = %v, want 1 (capped)", got)
+	}
+	if got := m.Stream(0); got != 0 {
+		t.Fatalf("Stream(0) = %v, want 0", got)
+	}
+}
+
+func TestMissModelStrided(t *testing.T) {
+	m := MissModel{CacheBytes: 1 << 20}
+	if got := m.Strided(8, 256); got != 1 {
+		t.Fatalf("large stride should miss every access, got %v", got)
+	}
+	if got := m.Strided(8, 16); got != 0.25 {
+		t.Fatalf("Strided(8,16) = %v, want 0.25", got)
+	}
+	if got := m.Strided(0, 8); got != 0 {
+		t.Fatalf("invalid elem size should yield 0, got %v", got)
+	}
+}
+
+func TestMissModelStencilAndRandom(t *testing.T) {
+	m := MissModel{CacheBytes: 1 << 20}
+	if got, want := m.Stencil(8, 5), 0.125/5; got != want {
+		t.Fatalf("Stencil = %v, want %v", got, want)
+	}
+	if got := m.Random(1 << 19); got != 0.01 {
+		t.Fatalf("fitting working set should be near-free, got %v", got)
+	}
+	if got := m.Random(1 << 22); got <= 0.5 {
+		t.Fatalf("4x working set should mostly miss, got %v", got)
+	}
+	// Monotone in working set size.
+	prev := 0.0
+	for ws := 1 << 20; ws <= 1<<26; ws *= 2 {
+		r := m.Random(float64(ws))
+		if r < prev {
+			t.Fatalf("Random not monotone at ws=%d: %v < %v", ws, r, prev)
+		}
+		prev = r
+	}
+}
+
+func TestDirectMappedPageCache(t *testing.T) {
+	d, err := NewDirectMappedPageCache(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.AccessPage(0, false) {
+		t.Fatal("cold access should miss")
+	}
+	if !d.AccessPage(0, false) {
+		t.Fatal("second access should hit")
+	}
+	// Page 4 conflicts with page 0 (4 % 4 == 0).
+	if d.AccessPage(4, true) {
+		t.Fatal("conflicting page should miss")
+	}
+	if d.AccessPage(0, false) {
+		t.Fatal("page 0 was evicted by conflict, should miss")
+	}
+	// Evicting dirty page 4 counts a writeback.
+	if d.WritebackEvicts != 1 {
+		t.Fatalf("writeback evicts = %d, want 1", d.WritebackEvicts)
+	}
+	if hr := d.HitRatio(); hr != 0.25 {
+		t.Fatalf("hit ratio = %v, want 0.25", hr)
+	}
+	if _, err := NewDirectMappedPageCache(0); err == nil {
+		t.Fatal("zero frames should be rejected")
+	}
+}
+
+func TestExpectedDirectMappedHitRatio(t *testing.T) {
+	// Degenerate inputs hit trivially.
+	if got := ExpectedDirectMappedHitRatio(0, 10); got != 1 {
+		t.Fatalf("no frames => %v, want 1", got)
+	}
+	if got := ExpectedDirectMappedHitRatio(8, 0); got != 1 {
+		t.Fatalf("no working set => %v, want 1", got)
+	}
+	small := ExpectedDirectMappedHitRatio(1024, 128)
+	big := ExpectedDirectMappedHitRatio(1024, 8192)
+	if small <= big {
+		t.Fatalf("hit ratio should shrink with working set: %v vs %v", small, big)
+	}
+	if small < 0.9 {
+		t.Fatalf("small working set should mostly hit, got %v", small)
+	}
+	if big > 0.2 {
+		t.Fatalf("8x working set should mostly miss, got %v", big)
+	}
+	// Model vs exact simulation for an oversubscribed uniform workload.
+	d, _ := NewDirectMappedPageCache(256)
+	r := rand.New(rand.NewSource(11))
+	ws := 1024
+	for i := 0; i < 100000; i++ {
+		d.AccessPage(uint64(r.Intn(ws)), false)
+	}
+	gotSim := d.HitRatio()
+	gotModel := ExpectedDirectMappedHitRatio(256, float64(ws))
+	if diff := gotSim - gotModel; diff < -0.12 || diff > 0.12 {
+		t.Fatalf("model %v vs sim %v diverge", gotModel, gotSim)
+	}
+}

@@ -1,0 +1,224 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"merchandiser/internal/access"
+	"merchandiser/internal/baseline"
+	"merchandiser/internal/hm"
+	"merchandiser/internal/task"
+)
+
+// sharedApp: two tasks hammer a shared lookup table plus private arrays.
+// The shared object must stay migratable while either accessor is under
+// its goal (the accessor-aware gate).
+type sharedApp struct {
+	shared, privA, privB *hm.Object
+}
+
+func (a *sharedApp) Name() string      { return "shared" }
+func (a *sharedApp) NumInstances() int { return 4 }
+
+func (a *sharedApp) Setup(mem *hm.Memory) error {
+	var err error
+	if a.shared, err = mem.Alloc("L", "", 400*4096, hm.PM); err != nil {
+		return err
+	}
+	if a.privA, err = mem.Alloc("PA", "alpha", 200*4096, hm.PM); err != nil {
+		return err
+	}
+	a.privB, err = mem.Alloc("PB", "beta", 200*4096, hm.PM)
+	return err
+}
+
+func (a *sharedApp) Instance(i int, mem *hm.Memory) ([]hm.TaskWork, error) {
+	rnd := access.Pattern{Kind: access.Random, ElemSize: 8}
+	mk := func(name string, priv *hm.Object, scale float64) hm.TaskWork {
+		return hm.TaskWork{
+			Name: name,
+			Phases: []hm.Phase{{
+				Name:           "probe",
+				ComputeSeconds: 0.01,
+				Accesses: []hm.PhaseAccess{
+					{Obj: a.shared, Pattern: rnd, ProgramAccesses: 4e6 * scale, Seed: 1},
+					{Obj: priv, Pattern: rnd, ProgramAccesses: 2e6 * scale, Seed: 2},
+				},
+			}},
+		}
+	}
+	return []hm.TaskWork{mk("alpha", a.privA, 1), mk("beta", a.privB, 1.6)}, nil
+}
+
+func TestSharedObjectStaysMigratable(t *testing.T) {
+	app := &sharedApp{}
+	merch := New(Config{Spec: testSpec(), Daemon: baseline.DaemonConfig{Seed: 5}, Seed: 5})
+	res, err := task.Run(app, testSpec(), merch, task.Options{StepSec: 0.001, IntervalSec: 0.02, Debug: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalTime <= 0 {
+		t.Fatal("empty run")
+	}
+	// The shared object must have an accessor list covering both tasks
+	// and end with DRAM presence (it is the hottest object).
+	if a := app.shared.DRAMPages(); a == 0 {
+		t.Fatal("hot shared object received no DRAM pages")
+	}
+	gate := merch.daemon.Gate
+	if gate == nil {
+		t.Fatal("no gate installed")
+	}
+	acc := gate.Accessors["L"]
+	if len(acc) != 2 {
+		t.Fatalf("shared object accessors = %v, want both tasks", acc)
+	}
+}
+
+func TestUniformMappingAblationIsNoBetter(t *testing.T) {
+	// On the streamy/randy workload the density-aware mapping should be at
+	// least as good (usually strictly better) than the paper's uniform
+	// Line 18 assumption.
+	run := func(uniform bool) float64 {
+		app := &imbalanceApp{instances: 5}
+		cfg := Config{Spec: testSpec(), Daemon: baseline.DaemonConfig{Seed: 6}, Seed: 6, UniformMapping: uniform}
+		res, err := task.Run(app, testSpec(), New(cfg), task.Options{StepSec: 0.001, IntervalSec: 0.02})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.TotalTime
+	}
+	density := run(false)
+	uniform := run(true)
+	if density > uniform*1.05 {
+		t.Fatalf("density-aware mapping (%v) should not lose to uniform (%v)", density, uniform)
+	}
+}
+
+func TestDisableRefinementFreezesAlpha(t *testing.T) {
+	app := &imbalanceApp{instances: 5}
+	cfg := Config{Spec: testSpec(), Daemon: baseline.DaemonConfig{Seed: 7}, Seed: 7, DisableRefinement: true}
+	merch := New(cfg)
+	if _, err := task.Run(app, testSpec(), merch, task.Options{StepSec: 0.001, IntervalSec: 0.02}); err != nil {
+		t.Fatal(err)
+	}
+	for _, tp := range merch.profiles {
+		for _, op := range tp.objects {
+			if op.refiner != nil && op.refiner.Observations() != 0 {
+				t.Fatalf("refiner observed %d instances despite DisableRefinement", op.refiner.Observations())
+			}
+		}
+	}
+	rep := merch.AlphaReport()
+	if rep["R"] != 1 {
+		t.Fatalf("frozen α for R = %v, want 1", rep["R"])
+	}
+}
+
+func TestMemoryInvariantsAcrossPolicies(t *testing.T) {
+	// Every policy must leave the page table consistent after a full run
+	// with Debug invariant checking enabled.
+	pols := []task.Policy{
+		baseline.PMOnly{},
+		baseline.MemoryMode{},
+		baseline.NewMemoryOptimizer(baseline.DaemonConfig{Seed: 8}),
+		New(Config{Spec: testSpec(), Daemon: baseline.DaemonConfig{Seed: 8}, Seed: 8}),
+	}
+	for _, pol := range pols {
+		app := &imbalanceApp{instances: 3}
+		if _, err := task.Run(app, testSpec(), pol, task.Options{StepSec: 0.001, IntervalSec: 0.02, Debug: true}); err != nil {
+			t.Fatalf("%s: %v", pol.Name(), err)
+		}
+	}
+}
+
+func TestPlanRespectsDRAMCapacity(t *testing.T) {
+	app := &imbalanceApp{instances: 4}
+	merch := New(Config{Spec: testSpec(), Daemon: baseline.DaemonConfig{Seed: 9}, Seed: 9})
+	if _, err := task.Run(app, testSpec(), merch, task.Options{StepSec: 0.001, IntervalSec: 0.02}); err != nil {
+		t.Fatal(err)
+	}
+	var total uint64
+	for _, p := range merch.LastPlan.DRAMPages {
+		total += p
+	}
+	if cap := testSpec().CapacityPages(hm.DRAM); total > cap {
+		t.Fatalf("plan allocates %d pages, capacity %d", total, cap)
+	}
+}
+
+func TestPredictionsWithinPhysicalBounds(t *testing.T) {
+	app := &imbalanceApp{instances: 5}
+	merch := New(Config{Spec: testSpec(), Daemon: baseline.DaemonConfig{Seed: 10}, Seed: 10})
+	if _, err := task.Run(app, testSpec(), merch, task.Options{StepSec: 0.001, IntervalSec: 0.02}); err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range merch.Predictions {
+		if p.Predicted <= 0 || math.IsNaN(p.Predicted) || math.IsInf(p.Predicted, 0) {
+			t.Fatalf("prediction %+v out of bounds", p)
+		}
+		if p.SizeScale <= 0 {
+			t.Fatalf("size scale %v invalid", p.SizeScale)
+		}
+	}
+	bt := merch.BaseTimes()
+	if bt["streamy"] <= 0 || bt["randy"] <= 0 {
+		t.Fatalf("base times missing: %v", bt)
+	}
+}
+
+// mixedPatternApp accesses one object with two patterns in the same task:
+// the profile must keep the more irregular one.
+type mixedPatternApp struct{ obj *hm.Object }
+
+func (a *mixedPatternApp) Name() string      { return "mixed" }
+func (a *mixedPatternApp) NumInstances() int { return 3 }
+func (a *mixedPatternApp) Setup(mem *hm.Memory) error {
+	var err error
+	a.obj, err = mem.Alloc("M", "t0", 300*4096, hm.PM)
+	return err
+}
+func (a *mixedPatternApp) Instance(i int, mem *hm.Memory) ([]hm.TaskWork, error) {
+	return []hm.TaskWork{{
+		Name: "t0",
+		Phases: []hm.Phase{{
+			Name:           "both",
+			ComputeSeconds: 0.005,
+			Accesses: []hm.PhaseAccess{
+				{Obj: a.obj, Pattern: access.Pattern{Kind: access.Stream, ElemSize: 8}, ProgramAccesses: 8e6},
+				{Obj: a.obj, Pattern: access.Pattern{Kind: access.Random, ElemSize: 8}, ProgramAccesses: 2e6, Seed: 3},
+			},
+		}},
+	}}, nil
+}
+
+func TestMixedPatternObjectKeepsIrregularProfile(t *testing.T) {
+	app := &mixedPatternApp{}
+	merch := New(Config{Spec: testSpec(), Daemon: baseline.DaemonConfig{Seed: 11}, Seed: 11})
+	if _, err := task.Run(app, testSpec(), merch, task.Options{StepSec: 0.001, IntervalSec: 0.02}); err != nil {
+		t.Fatal(err)
+	}
+	if len(merch.profiles) != 1 || len(merch.profiles[0].objects) != 1 {
+		t.Fatalf("profiles malformed: %d", len(merch.profiles))
+	}
+	op := merch.profiles[0].objects[0]
+	if op.pattern.Kind != access.Random {
+		t.Fatalf("mixed-pattern object profiled as %v, want Random (most irregular wins)", op.pattern.Kind)
+	}
+	if op.refiner == nil {
+		t.Fatal("random-profiled object should carry a refiner")
+	}
+	// pagesByHistory with real history: the hottest recorded pages rank
+	// first for promotion.
+	order := pagesByHistory(app.obj, false)
+	if len(order) != app.obj.NumPages() {
+		t.Fatalf("ordering covers %d of %d pages", len(order), app.obj.NumPages())
+	}
+	if app.obj.PageAccess[order[0]] < app.obj.PageAccess[order[len(order)-1]] {
+		t.Fatal("promotion order should be hottest-first")
+	}
+	cold := pagesByHistory(app.obj, true)
+	if app.obj.PageAccess[cold[0]] > app.obj.PageAccess[cold[len(cold)-1]] {
+		t.Fatal("demotion order should be coldest-first")
+	}
+}

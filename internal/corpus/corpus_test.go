@@ -1,0 +1,163 @@
+package corpus
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"merchandiser/internal/hm"
+	"merchandiser/internal/pmc"
+)
+
+func smallSpec() hm.SystemSpec {
+	s := hm.DefaultSpec()
+	s.Tiers[hm.DRAM].CapacityBytes = 64 << 20
+	s.Tiers[hm.PM].CapacityBytes = 512 << 20
+	s.LLCBytes = 1 << 20
+	return s
+}
+
+func TestStandardCorpusShape(t *testing.T) {
+	regions := StandardCorpus(281, 1)
+	if len(regions) != 281 {
+		t.Fatalf("regions = %d, want 281 (the paper's count)", len(regions))
+	}
+	names := map[string]bool{}
+	families := map[string]bool{}
+	var regular, irregular int
+	for _, r := range regions {
+		if names[r.Name] {
+			t.Fatalf("duplicate region name %s", r.Name)
+		}
+		names[r.Name] = true
+		families[strings.SplitN(r.Name, ".", 2)[0]] = true
+		if len(r.Objects) == 0 || len(r.Accesses) == 0 {
+			t.Fatalf("region %s is empty", r.Name)
+		}
+		if r.IsRegular() {
+			regular++
+		} else {
+			irregular++
+		}
+	}
+	if len(families) < 5 {
+		t.Fatalf("families = %d, want >= 5 distinct NAS/SPEC-like families", len(families))
+	}
+	if regular == 0 || irregular == 0 {
+		t.Fatalf("corpus must mix regular (%d) and irregular (%d) regions", regular, irregular)
+	}
+	// Deterministic for the same seed.
+	again := StandardCorpus(281, 1)
+	for i := range regions {
+		if regions[i].Name != again[i].Name ||
+			regions[i].ComputePerUnit != again[i].ComputePerUnit {
+			t.Fatal("corpus not deterministic")
+		}
+	}
+	// Default count.
+	if got := len(StandardCorpus(0, 1)); got != 281 {
+		t.Fatalf("default corpus size = %d", got)
+	}
+}
+
+func TestInstantiate(t *testing.T) {
+	mem := hm.NewMemory(smallSpec())
+	regions := StandardCorpus(7, 2)
+	tw, err := regions[0].Instantiate(mem, 1, hm.PM, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tw.Phases) != 1 || len(tw.Phases[0].Accesses) == 0 {
+		t.Fatalf("bad task work: %+v", tw)
+	}
+	if len(mem.Objects()) != len(regions[0].Objects) {
+		t.Fatal("objects not allocated")
+	}
+	// Unknown object name errors.
+	bad := Region{
+		Name:     "bad",
+		Objects:  []ObjectSpec{{Name: "a", BytesPerUnit: 4096}},
+		Accesses: []AccessSpec{{Object: "nope"}},
+	}
+	if _, err := bad.Instantiate(hm.NewMemory(smallSpec()), 1, hm.PM, 1); err == nil {
+		t.Fatal("unknown object should error")
+	}
+}
+
+func TestBuildProducesValidSamples(t *testing.T) {
+	regions := StandardCorpus(14, 3) // two of each family
+	spec := smallSpec()
+	samples, err := Build(regions, spec, BuildConfig{Placements: 4, StepSec: 0.004, Seed: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Compute-bound regions are filtered out (their f target carries no
+	// signal), so expect fewer than 14*4 but a solid majority.
+	if len(samples) < 24 {
+		t.Fatalf("samples = %d, want >= 24", len(samples))
+	}
+	for _, s := range samples {
+		if s.TPm <= 0 || s.TDram <= 0 || s.THybrid <= 0 {
+			t.Fatalf("non-positive times in %+v", s)
+		}
+		if s.TDram > s.TPm {
+			t.Fatalf("region %s: DRAM-only (%v) slower than PM-only (%v)", s.Region, s.TDram, s.TPm)
+		}
+		if s.RDram < 0 || s.RDram > 1 {
+			t.Fatalf("r_dram = %v", s.RDram)
+		}
+		if math.IsNaN(s.F) || math.IsInf(s.F, 0) {
+			t.Fatalf("f = %v", s.F)
+		}
+		if s.F <= 0 || s.F > 3 {
+			t.Fatalf("f = %v out of plausible range (0, 3] for %s at r=%v", s.F, s.Region, s.RDram)
+		}
+		if len(s.Events.Values) == 0 {
+			t.Fatal("missing workload characteristics")
+		}
+	}
+	// Hybrid time must sit between the two bounds (tolerating step
+	// granularity).
+	for _, s := range samples {
+		if s.THybrid > s.TPm*1.05 || s.THybrid < s.TDram*0.95 {
+			t.Fatalf("region %s: hybrid %v outside [%v, %v]", s.Region, s.THybrid, s.TDram, s.TPm)
+		}
+	}
+}
+
+func TestBuildMonotoneInRDram(t *testing.T) {
+	// For a single region, more DRAM accesses must not slow it down.
+	regions := StandardCorpus(1, 7)
+	samples, err := Build(regions, smallSpec(), BuildConfig{Placements: 6, StepSec: 0.004})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 1; i < len(samples); i++ {
+		if samples[i].RDram > samples[i-1].RDram &&
+			samples[i].THybrid > samples[i-1].THybrid*1.02 {
+			t.Fatalf("hybrid time increased with r_dram: %v@%v -> %v@%v",
+				samples[i-1].THybrid, samples[i-1].RDram,
+				samples[i].THybrid, samples[i].RDram)
+		}
+	}
+}
+
+func TestMatrixAndFeatureNames(t *testing.T) {
+	events := []string{pmc.LLCMPKI, pmc.IPC}
+	names := FeatureNames(events)
+	if len(names) != 3 || names[2] != "R_DRAM" {
+		t.Fatalf("feature names = %v", names)
+	}
+	samples := []Sample{{
+		Events: pmc.Counters{Values: map[string]float64{pmc.LLCMPKI: 12, pmc.IPC: 0.8}},
+		RDram:  0.4,
+		F:      0.9,
+	}}
+	X, y := Matrix(samples, events)
+	if len(X) != 1 || len(X[0]) != 3 {
+		t.Fatalf("X = %v", X)
+	}
+	if X[0][0] != 12 || X[0][1] != 0.8 || X[0][2] != 0.4 || y[0] != 0.9 {
+		t.Fatalf("matrix values wrong: %v %v", X, y)
+	}
+}

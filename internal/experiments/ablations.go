@@ -1,0 +1,99 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"merchandiser/internal/baseline"
+	"merchandiser/internal/core"
+	"merchandiser/internal/model"
+	"merchandiser/internal/placement"
+	"merchandiser/internal/task"
+)
+
+// AblationRow is one design-variant measurement.
+type AblationRow struct {
+	Variant   string
+	TotalTime float64 // simulated seconds, SpGEMM under the variant
+}
+
+// Ablations quantifies the design choices DESIGN.md calls out by running
+// SpGEMM (the workload where Merchandiser's machinery matters most) under
+// variants of Merchandiser:
+//
+//   - Algorithm 1 step size 1 % / 5 % (paper) / 20 %;
+//   - trained correlation function vs linear interpolation in Equation 2;
+//   - online α refinement on vs off;
+//   - density-aware vs uniform (paper Line 18) access-to-page mapping;
+//   - the load-balance gate + plan vs the raw daemon (task semantics off —
+//     this variant is exactly MemoryOptimizer at page granularity).
+func Ablations(w io.Writer, art *Artifacts, cfg Config) ([]AblationRow, error) {
+	app, err := BuildApp("SpGEMM", cfg)
+	if err != nil {
+		return nil, err
+	}
+
+	base := func() core.Config {
+		return core.Config{
+			Spec:   art.Spec,
+			Perf:   art.Perf,
+			Daemon: baseline.DaemonConfig{Seed: cfg.Seed + 30},
+			Seed:   cfg.Seed + 31,
+		}
+	}
+	type variant struct {
+		name string
+		pol  func() task.Policy
+	}
+	variants := []variant{
+		{"merchandiser (5% step)", func() task.Policy { return core.New(base()) }},
+		{"step 1%", func() task.Policy {
+			c := base()
+			c.Algorithm = placement.Config{Step: 0.01}
+			return core.New(c)
+		}},
+		{"step 20%", func() task.Policy {
+			c := base()
+			c.Algorithm = placement.Config{Step: 0.20}
+			return core.New(c)
+		}},
+		{"linear f (untrained)", func() task.Policy {
+			c := base()
+			c.Perf = &model.PerfModel{}
+			return core.New(c)
+		}},
+		{"alpha refinement off", func() task.Policy {
+			c := base()
+			c.DisableRefinement = true
+			return core.New(c)
+		}},
+		{"uniform page mapping", func() task.Policy {
+			c := base()
+			c.UniformMapping = true
+			return core.New(c)
+		}},
+		{"optimal planner", func() task.Policy {
+			c := base()
+			c.OptimalPlanner = true
+			return core.New(c)
+		}},
+		{"task semantics off", func() task.Policy {
+			return baseline.NewMemoryOptimizer(baseline.DaemonConfig{RegionPages: 1, Seed: cfg.Seed + 30})
+		}},
+	}
+
+	fprintf(w, "Ablations: SpGEMM end-to-end simulated time under Merchandiser variants\n")
+	fprintf(w, "%-26s %12s\n", "Variant", "total (s)")
+	var rows []AblationRow
+	for _, v := range variants {
+		res, err := task.Run(app, art.Spec, v.pol(), task.Options{StepSec: cfg.step(), IntervalSec: 0.05})
+		if err != nil {
+			return nil, fmt.Errorf("experiments: ablation %q: %w", v.name, err)
+		}
+		row := AblationRow{Variant: v.name, TotalTime: res.TotalTime}
+		rows = append(rows, row)
+		fprintf(w, "%-26s %12.3f\n", row.Variant, row.TotalTime)
+	}
+	fmt.Fprintln(w)
+	return rows, nil
+}

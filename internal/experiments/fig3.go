@@ -1,0 +1,97 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"merchandiser/internal/apps"
+	"merchandiser/internal/hm"
+)
+
+// Fig3Row is one phase's normalized execution time at the three DRAM
+// ratios of Figure 3.
+type Fig3Row struct {
+	Phase string
+	T0    float64 // all accesses on PM (normalization basis: 1.0)
+	T50   float64 // half the accesses on DRAM
+	T100  float64 // all accesses on DRAM
+}
+
+// Fig3 reproduces Figure 3: the five NWChem-TC execution phases (plus the
+// entire task) run alone with 0%, 50% and 100% of their memory accesses
+// on DRAM; times normalized to the 0% case.
+func Fig3(w io.Writer, cfg Config) ([]Fig3Row, error) {
+	app, err := apps.NewNWChemTC(apps.NWChemTCConfig{Seed: cfg.Seed + 10})
+	if err != nil {
+		return nil, err
+	}
+	spec := apps.ExperimentSpec()
+
+	runAt := func(workName string, frac float64) (float64, error) {
+		// A fresh memory per run; the single task's objects placed with
+		// the requested fraction of pages in DRAM (interleaved so uniform
+		// patterns see the intended ratio).
+		pspec := spec
+		pspec.Tiers[hm.DRAM].CapacityBytes = pspec.Tiers[hm.PM].CapacityBytes
+		mem := hm.NewMemory(pspec)
+		if err := app.Setup(mem); err != nil {
+			return 0, err
+		}
+		var tw hm.TaskWork
+		if workName == "entire" {
+			tw = app.EntireTaskWork()
+		} else {
+			tw, err = app.PhaseWork(workName)
+			if err != nil {
+				return 0, err
+			}
+		}
+		for _, o := range mem.Objects() {
+			n := o.NumPages()
+			target := int(frac * float64(n))
+			if target == 0 {
+				continue
+			}
+			stride := float64(n) / float64(target)
+			for k := 0; k < target; k++ {
+				p := int(float64(k) * stride)
+				if p >= n {
+					p = n - 1
+				}
+				if err := mem.Migrate(o, p, hm.DRAM); err != nil {
+					return 0, err
+				}
+			}
+		}
+		eng := &hm.Engine{Mem: mem, StepSec: 0.0005}
+		res, err := eng.Run([]hm.TaskWork{tw})
+		if err != nil {
+			return 0, err
+		}
+		return res.Makespan, nil
+	}
+
+	names := append(append([]string(nil), apps.PhaseNames...), "entire")
+	var rows []Fig3Row
+	fprintf(w, "Figure 3: NWChem-TC phase time vs DRAM access ratio (normalized to 0%%)\n")
+	fprintf(w, "%-18s %8s %8s %8s\n", "Phase", "0%", "50%", "100%")
+	for _, name := range names {
+		t0, err := runAt(name, 0)
+		if err != nil {
+			return nil, err
+		}
+		t50, err := runAt(name, 0.5)
+		if err != nil {
+			return nil, err
+		}
+		t100, err := runAt(name, 1)
+		if err != nil {
+			return nil, err
+		}
+		row := Fig3Row{Phase: name, T0: 1, T50: t50 / t0, T100: t100 / t0}
+		rows = append(rows, row)
+		fprintf(w, "%-18s %8.3f %8.3f %8.3f\n", row.Phase, row.T0, row.T50, row.T100)
+	}
+	fmt.Fprintln(w)
+	return rows, nil
+}

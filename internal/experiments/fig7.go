@@ -1,0 +1,107 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"merchandiser/internal/corpus"
+	"merchandiser/internal/ml"
+	"merchandiser/internal/pmc"
+	"merchandiser/internal/stats"
+)
+
+// Fig7Point is the correlation-function accuracy at one event count, for
+// the regular- and irregular-pattern workload subsets (paper Figure 7).
+type Fig7Point struct {
+	Events      int
+	RegularR2   float64
+	IrregularR2 float64
+	Dropped     string
+}
+
+// Fig7 reproduces the event-selection ablation: starting from all
+// collectable events, repeatedly drop the least-important one (Gini
+// importance of the trained GBR) and record held-out accuracy separately
+// on regular- and irregular-pattern regions. The R_DRAM input of
+// Equation 2 is always kept — elimination applies to hardware events
+// only, as in the paper.
+func Fig7(w io.Writer, art *Artifacts, cfg Config) ([]Fig7Point, error) {
+	events := append([]string(nil), pmc.AllEvents...)
+	X, y := corpus.Matrix(art.Samples, events)
+	// Split deterministically, tracking which samples are regular.
+	idx := make([]int, len(X))
+	for i := range idx {
+		idx[i] = i
+	}
+	Xtr, ytr, Xte, yte, err := ml.TrainTestSplit(X, y, 0.7, cfg.Seed+6)
+	if err != nil {
+		return nil, err
+	}
+	// Recover test-row regularity by matching on sample identity: rebuild
+	// the split over indices with the same seed.
+	iAsRows := make([][]float64, len(idx))
+	for i := range idx {
+		iAsRows[i] = []float64{float64(i)}
+	}
+	_, _, iTe, _, err := ml.TrainTestSplit(iAsRows, y, 0.7, cfg.Seed+6)
+	if err != nil {
+		return nil, err
+	}
+	testRegular := make([]bool, len(Xte))
+	for k, row := range iTe {
+		testRegular[k] = art.Samples[int(row[0])].Regular
+	}
+
+	active := make([]int, len(events)) // indices into the event list
+	for i := range active {
+		active[i] = i
+	}
+	rDramCol := len(events) // last column of X
+
+	var points []Fig7Point
+	fprintf(w, "Figure 7: correlation-function accuracy vs number of events\n")
+	fprintf(w, "%7s %12s %12s   %s\n", "#events", "regular R²", "irreg. R²", "dropped next")
+
+	for len(active) >= 1 {
+		cols := append(append([]int(nil), active...), rDramCol)
+		xtr := ml.ProjectColumns(Xtr, cols)
+		xte := ml.ProjectColumns(Xte, cols)
+		gbr := ml.NewGradientBoosted(ml.GBRConfig{Seed: cfg.Seed + 7})
+		if err := gbr.Fit(xtr, ytr); err != nil {
+			return nil, err
+		}
+		var regY, regP, irrY, irrP []float64
+		for k, row := range xte {
+			p := gbr.Predict(row)
+			if testRegular[k] {
+				regY = append(regY, yte[k])
+				regP = append(regP, p)
+			} else {
+				irrY = append(irrY, yte[k])
+				irrP = append(irrP, p)
+			}
+		}
+		regR2, _ := stats.R2(regY, regP)
+		irrR2, _ := stats.R2(irrY, irrP)
+
+		pt := Fig7Point{Events: len(active), RegularR2: regR2, IrregularR2: irrR2}
+		if len(active) > 1 {
+			imp := gbr.Importances()
+			worst, worstVal := -1, 0.0
+			for ci, col := range active {
+				_ = col
+				if worst < 0 || imp[ci] < worstVal {
+					worst, worstVal = ci, imp[ci]
+				}
+			}
+			pt.Dropped = events[active[worst]]
+			active = append(active[:worst], active[worst+1:]...)
+		} else {
+			active = nil
+		}
+		points = append(points, pt)
+		fprintf(w, "%7d %12.3f %12.3f   %s\n", pt.Events, pt.RegularR2, pt.IrregularR2, pt.Dropped)
+	}
+	fmt.Fprintln(w)
+	return points, nil
+}

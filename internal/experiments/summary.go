@@ -1,0 +1,84 @@
+package experiments
+
+import (
+	"encoding/json"
+	"io"
+
+	"merchandiser/internal/hm"
+	"merchandiser/internal/stats"
+)
+
+// Summary is the machine-readable form of the whole evaluation, for
+// downstream plotting and regression tracking.
+type Summary struct {
+	Seed           int64              `json:"seed"`
+	Quick          bool               `json:"quick"`
+	CorrelationR2  float64            `json:"correlation_r2"`
+	TrainingSample int                `json:"training_samples"`
+	Apps           []AppSummary       `json:"apps"`
+	MeanSpeedup    map[string]float64 `json:"mean_speedup"`
+	Fig3           []Fig3Row          `json:"fig3,omitempty"`
+	Table3         []Table3Row        `json:"table3,omitempty"`
+	Table4         []Table4Row        `json:"table4,omitempty"`
+	Fig7           []Fig7Point        `json:"fig7,omitempty"`
+	Ablations      []AblationRow      `json:"ablations,omitempty"`
+}
+
+// AppSummary is one application's per-policy results.
+type AppSummary struct {
+	App      string          `json:"app"`
+	Policies []PolicySummary `json:"policies"`
+}
+
+// PolicySummary is one (app, policy) cell.
+type PolicySummary struct {
+	Policy        string  `json:"policy"`
+	TotalSeconds  float64 `json:"total_seconds"`
+	Speedup       float64 `json:"speedup_vs_pm_only"`
+	ACV           float64 `json:"acv"`
+	MigratedPages uint64  `json:"migrated_pages"`
+	MigSpreadMax  uint64  `json:"migration_spread_max,omitempty"`
+	MigSpreadMin  uint64  `json:"migration_spread_min,omitempty"`
+	AvgDRAMBwGBs  float64 `json:"avg_dram_bw_gbs"`
+	AvgPMBwGBs    float64 `json:"avg_pm_bw_gbs"`
+}
+
+// Summarize converts an evaluation into its machine-readable form.
+func Summarize(art *Artifacts, eval *Eval, cfg Config) *Summary {
+	s := &Summary{
+		Seed:           cfg.Seed,
+		Quick:          cfg.Quick,
+		CorrelationR2:  art.TestR2,
+		TrainingSample: len(art.Samples),
+		MeanSpeedup:    map[string]float64{},
+	}
+	for _, p := range []string{"MemoryMode", "MemoryOptimizer", "Merchandiser"} {
+		s.MeanSpeedup[p] = eval.MeanSpeedup(p)
+	}
+	for _, app := range AppNames {
+		as := AppSummary{App: app}
+		for _, pol := range eval.sortedPolicies(app) {
+			run := eval.Runs[app][pol]
+			as.Policies = append(as.Policies, PolicySummary{
+				Policy:        pol,
+				TotalSeconds:  run.TotalTime,
+				Speedup:       eval.Speedup(app, pol),
+				ACV:           stats.ACV(run.TaskMatrix),
+				MigratedPages: run.Migrated,
+				MigSpreadMax:  run.MigMax,
+				MigSpreadMin:  run.MigMin,
+				AvgDRAMBwGBs:  AvgBandwidth(run, hm.DRAM),
+				AvgPMBwGBs:    AvgBandwidth(run, hm.PM),
+			})
+		}
+		s.Apps = append(s.Apps, as)
+	}
+	return s
+}
+
+// WriteJSON marshals the summary with indentation.
+func (s *Summary) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}

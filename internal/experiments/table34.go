@@ -1,0 +1,142 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"merchandiser/internal/ml"
+	"merchandiser/internal/model"
+	"merchandiser/internal/pmc"
+	"merchandiser/internal/stats"
+)
+
+// Table3Row is one statistical model's result (paper Table 3).
+type Table3Row struct {
+	Model  string
+	Params string
+	R2     float64
+}
+
+// Table3 trains the six statistical models of the paper on the corpus
+// with a 70/30 split and reports held-out R².
+func Table3(w io.Writer, art *Artifacts, cfg Config) ([]Table3Row, error) {
+	type cand struct {
+		name, params string
+		mk           func() ml.Regressor
+	}
+	epochs := 120
+	svrIter := 40000
+	if cfg.Quick {
+		epochs = 40
+		svrIter = 12000
+	}
+	cands := []cand{
+		{"DTR", "criterion=variance, max_depth=10", func() ml.Regressor {
+			return ml.NewDecisionTree(ml.TreeConfig{MaxDepth: 10})
+		}},
+		{"SVR", "kernel=rbf, C=100", func() ml.Regressor {
+			return ml.NewSVR(ml.SVRConfig{C: 100, Epsilon: 0.005, MaxIter: svrIter * 2, MaxPasses: 8, Seed: cfg.Seed})
+		}},
+		{"KNR", "n_neighbors=8", func() ml.Regressor {
+			return ml.NewKNN(ml.KNNConfig{K: 8})
+		}},
+		{"RFR", "n_estimators=20, max_depth=10", func() ml.Regressor {
+			return ml.NewRandomForest(ml.ForestConfig{NumTrees: 20, MaxDepth: 10, Seed: cfg.Seed})
+		}},
+		{"GBR", "base_estimator=DTR, n_stages=250", func() ml.Regressor {
+			return ml.NewGradientBoosted(ml.GBRConfig{NumStages: 250, MaxDepth: 5, Seed: cfg.Seed})
+		}},
+		{"ANN", fmt.Sprintf("alpha=1e-5, hidden=(200,20), epochs=%d", epochs), func() ml.Regressor {
+			return ml.NewMLP(ml.MLPConfig{HiddenLayers: []int{200, 20}, Epochs: epochs, Seed: cfg.Seed})
+		}},
+	}
+	fprintf(w, "Table 3: statistical models, parameters, and accuracy (held-out R²)\n")
+	fprintf(w, "%-6s %-40s %8s\n", "Model", "Parameters", "R²")
+	var rows []Table3Row
+	for _, c := range cands {
+		res, err := model.TrainCorrelation(art.Samples, pmc.AllEvents, c.mk, cfg.Seed+5)
+		if err != nil {
+			return nil, err
+		}
+		row := Table3Row{Model: c.name, Params: c.params, R2: res.TestR2}
+		rows = append(rows, row)
+		fprintf(w, "%-6s %-40s %8.3f\n", row.Model, row.Params, row.R2)
+	}
+	fmt.Fprintln(w)
+	return rows, nil
+}
+
+// Table4Row is one application's prediction accuracy (paper Table 4).
+type Table4Row struct {
+	App string
+	// Regression is the profiling-based size-ratio comparator [8].
+	Regression float64
+	// Model is Merchandiser's full performance modeling.
+	Model float64
+}
+
+// Table4 measures whole-performance-modeling accuracy: for every
+// Merchandiser run in the evaluation, Equation 2's per-instance
+// predictions are compared against measured task times, next to the
+// size-ratio regression comparator.
+func Table4(w io.Writer, eval *Eval) ([]Table4Row, error) {
+	fprintf(w, "Table 4: accuracy of the whole performance modeling (1 - MAPE)\n")
+	fprintf(w, "%-12s %24s %20s\n", "Application", "Profiling-based regr.", "Performance model")
+	var rows []Table4Row
+	for _, app := range AppNames {
+		run := eval.Runs[app]["Merchandiser"]
+		if run == nil || run.Merch == nil {
+			return nil, fmt.Errorf("experiments: no Merchandiser run for %s", app)
+		}
+		base := run.Merch.BaseTimes()
+		var measured, predicted, comparator []float64
+		for _, p := range run.Merch.Predictions {
+			if p.Measured <= 0 {
+				continue
+			}
+			measured = append(measured, p.Measured)
+			predicted = append(predicted, p.Predicted)
+			comparator = append(comparator, base[p.Task]*p.SizeScale)
+		}
+		if len(measured) == 0 {
+			return nil, fmt.Errorf("experiments: no predictions recorded for %s", app)
+		}
+		accModel, err := stats.Accuracy(measured, predicted)
+		if err != nil {
+			return nil, err
+		}
+		accRegr, err := stats.Accuracy(measured, comparator)
+		if err != nil {
+			return nil, err
+		}
+		row := Table4Row{App: app, Regression: accRegr, Model: accModel}
+		rows = append(rows, row)
+		fprintf(w, "%-12s %23.1f%% %19.1f%%\n", app, accRegr*100, accModel*100)
+	}
+	fmt.Fprintln(w)
+	return rows, nil
+}
+
+// AlphaStudy reports per-application average α values (§7.3 "Values of
+// α"), read from each Merchandiser run's managed objects.
+func AlphaStudy(w io.Writer, eval *Eval) error {
+	fprintf(w, "Values of alpha (average over managed data objects)\n")
+	fprintf(w, "%-12s %8s\n", "Application", "avg α")
+	for _, app := range AppNames {
+		run := eval.Runs[app]["Merchandiser"]
+		if run == nil || run.Merch == nil {
+			return fmt.Errorf("experiments: no Merchandiser run for %s", app)
+		}
+		rep := run.Merch.AlphaReport()
+		var s float64
+		for _, a := range rep {
+			s += a
+		}
+		if len(rep) == 0 {
+			continue
+		}
+		fprintf(w, "%-12s %8.2f\n", app, s/float64(len(rep)))
+	}
+	fmt.Fprintln(w)
+	return nil
+}

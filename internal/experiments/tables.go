@@ -1,0 +1,69 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"merchandiser/internal/apps"
+	"merchandiser/internal/hm"
+	"merchandiser/internal/spindle"
+)
+
+// Table1 runs the Spindle static analyzer over each application's IR and
+// prints the detected object-level access patterns (paper Table 1).
+func Table1(w io.Writer, cfg Config) error {
+	fprintf(w, "Table 1: access patterns detected in five applications\n")
+	fprintf(w, "%-12s %-22s %s\n", "Application", "Patterns", "Per-object detail")
+	for _, name := range AppNames {
+		app, err := BuildApp(name, Config{Quick: true, Seed: cfg.Seed})
+		if err != nil {
+			return err
+		}
+		ira, ok := app.(apps.IRApp)
+		if !ok {
+			return fmt.Errorf("experiments: %s does not expose IR", name)
+		}
+		rep, err := spindle.Analyze(ira.IR())
+		if err != nil {
+			return err
+		}
+		var kinds []string
+		for _, k := range rep.PatternKinds() {
+			kinds = append(kinds, k.String())
+		}
+		var detail []string
+		for _, o := range rep.Objects {
+			detail = append(detail, fmt.Sprintf("%s:%s", o.Object, o.Pattern.Kind))
+		}
+		fprintf(w, "%-12s %-22s %s\n", name, strings.Join(kinds, ", "), strings.Join(detail, " "))
+	}
+	return nil
+}
+
+// Table2 prints the applications, their scaled inputs and memory
+// consumption on the experiment platform (paper Table 2).
+func Table2(w io.Writer, cfg Config) error {
+	spec := apps.ExperimentSpec()
+	fprintf(w, "Table 2: applications and inputs (scaled platform: %d MB DRAM, %d MB PM)\n",
+		spec.Tiers[hm.DRAM].CapacityBytes>>20, spec.Tiers[hm.PM].CapacityBytes>>20)
+	fprintf(w, "%-12s %-10s %-14s %s\n", "Application", "Tasks", "Memory (MB)", "x DRAM")
+	for _, name := range AppNames {
+		app, err := BuildApp(name, cfg)
+		if err != nil {
+			return err
+		}
+		mem := hm.NewMemory(spec)
+		if err := app.Setup(mem); err != nil {
+			return err
+		}
+		works, err := app.Instance(0, mem)
+		if err != nil {
+			return err
+		}
+		used := float64(mem.UsedPages(hm.PM)+mem.UsedPages(hm.DRAM)) * float64(spec.PageSize)
+		fprintf(w, "%-12s %-10d %-14.1f %.1f\n",
+			name, len(works), used/(1<<20), used/float64(spec.Tiers[hm.DRAM].CapacityBytes))
+	}
+	return nil
+}

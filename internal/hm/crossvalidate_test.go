@@ -1,0 +1,103 @@
+package hm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"merchandiser/internal/access"
+	"merchandiser/internal/cache"
+)
+
+// TestMissModelAgainstExactCache drives the exact set-associative cache
+// with address-level traces of each pattern and compares the measured
+// main-memory access counts against what the engine's closed-form miss
+// model predicts — the fidelity bridge between the two abstraction levels.
+func TestMissModelAgainstExactCache(t *testing.T) {
+	const llcBytes = 1 << 16
+	newCache := func() *cache.SetAssociative {
+		c, err := cache.NewSetAssociative(cache.Config{SizeBytes: llcBytes, Ways: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+
+	type tc struct {
+		name     string
+		pattern  access.Pattern
+		objBytes float64
+		// drive issues the pattern's program accesses and returns the count.
+		drive func(c *cache.SetAssociative) float64
+	}
+	cases := []tc{
+		{
+			name:     "stream",
+			pattern:  access.Pattern{Kind: access.Stream, ElemSize: 8},
+			objBytes: 1 << 21,
+			drive: func(c *cache.SetAssociative) float64 {
+				n := 1 << 18
+				for i := 0; i < n; i++ {
+					c.Access(uint64(i*8), false)
+				}
+				return float64(n)
+			},
+		},
+		{
+			name:     "strided",
+			pattern:  access.Pattern{Kind: access.Strided, ElemSize: 8, StrideBytes: 128},
+			objBytes: 1 << 22,
+			drive: func(c *cache.SetAssociative) float64 {
+				n := 1 << 15
+				for i := 0; i < n; i++ {
+					c.Access(uint64(i*128), false)
+				}
+				return float64(n)
+			},
+		},
+		{
+			name:     "stencil",
+			pattern:  access.Pattern{Kind: access.Stencil, ElemSize: 8, Points: 5},
+			objBytes: 1 << 21,
+			drive: func(c *cache.SetAssociative) float64 {
+				n := 1 << 16
+				count := 0.0
+				for i := 2; i < n-2; i++ {
+					for o := -2; o <= 2; o++ {
+						c.Access(uint64((i+o)*8), o == 0)
+						count++
+					}
+				}
+				return count
+			},
+		},
+		{
+			name:     "random-oversubscribed",
+			pattern:  access.Pattern{Kind: access.Random, ElemSize: 8},
+			objBytes: 4 * llcBytes,
+			drive: func(c *cache.SetAssociative) float64 {
+				rng := rand.New(rand.NewSource(3))
+				lines := 4 * llcBytes / 64
+				n := 1 << 17
+				for i := 0; i < n; i++ {
+					c.Access(uint64(rng.Intn(lines))*64, false)
+				}
+				return float64(n)
+			},
+		},
+	}
+
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			sim := newCache()
+			program := c.drive(sim)
+			measured := float64(sim.Stats().Misses)
+			predicted := c.pattern.MainMemoryAccesses(program, c.objBytes, llcBytes)
+			rel := math.Abs(predicted-measured) / measured
+			if rel > 0.25 {
+				t.Fatalf("%s: model predicts %.0f main accesses, exact cache measured %.0f (%.0f%% off)",
+					c.name, predicted, measured, rel*100)
+			}
+		})
+	}
+}

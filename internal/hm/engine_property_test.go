@@ -1,0 +1,305 @@
+package hm
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"merchandiser/internal/access"
+)
+
+// TestEngineDeterminism: identical configurations must produce identical
+// results — resumable experiments and seeds depend on it.
+func TestEngineDeterminism(t *testing.T) {
+	run := func() *RunResult {
+		m := NewMemory(testSpec())
+		a, _ := m.Alloc("A", "t0", 300*4096, PM)
+		b, _ := m.Alloc("B", "t1", 300*4096, PM)
+		for p := 0; p < 50; p++ {
+			_ = m.Migrate(a, p*3, DRAM)
+		}
+		eng := &Engine{Mem: m, StepSec: 0.001, IntervalSec: 0.02}
+		res, err := eng.Run([]TaskWork{
+			randomTask("t0", a, 5e6),
+			streamTask("t1", b, 2e7),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	r1, r2 := run(), run()
+	for i := range r1.TaskTimes {
+		if r1.TaskTimes[i] != r2.TaskTimes[i] {
+			t.Fatalf("task %d: %v vs %v — nondeterministic", i, r1.TaskTimes[i], r2.TaskTimes[i])
+		}
+	}
+	if r1.Counters[0].DRAMAccesses != r2.Counters[0].DRAMAccesses {
+		t.Fatal("counters nondeterministic")
+	}
+}
+
+// TestPlacementMonotonicityProperty: adding DRAM pages never slows a
+// single task down (quantized to a step).
+func TestPlacementMonotonicityProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		basePages := rng.Intn(80)
+		extraPages := 1 + rng.Intn(80)
+		build := func(dramPages int) float64 {
+			m := NewMemory(testSpec())
+			o, err := m.Alloc("A", "t0", 200*4096, PM)
+			if err != nil {
+				return math.NaN()
+			}
+			perm := rand.New(rand.NewSource(seed + 7)).Perm(200)
+			for i := 0; i < dramPages; i++ {
+				if m.Migrate(o, perm[i], DRAM) != nil {
+					return math.NaN()
+				}
+			}
+			m.migrationBytes = [NumTiers]float64{}
+			eng := &Engine{Mem: m, StepSec: 0.001}
+			res, err := eng.Run([]TaskWork{randomTask("t0", o, 4e6)})
+			if err != nil {
+				return math.NaN()
+			}
+			return res.Makespan
+		}
+		t1 := build(basePages)
+		t2 := build(basePages + extraPages)
+		return !math.IsNaN(t1) && !math.IsNaN(t2) && t2 <= t1+0.0011
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 15}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAccessConservation: DRAM + PM accesses equal main accesses, and the
+// per-page counters account for every one of them.
+func TestAccessConservation(t *testing.T) {
+	m := NewMemory(testSpec())
+	a, _ := m.Alloc("A", "t0", 120*4096, PM)
+	b, _ := m.Alloc("B", "t0", 80*4096, PM)
+	for p := 0; p < 40; p++ {
+		_ = m.Migrate(a, p*2, DRAM)
+	}
+	m.migrationBytes = [NumTiers]float64{}
+	eng := &Engine{Mem: m, StepSec: 0.001, IntervalSec: 0.02}
+	res, err := eng.Run([]TaskWork{{
+		Name: "t0",
+		Phases: []Phase{{
+			Name: "mix",
+			Accesses: []PhaseAccess{
+				{Obj: a, Pattern: access.Pattern{Kind: access.Random, ElemSize: 8}, ProgramAccesses: 3e6, Seed: 2},
+				{Obj: b, Pattern: access.Pattern{Kind: access.Stream, ElemSize: 8}, ProgramAccesses: 8e6, WriteFrac: 0.4},
+			},
+		}},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := res.Counters[0]
+	if math.Abs(c.DRAMAccesses+c.PMAccesses-c.MainAccesses) > 1e-6*c.MainAccesses {
+		t.Fatalf("tier accesses %v+%v != main %v", c.DRAMAccesses, c.PMAccesses, c.MainAccesses)
+	}
+	var pages float64
+	for _, o := range m.Objects() {
+		for _, v := range o.PageAccess {
+			pages += v
+		}
+	}
+	if math.Abs(pages-c.MainAccesses) > 1e-6*c.MainAccesses {
+		t.Fatalf("page counters %v != main accesses %v", pages, c.MainAccesses)
+	}
+	// Per-object attribution covers everything too.
+	var attr float64
+	for _, v := range c.ObjectAccesses {
+		attr += v
+	}
+	if math.Abs(attr-c.MainAccesses) > 1e-6*c.MainAccesses {
+		t.Fatalf("object attribution %v != main accesses %v", attr, c.MainAccesses)
+	}
+}
+
+// TestBandwidthNeverExceedsCapacity: telemetry samples must respect each
+// tier's pool (small tolerance for sample-window bucketing).
+func TestBandwidthNeverExceedsCapacity(t *testing.T) {
+	spec := testSpec()
+	spec.Tiers[PM].BandwidthGBs = 0.8
+	spec.Tiers[DRAM].BandwidthGBs = 2
+	m := NewMemory(spec)
+	var works []TaskWork
+	for i := 0; i < 4; i++ {
+		o, _ := m.Alloc("o", "t", 200*4096, PM)
+		works = append(works, streamTask("t", o, 3e7))
+	}
+	eng := &Engine{Mem: m, StepSec: 0.001, IntervalSec: 0.02}
+	res, err := eng.Run(works)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range res.Bandwidth {
+		if s.GBs[PM] > spec.Tiers[PM].BandwidthGBs*1.05 {
+			t.Fatalf("PM bandwidth sample %v exceeds pool %v", s.GBs[PM], spec.Tiers[PM].BandwidthGBs)
+		}
+		if s.GBs[DRAM] > spec.Tiers[DRAM].BandwidthGBs*1.05 {
+			t.Fatalf("DRAM bandwidth sample %v exceeds pool %v", s.GBs[DRAM], spec.Tiers[DRAM].BandwidthGBs)
+		}
+	}
+}
+
+// TestSweepPositionMatters: for a sweep, front-loaded vs back-loaded DRAM
+// pages must yield the same total DRAM access count (each page is visited
+// exactly once) — the accounting bug this guards against credited
+// back-loaded placements multiple times.
+func TestSweepPositionAccounting(t *testing.T) {
+	build := func(front bool) float64 {
+		m := NewMemory(testSpec())
+		o, _ := m.Alloc("A", "t0", 100*4096, PM)
+		for i := 0; i < 30; i++ {
+			p := i
+			if !front {
+				p = 99 - i
+			}
+			if err := m.Migrate(o, p, DRAM); err != nil {
+				t.Fatal(err)
+			}
+		}
+		m.migrationBytes = [NumTiers]float64{}
+		eng := &Engine{Mem: m, StepSec: 0.0005}
+		res, err := eng.Run([]TaskWork{streamTask("t0", o, 2e7)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Counters[0].RDRAM()
+	}
+	f := build(true)
+	b := build(false)
+	if math.Abs(f-0.3) > 0.06 || math.Abs(b-0.3) > 0.06 {
+		t.Fatalf("sweep RDRAM should be ~0.30 regardless of position: front=%v back=%v", f, b)
+	}
+}
+
+// TestEngineMaxStepsGuard: a pathologically slow configuration errors out
+// instead of hanging.
+func TestEngineMaxStepsGuard(t *testing.T) {
+	m := NewMemory(testSpec())
+	o, _ := m.Alloc("A", "t0", 4096, PM)
+	eng := &Engine{Mem: m, StepSec: 0.001, MaxSteps: 10}
+	_, err := eng.Run([]TaskWork{randomTask("t0", o, 1e12)})
+	if err == nil {
+		t.Fatal("runaway simulation should be cut off")
+	}
+}
+
+// TestFreedObjectsAreSkipped: freeing an object mid-setup must not break
+// later runs or invariants, and reuse hands its DRAM pages onward.
+func TestFreedObjectsAndReuse(t *testing.T) {
+	m := NewMemory(testSpec())
+	old, _ := m.Alloc("old", "t0", 64*4096, PM)
+	for p := 0; p < 16; p++ {
+		if err := m.Migrate(old, p, DRAM); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.Free(old); err != nil {
+		t.Fatal(err)
+	}
+	if m.UsedPages(DRAM) != 0 || m.UsedPages(PM) != 0 {
+		t.Fatalf("usage after free: %d/%d", m.UsedPages(DRAM), m.UsedPages(PM))
+	}
+	// The next allocation inherits the freed DRAM placement.
+	next, _ := m.Alloc("next", "t0", 64*4096, PM)
+	if next.DRAMPages() != 16 {
+		t.Fatalf("allocator reuse gave %d DRAM pages, want 16", next.DRAMPages())
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	// Reuse never exceeds what was freed.
+	another, _ := m.Alloc("another", "t0", 64*4096, PM)
+	if another.DRAMPages() != 0 {
+		t.Fatalf("second allocation got %d DRAM pages from an empty pool", another.DRAMPages())
+	}
+	// Freed twice? Free of already-freed object reports cleanly.
+	if err := m.Free(old); err != nil {
+		t.Fatalf("freeing an empty object should be a no-op: %v", err)
+	}
+	if err := m.Free(nil); err == nil {
+		t.Fatal("freeing nil should error")
+	}
+}
+
+// TestWriteFractionCostsMore: on PM, write-heavy traffic must be slower
+// than read-only traffic (the Optane write asymmetry).
+func TestWriteFractionCostsMore(t *testing.T) {
+	run := func(wf float64) float64 {
+		m := NewMemory(testSpec())
+		o, _ := m.Alloc("A", "t0", 200*4096, PM)
+		eng := &Engine{Mem: m, StepSec: 0.001}
+		res, err := eng.Run([]TaskWork{{
+			Name: "t0",
+			Phases: []Phase{{
+				Name: "w",
+				Accesses: []PhaseAccess{{
+					Obj:             o,
+					Pattern:         access.Pattern{Kind: access.Stream, ElemSize: 8},
+					ProgramAccesses: 3e7,
+					WriteFrac:       wf,
+				}},
+			}},
+		}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Makespan
+	}
+	ro := run(0)
+	wr := run(0.9)
+	if wr <= ro {
+		t.Fatalf("write-heavy PM traffic (%v) should be slower than read-only (%v)", wr, ro)
+	}
+}
+
+// TestMigrationTrafficSlowsTasks: charging migration bandwidth must be
+// visible — a burst of migrations during a bandwidth-bound run costs time.
+func TestMigrationTrafficSlowsTasks(t *testing.T) {
+	spec := testSpec()
+	spec.Tiers[PM].BandwidthGBs = 0.4
+	run := func(migrate bool) float64 {
+		m := NewMemory(spec)
+		o, _ := m.Alloc("A", "t0", 400*4096, PM)
+		var pol Policy
+		if migrate {
+			pol = &churnPolicy{obj: o}
+		}
+		eng := &Engine{Mem: m, StepSec: 0.001, IntervalSec: 0.01, Policy: pol}
+		res, err := eng.Run([]TaskWork{streamTask("t0", o, 3e7)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Makespan
+	}
+	quiet := run(false)
+	churned := run(true)
+	if churned <= quiet {
+		t.Fatalf("migration churn (%v) should cost time vs quiet run (%v)", churned, quiet)
+	}
+}
+
+// churnPolicy round-trips pages within each tick: pure migration traffic
+// with zero placement benefit.
+type churnPolicy struct {
+	obj *Object
+}
+
+func (c *churnPolicy) Name() string { return "churn" }
+func (c *churnPolicy) Tick(now float64, mem *Memory, tasks []TaskStatus) {
+	for p := 0; p < 64 && p < c.obj.NumPages(); p++ {
+		if mem.Migrate(c.obj, p, DRAM) == nil {
+			_ = mem.Migrate(c.obj, p, PM)
+		}
+	}
+}

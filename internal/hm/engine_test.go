@@ -1,0 +1,375 @@
+package hm
+
+import (
+	"math"
+	"testing"
+
+	"merchandiser/internal/access"
+)
+
+// streamTask builds a single-phase streaming task over one object.
+func streamTask(name string, obj *Object, accesses float64) TaskWork {
+	return TaskWork{
+		Name: name,
+		Phases: []Phase{{
+			Name:           "stream",
+			ComputeSeconds: 0.01,
+			Accesses: []PhaseAccess{{
+				Obj:             obj,
+				Pattern:         access.Pattern{Kind: access.Stream, ElemSize: 8},
+				ProgramAccesses: accesses,
+			}},
+		}},
+	}
+}
+
+func randomTask(name string, obj *Object, accesses float64) TaskWork {
+	return TaskWork{
+		Name: name,
+		Phases: []Phase{{
+			Name:           "gather",
+			ComputeSeconds: 0.01,
+			Accesses: []PhaseAccess{{
+				Obj:             obj,
+				Pattern:         access.Pattern{Kind: access.Random, ElemSize: 8},
+				ProgramAccesses: accesses,
+				Seed:            1,
+			}},
+		}},
+	}
+}
+
+func runOne(t *testing.T, spec SystemSpec, tier TierID, mk func(*Memory) []TaskWork) *RunResult {
+	t.Helper()
+	m := NewMemory(spec)
+	tasks := mk(m)
+	// Place all pages on the requested tier.
+	for _, o := range m.Objects() {
+		for p := 0; p < o.NumPages(); p++ {
+			if o.Loc[p] != tier {
+				if err := m.Migrate(o, p, tier); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	// Drain pending migration accounting so placement setup is free.
+	m.migrationBytes = [NumTiers]float64{}
+	eng := &Engine{Mem: m, StepSec: 0.001, IntervalSec: 0.05, Debug: true}
+	res, err := eng.Run(tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestDRAMFasterThanPM(t *testing.T) {
+	spec := testSpec()
+	mk := func(m *Memory) []TaskWork {
+		o, err := m.Alloc("A", "t0", 512*1024, PM)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return []TaskWork{randomTask("t0", o, 4e6)}
+	}
+	pm := runOne(t, spec, PM, mk)
+	dram := runOne(t, spec, DRAM, mk)
+	if dram.Makespan >= pm.Makespan {
+		t.Fatalf("DRAM run (%v) should beat PM run (%v)", dram.Makespan, pm.Makespan)
+	}
+	ratio := pm.Makespan / dram.Makespan
+	if ratio < 1.5 || ratio > 6 {
+		t.Fatalf("PM/DRAM ratio = %v, want within [1.5, 6] (latency ratio ~3x)", ratio)
+	}
+}
+
+func TestHybridPlacementBetweenBounds(t *testing.T) {
+	spec := testSpec()
+	build := func(dramPages int) float64 {
+		m := NewMemory(spec)
+		o, err := m.Alloc("A", "t0", 100*4096, PM)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for p := 0; p < dramPages; p++ {
+			if err := m.Migrate(o, p, DRAM); err != nil {
+				t.Fatal(err)
+			}
+		}
+		m.migrationBytes = [NumTiers]float64{}
+		eng := &Engine{Mem: m, StepSec: 0.001}
+		res, err := eng.Run([]TaskWork{randomTask("t0", o, 3e6)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Makespan
+	}
+	tPM := build(0)
+	tHalf := build(50)
+	tDRAM := build(100)
+	if !(tDRAM < tHalf && tHalf < tPM) {
+		t.Fatalf("expected monotone improvement: pm=%v half=%v dram=%v", tPM, tHalf, tDRAM)
+	}
+}
+
+func TestRDRAMMatchesPlacement(t *testing.T) {
+	spec := testSpec()
+	m := NewMemory(spec)
+	o, _ := m.Alloc("A", "t0", 100*4096, PM)
+	for p := 0; p < 25; p++ {
+		if err := m.Migrate(o, p, DRAM); err != nil {
+			t.Fatal(err)
+		}
+	}
+	m.migrationBytes = [NumTiers]float64{}
+	eng := &Engine{Mem: m, StepSec: 0.001}
+	res, err := eng.Run([]TaskWork{streamTask("t0", o, 4e6)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := res.Counters[0].RDRAM()
+	if math.Abs(got-0.25) > 0.02 {
+		t.Fatalf("RDRAM = %v, want ~0.25 (uniform stream, 25%% pages in DRAM)", got)
+	}
+}
+
+func TestPageCountersAccumulate(t *testing.T) {
+	spec := testSpec()
+	m := NewMemory(spec)
+	o, _ := m.Alloc("A", "t0", 10*4096, PM)
+	eng := &Engine{Mem: m, StepSec: 0.001}
+	res, err := eng.Run([]TaskWork{streamTask("t0", o, 1e6)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, a := range o.PageAccess {
+		sum += a
+	}
+	want := res.Counters[0].MainAccesses
+	if math.Abs(sum-want)/want > 1e-6 {
+		t.Fatalf("page counters sum %v != main accesses %v", sum, want)
+	}
+	// Uniform pattern: pages within 1% of each other.
+	for i, a := range o.PageAccess {
+		if math.Abs(a-sum/10)/(sum/10) > 0.01 {
+			t.Fatalf("page %d got %v, want ~%v", i, a, sum/10)
+		}
+	}
+}
+
+func TestBandwidthSharingSlowsTasks(t *testing.T) {
+	// Two bandwidth-bound streaming tasks on PM should take nearly twice
+	// as long as one, because they share the PM bandwidth pool. Shrink the
+	// pool so a single stream saturates it.
+	spec := testSpec()
+	spec.Tiers[PM].BandwidthGBs = 0.5
+	mkOne := func(m *Memory) []TaskWork {
+		o, _ := m.Alloc("A", "t0", 1<<20, PM)
+		return []TaskWork{streamTask("t0", o, 4e7)}
+	}
+	mkTwo := func(m *Memory) []TaskWork {
+		o1, _ := m.Alloc("A", "t0", 1<<20, PM)
+		o2, _ := m.Alloc("B", "t1", 1<<20, PM)
+		return []TaskWork{streamTask("t0", o1, 4e7), streamTask("t1", o2, 4e7)}
+	}
+	one := runOne(t, spec, PM, mkOne)
+	two := runOne(t, spec, PM, mkTwo)
+	ratio := two.Makespan / one.Makespan
+	if ratio < 1.4 || ratio > 2.5 {
+		t.Fatalf("two-task slowdown = %v, want roughly 2x (bandwidth-shared)", ratio)
+	}
+}
+
+func TestMakespanIsMaxTaskTime(t *testing.T) {
+	spec := testSpec()
+	m := NewMemory(spec)
+	a, _ := m.Alloc("A", "t0", 64*1024, PM)
+	b, _ := m.Alloc("B", "t1", 64*1024, PM)
+	eng := &Engine{Mem: m, StepSec: 0.001}
+	res, err := eng.Run([]TaskWork{streamTask("t0", a, 1e6), streamTask("t1", b, 8e6)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TaskTimes[0] >= res.TaskTimes[1] {
+		t.Fatalf("light task (%v) should finish before heavy task (%v)", res.TaskTimes[0], res.TaskTimes[1])
+	}
+	if res.Makespan != res.TaskTimes[1] {
+		t.Fatalf("makespan %v != slowest task %v", res.Makespan, res.TaskTimes[1])
+	}
+}
+
+// migrateAllPolicy migrates every page of every object to DRAM on the
+// first tick (as far as capacity allows).
+type migrateAllPolicy struct{ migrated bool }
+
+func (p *migrateAllPolicy) Name() string { return "migrate-all" }
+func (p *migrateAllPolicy) Tick(now float64, mem *Memory, tasks []TaskStatus) {
+	if p.migrated {
+		return
+	}
+	p.migrated = true
+	for _, o := range mem.Objects() {
+		for i := 0; i < o.NumPages(); i++ {
+			if mem.Migrate(o, i, DRAM) != nil {
+				return
+			}
+		}
+	}
+}
+
+func TestPolicyMigrationSpeedsUpRun(t *testing.T) {
+	spec := testSpec()
+	run := func(pol Policy) float64 {
+		m := NewMemory(spec)
+		o, _ := m.Alloc("A", "t0", 512*1024, PM)
+		eng := &Engine{Mem: m, StepSec: 0.001, IntervalSec: 0.02, Policy: pol, Debug: true}
+		res, err := eng.Run([]TaskWork{randomTask("t0", o, 2e7)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Makespan
+	}
+	static := run(nil)
+	migrated := run(&migrateAllPolicy{})
+	if migrated >= static {
+		t.Fatalf("migrating to DRAM (%v) should beat staying on PM (%v)", migrated, static)
+	}
+}
+
+func TestMigrationTrafficAppearsInTelemetry(t *testing.T) {
+	spec := testSpec()
+	m := NewMemory(spec)
+	o, _ := m.Alloc("A", "t0", 512*1024, PM)
+	eng := &Engine{Mem: m, StepSec: 0.001, IntervalSec: 0.02, Policy: &migrateAllPolicy{}}
+	res, err := eng.Run([]TaskWork{randomTask("t0", o, 1e7)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mig float64
+	for _, s := range res.Bandwidth {
+		mig += s.MigGBs[DRAM] + s.MigGBs[PM]
+	}
+	if mig == 0 {
+		t.Fatal("migration traffic should appear in bandwidth telemetry")
+	}
+}
+
+func TestMemoryModeSmallVsLargeWorkingSet(t *testing.T) {
+	spec := testSpec() // 1 MB DRAM cache
+	run := func(objBytes uint64) float64 {
+		m := NewMemory(spec)
+		o, _ := m.Alloc("A", "t0", objBytes, PM)
+		eng := &Engine{Mem: m, StepSec: 0.001, MemoryMode: true}
+		res, err := eng.Run([]TaskWork{randomTask("t0", o, 4e6)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.Counters[0].RDRAM()
+	}
+	small := run(256 * 1024) // fits in the 1 MB DRAM cache
+	large := run(6 << 20)    // 6x the DRAM cache
+	// Direct-mapped conflicts (deterministic per object) keep even a
+	// fitting working set below the ideal hit ratio.
+	if small < 0.4 {
+		t.Fatalf("small working set should mostly hit the DRAM cache, rdram=%v", small)
+	}
+	if large > 0.4 {
+		t.Fatalf("oversubscribed working set should mostly miss, rdram=%v", large)
+	}
+	if small <= large {
+		t.Fatalf("hit ratio should shrink with working set: %v vs %v", small, large)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	m := NewMemory(testSpec())
+	eng := &Engine{Mem: m}
+	if _, err := eng.Run(nil); err == nil {
+		t.Fatal("empty task list should error")
+	}
+	if _, err := eng.Run([]TaskWork{{Name: "bad", Phases: []Phase{{
+		Accesses: []PhaseAccess{{Obj: nil, Pattern: access.Pattern{Kind: access.Stream, ElemSize: 8}, ProgramAccesses: 1}},
+	}}}}); err == nil {
+		t.Fatal("nil object should error")
+	}
+	o, _ := m.Alloc("A", "", 4096, PM)
+	if _, err := eng.Run([]TaskWork{{Name: "bad", Phases: []Phase{{
+		Accesses: []PhaseAccess{{Obj: o, Pattern: access.Pattern{Kind: access.Stream, ElemSize: 0}, ProgramAccesses: 1}},
+	}}}}); err == nil {
+		t.Fatal("invalid pattern should error")
+	}
+}
+
+func TestEmptyPhasesFinishImmediately(t *testing.T) {
+	m := NewMemory(testSpec())
+	eng := &Engine{Mem: m, StepSec: 0.001}
+	res, err := eng.Run([]TaskWork{{Name: "noop"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Makespan > 0.01 {
+		t.Fatalf("empty task should finish immediately, makespan=%v", res.Makespan)
+	}
+}
+
+func TestMultiPhaseSequencing(t *testing.T) {
+	m := NewMemory(testSpec())
+	o, _ := m.Alloc("A", "t0", 64*1024, PM)
+	tw := TaskWork{Name: "t0", Phases: []Phase{
+		{Name: "p1", ComputeSeconds: 0.05},
+		{Name: "p2", Accesses: []PhaseAccess{{
+			Obj: o, Pattern: access.Pattern{Kind: access.Stream, ElemSize: 8}, ProgramAccesses: 1e6,
+		}}},
+	}}
+	eng := &Engine{Mem: m, StepSec: 0.001}
+	res, err := eng.Run([]TaskWork{tw})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Total time must be at least the compute-only phase plus some memory time.
+	if res.Makespan < 0.05 {
+		t.Fatalf("makespan %v shorter than compute phase", res.Makespan)
+	}
+	if res.Counters[0].MainAccesses == 0 {
+		t.Fatal("second phase's accesses missing from counters")
+	}
+}
+
+func TestCountersAggregates(t *testing.T) {
+	m := NewMemory(testSpec())
+	o, _ := m.Alloc("A", "t0", 256*1024, PM)
+	eng := &Engine{Mem: m, StepSec: 0.001}
+	res, err := eng.Run([]TaskWork{{
+		Name: "t0",
+		Phases: []Phase{{
+			Name: "mix",
+			Accesses: []PhaseAccess{
+				{Obj: o, Pattern: access.Pattern{Kind: access.Stream, ElemSize: 8}, ProgramAccesses: 1e6, WriteFrac: 0.5},
+				{Obj: o, Pattern: access.Pattern{Kind: access.Random, ElemSize: 8}, ProgramAccesses: 1e6, Seed: 3},
+			},
+		}},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := res.Counters[0]
+	if c.ProgramAccesses != 2e6 {
+		t.Fatalf("ProgramAccesses = %v", c.ProgramAccesses)
+	}
+	if c.MainAccesses <= 0 || c.MainAccesses > c.ProgramAccesses {
+		t.Fatalf("MainAccesses = %v out of range", c.MainAccesses)
+	}
+	if c.AvgMLP <= 0 || c.AvgMLP > 10 {
+		t.Fatalf("AvgMLP = %v", c.AvgMLP)
+	}
+	if c.RegularFraction <= 0 || c.RegularFraction >= 1 {
+		t.Fatalf("RegularFraction = %v, want strictly between 0 and 1 for a mix", c.RegularFraction)
+	}
+	if c.WriteFraction <= 0 {
+		t.Fatalf("WriteFraction = %v", c.WriteFraction)
+	}
+	if math.Abs(c.DRAMAccesses+c.PMAccesses-c.MainAccesses) > 1e-6*c.MainAccesses {
+		t.Fatal("tier accesses should sum to main accesses")
+	}
+}

@@ -1,0 +1,108 @@
+package hm
+
+import (
+	"fmt"
+	"math"
+)
+
+// Estimate is a closed-form execution-time estimate for one task running
+// alone — the quick answer when spinning up the time-stepped engine is
+// overkill (capacity planning, sanity checks, documentation examples).
+// It applies the same physics as the engine (per-pattern MLP with the
+// fast-response boost, PM write congestion, per-tier bandwidth ceilings,
+// partial compute overlap) without time stepping, so it matches engine
+// makespans for uncontended single-task runs to within a few percent.
+type Estimate struct {
+	Seconds      float64 // total predicted execution time
+	MemorySec    float64 // memory-bound portion
+	ComputeSec   float64 // compute work (partially overlapped)
+	MainAccesses float64
+	RDRAM        float64
+}
+
+// EstimateTask computes the closed form for a task under the given
+// per-entry DRAM fractions (fracDRAM[i] applies to Phases[].Accesses in
+// declaration order, flattened). Pass nil to assume everything on PM.
+func EstimateTask(spec SystemSpec, tw TaskWork, fracDRAM []float64) (*Estimate, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	est := &Estimate{}
+	idx := 0
+	for _, ph := range tw.Phases {
+		var memTime, phaseAccesses, dramAccesses float64
+		var bwDemand [NumTiers]float64 // bytes at full rate
+		var overlapSum, accSum float64
+		for _, pa := range ph.Accesses {
+			if err := pa.Pattern.Validate(); err != nil {
+				return nil, fmt.Errorf("hm: estimate: %w", err)
+			}
+			frac := 0.0
+			if fracDRAM != nil {
+				if idx >= len(fracDRAM) {
+					return nil, fmt.Errorf("hm: estimate: %d DRAM fractions for more accesses", len(fracDRAM))
+				}
+				frac = fracDRAM[idx]
+			}
+			idx++
+			if frac < 0 || frac > 1 {
+				return nil, fmt.Errorf("hm: estimate: DRAM fraction %v out of [0,1]", frac)
+			}
+			main := pa.Pattern.MainMemoryAccesses(pa.ProgramAccesses, float64(pa.Obj.Bytes), spec.LLCBytes)
+			if main <= 0 {
+				continue
+			}
+			latD := spec.Latency(DRAM, pa.WriteFrac)
+			latP := spec.Latency(PM, pa.WriteFrac)
+			fracPM := 1 - frac
+			latP *= 1 + 0.57*fracPM*pa.WriteFrac*(spec.Tiers[PM].WriteFactor-1)
+			lat := frac*latD + fracPM*latP
+			const refFastLatencyNs = 80
+			fastness := math.Min(1, refFastLatencyNs/lat)
+			mlp := pa.Pattern.MLP() * (1 + pa.Pattern.MLPBoost()*fastness)
+			memTime += main * lat / mlp / 1e9
+
+			bytes := main * 64 * (1 + pa.WriteFrac)
+			bwDemand[DRAM] += bytes * frac * (1 + pa.WriteFrac*(spec.Tiers[DRAM].WriteFactor-1))
+			bwDemand[PM] += bytes * fracPM * (1 + pa.WriteFrac*(spec.Tiers[PM].WriteFactor-1))
+
+			phaseAccesses += main
+			dramAccesses += main * frac
+			overlapSum += main * overlapFactor(pa.Pattern)
+			accSum += main
+		}
+		// Bandwidth ceiling per tier: the phase cannot finish faster than
+		// its traffic drains.
+		for t := TierID(0); t < NumTiers; t++ {
+			if bw := bwDemand[t] / spec.BytesPerSecond(t); bw > memTime {
+				memTime = bw
+			}
+		}
+		overlap := 1.0
+		if accSum > 0 {
+			overlap = overlapSum / accSum
+		}
+		// Engine semantics: while memory is outstanding, compute advances
+		// at the overlap rate; afterwards at full speed. Memory finishes
+		// at memTime regardless.
+		c := ph.ComputeSeconds
+		var phaseTime float64
+		switch {
+		case memTime <= 0:
+			phaseTime = c
+		case c <= memTime*overlap:
+			phaseTime = memTime // compute fully hidden
+		default:
+			phaseTime = memTime + (c - memTime*overlap)
+		}
+		est.Seconds += phaseTime
+		est.MemorySec += memTime
+		est.ComputeSec += c
+		est.MainAccesses += phaseAccesses
+		est.RDRAM += dramAccesses
+	}
+	if est.MainAccesses > 0 {
+		est.RDRAM /= est.MainAccesses
+	}
+	return est, nil
+}

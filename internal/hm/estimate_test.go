@@ -1,0 +1,131 @@
+package hm
+
+import (
+	"math"
+	"testing"
+
+	"merchandiser/internal/access"
+)
+
+// TestEstimateMatchesEngine: the closed form must track the time-stepped
+// engine for uncontended single tasks across patterns and placements.
+func TestEstimateMatchesEngine(t *testing.T) {
+	spec := testSpec()
+	cases := []struct {
+		name string
+		pat  access.Pattern
+		wf   float64
+	}{
+		{"stream", access.Pattern{Kind: access.Stream, ElemSize: 8}, 0},
+		{"stream-writes", access.Pattern{Kind: access.Stream, ElemSize: 8}, 0.8},
+		{"strided", access.Pattern{Kind: access.Strided, ElemSize: 8, StrideBytes: 128}, 0.2},
+		{"random", access.Pattern{Kind: access.Random, ElemSize: 8}, 0},
+	}
+	for _, c := range cases {
+		for _, frac := range []float64{0, 0.3, 0.8} {
+			m := NewMemory(spec)
+			o, err := m.Alloc("A", "t", 200*4096, PM)
+			if err != nil {
+				t.Fatal(err)
+			}
+			n := o.NumPages()
+			target := int(frac * float64(n))
+			stride := 1.0
+			if target > 0 {
+				stride = float64(n) / float64(target)
+			}
+			for k := 0; k < target; k++ {
+				p := int(float64(k) * stride)
+				if p < n {
+					_ = m.Migrate(o, p, DRAM)
+				}
+			}
+			m.migrationBytes = [NumTiers]float64{}
+			tw := TaskWork{Name: "t", Phases: []Phase{{
+				Name:           "k",
+				ComputeSeconds: 0.02,
+				Accesses: []PhaseAccess{{
+					Obj: o, Pattern: c.pat, ProgramAccesses: 6e6, WriteFrac: c.wf, Seed: 1,
+				}},
+			}}}
+			eng := &Engine{Mem: m, StepSec: 0.0005}
+			res, err := eng.Run([]TaskWork{tw})
+			if err != nil {
+				t.Fatal(err)
+			}
+			est, err := EstimateTask(spec, tw, []float64{o.DRAMFraction()})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rel := math.Abs(est.Seconds-res.Makespan) / res.Makespan
+			if rel > 0.12 {
+				t.Fatalf("%s@%.1f: estimate %.4fs vs engine %.4fs (%.0f%% off)",
+					c.name, frac, est.Seconds, res.Makespan, rel*100)
+			}
+			if math.Abs(est.MainAccesses-res.Counters[0].MainAccesses) > 1e-6*est.MainAccesses {
+				t.Fatalf("%s: access counts diverge: %v vs %v",
+					c.name, est.MainAccesses, res.Counters[0].MainAccesses)
+			}
+		}
+	}
+}
+
+func TestEstimateValidation(t *testing.T) {
+	spec := testSpec()
+	m := NewMemory(spec)
+	o, _ := m.Alloc("A", "t", 4096, PM)
+	tw := TaskWork{Name: "t", Phases: []Phase{{
+		Accesses: []PhaseAccess{{Obj: o, Pattern: access.Pattern{Kind: access.Stream, ElemSize: 8}, ProgramAccesses: 1}},
+	}}}
+	if _, err := EstimateTask(spec, tw, []float64{1.5}); err == nil {
+		t.Fatal("out-of-range fraction accepted")
+	}
+	if _, err := EstimateTask(spec, tw, []float64{}); err == nil {
+		t.Fatal("short fraction vector accepted")
+	}
+	bad := spec
+	bad.Tiers[PM].BandwidthGBs = 0
+	if _, err := EstimateTask(bad, tw, nil); err == nil {
+		t.Fatal("invalid spec accepted")
+	}
+	// nil fractions default to PM-only.
+	est, err := EstimateTask(spec, tw, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.RDRAM != 0 {
+		t.Fatalf("default placement RDRAM = %v, want 0", est.RDRAM)
+	}
+}
+
+func TestSpecValidate(t *testing.T) {
+	good := DefaultSpec()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	mut := func(f func(*SystemSpec)) SystemSpec {
+		s := DefaultSpec()
+		f(&s)
+		return s
+	}
+	bad := []SystemSpec{
+		mut(func(s *SystemSpec) { s.PageSize = 0 }),
+		mut(func(s *SystemSpec) { s.LLCBytes = -1 }),
+		mut(func(s *SystemSpec) { s.Tiers[DRAM].CapacityBytes = 0 }),
+		mut(func(s *SystemSpec) { s.Tiers[PM].ReadLatencyNs = 0 }),
+		mut(func(s *SystemSpec) { s.Tiers[PM].WriteLatencyNs = -1 }),
+		mut(func(s *SystemSpec) { s.Tiers[DRAM].BandwidthGBs = 0 }),
+		mut(func(s *SystemSpec) { s.Tiers[PM].WriteFactor = 0.5 }),
+	}
+	for i, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Fatalf("bad spec %d accepted", i)
+		}
+		// The engine surfaces the same error instead of hanging.
+		m := NewMemory(s)
+		eng := &Engine{Mem: m, StepSec: 0.001}
+		if _, err := eng.Run([]TaskWork{{Name: "t"}}); err == nil {
+			t.Fatalf("engine accepted bad spec %d", i)
+		}
+	}
+}

@@ -1,0 +1,164 @@
+// Package hm is the heterogeneous-memory substrate of the Merchandiser
+// reproduction: a two-tier (DRAM + persistent memory) main-memory simulator
+// with 4 KB pages, an explicit page table, page migration, and a
+// time-stepped multi-task execution engine that shares each tier's
+// bandwidth among concurrently running tasks.
+//
+// The paper evaluates on a real Optane platform (192 GB DRAM + 1.5 TB PM,
+// App Direct mode). Reproducing that in Go directly is not possible — the
+// Go runtime owns the heap and page placement — so this package simulates
+// the platform at the fidelity the paper's effects need: where pages live,
+// how access patterns translate to latency/bandwidth demand, how tasks
+// contend for tier bandwidth, and how migrations cost time. See DESIGN.md
+// for the substitution argument.
+package hm
+
+import "fmt"
+
+// TierID identifies one of the two memory tiers.
+type TierID int
+
+const (
+	// DRAM is the fast, small tier.
+	DRAM TierID = 0
+	// PM is the slow, large tier (Optane persistent memory).
+	PM TierID = 1
+	// NumTiers is the number of memory tiers.
+	NumTiers = 2
+)
+
+// String returns the tier name.
+func (t TierID) String() string {
+	switch t {
+	case DRAM:
+		return "DRAM"
+	case PM:
+		return "PM"
+	default:
+		return "Tier(?)"
+	}
+}
+
+// TierSpec describes one memory tier's capacity and performance.
+// Latencies are loaded-use latencies in nanoseconds; bandwidth is the
+// peak read bandwidth in GB/s. WriteFactor is how many units of the
+// bandwidth pool one written byte consumes (PM writes are ~4.74x slower
+// than DRAM writes in the paper's platform, which a factor > 1 models).
+type TierSpec struct {
+	Name           string
+	CapacityBytes  uint64
+	ReadLatencyNs  float64
+	WriteLatencyNs float64
+	BandwidthGBs   float64
+	WriteFactor    float64
+}
+
+// SystemSpec describes the whole simulated platform.
+type SystemSpec struct {
+	PageSize uint64 // bytes per page (4096 on the paper's platform)
+	LLCBytes float64
+	Tiers    [NumTiers]TierSpec
+
+	// CoreGHz converts compute work expressed in "operations" into
+	// seconds inside the engine's helpers.
+	CoreGHz float64
+
+	// MigrationShare is the maximum fraction of a tier's bandwidth that
+	// page-migration traffic may consume per step.
+	MigrationShare float64
+}
+
+// DefaultSpec returns the scaled-down analogue of the paper's platform:
+// the 1:8 DRAM:PM capacity ratio of 192 GB : 1.5 TB is preserved at
+// 1/1024 scale (192 MB DRAM : 1.5 GB PM), and latency/bandwidth ratios
+// follow Section 2 (PM read latency ~2-3.8x DRAM, PM bandwidth 3.87x
+// lower for reads and 4.74x for writes; Figure 6 shows peaks of
+// 180 GB/s DRAM and 52 GB/s PM).
+func DefaultSpec() SystemSpec {
+	return SystemSpec{
+		PageSize: 4096,
+		LLCBytes: 32 * 1024 * 1024, // shared L3 slice visible to a task group
+		Tiers: [NumTiers]TierSpec{
+			DRAM: {
+				Name:           "DRAM",
+				CapacityBytes:  192 << 20,
+				ReadLatencyNs:  80,
+				WriteLatencyNs: 85,
+				BandwidthGBs:   180,
+				WriteFactor:    1.0,
+			},
+			PM: {
+				Name:           "PM",
+				CapacityBytes:  1536 << 20,
+				ReadLatencyNs:  260,
+				WriteLatencyNs: 420,
+				BandwidthGBs:   52,
+				WriteFactor:    2.4,
+			},
+		},
+		CoreGHz:        2.3, // Xeon Gold 6252N base clock
+		MigrationShare: 0.3,
+	}
+}
+
+// HomogeneousSpec returns a spec where both tiers have the performance of
+// tier t and effectively unlimited capacity — used for the paper's
+// "DRAM only" and "PM only" reference executions.
+func HomogeneousSpec(base SystemSpec, t TierID) SystemSpec {
+	s := base
+	ref := base.Tiers[t]
+	for i := range s.Tiers {
+		s.Tiers[i].ReadLatencyNs = ref.ReadLatencyNs
+		s.Tiers[i].WriteLatencyNs = ref.WriteLatencyNs
+		s.Tiers[i].BandwidthGBs = ref.BandwidthGBs
+		s.Tiers[i].WriteFactor = ref.WriteFactor
+		s.Tiers[i].CapacityBytes = base.Tiers[PM].CapacityBytes * 4
+	}
+	return s
+}
+
+// Validate checks that the spec is physically usable: a positive page
+// size, and positive capacity, latency and bandwidth on both tiers. A
+// zero-bandwidth tier would stall the engine forever; rejecting it here
+// turns a hang into an error.
+func (s SystemSpec) Validate() error {
+	if s.PageSize == 0 {
+		return fmt.Errorf("hm: zero page size")
+	}
+	if s.LLCBytes < 0 {
+		return fmt.Errorf("hm: negative LLC size")
+	}
+	for t := TierID(0); t < NumTiers; t++ {
+		ts := s.Tiers[t]
+		if ts.CapacityBytes < s.PageSize {
+			return fmt.Errorf("hm: tier %v capacity %d below one page", t, ts.CapacityBytes)
+		}
+		if ts.ReadLatencyNs <= 0 || ts.WriteLatencyNs <= 0 {
+			return fmt.Errorf("hm: tier %v has non-positive latency", t)
+		}
+		if ts.BandwidthGBs <= 0 {
+			return fmt.Errorf("hm: tier %v has non-positive bandwidth", t)
+		}
+		if ts.WriteFactor < 1 {
+			return fmt.Errorf("hm: tier %v write factor %v below 1", t, ts.WriteFactor)
+		}
+	}
+	return nil
+}
+
+// CapacityPages returns the number of whole pages tier t can hold.
+func (s SystemSpec) CapacityPages(t TierID) uint64 {
+	return s.Tiers[t].CapacityBytes / s.PageSize
+}
+
+// Latency returns the average access latency in nanoseconds for tier t
+// given a write fraction wf in [0,1].
+func (s SystemSpec) Latency(t TierID, wf float64) float64 {
+	spec := s.Tiers[t]
+	return (1-wf)*spec.ReadLatencyNs + wf*spec.WriteLatencyNs
+}
+
+// BytesPerSecond returns tier t's bandwidth pool size in bytes/second.
+func (s SystemSpec) BytesPerSecond(t TierID) float64 {
+	return s.Tiers[t].BandwidthGBs * 1e9
+}

@@ -1,0 +1,243 @@
+package ml
+
+import (
+	"math/rand"
+)
+
+// ForestConfig configures a random forest (Table 3: n_estimators=20,
+// max_depth=10).
+type ForestConfig struct {
+	NumTrees       int
+	MaxDepth       int
+	MinSamplesLeaf int
+	// MaxFeatures per split; 0 means d/3 (the regression default).
+	MaxFeatures int
+	Seed        int64
+}
+
+func (c ForestConfig) withDefaults() ForestConfig {
+	if c.NumTrees <= 0 {
+		c.NumTrees = 20
+	}
+	if c.MaxDepth <= 0 {
+		c.MaxDepth = 10
+	}
+	return c
+}
+
+// RandomForest bags variance-reduction trees over bootstrap resamples
+// with per-split feature subsampling.
+type RandomForest struct {
+	Config ForestConfig
+
+	trees       []*DecisionTree
+	importances []float64
+	fitted      bool
+}
+
+// NewRandomForest builds an unfitted forest.
+func NewRandomForest(cfg ForestConfig) *RandomForest {
+	return &RandomForest{Config: cfg.withDefaults()}
+}
+
+// Name implements Regressor.
+func (f *RandomForest) Name() string { return "RFR" }
+
+// Fit implements Regressor.
+func (f *RandomForest) Fit(X [][]float64, y []float64) error {
+	if err := validate(X, y); err != nil {
+		return err
+	}
+	d := len(X[0])
+	maxFeatures := f.Config.MaxFeatures
+	if maxFeatures <= 0 {
+		maxFeatures = (d + 2) / 3
+	}
+	rng := rand.New(rand.NewSource(f.Config.Seed))
+	f.trees = make([]*DecisionTree, f.Config.NumTrees)
+	f.importances = make([]float64, d)
+	n := len(X)
+	for t := range f.trees {
+		// Bootstrap resample.
+		bx := make([][]float64, n)
+		by := make([]float64, n)
+		for i := 0; i < n; i++ {
+			j := rng.Intn(n)
+			bx[i], by[i] = X[j], y[j]
+		}
+		tree := NewDecisionTree(TreeConfig{
+			MaxDepth:       f.Config.MaxDepth,
+			MinSamplesLeaf: f.Config.MinSamplesLeaf,
+			MaxFeatures:    maxFeatures,
+			Seed:           rng.Int63(),
+		})
+		if err := tree.Fit(bx, by); err != nil {
+			return err
+		}
+		f.trees[t] = tree
+		for j, v := range tree.Importances() {
+			f.importances[j] += v
+		}
+	}
+	var sum float64
+	for _, v := range f.importances {
+		sum += v
+	}
+	if sum > 0 {
+		for i := range f.importances {
+			f.importances[i] /= sum
+		}
+	}
+	f.fitted = true
+	return nil
+}
+
+// Predict implements Regressor (mean of tree predictions).
+func (f *RandomForest) Predict(x []float64) float64 {
+	if !f.fitted {
+		return 0
+	}
+	var s float64
+	for _, t := range f.trees {
+		s += t.Predict(x)
+	}
+	return s / float64(len(f.trees))
+}
+
+// Importances implements Importancer.
+func (f *RandomForest) Importances() []float64 {
+	return append([]float64(nil), f.importances...)
+}
+
+// GBRConfig configures gradient boosting (Table 3: base_estimator=DTR).
+type GBRConfig struct {
+	NumStages      int
+	LearningRate   float64
+	MaxDepth       int
+	MinSamplesLeaf int
+	// Subsample is the row fraction per stage (stochastic gradient
+	// boosting); 1 uses all rows.
+	Subsample float64
+	Seed      int64
+}
+
+func (c GBRConfig) withDefaults() GBRConfig {
+	if c.NumStages <= 0 {
+		c.NumStages = 150
+	}
+	if c.LearningRate <= 0 {
+		c.LearningRate = 0.08
+	}
+	if c.MaxDepth <= 0 {
+		c.MaxDepth = 4
+	}
+	if c.Subsample <= 0 || c.Subsample > 1 {
+		c.Subsample = 1
+	}
+	return c
+}
+
+// GradientBoosted is least-squares gradient boosting: shallow CART trees
+// fitted to residuals, shrunk by the learning rate. The paper selects it
+// as Merchandiser's correlation function f(·).
+type GradientBoosted struct {
+	Config GBRConfig
+
+	base        float64
+	trees       []*DecisionTree
+	importances []float64
+	fitted      bool
+}
+
+// NewGradientBoosted builds an unfitted GBR.
+func NewGradientBoosted(cfg GBRConfig) *GradientBoosted {
+	return &GradientBoosted{Config: cfg.withDefaults()}
+}
+
+// Name implements Regressor.
+func (g *GradientBoosted) Name() string { return "GBR" }
+
+// Fit implements Regressor.
+func (g *GradientBoosted) Fit(X [][]float64, y []float64) error {
+	if err := validate(X, y); err != nil {
+		return err
+	}
+	n := len(X)
+	d := len(X[0])
+	rng := rand.New(rand.NewSource(g.Config.Seed))
+
+	var sum float64
+	for _, v := range y {
+		sum += v
+	}
+	g.base = sum / float64(n)
+	g.importances = make([]float64, d)
+
+	residual := make([]float64, n)
+	pred := make([]float64, n)
+	for i := range pred {
+		pred[i] = g.base
+	}
+	g.trees = g.trees[:0]
+	sampleSize := int(float64(n) * g.Config.Subsample)
+	if sampleSize < 1 {
+		sampleSize = 1
+	}
+	for stage := 0; stage < g.Config.NumStages; stage++ {
+		for i := range residual {
+			residual[i] = y[i] - pred[i]
+		}
+		bx, by := X, residual
+		if sampleSize < n {
+			idx := rng.Perm(n)[:sampleSize]
+			bx = make([][]float64, sampleSize)
+			by = make([]float64, sampleSize)
+			for k, j := range idx {
+				bx[k], by[k] = X[j], residual[j]
+			}
+		}
+		tree := NewDecisionTree(TreeConfig{
+			MaxDepth:       g.Config.MaxDepth,
+			MinSamplesLeaf: g.Config.MinSamplesLeaf,
+			Seed:           rng.Int63(),
+		})
+		if err := tree.Fit(bx, by); err != nil {
+			return err
+		}
+		g.trees = append(g.trees, tree)
+		for j, v := range tree.Importances() {
+			g.importances[j] += v
+		}
+		for i := range pred {
+			pred[i] += g.Config.LearningRate * tree.Predict(X[i])
+		}
+	}
+	var isum float64
+	for _, v := range g.importances {
+		isum += v
+	}
+	if isum > 0 {
+		for i := range g.importances {
+			g.importances[i] /= isum
+		}
+	}
+	g.fitted = true
+	return nil
+}
+
+// Predict implements Regressor.
+func (g *GradientBoosted) Predict(x []float64) float64 {
+	if !g.fitted {
+		return 0
+	}
+	out := g.base
+	for _, t := range g.trees {
+		out += g.Config.LearningRate * t.Predict(x)
+	}
+	return out
+}
+
+// Importances implements Importancer.
+func (g *GradientBoosted) Importances() []float64 {
+	return append([]float64(nil), g.importances...)
+}

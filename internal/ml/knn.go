@@ -1,0 +1,75 @@
+package ml
+
+import (
+	"sort"
+)
+
+// KNNConfig configures the K-Neighbors regressor (Table 3: n_neighbors=8).
+type KNNConfig struct {
+	K int
+}
+
+// KNN is a brute-force K-nearest-neighbors regressor over standardized
+// features with uniform weighting.
+type KNN struct {
+	Config KNNConfig
+
+	scaler *scaler
+	X      [][]float64
+	y      []float64
+	fitted bool
+}
+
+// NewKNN builds an unfitted KNN.
+func NewKNN(cfg KNNConfig) *KNN {
+	if cfg.K <= 0 {
+		cfg.K = 8
+	}
+	return &KNN{Config: cfg}
+}
+
+// Name implements Regressor.
+func (k *KNN) Name() string { return "KNR" }
+
+// Fit implements Regressor (it memorizes the standardized training set).
+func (k *KNN) Fit(X [][]float64, y []float64) error {
+	if err := validate(X, y); err != nil {
+		return err
+	}
+	k.scaler = fitScaler(X)
+	k.X = k.scaler.transformAll(X)
+	k.y = append([]float64(nil), y...)
+	k.fitted = true
+	return nil
+}
+
+// Predict implements Regressor.
+func (k *KNN) Predict(x []float64) float64 {
+	if !k.fitted {
+		return 0
+	}
+	q := k.scaler.transform(x)
+	type nd struct {
+		d2 float64
+		i  int
+	}
+	ds := make([]nd, len(k.X))
+	for i, r := range k.X {
+		var d2 float64
+		for j := range r {
+			dv := r[j] - q[j]
+			d2 += dv * dv
+		}
+		ds[i] = nd{d2, i}
+	}
+	sort.Slice(ds, func(a, b int) bool { return ds[a].d2 < ds[b].d2 })
+	kk := k.Config.K
+	if kk > len(ds) {
+		kk = len(ds)
+	}
+	var s float64
+	for i := 0; i < kk; i++ {
+		s += k.y[ds[i].i]
+	}
+	return s / float64(kk)
+}

@@ -1,0 +1,232 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+)
+
+// MLPConfig configures the multilayer-perceptron regressor (Table 3:
+// hidden_layer=(200, 20), alpha=1e-5).
+type MLPConfig struct {
+	HiddenLayers []int
+	Alpha        float64 // L2 penalty
+	LearningRate float64
+	Epochs       int
+	BatchSize    int
+	Seed         int64
+}
+
+func (c MLPConfig) withDefaults() MLPConfig {
+	if len(c.HiddenLayers) == 0 {
+		c.HiddenLayers = []int{200, 20}
+	}
+	if c.Alpha <= 0 {
+		c.Alpha = 1e-5
+	}
+	if c.LearningRate <= 0 {
+		c.LearningRate = 1e-3
+	}
+	if c.Epochs <= 0 {
+		c.Epochs = 200
+	}
+	if c.BatchSize <= 0 {
+		c.BatchSize = 32
+	}
+	return c
+}
+
+type layer struct {
+	w [][]float64 // [out][in]
+	b []float64
+	// Adam moments.
+	mw, vw [][]float64
+	mb, vb []float64
+}
+
+// MLP is a fully connected ReLU network trained with Adam on squared loss.
+// Inputs and target are standardized internally.
+type MLP struct {
+	Config MLPConfig
+
+	scaler      *scaler
+	yMean, yStd float64
+	layers      []*layer
+	fitted      bool
+}
+
+// NewMLP builds an unfitted MLP.
+func NewMLP(cfg MLPConfig) *MLP {
+	return &MLP{Config: cfg.withDefaults()}
+}
+
+// Name implements Regressor.
+func (m *MLP) Name() string { return "ANN" }
+
+func newLayer(in, out int, rng *rand.Rand) *layer {
+	l := &layer{
+		w:  make([][]float64, out),
+		b:  make([]float64, out),
+		mw: make([][]float64, out),
+		vw: make([][]float64, out),
+		mb: make([]float64, out),
+		vb: make([]float64, out),
+	}
+	// He initialization for ReLU.
+	scale := math.Sqrt(2 / float64(in))
+	for o := 0; o < out; o++ {
+		l.w[o] = make([]float64, in)
+		l.mw[o] = make([]float64, in)
+		l.vw[o] = make([]float64, in)
+		for i := 0; i < in; i++ {
+			l.w[o][i] = rng.NormFloat64() * scale
+		}
+	}
+	return l
+}
+
+// Fit implements Regressor.
+func (m *MLP) Fit(X [][]float64, y []float64) error {
+	if err := validate(X, y); err != nil {
+		return err
+	}
+	rng := rand.New(rand.NewSource(m.Config.Seed))
+	m.scaler = fitScaler(X)
+	Xs := m.scaler.transformAll(X)
+
+	// Standardize the target too: keeps gradients well-scaled.
+	var ys, ys2 float64
+	for _, v := range y {
+		ys += v
+		ys2 += v * v
+	}
+	n := float64(len(y))
+	m.yMean = ys / n
+	m.yStd = math.Sqrt(ys2/n - m.yMean*m.yMean)
+	if m.yStd == 0 {
+		m.yStd = 1
+	}
+	yt := make([]float64, len(y))
+	for i, v := range y {
+		yt[i] = (v - m.yMean) / m.yStd
+	}
+
+	sizes := append([]int{len(X[0])}, m.Config.HiddenLayers...)
+	sizes = append(sizes, 1)
+	m.layers = make([]*layer, len(sizes)-1)
+	for i := range m.layers {
+		m.layers[i] = newLayer(sizes[i], sizes[i+1], rng)
+	}
+
+	adamStep := 0
+	for epoch := 0; epoch < m.Config.Epochs; epoch++ {
+		order := rng.Perm(len(Xs))
+		for start := 0; start < len(order); start += m.Config.BatchSize {
+			end := start + m.Config.BatchSize
+			if end > len(order) {
+				end = len(order)
+			}
+			adamStep++
+			m.trainBatch(Xs, yt, order[start:end], adamStep)
+		}
+	}
+	m.fitted = true
+	return nil
+}
+
+// forward returns per-layer activations (post-ReLU, last layer linear).
+func (m *MLP) forward(x []float64) [][]float64 {
+	acts := make([][]float64, len(m.layers)+1)
+	acts[0] = x
+	cur := x
+	for li, l := range m.layers {
+		out := make([]float64, len(l.w))
+		for o := range l.w {
+			s := l.b[o]
+			for i, w := range l.w[o] {
+				s += w * cur[i]
+			}
+			if li < len(m.layers)-1 && s < 0 {
+				s = 0 // ReLU on hidden layers
+			}
+			out[o] = s
+		}
+		acts[li+1] = out
+		cur = out
+	}
+	return acts
+}
+
+func (m *MLP) trainBatch(X [][]float64, y []float64, idx []int, step int) {
+	// Accumulate gradients over the batch.
+	gw := make([][][]float64, len(m.layers))
+	gb := make([][]float64, len(m.layers))
+	for li, l := range m.layers {
+		gw[li] = make([][]float64, len(l.w))
+		for o := range l.w {
+			gw[li][o] = make([]float64, len(l.w[o]))
+		}
+		gb[li] = make([]float64, len(l.b))
+	}
+	for _, i := range idx {
+		acts := m.forward(X[i])
+		// Output delta (squared loss, linear output).
+		delta := []float64{acts[len(acts)-1][0] - y[i]}
+		for li := len(m.layers) - 1; li >= 0; li-- {
+			l := m.layers[li]
+			in := acts[li]
+			// Gradients for this layer.
+			for o := range l.w {
+				gb[li][o] += delta[o]
+				for j := range l.w[o] {
+					gw[li][o][j] += delta[o] * in[j]
+				}
+			}
+			if li == 0 {
+				break
+			}
+			// Backpropagate through ReLU of the previous layer.
+			prev := make([]float64, len(in))
+			for j := range in {
+				if in[j] <= 0 {
+					continue // ReLU derivative is 0
+				}
+				var s float64
+				for o := range l.w {
+					s += l.w[o][j] * delta[o]
+				}
+				prev[j] = s
+			}
+			delta = prev
+		}
+	}
+
+	// Adam update.
+	const beta1, beta2, epsAdam = 0.9, 0.999, 1e-8
+	lr := m.Config.LearningRate
+	bc1 := 1 - math.Pow(beta1, float64(step))
+	bc2 := 1 - math.Pow(beta2, float64(step))
+	scale := 1 / float64(len(idx))
+	for li, l := range m.layers {
+		for o := range l.w {
+			for j := range l.w[o] {
+				g := gw[li][o][j]*scale + m.Config.Alpha*l.w[o][j]
+				l.mw[o][j] = beta1*l.mw[o][j] + (1-beta1)*g
+				l.vw[o][j] = beta2*l.vw[o][j] + (1-beta2)*g*g
+				l.w[o][j] -= lr * (l.mw[o][j] / bc1) / (math.Sqrt(l.vw[o][j]/bc2) + epsAdam)
+			}
+			g := gb[li][o] * scale
+			l.mb[o] = beta1*l.mb[o] + (1-beta1)*g
+			l.vb[o] = beta2*l.vb[o] + (1-beta2)*g*g
+			l.b[o] -= lr * (l.mb[o] / bc1) / (math.Sqrt(l.vb[o]/bc2) + epsAdam)
+		}
+	}
+}
+
+// Predict implements Regressor.
+func (m *MLP) Predict(x []float64) float64 {
+	if !m.fitted {
+		return 0
+	}
+	acts := m.forward(m.scaler.transform(x))
+	return acts[len(acts)-1][0]*m.yStd + m.yMean
+}

@@ -1,0 +1,135 @@
+package ml
+
+import (
+	"errors"
+	"fmt"
+)
+
+// EliminationStep records one round of the paper's recursive feature
+// elimination: the feature set in use, the trained model's test R², and
+// which feature was dropped next (empty on the final step).
+type EliminationStep struct {
+	Features []string
+	R2       float64
+	Dropped  string
+}
+
+// RecursiveFeatureElimination implements Section 5.1's event selection:
+// train on all features, measure test accuracy, remove the feature with
+// the lowest (Gini) importance, retrain, and repeat until minKeep features
+// remain. newModel must return a fresh Importancer-capable regressor.
+//
+// The returned steps run from the full feature set down to minKeep
+// features; Figure 7 plots their R² against feature count.
+func RecursiveFeatureElimination(
+	newModel func() Regressor,
+	Xtr [][]float64, ytr []float64,
+	Xte [][]float64, yte []float64,
+	features []string,
+	minKeep int,
+) ([]EliminationStep, error) {
+	if len(Xtr) == 0 || len(Xte) == 0 {
+		return nil, errors.New("ml: empty train or test set")
+	}
+	if len(features) != len(Xtr[0]) {
+		return nil, fmt.Errorf("ml: %d feature names but %d columns", len(features), len(Xtr[0]))
+	}
+	if minKeep < 1 {
+		minKeep = 1
+	}
+
+	active := make([]int, len(features)) // active[i] = original column index
+	for i := range active {
+		active[i] = i
+	}
+	var steps []EliminationStep
+
+	for len(active) >= minKeep {
+		xtr := projectColumns(Xtr, active)
+		xte := projectColumns(Xte, active)
+		m := newModel()
+		if err := m.Fit(xtr, ytr); err != nil {
+			return nil, err
+		}
+		r2, err := R2Score(m, xte, yte)
+		if err != nil {
+			return nil, err
+		}
+		names := make([]string, len(active))
+		for i, c := range active {
+			names[i] = features[c]
+		}
+		step := EliminationStep{Features: names, R2: r2}
+
+		if len(active) > minKeep {
+			imp, ok := m.(Importancer)
+			if !ok {
+				return nil, fmt.Errorf("ml: model %s does not expose importances", m.Name())
+			}
+			importances := imp.Importances()
+			worst := 0
+			for i := 1; i < len(importances); i++ {
+				if importances[i] < importances[worst] {
+					worst = i
+				}
+			}
+			step.Dropped = features[active[worst]]
+			active = append(active[:worst], active[worst+1:]...)
+		} else {
+			active = active[:0] // terminate after recording the last step
+		}
+		steps = append(steps, step)
+	}
+	return steps, nil
+}
+
+// ProjectColumns selects the given columns of X into a new matrix.
+func ProjectColumns(X [][]float64, cols []int) [][]float64 {
+	return projectColumns(X, cols)
+}
+
+// projectColumns selects the given columns of X.
+func projectColumns(X [][]float64, cols []int) [][]float64 {
+	out := make([][]float64, len(X))
+	for i, r := range X {
+		row := make([]float64, len(cols))
+		for j, c := range cols {
+			row[j] = r[c]
+		}
+		out[i] = row
+	}
+	return out
+}
+
+// RankFeatures trains one model on all features and returns the feature
+// names sorted by decreasing importance — how the paper arrives at the
+// ordering "LLC_MPKI, IPC, PRF_Miss, ..." of Section 5.1.
+func RankFeatures(newModel func() Regressor, X [][]float64, y []float64, features []string) ([]string, error) {
+	if len(X) == 0 || len(features) != len(X[0]) {
+		return nil, errors.New("ml: bad feature naming")
+	}
+	m := newModel()
+	if err := m.Fit(X, y); err != nil {
+		return nil, err
+	}
+	imp, ok := m.(Importancer)
+	if !ok {
+		return nil, fmt.Errorf("ml: model %s does not expose importances", m.Name())
+	}
+	iv := imp.Importances()
+	order := make([]int, len(features))
+	for i := range order {
+		order[i] = i
+	}
+	// Insertion sort by decreasing importance (tiny n).
+	for i := 1; i < len(order); i++ {
+		for j := i; j > 0 && iv[order[j]] > iv[order[j-1]]; j-- {
+			order[j], order[j-1] = order[j-1], order[j]
+		}
+	}
+	out := make([]string, len(order))
+	for i, c := range order {
+		out[i] = features[c]
+	}
+	return out, nil
+}

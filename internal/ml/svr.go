@@ -1,0 +1,197 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+)
+
+// SVRConfig configures the ε-insensitive support vector regressor with an
+// RBF kernel (Table 3: kernel='rbf').
+type SVRConfig struct {
+	C       float64 // regularization
+	Epsilon float64 // insensitive-tube half width
+	Gamma   float64 // RBF width; 0 means 1/d
+	// MaxPasses bounds the SMO sweeps without progress before stopping.
+	MaxPasses int
+	// MaxIter bounds total SMO iterations.
+	MaxIter int
+	Seed    int64
+}
+
+func (c SVRConfig) withDefaults() SVRConfig {
+	if c.C <= 0 {
+		c.C = 10
+	}
+	if c.Epsilon <= 0 {
+		c.Epsilon = 0.01
+	}
+	if c.MaxPasses <= 0 {
+		c.MaxPasses = 5
+	}
+	if c.MaxIter <= 0 {
+		c.MaxIter = 20000
+	}
+	return c
+}
+
+// SVR is an ε-SVR trained with a simplified SMO over the dual: each
+// iteration picks one sample violating the KKT conditions and updates its
+// coefficient β_i = α_i − α_i* by a clipped Newton step on the dual
+// objective, then refreshes the bias from the margin samples.
+type SVR struct {
+	Config SVRConfig
+
+	scaler *scaler
+	X      [][]float64 // standardized support inputs (all training rows)
+	beta   []float64   // α − α*
+	b      float64
+	gamma  float64
+	fitted bool
+}
+
+// NewSVR builds an unfitted SVR.
+func NewSVR(cfg SVRConfig) *SVR {
+	return &SVR{Config: cfg.withDefaults()}
+}
+
+// Name implements Regressor.
+func (s *SVR) Name() string { return "SVR" }
+
+func (s *SVR) kernel(a, b []float64) float64 {
+	var d2 float64
+	for j := range a {
+		dv := a[j] - b[j]
+		d2 += dv * dv
+	}
+	return math.Exp(-s.gamma * d2)
+}
+
+// Fit implements Regressor.
+func (s *SVR) Fit(X [][]float64, y []float64) error {
+	if err := validate(X, y); err != nil {
+		return err
+	}
+	n := len(X)
+	d := len(X[0])
+	s.scaler = fitScaler(X)
+	s.X = s.scaler.transformAll(X)
+	s.gamma = s.Config.Gamma
+	if s.gamma <= 0 {
+		s.gamma = 1 / float64(d)
+	}
+	s.beta = make([]float64, n)
+	s.b = 0
+
+	// Precompute the kernel matrix; training sets here are ≤ a few
+	// thousand rows, so O(n²) memory is acceptable.
+	K := make([][]float64, n)
+	for i := range K {
+		K[i] = make([]float64, n)
+		for j := 0; j <= i; j++ {
+			v := s.kernel(s.X[i], s.X[j])
+			K[i][j] = v
+			K[j][i] = v
+		}
+	}
+	// f[i] = current prediction without bias.
+	f := make([]float64, n)
+
+	rng := rand.New(rand.NewSource(s.Config.Seed))
+	passes := 0
+	iter := 0
+	for passes < s.Config.MaxPasses && iter < s.Config.MaxIter {
+		changed := 0
+		order := rng.Perm(n)
+		for _, i := range order {
+			iter++
+			if iter >= s.Config.MaxIter {
+				break
+			}
+			err := f[i] + s.b - y[i]
+			// KKT: |err| ≤ ε within the tube (β free to be 0);
+			// outside the tube β should push against the bound.
+			var grad float64
+			switch {
+			case err > s.Config.Epsilon:
+				grad = err - s.Config.Epsilon
+			case err < -s.Config.Epsilon:
+				grad = err + s.Config.Epsilon
+			default:
+				// Inside the tube: shrink β toward 0.
+				if s.beta[i] == 0 {
+					continue
+				}
+				grad = 0
+			}
+			// Newton step on coordinate i: Δβ = −grad / K_ii, plus decay
+			// toward zero inside the tube.
+			var delta float64
+			if grad != 0 {
+				delta = -grad / K[i][i]
+			} else {
+				delta = -s.beta[i] * 0.5
+			}
+			newBeta := clamp(s.beta[i]+delta, -s.Config.C, s.Config.C)
+			d := newBeta - s.beta[i]
+			if math.Abs(d) < 1e-9 {
+				continue
+			}
+			s.beta[i] = newBeta
+			for j := 0; j < n; j++ {
+				f[j] += d * K[i][j]
+			}
+			changed++
+		}
+		// Refresh bias: average residual over free samples.
+		var bs float64
+		var bn int
+		for i := 0; i < n; i++ {
+			if s.beta[i] > -s.Config.C && s.beta[i] < s.Config.C && s.beta[i] != 0 {
+				bs += y[i] - f[i]
+				bn++
+			}
+		}
+		if bn > 0 {
+			s.b = bs / float64(bn)
+		} else {
+			var all float64
+			for i := 0; i < n; i++ {
+				all += y[i] - f[i]
+			}
+			s.b = all / float64(n)
+		}
+		if changed == 0 {
+			passes++
+		} else {
+			passes = 0
+		}
+	}
+	s.fitted = true
+	return nil
+}
+
+// Predict implements Regressor.
+func (s *SVR) Predict(x []float64) float64 {
+	if !s.fitted {
+		return 0
+	}
+	q := s.scaler.transform(x)
+	out := s.b
+	for i, beta := range s.beta {
+		if beta == 0 {
+			continue
+		}
+		out += beta * s.kernel(s.X[i], q)
+	}
+	return out
+}
+
+func clamp(v, lo, hi float64) float64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}

@@ -1,0 +1,199 @@
+// Package model implements Merchandiser's performance modeling:
+//
+//   - Equation 1 — input-aware estimation of main-memory access counts,
+//     with the per-pattern cache-effect factor α (offline for stream,
+//     strided and input-independent stencils; refined online for random
+//     and input-dependent stencils), Section 4;
+//   - Equation 2 — execution-time prediction under an arbitrary DRAM/PM
+//     access split, via the trained correlation function f(PMCs, r_dram),
+//     Section 5;
+//   - the homogeneous-memory predictor that scales input-independent
+//     basic-block times by the cosine similarity of input-size vectors,
+//     Section 5.2;
+//   - the profiling-based-regression comparator of Table 4.
+package model
+
+import (
+	"fmt"
+	"math"
+
+	"merchandiser/internal/access"
+	"merchandiser/internal/cache"
+)
+
+// divisible rounds size up to the next multiple of the cache line, the
+// paper's rule for stream/strided sizes not divisible by the line size.
+func divisible(size float64) float64 {
+	return math.Ceil(size/cache.LineSize) * cache.LineSize
+}
+
+// EstimateAccesses is Equation 1: the estimated number of main-memory
+// accesses for a new input, given the profiled count for the base input,
+// the two data-object sizes and α.
+func EstimateAccesses(profMemAcc, sBase, sNew, alpha float64) float64 {
+	if profMemAcc <= 0 || sBase <= 0 || sNew <= 0 || alpha <= 0 {
+		return 0
+	}
+	return sNew / (sBase * alpha) * profMemAcc
+}
+
+// AlphaOffline computes α for the offline-calculable patterns:
+//
+//   - Stream/Strided: from stride length and data type — the number of
+//     distinct cache lines per byte is size-independent, so α is the ratio
+//     of the size-proportional estimate to the true line count, computed
+//     exactly from rounded sizes.
+//   - Input-independent Stencil: measured with a microbenchmark (see
+//     AlphaStencilMicrobench); this function returns that measurement.
+//
+// For random and input-dependent stencil patterns it returns 1, the
+// paper's initial value before runtime refinement.
+func AlphaOffline(p access.Pattern, sBase, sNew float64) float64 {
+	switch p.Kind {
+	case access.Stream, access.Strided:
+		stride := float64(p.StrideBytes)
+		if p.Kind == access.Stream || stride <= 0 {
+			stride = float64(p.ElemSize)
+		}
+		// Lines touched for each (rounded) size.
+		linesPer := func(size float64) float64 {
+			size = divisible(size)
+			elems := size / stride
+			if elems < 1 {
+				elems = 1
+			}
+			lineAdvance := stride / cache.LineSize
+			if lineAdvance > 1 {
+				lineAdvance = 1
+			}
+			return math.Max(1, elems*lineAdvance)
+		}
+		base := linesPer(sBase)
+		nw := linesPer(sNew)
+		if nw <= 0 {
+			return 1
+		}
+		// Equation 1 must yield esti = nw from prof = base:
+		// nw = sNew/(sBase·α)·base  =>  α = sNew·base/(sBase·nw).
+		a := sNew * base / (sBase * nw)
+		if a <= 0 || math.IsNaN(a) || math.IsInf(a, 0) {
+			return 1
+		}
+		return a
+	case access.Stencil:
+		if !p.InputDependent {
+			return AlphaStencilMicrobench(p, sBase, sNew)
+		}
+		return 1
+	default:
+		return 1
+	}
+}
+
+// stencilMisses runs a points-point stencil microbenchmark over sizeBytes
+// of data through the exact set-associative cache simulator and returns
+// the number of main-memory accesses — the stand-in for the paper's
+// performance-counter measurement of the stencil microbenchmark.
+func stencilMisses(points, elem int, sizeBytes float64) float64 {
+	// The microbenchmark needs only enough data to reach a steady state;
+	// beyond the cache size misses grow linearly, so large objects are
+	// measured at a capped size and scaled back up.
+	const capBytes = 4 << 20
+	if sizeBytes > capBytes {
+		return stencilMisses(points, elem, capBytes) * sizeBytes / capBytes
+	}
+	c, err := cache.NewSetAssociative(cache.Config{SizeBytes: 1 << 16, Ways: 8})
+	if err != nil {
+		return 1
+	}
+	n := int(sizeBytes) / elem
+	if n < points+2 {
+		n = points + 2
+	}
+	half := points / 2
+	for i := half; i < n-half; i++ {
+		for o := -half; o <= half; o++ {
+			c.Access(uint64((i+o)*elem), o == 0)
+		}
+	}
+	m := c.Stats().Misses
+	if m == 0 {
+		return 1
+	}
+	return float64(m)
+}
+
+// AlphaStencilMicrobench measures α for an input-independent stencil the
+// way the paper does it offline: run a microbenchmark practicing the
+// pattern at both object sizes, measure the main-memory accesses each
+// causes (performance counters in the paper, the exact cache simulator
+// here), and solve Equation 1 for α:
+//
+//	missNew = sNew/(sBase·α)·missBase  =>  α = sNew·missBase/(sBase·missNew)
+func AlphaStencilMicrobench(p access.Pattern, sBase, sNew float64) float64 {
+	points := p.Points
+	if points <= 0 {
+		points = 3
+	}
+	elem := p.ElemSize
+	if elem <= 0 {
+		elem = 8
+	}
+	if sBase <= 0 || sNew <= 0 {
+		return 1
+	}
+	missBase := stencilMisses(points, elem, sBase)
+	missNew := stencilMisses(points, elem, sNew)
+	a := sNew * missBase / (sBase * missNew)
+	if a <= 0 || math.IsNaN(a) || math.IsInf(a, 0) {
+		return 1
+	}
+	return a
+}
+
+// AlphaRefiner performs the paper's runtime refinement of α for
+// input-dependent patterns: after each task instance, the measured
+// main-memory access count (from sampled performance counters) is used to
+// solve Equation 1 for α, and the running value is updated with an
+// exponential moving average so sampling noise is smoothed.
+type AlphaRefiner struct {
+	alpha float64
+	n     int
+	// Smoothing is the EMA weight of the newest observation (default 0.5).
+	Smoothing float64
+}
+
+// NewAlphaRefiner starts at α = 1 as the paper prescribes.
+func NewAlphaRefiner() *AlphaRefiner {
+	return &AlphaRefiner{alpha: 1, Smoothing: 0.5}
+}
+
+// Alpha returns the current estimate.
+func (r *AlphaRefiner) Alpha() float64 { return r.alpha }
+
+// Observations returns how many instances have refined α.
+func (r *AlphaRefiner) Observations() int { return r.n }
+
+// Observe refines α from one executed instance: profMemAcc and sBase are
+// the base-input profile, measuredMemAcc and sNew the just-executed
+// instance. The implied α solves Equation 1 exactly for this instance.
+func (r *AlphaRefiner) Observe(profMemAcc, sBase, measuredMemAcc, sNew float64) error {
+	if profMemAcc <= 0 || sBase <= 0 || sNew <= 0 {
+		return fmt.Errorf("model: bad refinement inputs prof=%v sBase=%v sNew=%v", profMemAcc, sBase, sNew)
+	}
+	if measuredMemAcc <= 0 {
+		// A sampling interval can miss a cold object entirely; skip.
+		return nil
+	}
+	implied := sNew * profMemAcc / (sBase * measuredMemAcc)
+	if implied <= 0 || math.IsNaN(implied) || math.IsInf(implied, 0) {
+		return nil
+	}
+	s := r.Smoothing
+	if s <= 0 || s > 1 {
+		s = 0.5
+	}
+	r.alpha = (1-s)*r.alpha + s*implied
+	r.n++
+	return nil
+}

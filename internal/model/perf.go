@@ -1,0 +1,189 @@
+package model
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"merchandiser/internal/corpus"
+	"merchandiser/internal/ml"
+	"merchandiser/internal/pmc"
+	"merchandiser/internal/stats"
+)
+
+// CorrelationFunc is the trained f(PMCs, r_dram) of Equation 2.
+type CorrelationFunc struct {
+	Model  ml.Regressor
+	Events []string // hardware events used as workload characteristics
+}
+
+// Eval returns f for one task's workload characteristics and a DRAM
+// access ratio.
+func (c *CorrelationFunc) Eval(ev pmc.Counters, rdram float64) float64 {
+	x := ev.Vector(c.Events)
+	x = append(x, rdram)
+	f := c.Model.Predict(x)
+	// f scales the PM-side term of Equation 2; keep it in a physically
+	// meaningful band (0 would mean PM accesses are free, large values
+	// would break the bound rationale).
+	if f < 0.05 {
+		f = 0.05
+	}
+	if f > 2 {
+		f = 2
+	}
+	return f
+}
+
+// TrainResult reports a correlation-function training run.
+type TrainResult struct {
+	Corr    *CorrelationFunc
+	TrainR2 float64
+	TestR2  float64
+	Samples int
+}
+
+// TrainCorrelation fits the correlation function on corpus samples with a
+// 70/30 split (the paper's protocol). newModel supplies the statistical
+// model (Table 3 selects GBR).
+func TrainCorrelation(samples []corpus.Sample, events []string, newModel func() ml.Regressor, seed int64) (*TrainResult, error) {
+	if len(samples) < 10 {
+		return nil, fmt.Errorf("model: only %d samples; need at least 10", len(samples))
+	}
+	X, y := corpus.Matrix(samples, events)
+	Xtr, ytr, Xte, yte, err := ml.TrainTestSplit(X, y, 0.7, seed)
+	if err != nil {
+		return nil, err
+	}
+	m := newModel()
+	if err := m.Fit(Xtr, ytr); err != nil {
+		return nil, err
+	}
+	trainR2, err := ml.R2Score(m, Xtr, ytr)
+	if err != nil {
+		return nil, err
+	}
+	testR2, err := ml.R2Score(m, Xte, yte)
+	if err != nil {
+		return nil, err
+	}
+	return &TrainResult{
+		Corr:    &CorrelationFunc{Model: m, Events: events},
+		TrainR2: trainR2,
+		TestR2:  testR2,
+		Samples: len(samples),
+	}, nil
+}
+
+// PredictHybrid is Equation 2:
+//
+//	T_hybrid = T_pm_only·(1−r_dram)·f(PMCs, r_dram) + T_dram_only·r_dram
+//
+// clamped to the [T_dram_only, T_pm_only] bounds the paper's rationale (1)
+// requires.
+func PredictHybrid(tPm, tDram, rdram, f float64) float64 {
+	if rdram < 0 {
+		rdram = 0
+	}
+	if rdram > 1 {
+		rdram = 1
+	}
+	t := tPm*(1-rdram)*f + tDram*rdram
+	if t < tDram {
+		t = tDram
+	}
+	if t > tPm {
+		t = tPm
+	}
+	return t
+}
+
+// PerfModel bundles the correlation function with Equation 2 — the Model
+// input of Algorithm 1.
+type PerfModel struct {
+	Corr *CorrelationFunc
+}
+
+// Predict returns the predicted execution time for a task whose
+// homogeneous-memory times and workload characteristics are known, at a
+// given DRAM access ratio.
+func (m *PerfModel) Predict(tPm, tDram float64, ev pmc.Counters, rdram float64) float64 {
+	f := 1.0
+	if m.Corr != nil {
+		f = m.Corr.Eval(ev, rdram)
+	}
+	return PredictHybrid(tPm, tDram, rdram, f)
+}
+
+// BasicBlock is one input-independent basic block with its per-execution
+// times measured offline on each homogeneous memory (Section 5.2).
+type BasicBlock struct {
+	Name      string
+	TimePM    float64 // seconds per execution on PM only
+	TimeDRAM  float64 // seconds per execution on DRAM only
+	BaseCount float64 // executions observed with the base input
+}
+
+// HomogeneousPredictor predicts T_new_pm_only and T_new_dram_only for a
+// new input by scaling each basic block's base-input execution count by
+// the similarity between the base and new input-size vectors.
+type HomogeneousPredictor struct {
+	Blocks    []BasicBlock
+	BaseSizes []float64 // sizes of the task's data objects under the base input
+}
+
+// scaleFactor converts the base-input block counts to the new input:
+// magnitude ratio of the size vectors times their cosine similarity
+// (identical shapes scale purely by magnitude; shape drift discounts the
+// estimate, per Section 5.2).
+func (h *HomogeneousPredictor) scaleFactor(newSizes []float64) (float64, error) {
+	if len(newSizes) != len(h.BaseSizes) {
+		return 0, fmt.Errorf("model: new input has %d objects, base has %d", len(newSizes), len(h.BaseSizes))
+	}
+	cos, err := stats.CosineSimilarity(h.BaseSizes, newSizes)
+	if err != nil {
+		return 0, err
+	}
+	var nb, nn float64
+	for i := range h.BaseSizes {
+		nb += h.BaseSizes[i] * h.BaseSizes[i]
+		nn += newSizes[i] * newSizes[i]
+	}
+	if nb == 0 {
+		return 0, errors.New("model: zero base input size vector")
+	}
+	return math.Sqrt(nn/nb) * cos, nil
+}
+
+// Predict returns (T_new_pm_only, T_new_dram_only) for the new input's
+// data-object size vector.
+func (h *HomogeneousPredictor) Predict(newSizes []float64) (tPm, tDram float64, err error) {
+	scale, err := h.scaleFactor(newSizes)
+	if err != nil {
+		return 0, 0, err
+	}
+	for _, b := range h.Blocks {
+		count := b.BaseCount * scale
+		tPm += b.TimePM * count
+		tDram += b.TimeDRAM * count
+	}
+	return tPm, tDram, nil
+}
+
+// SizeRatioPredict is the Table 4 comparator [8]: a profiling-based
+// regression that scales the base input's measured time purely by the
+// total data-object-size ratio, with no workload characterization.
+func SizeRatioPredict(tBase float64, baseSizes, newSizes []float64) (float64, error) {
+	if len(baseSizes) != len(newSizes) {
+		return 0, fmt.Errorf("model: size vectors differ: %d vs %d", len(baseSizes), len(newSizes))
+	}
+	var sb, sn float64
+	for i := range baseSizes {
+		sb += baseSizes[i]
+		sn += newSizes[i]
+	}
+	if sb == 0 {
+		return 0, errors.New("model: zero base sizes")
+	}
+	return tBase * sn / sb, nil
+}

@@ -1,0 +1,238 @@
+// Package pic is a real (if compact) 2D electromagnetic particle-in-cell
+// stepper: Boris-style particle push, cloud-in-cell current deposition and
+// an FDTD field update on a TM-mode grid. It is the computational
+// substrate of the WarpX proxy application — the paper evaluates WarpX, a
+// production beam-plasma PIC code, which is not portable into this
+// repository; this package reproduces the algorithmic structure (particle
+// streams, field stencils, per-block domain decomposition, particle
+// migration between blocks) whose memory behaviour the simulator models.
+package pic
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Particle is one macro-particle (48 bytes, matching the access stride the
+// WarpX app models).
+type Particle struct {
+	X, Y   float64
+	VX, VY float64
+	W      float64 // weight (charge)
+	ID     uint64
+}
+
+// Grid is a TM-mode 2D field set: Ex, Ey on edges, Bz on centers, plus the
+// deposited current Jx, Jy. All fields are (NX+1)*(NY+1) node-allocated
+// for simplicity.
+type Grid struct {
+	NX, NY             int
+	DX, DY, DT         float64
+	Ex, Ey, Bz, Jx, Jy []float64
+}
+
+// NewGrid allocates a grid with the given cell counts and steps.
+func NewGrid(nx, ny int, dx, dy, dt float64) (*Grid, error) {
+	if nx < 2 || ny < 2 || dx <= 0 || dy <= 0 || dt <= 0 {
+		return nil, fmt.Errorf("pic: invalid grid %dx%d dx=%v dy=%v dt=%v", nx, ny, dx, dy, dt)
+	}
+	n := (nx + 1) * (ny + 1)
+	return &Grid{
+		NX: nx, NY: ny, DX: dx, DY: dy, DT: dt,
+		Ex: make([]float64, n), Ey: make([]float64, n),
+		Bz: make([]float64, n), Jx: make([]float64, n), Jy: make([]float64, n),
+	}, nil
+}
+
+func (g *Grid) idx(i, j int) int { return j*(g.NX+1) + i }
+
+// Width and Height are the domain extents.
+func (g *Grid) Width() float64  { return float64(g.NX) * g.DX }
+func (g *Grid) Height() float64 { return float64(g.NY) * g.DY }
+
+// Block is one domain-decomposition block: a cell range owned by one task.
+type Block struct {
+	X0, X1    float64 // owned x-range [X0, X1)
+	Particles []Particle
+}
+
+// InitUniformPlasma fills blocks with a uniform thermal plasma of
+// total particles, split by x-slab decomposition into nBlocks blocks.
+func InitUniformPlasma(g *Grid, nBlocks, total int, vth float64, seed int64) []*Block {
+	rng := rand.New(rand.NewSource(seed))
+	w := g.Width()
+	blocks := make([]*Block, nBlocks)
+	for b := range blocks {
+		blocks[b] = &Block{
+			X0: w * float64(b) / float64(nBlocks),
+			X1: w * float64(b+1) / float64(nBlocks),
+		}
+	}
+	for i := 0; i < total; i++ {
+		p := Particle{
+			X:  rng.Float64() * w,
+			Y:  rng.Float64() * g.Height(),
+			VX: rng.NormFloat64() * vth,
+			VY: rng.NormFloat64() * vth,
+			W:  1,
+			ID: uint64(i),
+		}
+		b := int(p.X / w * float64(nBlocks))
+		if b >= nBlocks {
+			b = nBlocks - 1
+		}
+		blocks[b].Particles = append(blocks[b].Particles, p)
+	}
+	return blocks
+}
+
+// StepStats reports one block's work during a step — the quantities the
+// WarpX app converts into simulator workloads.
+type StepStats struct {
+	Pushed   int // particles integrated
+	Deposits int // CIC deposit operations (4 per particle)
+	Departed int // particles handed to neighbour blocks
+}
+
+// PushBlock advances the block's particles one step: gather E at the
+// particle (CIC), kick, drift with periodic wrap, deposit current (CIC),
+// and collect departures for neighbour exchange.
+func PushBlock(g *Grid, b *Block, qm float64) (StepStats, []Particle) {
+	var st StepStats
+	var departed []Particle
+	w, h := g.Width(), g.Height()
+	kept := b.Particles[:0]
+	for _, p := range b.Particles {
+		ex, ey := g.gather(p.X, p.Y)
+		p.VX += qm * ex * g.DT
+		p.VY += qm * ey * g.DT
+		p.X += p.VX * g.DT
+		p.Y += p.VY * g.DT
+		// Periodic boundaries.
+		p.X = math.Mod(math.Mod(p.X, w)+w, w)
+		p.Y = math.Mod(math.Mod(p.Y, h)+h, h)
+		g.deposit(p.X, p.Y, p.VX*p.W, p.VY*p.W)
+		st.Pushed++
+		st.Deposits += 4
+		if p.X < b.X0 || p.X >= b.X1 {
+			departed = append(departed, p)
+			st.Departed++
+			continue
+		}
+		kept = append(kept, p)
+	}
+	b.Particles = kept
+	return st, departed
+}
+
+// Exchange routes departed particles to their new owner blocks (periodic
+// x-slabs).
+func Exchange(blocks []*Block, departed []Particle, width float64) {
+	n := len(blocks)
+	for _, p := range departed {
+		b := int(p.X / width * float64(n))
+		if b < 0 {
+			b = 0
+		}
+		if b >= n {
+			b = n - 1
+		}
+		blocks[b].Particles = append(blocks[b].Particles, p)
+	}
+}
+
+// gather interpolates (Ex, Ey) at a position with cloud-in-cell weights.
+func (g *Grid) gather(x, y float64) (float64, float64) {
+	fi := x / g.DX
+	fj := y / g.DY
+	i := int(fi)
+	j := int(fj)
+	if i >= g.NX {
+		i = g.NX - 1
+	}
+	if j >= g.NY {
+		j = g.NY - 1
+	}
+	ax := fi - float64(i)
+	ay := fj - float64(j)
+	w00 := (1 - ax) * (1 - ay)
+	w10 := ax * (1 - ay)
+	w01 := (1 - ax) * ay
+	w11 := ax * ay
+	i00, i10 := g.idx(i, j), g.idx(i+1, j)
+	i01, i11 := g.idx(i, j+1), g.idx(i+1, j+1)
+	ex := w00*g.Ex[i00] + w10*g.Ex[i10] + w01*g.Ex[i01] + w11*g.Ex[i11]
+	ey := w00*g.Ey[i00] + w10*g.Ey[i10] + w01*g.Ey[i01] + w11*g.Ey[i11]
+	return ex, ey
+}
+
+// deposit adds a particle's current to the grid with CIC weights.
+func (g *Grid) deposit(x, y, jx, jy float64) {
+	fi := x / g.DX
+	fj := y / g.DY
+	i := int(fi)
+	j := int(fj)
+	if i >= g.NX {
+		i = g.NX - 1
+	}
+	if j >= g.NY {
+		j = g.NY - 1
+	}
+	ax := fi - float64(i)
+	ay := fj - float64(j)
+	i00, i10 := g.idx(i, j), g.idx(i+1, j)
+	i01, i11 := g.idx(i, j+1), g.idx(i+1, j+1)
+	g.Jx[i00] += jx * (1 - ax) * (1 - ay)
+	g.Jx[i10] += jx * ax * (1 - ay)
+	g.Jx[i01] += jx * (1 - ax) * ay
+	g.Jx[i11] += jx * ax * ay
+	g.Jy[i00] += jy * (1 - ax) * (1 - ay)
+	g.Jy[i10] += jy * ax * (1 - ay)
+	g.Jy[i01] += jy * (1 - ax) * ay
+	g.Jy[i11] += jy * ax * ay
+}
+
+// UpdateFields advances E and B one FDTD step from the deposited currents
+// (normalized units: c = ε0 = 1) and clears J for the next step.
+func (g *Grid) UpdateFields() {
+	// B update from curl E (interior nodes).
+	for j := 1; j < g.NY; j++ {
+		for i := 1; i < g.NX; i++ {
+			dEyDx := (g.Ey[g.idx(i+1, j)] - g.Ey[g.idx(i-1, j)]) / (2 * g.DX)
+			dExDy := (g.Ex[g.idx(i, j+1)] - g.Ex[g.idx(i, j-1)]) / (2 * g.DY)
+			g.Bz[g.idx(i, j)] -= g.DT * (dEyDx - dExDy)
+		}
+	}
+	// E update from curl B minus current.
+	for j := 1; j < g.NY; j++ {
+		for i := 1; i < g.NX; i++ {
+			dBzDy := (g.Bz[g.idx(i, j+1)] - g.Bz[g.idx(i, j-1)]) / (2 * g.DY)
+			dBzDx := (g.Bz[g.idx(i+1, j)] - g.Bz[g.idx(i-1, j)]) / (2 * g.DX)
+			g.Ex[g.idx(i, j)] += g.DT * (dBzDy - g.Jx[g.idx(i, j)])
+			g.Ey[g.idx(i, j)] += g.DT * (-dBzDx - g.Jy[g.idx(i, j)])
+		}
+	}
+	for i := range g.Jx {
+		g.Jx[i] = 0
+		g.Jy[i] = 0
+	}
+}
+
+// FieldEnergy returns ∫(E²+B²)/2 — a sanity diagnostic for tests.
+func (g *Grid) FieldEnergy() float64 {
+	var e float64
+	for i := range g.Ex {
+		e += g.Ex[i]*g.Ex[i] + g.Ey[i]*g.Ey[i] + g.Bz[i]*g.Bz[i]
+	}
+	return e / 2 * g.DX * g.DY
+}
+
+// TotalParticles counts particles across blocks.
+func TotalParticles(blocks []*Block) int {
+	n := 0
+	for _, b := range blocks {
+		n += len(b.Particles)
+	}
+	return n
+}

@@ -1,0 +1,162 @@
+package pic
+
+import (
+	"math"
+	"testing"
+)
+
+func newTestGrid(t *testing.T) *Grid {
+	t.Helper()
+	g, err := NewGrid(32, 32, 1, 1, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestNewGridValidation(t *testing.T) {
+	bad := [][5]float64{
+		{1, 32, 1, 1, 0.1},
+		{32, 1, 1, 1, 0.1},
+		{32, 32, 0, 1, 0.1},
+		{32, 32, 1, 0, 0.1},
+		{32, 32, 1, 1, 0},
+	}
+	for _, c := range bad {
+		if _, err := NewGrid(int(c[0]), int(c[1]), c[2], c[3], c[4]); err == nil {
+			t.Fatalf("config %v accepted", c)
+		}
+	}
+}
+
+func TestInitUniformPlasma(t *testing.T) {
+	g := newTestGrid(t)
+	blocks := InitUniformPlasma(g, 4, 4000, 0.1, 1)
+	if len(blocks) != 4 {
+		t.Fatalf("blocks = %d", len(blocks))
+	}
+	if TotalParticles(blocks) != 4000 {
+		t.Fatalf("total = %d", TotalParticles(blocks))
+	}
+	// Roughly uniform: each block within 20% of the mean.
+	for b, blk := range blocks {
+		n := len(blk.Particles)
+		if n < 800 || n > 1200 {
+			t.Fatalf("block %d has %d particles", b, n)
+		}
+		// Every particle inside its block's slab.
+		for _, p := range blk.Particles {
+			if p.X < blk.X0 || p.X >= blk.X1 {
+				t.Fatalf("particle at %v outside slab [%v, %v)", p.X, blk.X0, blk.X1)
+			}
+		}
+	}
+}
+
+func TestPushConservesParticles(t *testing.T) {
+	g := newTestGrid(t)
+	blocks := InitUniformPlasma(g, 4, 2000, 0.5, 2)
+	for step := 0; step < 10; step++ {
+		var departed []Particle
+		for _, b := range blocks {
+			_, d := PushBlock(g, b, -1)
+			departed = append(departed, d...)
+		}
+		Exchange(blocks, departed, g.Width())
+		g.UpdateFields()
+		if got := TotalParticles(blocks); got != 2000 {
+			t.Fatalf("step %d: particles = %d, want 2000", step, got)
+		}
+	}
+	// Particles stay in the domain.
+	for _, b := range blocks {
+		for _, p := range b.Particles {
+			if p.X < 0 || p.X >= g.Width() || p.Y < 0 || p.Y >= g.Height() {
+				t.Fatalf("particle escaped: %+v", p)
+			}
+		}
+	}
+}
+
+func TestParticlesMigrateBetweenBlocks(t *testing.T) {
+	g := newTestGrid(t)
+	blocks := InitUniformPlasma(g, 4, 2000, 1.0, 3)
+	var totalDeparted int
+	for step := 0; step < 5; step++ {
+		var departed []Particle
+		for _, b := range blocks {
+			st, d := PushBlock(g, b, -1)
+			totalDeparted += st.Departed
+			departed = append(departed, d...)
+		}
+		Exchange(blocks, departed, g.Width())
+	}
+	if totalDeparted == 0 {
+		t.Fatal("thermal plasma should migrate particles between slabs")
+	}
+}
+
+func TestDepositGatherConsistency(t *testing.T) {
+	g := newTestGrid(t)
+	// Put a known field and check the gather at a node reproduces it.
+	for i := range g.Ex {
+		g.Ex[i] = 2
+		g.Ey[i] = -3
+	}
+	ex, ey := g.gather(5.5, 7.25)
+	if math.Abs(ex-2) > 1e-12 || math.Abs(ey+3) > 1e-12 {
+		t.Fatalf("gather of uniform field = %v, %v", ex, ey)
+	}
+	// Deposit conserves total current: sum of J equals deposited value.
+	g2 := newTestGrid(t)
+	g2.deposit(3.3, 4.7, 10, -5)
+	var sx, sy float64
+	for i := range g2.Jx {
+		sx += g2.Jx[i]
+		sy += g2.Jy[i]
+	}
+	if math.Abs(sx-10) > 1e-9 || math.Abs(sy+5) > 1e-9 {
+		t.Fatalf("deposit lost current: %v %v", sx, sy)
+	}
+}
+
+func TestFieldDynamics(t *testing.T) {
+	g := newTestGrid(t)
+	blocks := InitUniformPlasma(g, 2, 3000, 0.3, 4)
+	for step := 0; step < 20; step++ {
+		var departed []Particle
+		for _, b := range blocks {
+			_, d := PushBlock(g, b, -1)
+			departed = append(departed, d...)
+		}
+		Exchange(blocks, departed, g.Width())
+		g.UpdateFields()
+	}
+	e := g.FieldEnergy()
+	if e <= 0 {
+		t.Fatalf("moving charges should excite fields, energy = %v", e)
+	}
+	if math.IsNaN(e) || math.IsInf(e, 0) || e > 1e6 {
+		t.Fatalf("field energy blew up: %v (CFL problem)", e)
+	}
+	// Currents cleared after the update.
+	for i := range g.Jx {
+		if g.Jx[i] != 0 || g.Jy[i] != 0 {
+			t.Fatal("currents not cleared")
+		}
+	}
+}
+
+func TestStepStats(t *testing.T) {
+	g := newTestGrid(t)
+	blocks := InitUniformPlasma(g, 2, 1000, 0.1, 5)
+	st, _ := PushBlock(g, blocks[0], -1)
+	if st.Pushed != 1000-len(blocks[1].Particles)-st.Departed+st.Departed &&
+		st.Pushed != len(blocks[0].Particles)+st.Departed {
+		t.Fatalf("pushed %d inconsistent with block size %d + departed %d",
+			st.Pushed, len(blocks[0].Particles), st.Departed)
+	}
+	if st.Deposits != st.Pushed*4 {
+		t.Fatalf("deposits = %d, want 4 per particle", st.Deposits)
+	}
+}

@@ -1,0 +1,493 @@
+// Package placement implements Merchandiser's load-balance-aware
+// fast-memory partitioning (Section 6):
+//
+//   - Algorithm 1, the greedy heuristic that repeatedly grants the
+//     predicted-slowest task 5% more DRAM accesses until it drops below
+//     the second slowest, until DRAM capacity is exhausted;
+//   - an exact dynamic-programming knapsack reference for small instances,
+//     used by tests to bound the heuristic's gap (the paper formulates the
+//     underlying problem as a knapsack and argues NP-hardness);
+//   - the migration gate that makes the MemoryOptimizer-style daemon
+//     load-balance aware: pages of a task that already reached its DRAM
+//     access goal are not migrated.
+package placement
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"merchandiser/internal/hm"
+	"merchandiser/internal/model"
+	"merchandiser/internal/pmc"
+)
+
+// TaskInput is one task's model inputs for Algorithm 1.
+type TaskInput struct {
+	Name string
+	// TPmOnly is D_i, the predicted PM-only execution time of the task
+	// with the upcoming input.
+	TPmOnly float64
+	// TDramOnly is the predicted DRAM-only time (Equation 2 needs both
+	// bounds).
+	TDramOnly float64
+	// Events are the task's workload characteristics (PCs_i), collected
+	// once with the base input.
+	Events pmc.Counters
+	// TotalAccesses is Total_Acc_i, the estimated number of main-memory
+	// accesses of the upcoming instance (Equation 1 output, summed over
+	// the task's data objects).
+	TotalAccesses float64
+	// FootprintPages is the number of memory pages holding the task's
+	// data objects, for MAP_TO_PAGES.
+	FootprintPages uint64
+	// Objects, when provided, refines MAP_TO_PAGES with Merchandiser's
+	// per-object access estimates (Equation 1): the page cost of a DRAM
+	// access goal is computed by filling the densest objects first,
+	// instead of Algorithm 1's uniform-distribution assumption (Line 18).
+	// Empty Objects falls back to the paper's uniform mapping.
+	Objects []ObjectLoad
+}
+
+// ObjectLoad is one data object's share of a task's estimated main-memory
+// accesses and its page count.
+type ObjectLoad struct {
+	Name     string
+	Accesses float64
+	Pages    uint64
+}
+
+// Plan is Algorithm 1's output.
+type Plan struct {
+	// DRAMAccesses is DRAM_Acc_i per task.
+	DRAMAccesses []float64
+	// GoalRatio is DRAM_Acc_i / Total_Acc_i per task — what the migration
+	// gate enforces.
+	GoalRatio []float64
+	// DRAMPages is DC_i, the per-task page budget (MAP_TO_PAGES).
+	DRAMPages []uint64
+	// Predicted is D'_i, the predicted execution time after migration.
+	Predicted []float64
+	// Rounds is how many outer iterations the algorithm ran.
+	Rounds int
+}
+
+// PredictedMakespan returns the slowest predicted task time.
+func (p *Plan) PredictedMakespan() float64 {
+	m := 0.0
+	for _, t := range p.Predicted {
+		if t > m {
+			m = t
+		}
+	}
+	return m
+}
+
+// Config tunes Algorithm 1.
+type Config struct {
+	// Step is the DRAM-access increment per inner iteration as a fraction
+	// of the task's total accesses; the paper uses 5%.
+	Step float64
+	// MaxRounds bounds the outer loop defensively.
+	MaxRounds int
+}
+
+func (c Config) withDefaults() Config {
+	if c.Step <= 0 {
+		c.Step = 0.05
+	}
+	if c.MaxRounds <= 0 {
+		c.MaxRounds = 10000
+	}
+	return c
+}
+
+// mapToPages converts a task's DRAM access goal into a page budget.
+// Without per-object loads it uses Algorithm 1's uniform-distribution
+// assumption (Line 18). With them, it fills the densest objects first —
+// a page-cost model consistent with what the migration daemon actually
+// achieves, since hot-page ranking migrates dense objects first.
+func mapToPages(in TaskInput, dramAcc float64) uint64 {
+	if in.TotalAccesses <= 0 {
+		return 0
+	}
+	frac := dramAcc / in.TotalAccesses
+	if frac > 1 {
+		frac = 1
+	}
+	if len(in.Objects) == 0 {
+		return uint64(math.Ceil(frac * float64(in.FootprintPages)))
+	}
+	objs := append([]ObjectLoad(nil), in.Objects...)
+	sort.Slice(objs, func(a, b int) bool {
+		da, db := density(objs[a]), density(objs[b])
+		if da != db {
+			return da > db
+		}
+		return objs[a].Name < objs[b].Name
+	})
+	need := frac * in.TotalAccesses
+	var pages uint64
+	for _, o := range objs {
+		if need <= 0 {
+			break
+		}
+		if o.Accesses <= need {
+			pages += o.Pages
+			need -= o.Accesses
+			continue
+		}
+		pages += uint64(math.Ceil(need / o.Accesses * float64(o.Pages)))
+		need = 0
+	}
+	if pages > in.FootprintPages {
+		pages = in.FootprintPages
+	}
+	return pages
+}
+
+func density(o ObjectLoad) float64 {
+	if o.Pages == 0 {
+		return 0
+	}
+	return o.Accesses / float64(o.Pages)
+}
+
+// GreedyLoadBalance is Algorithm 1. It returns the per-task DRAM access
+// goals that (predictedly) minimize the makespan within the DRAM capacity
+// dc (in pages), using the performance model for Line 15's prediction.
+func GreedyLoadBalance(tasks []TaskInput, dc uint64, perf *model.PerfModel, cfg Config) (*Plan, error) {
+	if len(tasks) == 0 {
+		return nil, fmt.Errorf("placement: no tasks")
+	}
+	cfg = cfg.withDefaults()
+	for i, t := range tasks {
+		if t.TPmOnly <= 0 || t.TotalAccesses < 0 {
+			return nil, fmt.Errorf("placement: task %d (%s) has invalid inputs: tPm=%v acc=%v",
+				i, t.Name, t.TPmOnly, t.TotalAccesses)
+		}
+		if t.TDramOnly <= 0 || t.TDramOnly > t.TPmOnly {
+			return nil, fmt.Errorf("placement: task %d (%s) has invalid DRAM-only time %v (PM-only %v)",
+				i, t.Name, t.TDramOnly, t.TPmOnly)
+		}
+	}
+
+	n := len(tasks)
+	plan := &Plan{
+		DRAMAccesses: make([]float64, n),
+		GoalRatio:    make([]float64, n),
+		DRAMPages:    make([]uint64, n),
+		Predicted:    make([]float64, n),
+	}
+	for i, t := range tasks {
+		plan.Predicted[i] = t.TPmOnly // D'_i ← D_i
+	}
+
+	usedPages := func() uint64 {
+		var s uint64
+		for _, p := range plan.DRAMPages {
+			s += p
+		}
+		return s
+	}
+	predict := func(i int, dramAcc float64) float64 {
+		t := tasks[i]
+		r := 0.0
+		if t.TotalAccesses > 0 {
+			r = dramAcc / t.TotalAccesses
+		}
+		return perf.Predict(t.TPmOnly, t.TDramOnly, t.Events, r)
+	}
+
+	// full marks tasks whose DRAM access goal reached 100%.
+	full := make([]bool, n)
+	for round := 0; round < cfg.MaxRounds; round++ {
+		// Line 10: pick the longest predicted task that can still grow.
+		longest := -1
+		for i := 0; i < n; i++ {
+			if full[i] {
+				continue
+			}
+			if longest < 0 || plan.Predicted[i] > plan.Predicted[longest] {
+				longest = i
+			}
+		}
+		if longest < 0 {
+			break // every task fully granted
+		}
+		// Line 11: second-longest among all tasks.
+		secondT := 0.0
+		for i := 0; i < n; i++ {
+			if i != longest && plan.Predicted[i] > secondT {
+				secondT = plan.Predicted[i]
+			}
+		}
+		if n == 1 {
+			secondT = tasks[0].TDramOnly // a lone task improves until DRAM-only
+		}
+
+		t := tasks[longest]
+		dramAcc := plan.DRAMAccesses[longest]
+
+		// Lines 13-16 (do-while): grow this task's DRAM accesses by 5%
+		// steps until it is no longer the bottleneck (or fully granted).
+		for {
+			dramAcc += cfg.Step * t.TotalAccesses
+			if dramAcc >= t.TotalAccesses {
+				dramAcc = t.TotalAccesses
+				full[longest] = true
+			}
+			plan.Predicted[longest] = predict(longest, dramAcc)
+			if plan.Predicted[longest] <= secondT || full[longest] {
+				break
+			}
+		}
+
+		// Line 19: respect DRAM capacity; clamp the final grant to fit.
+		newPages := mapToPages(t, dramAcc)
+		oldPages := plan.DRAMPages[longest]
+		others := usedPages() - oldPages
+		if others+newPages > dc {
+			fit := uint64(0)
+			if dc > others {
+				fit = dc - others
+			}
+			if fit > oldPages {
+				plan.DRAMPages[longest] = fit
+				if t.FootprintPages > 0 {
+					frac := float64(fit) / float64(t.FootprintPages)
+					if frac > 1 {
+						frac = 1
+					}
+					plan.DRAMAccesses[longest] = frac * t.TotalAccesses
+				}
+			}
+			plan.Predicted[longest] = predict(longest, plan.DRAMAccesses[longest])
+			plan.Rounds = round + 1
+			break // Line 19: DRAM capacity exhausted
+		}
+		plan.DRAMAccesses[longest] = dramAcc
+		plan.DRAMPages[longest] = newPages
+		plan.Rounds = round + 1
+	}
+
+	for i, t := range tasks {
+		if t.TotalAccesses > 0 {
+			plan.GoalRatio[i] = plan.DRAMAccesses[i] / t.TotalAccesses
+		}
+	}
+	return plan, nil
+}
+
+// Gate makes page migration load-balance aware (Section 6, "Page
+// migration"): before the daemon migrates a hot page to DRAM, it asks the
+// gate whether the tasks that access that page still need more DRAM
+// accesses — plural, as the paper states: a page serving several tasks
+// stays migratable while any of them is under its goal.
+type Gate struct {
+	// GoalRatio maps task name to its DRAM access-ratio goal from
+	// Algorithm 1.
+	GoalRatio map[string]float64
+	// Achieved maps task name to its currently achieved DRAM access
+	// ratio (engine TaskStatus.RDRAM); updated each tick.
+	Achieved map[string]float64
+	// Accessors maps object name to the tasks accessing it this
+	// instance. Objects absent from the map fall back to their owner.
+	Accessors map[string][]string
+}
+
+// NewGate builds a gate from a plan.
+func NewGate(tasks []TaskInput, plan *Plan) *Gate {
+	g := &Gate{GoalRatio: map[string]float64{}, Achieved: map[string]float64{}}
+	for i, t := range tasks {
+		g.GoalRatio[t.Name] = plan.GoalRatio[i]
+	}
+	return g
+}
+
+// Update records the current per-task achieved ratios.
+func (g *Gate) Update(tasks []hm.TaskStatus) {
+	for _, ts := range tasks {
+		g.Achieved[ts.Name] = ts.RDRAM
+	}
+}
+
+// underGoal reports whether the named task still wants DRAM accesses.
+// Unknown tasks are unconstrained.
+func (g *Gate) underGoal(task string) bool {
+	goal, ok := g.GoalRatio[task]
+	if !ok {
+		return true
+	}
+	return g.Achieved[task] < goal
+}
+
+// Allows reports whether a page of obj may be migrated to DRAM: yes while
+// any task accessing the object is under its goal. Ownerless objects with
+// no recorded accessors are always allowed.
+func (g *Gate) Allows(obj *hm.Object) bool {
+	if obj == nil {
+		return false
+	}
+	if acc, ok := g.Accessors[obj.Name]; ok {
+		for _, t := range acc {
+			if g.underGoal(t) {
+				return true
+			}
+		}
+		return false
+	}
+	if obj.Owner == "" {
+		return true
+	}
+	return g.underGoal(obj.Owner)
+}
+
+// MinMakespanPlan computes a near-optimal partition by binary search over
+// the achievable makespan: for a candidate time T, each task's minimum
+// DRAM grant to get its prediction under T is found by monotone bisection
+// (Equation 2 is non-increasing in r_dram), and T is feasible when the
+// grants fit the capacity. The paper's artifact lists "dynamic programming
+// and greedy heuristic" as its key algorithms; this is the
+// exact-within-tolerance counterpart used to audit Algorithm 1's gap.
+func MinMakespanPlan(tasks []TaskInput, dc uint64, perf *model.PerfModel, tol float64) (*Plan, error) {
+	if len(tasks) == 0 {
+		return nil, fmt.Errorf("placement: no tasks")
+	}
+	if tol <= 0 {
+		tol = 1e-3
+	}
+	for i, t := range tasks {
+		if t.TPmOnly <= 0 || t.TDramOnly <= 0 || t.TDramOnly > t.TPmOnly {
+			return nil, fmt.Errorf("placement: task %d (%s) has invalid bounds", i, t.Name)
+		}
+	}
+	predict := func(i int, r float64) float64 {
+		return perf.Predict(tasks[i].TPmOnly, tasks[i].TDramOnly, tasks[i].Events, r)
+	}
+	// Minimum DRAM ratio for task i to be predicted at or under T
+	// (+inf pages when even r = 1 cannot reach T).
+	minRatioFor := func(i int, T float64) (float64, bool) {
+		if predict(i, 0) <= T {
+			return 0, true
+		}
+		if predict(i, 1) > T {
+			return 1, false
+		}
+		lo, hi := 0.0, 1.0
+		for hi-lo > 1e-4 {
+			mid := (lo + hi) / 2
+			if predict(i, mid) <= T {
+				hi = mid
+			} else {
+				lo = mid
+			}
+		}
+		return hi, true
+	}
+	pagesFor := func(i int, r float64) uint64 {
+		return mapToPages(tasks[i], r*tasks[i].TotalAccesses)
+	}
+	feasible := func(T float64) ([]float64, bool) {
+		ratios := make([]float64, len(tasks))
+		var total uint64
+		for i := range tasks {
+			r, ok := minRatioFor(i, T)
+			if !ok {
+				return nil, false
+			}
+			ratios[i] = r
+			total += pagesFor(i, r)
+			if total > dc {
+				return nil, false
+			}
+		}
+		return ratios, true
+	}
+
+	// Search between the best case (everything at DRAM speed) and the
+	// worst (everything on PM).
+	lo, hi := 0.0, 0.0
+	for _, t := range tasks {
+		if t.TDramOnly > lo {
+			lo = t.TDramOnly
+		}
+		if t.TPmOnly > hi {
+			hi = t.TPmOnly
+		}
+	}
+	bestRatios, ok := feasible(hi)
+	if !ok {
+		// Even PM-only should be feasible (zero pages); defensive.
+		bestRatios = make([]float64, len(tasks))
+	}
+	for hi-lo > tol {
+		mid := (lo + hi) / 2
+		if r, ok := feasible(mid); ok {
+			bestRatios = r
+			hi = mid
+		} else {
+			lo = mid
+		}
+	}
+
+	plan := &Plan{
+		DRAMAccesses: make([]float64, len(tasks)),
+		GoalRatio:    append([]float64(nil), bestRatios...),
+		DRAMPages:    make([]uint64, len(tasks)),
+		Predicted:    make([]float64, len(tasks)),
+	}
+	for i := range tasks {
+		plan.DRAMAccesses[i] = bestRatios[i] * tasks[i].TotalAccesses
+		plan.DRAMPages[i] = pagesFor(i, bestRatios[i])
+		plan.Predicted[i] = predict(i, bestRatios[i])
+	}
+	return plan, nil
+}
+
+// KnapsackReference solves the fast-memory partitioning exactly for small
+// instances by dynamic programming over page grants, minimizing the
+// predicted makespan. Exponential-ish in resolution; tests only.
+func KnapsackReference(tasks []TaskInput, dc uint64, perf *model.PerfModel, granularity int) (float64, []uint64) {
+	if granularity <= 0 {
+		granularity = 20
+	}
+	n := len(tasks)
+	// Each task may receive 0..granularity shares of its footprint.
+	best := math.Inf(1)
+	var bestAlloc []uint64
+	alloc := make([]uint64, n)
+	var rec func(i int, remaining uint64)
+	rec = func(i int, remaining uint64) {
+		if i == n {
+			makespan := 0.0
+			for j, t := range tasks {
+				r := 0.0
+				if t.FootprintPages > 0 {
+					r = float64(alloc[j]) / float64(t.FootprintPages)
+				}
+				pred := perf.Predict(t.TPmOnly, t.TDramOnly, t.Events, r)
+				if pred > makespan {
+					makespan = pred
+				}
+			}
+			if makespan < best {
+				best = makespan
+				bestAlloc = append([]uint64(nil), alloc...)
+			}
+			return
+		}
+		t := tasks[i]
+		for g := 0; g <= granularity; g++ {
+			pages := uint64(float64(t.FootprintPages) * float64(g) / float64(granularity))
+			if pages > remaining {
+				break
+			}
+			alloc[i] = pages
+			rec(i+1, remaining-pages)
+		}
+		alloc[i] = 0
+	}
+	rec(0, dc)
+	return best, bestAlloc
+}

@@ -1,0 +1,226 @@
+package placement
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"merchandiser/internal/hm"
+	"merchandiser/internal/model"
+	"merchandiser/internal/pmc"
+)
+
+// linearModel is a PerfModel with no correlation function: pure linear
+// interpolation between the bounds, which makes expected outcomes easy to
+// compute by hand.
+func linearModel() *model.PerfModel { return &model.PerfModel{} }
+
+func task(name string, tPm, tDram, acc float64, pages uint64) TaskInput {
+	return TaskInput{
+		Name: name, TPmOnly: tPm, TDramOnly: tDram,
+		TotalAccesses: acc, FootprintPages: pages,
+		Events: pmc.Counters{Values: map[string]float64{}},
+	}
+}
+
+func TestGreedyBalancesTwoUnevenTasks(t *testing.T) {
+	tasks := []TaskInput{
+		task("slow", 10, 2, 1e6, 1000),
+		task("fast", 4, 1, 1e6, 1000),
+	}
+	// Capacity for 60% of the combined footprints: the slow task must be
+	// served first and receive more DRAM than the fast one.
+	plan, err := GreedyLoadBalance(tasks, 1200, linearModel(), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.DRAMAccesses[0] <= plan.DRAMAccesses[1] {
+		t.Fatalf("slow task got %v accesses, fast got %v", plan.DRAMAccesses[0], plan.DRAMAccesses[1])
+	}
+	if plan.PredictedMakespan() >= 9 {
+		t.Fatalf("makespan %v barely improved", plan.PredictedMakespan())
+	}
+	// Predicted times should end up close to each other (load balance).
+	if math.Abs(plan.Predicted[0]-plan.Predicted[1]) > 2.5 {
+		t.Fatalf("unbalanced prediction: %v", plan.Predicted)
+	}
+	// With unlimited capacity every task is eventually fully granted.
+	unbounded, err := GreedyLoadBalance(tasks, 1<<40, linearModel(), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range unbounded.GoalRatio {
+		if r < 0.999 {
+			t.Fatalf("task %d goal ratio %v under unlimited capacity, want 1", i, r)
+		}
+	}
+}
+
+func TestGreedyRespectsCapacity(t *testing.T) {
+	tasks := []TaskInput{
+		task("a", 10, 2, 1e6, 1000),
+		task("b", 9, 2, 1e6, 1000),
+		task("c", 8, 2, 1e6, 1000),
+	}
+	const dc = 500
+	plan, err := GreedyLoadBalance(tasks, dc, linearModel(), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var total uint64
+	for _, p := range plan.DRAMPages {
+		total += p
+	}
+	if total > dc {
+		t.Fatalf("plan uses %d pages, capacity %d", total, dc)
+	}
+}
+
+func TestGreedyNeverWorsensPredictedMakespan(t *testing.T) {
+	f := func(seedRaw uint8) bool {
+		seed := int64(seedRaw)
+		tasks := []TaskInput{
+			task("a", 5+float64(seed%7), 1, 1e6, 500),
+			task("b", 3+float64(seed%5), 1, 2e6, 800),
+			task("c", 8, 2, 5e5, 300),
+		}
+		before := 0.0
+		for _, tk := range tasks {
+			if tk.TPmOnly > before {
+				before = tk.TPmOnly
+			}
+		}
+		plan, err := GreedyLoadBalance(tasks, uint64(100*(seed+1)), linearModel(), Config{})
+		if err != nil {
+			return false
+		}
+		return plan.PredictedMakespan() <= before+1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGreedySingleTask(t *testing.T) {
+	tasks := []TaskInput{task("only", 10, 2, 1e6, 1000)}
+	plan, err := GreedyLoadBalance(tasks, 10000, linearModel(), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A lone task should be pushed toward DRAM-only.
+	if plan.GoalRatio[0] < 0.95 {
+		t.Fatalf("single task goal ratio = %v, want ~1", plan.GoalRatio[0])
+	}
+	if plan.PredictedMakespan() > 2.5 {
+		t.Fatalf("single task makespan = %v, want near DRAM-only (2)", plan.PredictedMakespan())
+	}
+}
+
+func TestGreedyValidation(t *testing.T) {
+	if _, err := GreedyLoadBalance(nil, 100, linearModel(), Config{}); err == nil {
+		t.Fatal("empty tasks should error")
+	}
+	bad := []TaskInput{task("x", 0, 0, 1e6, 10)}
+	if _, err := GreedyLoadBalance(bad, 100, linearModel(), Config{}); err == nil {
+		t.Fatal("zero times should error")
+	}
+	inverted := []TaskInput{task("x", 2, 5, 1e6, 10)}
+	if _, err := GreedyLoadBalance(inverted, 100, linearModel(), Config{}); err == nil {
+		t.Fatal("DRAM slower than PM should error")
+	}
+}
+
+func TestGreedyStepGranularity(t *testing.T) {
+	tasks := []TaskInput{
+		task("a", 10, 2, 1e6, 1000),
+		task("b", 9.9, 2, 1e6, 1000),
+	}
+	coarse, err := GreedyLoadBalance(tasks, 2000, linearModel(), Config{Step: 0.20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fine, err := GreedyLoadBalance(tasks, 2000, linearModel(), Config{Step: 0.01})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Finer steps can only do as well or better on predicted makespan.
+	if fine.PredictedMakespan() > coarse.PredictedMakespan()+1e-9 {
+		t.Fatalf("fine step (%v) worse than coarse (%v)",
+			fine.PredictedMakespan(), coarse.PredictedMakespan())
+	}
+}
+
+func TestGreedyNearOptimalOnSmallInstances(t *testing.T) {
+	tasks := []TaskInput{
+		task("a", 10, 3, 1e6, 100),
+		task("b", 6, 2, 1e6, 100),
+		task("c", 4, 1.5, 1e6, 100),
+	}
+	const dc = 120
+	plan, err := GreedyLoadBalance(tasks, dc, linearModel(), Config{Step: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, _ := KnapsackReference(tasks, dc, linearModel(), 25)
+	if plan.PredictedMakespan() > opt*1.15 {
+		t.Fatalf("greedy makespan %v vs optimal %v: gap too large",
+			plan.PredictedMakespan(), opt)
+	}
+}
+
+func TestGateEnforcesGoals(t *testing.T) {
+	tasks := []TaskInput{
+		task("a", 10, 2, 1e6, 1000),
+		task("b", 4, 1, 1e6, 1000),
+	}
+	plan, err := GreedyLoadBalance(tasks, 100000, linearModel(), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := NewGate(tasks, plan)
+	mem := hm.NewMemory(hm.DefaultSpec())
+	objA, _ := mem.Alloc("A", "a", 4096, hm.PM)
+	objB, _ := mem.Alloc("B", "b", 4096, hm.PM)
+	objShared, _ := mem.Alloc("S", "", 4096, hm.PM)
+
+	// Before any achievement report, everything under a positive goal is
+	// allowed.
+	if plan.GoalRatio[0] > 0 && !g.Allows(objA) {
+		t.Fatal("task under goal should be allowed")
+	}
+	// Report task a at goal, task b far below.
+	g.Update([]hm.TaskStatus{
+		{Name: "a", RDRAM: plan.GoalRatio[0] + 0.01},
+		{Name: "b", RDRAM: 0},
+	})
+	if g.Allows(objA) {
+		t.Fatal("task at goal must be gated")
+	}
+	if plan.GoalRatio[1] > 0 && !g.Allows(objB) {
+		t.Fatal("task under goal must pass")
+	}
+	if !g.Allows(objShared) {
+		t.Fatal("ownerless object must pass")
+	}
+	if g.Allows(nil) {
+		t.Fatal("nil object must not pass")
+	}
+	// Unknown owner passes (no goal constrains it).
+	objX, _ := mem.Alloc("X", "stranger", 4096, hm.PM)
+	if !g.Allows(objX) {
+		t.Fatal("unknown owner should pass")
+	}
+}
+
+func TestMapToPages(t *testing.T) {
+	in := task("a", 10, 2, 1000, 100)
+	if got := mapToPages(in, 500); got != 50 {
+		t.Fatalf("mapToPages = %d, want 50", got)
+	}
+	if got := mapToPages(in, 2000); got != 100 {
+		t.Fatalf("over-goal should clamp to footprint, got %d", got)
+	}
+	if got := mapToPages(task("z", 1, 0.5, 0, 100), 10); got != 0 {
+		t.Fatalf("zero accesses should map to zero pages, got %d", got)
+	}
+}

@@ -1,0 +1,234 @@
+package placement
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"merchandiser/internal/hm"
+)
+
+// TestMapToPagesMonotone: more granted accesses never cost fewer pages,
+// and the cost never exceeds the footprint — with and without the
+// density-aware object loads.
+func TestMapToPagesMonotone(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		in := task("x", 10, 2, 1e6, 1000)
+		if rng.Intn(2) == 0 {
+			// Density-aware variant with 3 skewed objects.
+			in.Objects = []ObjectLoad{
+				{Name: "hot", Accesses: 7e5, Pages: 100},
+				{Name: "warm", Accesses: 2e5, Pages: 400},
+				{Name: "cold", Accesses: 1e5, Pages: 500},
+			}
+		}
+		prev := uint64(0)
+		for acc := 0.0; acc <= 1e6; acc += 5e4 {
+			p := mapToPages(in, acc)
+			if p < prev || p > in.FootprintPages {
+				return false
+			}
+			prev = p
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestDensityAwareCheaperForSkewedObjects: reaching the same access goal
+// must never cost MORE pages under density-aware mapping than under the
+// uniform assumption.
+func TestDensityAwareCheaperForSkewedObjects(t *testing.T) {
+	uniform := task("x", 10, 2, 1e6, 1000)
+	dense := uniform
+	dense.Objects = []ObjectLoad{
+		{Name: "hot", Accesses: 9e5, Pages: 100}, // 90% of accesses in 10% of pages
+		{Name: "cold", Accesses: 1e5, Pages: 900},
+	}
+	for _, frac := range []float64{0.25, 0.5, 0.9} {
+		acc := frac * 1e6
+		u := mapToPages(uniform, acc)
+		d := mapToPages(dense, acc)
+		if d > u {
+			t.Fatalf("at %.0f%% goal: density-aware costs %d pages, uniform %d", frac*100, d, u)
+		}
+	}
+	// Hitting 90% of accesses should cost about the hot object's pages.
+	if got := mapToPages(dense, 9e5); got > 150 {
+		t.Fatalf("90%% goal should cost ~100 pages (the hot object), got %d", got)
+	}
+}
+
+// TestGreedyPlanInvariants: for random task sets, the plan never exceeds
+// capacity, goals stay in [0,1], and predictions stay within the
+// [TDram, TPm] physical bounds.
+func TestGreedyPlanInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(8)
+		tasks := make([]TaskInput, n)
+		for i := range tasks {
+			tPm := 1 + rng.Float64()*10
+			tasks[i] = task("t", tPm, tPm*(0.2+0.5*rng.Float64()), 1e5+rng.Float64()*1e7,
+				uint64(100+rng.Intn(2000)))
+			tasks[i].Name = string(rune('a' + i))
+		}
+		dc := uint64(rng.Intn(4000))
+		plan, err := GreedyLoadBalance(tasks, dc, linearModel(), Config{})
+		if err != nil {
+			return false
+		}
+		var total uint64
+		for i := range tasks {
+			total += plan.DRAMPages[i]
+			if plan.GoalRatio[i] < 0 || plan.GoalRatio[i] > 1+1e-9 {
+				return false
+			}
+			if plan.Predicted[i] < tasks[i].TDramOnly-1e-9 || plan.Predicted[i] > tasks[i].TPmOnly+1e-9 {
+				return false
+			}
+		}
+		return total <= dc || dc == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestGreedyServesSlowestFirst: the first pages always go to the task
+// with the longest predicted time.
+func TestGreedyServesSlowestFirst(t *testing.T) {
+	tasks := []TaskInput{
+		task("fast", 3, 1, 1e6, 1000),
+		task("slow", 12, 2, 1e6, 1000),
+		task("mid", 7, 1.5, 1e6, 1000),
+	}
+	// Capacity for only one 5% step's worth of pages.
+	plan, err := GreedyLoadBalance(tasks, 60, linearModel(), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plan.DRAMPages[1] == 0 {
+		t.Fatalf("slowest task got nothing: %v", plan.DRAMPages)
+	}
+	if plan.DRAMPages[0] != 0 {
+		t.Fatalf("fastest task served before the bottleneck: %v", plan.DRAMPages)
+	}
+}
+
+// TestGateUpdateOverwrites: achieved ratios track the latest status.
+func TestGateUpdateOverwrites(t *testing.T) {
+	g := &Gate{GoalRatio: map[string]float64{"a": 0.5}, Achieved: map[string]float64{}}
+	g.Update([]hm.TaskStatus{{Name: "a", RDRAM: 0.2}})
+	if !g.underGoal("a") {
+		t.Fatal("0.2 < 0.5 should be under goal")
+	}
+	g.Update([]hm.TaskStatus{{Name: "a", RDRAM: 0.6}})
+	if g.underGoal("a") {
+		t.Fatal("0.6 >= 0.5 should be at goal")
+	}
+	if !g.underGoal("unknown") {
+		t.Fatal("unknown tasks are unconstrained")
+	}
+}
+
+// TestGateAccessorPrecedence: accessor lists take precedence over the
+// owner when both are present.
+func TestGateAccessorPrecedence(t *testing.T) {
+	mem := hm.NewMemory(hm.DefaultSpec())
+	shared, _ := mem.Alloc("S", "ownerAtGoal", 4096, hm.PM)
+	g := &Gate{
+		GoalRatio: map[string]float64{"ownerAtGoal": 0.1, "needy": 0.9},
+		Achieved:  map[string]float64{"ownerAtGoal": 0.5, "needy": 0.1},
+		Accessors: map[string][]string{"S": {"ownerAtGoal", "needy"}},
+	}
+	if !g.Allows(shared) {
+		t.Fatal("page must stay migratable while any accessor is under goal")
+	}
+	g.Accessors["S"] = []string{"ownerAtGoal"}
+	if g.Allows(shared) {
+		t.Fatal("page should be gated once every accessor reached its goal")
+	}
+	// Without accessor info, fall back to the owner.
+	delete(g.Accessors, "S")
+	if g.Allows(shared) {
+		t.Fatal("owner at goal should gate the page")
+	}
+}
+
+func TestMinMakespanPlanOptimality(t *testing.T) {
+	tasks := []TaskInput{
+		task("a", 10, 3, 1e6, 100),
+		task("b", 6, 2, 1e6, 100),
+		task("c", 4, 1.5, 1e6, 100),
+	}
+	const dc = 120
+	opt, err := MinMakespanPlan(tasks, dc, linearModel(), 1e-4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	brute, _ := KnapsackReference(tasks, dc, linearModel(), 40)
+	if opt.PredictedMakespan() > brute*1.03 {
+		t.Fatalf("binary-search plan %v worse than brute force %v", opt.PredictedMakespan(), brute)
+	}
+	// And it must never lose to the greedy.
+	greedy, err := GreedyLoadBalance(tasks, dc, linearModel(), Config{Step: 0.02})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.PredictedMakespan() > greedy.PredictedMakespan()*1.02 {
+		t.Fatalf("optimal plan %v worse than greedy %v", opt.PredictedMakespan(), greedy.PredictedMakespan())
+	}
+	// Capacity respected.
+	var total uint64
+	for _, p := range opt.DRAMPages {
+		total += p
+	}
+	if total > dc {
+		t.Fatalf("plan uses %d pages of %d", total, dc)
+	}
+}
+
+func TestMinMakespanPlanProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(6)
+		tasks := make([]TaskInput, n)
+		for i := range tasks {
+			tPm := 1 + rng.Float64()*9
+			tasks[i] = task("t", tPm, tPm*(0.2+0.6*rng.Float64()), 1e6, uint64(100+rng.Intn(900)))
+			tasks[i].Name = string(rune('a' + i))
+		}
+		dc := uint64(rng.Intn(3000))
+		opt, err := MinMakespanPlan(tasks, dc, linearModel(), 1e-3)
+		if err != nil {
+			return false
+		}
+		greedy, err := GreedyLoadBalance(tasks, dc, linearModel(), Config{})
+		if err != nil {
+			return false
+		}
+		// The audited bound: greedy within 20% of optimal on these
+		// instances, optimal never worse than greedy.
+		if opt.PredictedMakespan() > greedy.PredictedMakespan()*1.02 {
+			return false
+		}
+		return greedy.PredictedMakespan() <= opt.PredictedMakespan()*1.2+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMinMakespanPlanValidation(t *testing.T) {
+	if _, err := MinMakespanPlan(nil, 10, linearModel(), 0); err == nil {
+		t.Fatal("empty tasks accepted")
+	}
+	bad := []TaskInput{task("x", 2, 5, 1e6, 10)}
+	if _, err := MinMakespanPlan(bad, 10, linearModel(), 0); err == nil {
+		t.Fatal("inverted bounds accepted")
+	}
+}

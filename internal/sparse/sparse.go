@@ -1,0 +1,446 @@
+// Package sparse provides the sparse-matrix and graph substrate the
+// SpGEMM and BFS applications are built on: a CSR matrix type, an
+// RMAT/Kronecker generator standing in for the paper's GAP-kron and
+// com-Orkut inputs, Gustavson's SpGEMM (symbolic + numeric, the Ginkgo
+// structure of Figure 1.b), and a level-synchronous BFS.
+//
+// These run for real — the applications derive their simulator workloads
+// from actual per-task non-zero and edge counts, and tests verify results
+// against dense/serial references.
+package sparse
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+)
+
+// CSR is a compressed-sparse-row matrix.
+type CSR struct {
+	Rows, Cols int
+	RowPtr     []int32
+	ColIdx     []int32
+	Val        []float64
+}
+
+// NNZ returns the number of stored non-zeros.
+func (m *CSR) NNZ() int { return len(m.ColIdx) }
+
+// Bytes returns the in-memory footprint of the matrix data.
+func (m *CSR) Bytes() uint64 {
+	return uint64(len(m.RowPtr))*4 + uint64(len(m.ColIdx))*4 + uint64(len(m.Val))*8
+}
+
+// Validate checks structural invariants.
+func (m *CSR) Validate() error {
+	if len(m.RowPtr) != m.Rows+1 {
+		return fmt.Errorf("sparse: rowptr length %d for %d rows", len(m.RowPtr), m.Rows)
+	}
+	if m.RowPtr[0] != 0 || int(m.RowPtr[m.Rows]) != len(m.ColIdx) {
+		return fmt.Errorf("sparse: rowptr endpoints %d..%d for %d nnz", m.RowPtr[0], m.RowPtr[m.Rows], len(m.ColIdx))
+	}
+	if len(m.Val) != len(m.ColIdx) {
+		return fmt.Errorf("sparse: %d values for %d indices", len(m.Val), len(m.ColIdx))
+	}
+	for r := 0; r < m.Rows; r++ {
+		if m.RowPtr[r] > m.RowPtr[r+1] {
+			return fmt.Errorf("sparse: rowptr not monotone at row %d", r)
+		}
+	}
+	for _, c := range m.ColIdx {
+		if c < 0 || int(c) >= m.Cols {
+			return fmt.Errorf("sparse: column %d out of range %d", c, m.Cols)
+		}
+	}
+	return nil
+}
+
+// RMATConfig parameterizes the recursive-matrix (Kronecker) generator used
+// by Graph500 and the GAP suite; the paper's GAP-kron and com-Orkut-like
+// inputs come from this family.
+type RMATConfig struct {
+	Scale      int // 2^Scale vertices
+	EdgeFactor int // average edges per vertex
+	// Edges, when positive, sets the exact edge count (overrides
+	// EdgeFactor) — used to vary input sizes continuously.
+	Edges   int
+	A, B, C float64
+	Seed    int64
+}
+
+func (c RMATConfig) withDefaults() RMATConfig {
+	if c.A == 0 && c.B == 0 && c.C == 0 {
+		c.A, c.B, c.C = 0.57, 0.19, 0.19 // Graph500 parameters
+	}
+	if c.EdgeFactor <= 0 {
+		c.EdgeFactor = 16
+	}
+	return c
+}
+
+// RMAT generates an RMAT matrix/graph in CSR form. Duplicate edges are
+// kept (weighted), self-loops allowed — matching common kron inputs.
+// Values are in (0, 1].
+func RMAT(cfg RMATConfig) *CSR {
+	cfg = cfg.withDefaults()
+	n := 1 << cfg.Scale
+	m := n * cfg.EdgeFactor
+	if cfg.Edges > 0 {
+		m = cfg.Edges
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	type edge struct{ r, c int32 }
+	edges := make([]edge, m)
+	for i := range edges {
+		var r, c int
+		for bit := cfg.Scale - 1; bit >= 0; bit-- {
+			p := rng.Float64()
+			switch {
+			case p < cfg.A:
+				// top-left: nothing set
+			case p < cfg.A+cfg.B:
+				c |= 1 << bit
+			case p < cfg.A+cfg.B+cfg.C:
+				r |= 1 << bit
+			default:
+				r |= 1 << bit
+				c |= 1 << bit
+			}
+		}
+		edges[i] = edge{int32(r), int32(c)}
+	}
+	sort.Slice(edges, func(a, b int) bool {
+		if edges[a].r != edges[b].r {
+			return edges[a].r < edges[b].r
+		}
+		return edges[a].c < edges[b].c
+	})
+
+	out := &CSR{Rows: n, Cols: n, RowPtr: make([]int32, n+1)}
+	out.ColIdx = make([]int32, 0, m)
+	out.Val = make([]float64, 0, m)
+	for _, e := range edges {
+		out.RowPtr[e.r+1]++
+		out.ColIdx = append(out.ColIdx, e.c)
+		out.Val = append(out.Val, rng.Float64())
+	}
+	for r := 0; r < n; r++ {
+		out.RowPtr[r+1] += out.RowPtr[r]
+	}
+	return out
+}
+
+// Transpose returns Aᵀ in CSR form (counting sort over columns).
+func Transpose(m *CSR) *CSR {
+	out := &CSR{
+		Rows: m.Cols, Cols: m.Rows,
+		RowPtr: make([]int32, m.Cols+1),
+		ColIdx: make([]int32, m.NNZ()),
+		Val:    make([]float64, m.NNZ()),
+	}
+	for _, c := range m.ColIdx {
+		out.RowPtr[c+1]++
+	}
+	for r := 0; r < out.Rows; r++ {
+		out.RowPtr[r+1] += out.RowPtr[r]
+	}
+	next := append([]int32(nil), out.RowPtr[:out.Rows]...)
+	for r := 0; r < m.Rows; r++ {
+		for p := m.RowPtr[r]; p < m.RowPtr[r+1]; p++ {
+			c := m.ColIdx[p]
+			out.ColIdx[next[c]] = int32(r)
+			out.Val[next[c]] = m.Val[p]
+			next[c]++
+		}
+	}
+	return out
+}
+
+// RowBins partitions rows into bins with roughly equal row counts (the
+// Figure 1.b binning); returns [start, end) row ranges. Equal row counts
+// with a power-law nnz distribution is exactly the inherent load imbalance
+// the paper attributes to SpGEMM.
+func RowBins(m *CSR, bins int) [][2]int {
+	if bins < 1 {
+		bins = 1
+	}
+	out := make([][2]int, bins)
+	per := (m.Rows + bins - 1) / bins
+	for b := 0; b < bins; b++ {
+		lo := b * per
+		hi := lo + per
+		if lo > m.Rows {
+			lo = m.Rows
+		}
+		if hi > m.Rows {
+			hi = m.Rows
+		}
+		out[b] = [2]int{lo, hi}
+	}
+	return out
+}
+
+// Permute relabels vertices with a random permutation (rows and columns
+// alike), preserving the graph up to isomorphism. Generated RMAT matrices
+// concentrate hubs at low vertex ids; real-world inputs (GAP-kron,
+// com-Orkut) arrive in arbitrary label order, which this restores.
+func Permute(m *CSR, seed int64) *CSR {
+	rng := rand.New(rand.NewSource(seed))
+	perm := rng.Perm(m.Rows)
+	relabel := make([]int32, m.Rows)
+	for old, new := range perm {
+		relabel[old] = int32(new)
+	}
+	type edge struct {
+		r, c int32
+		v    float64
+	}
+	edges := make([]edge, 0, m.NNZ())
+	for r := 0; r < m.Rows; r++ {
+		for p := m.RowPtr[r]; p < m.RowPtr[r+1]; p++ {
+			edges = append(edges, edge{relabel[r], relabel[m.ColIdx[p]], m.Val[p]})
+		}
+	}
+	sort.Slice(edges, func(a, b int) bool {
+		if edges[a].r != edges[b].r {
+			return edges[a].r < edges[b].r
+		}
+		return edges[a].c < edges[b].c
+	})
+	out := &CSR{Rows: m.Rows, Cols: m.Cols, RowPtr: make([]int32, m.Rows+1)}
+	out.ColIdx = make([]int32, 0, len(edges))
+	out.Val = make([]float64, 0, len(edges))
+	for _, e := range edges {
+		out.RowPtr[e.r+1]++
+		out.ColIdx = append(out.ColIdx, e.c)
+		out.Val = append(out.Val, e.v)
+	}
+	for r := 0; r < m.Rows; r++ {
+		out.RowPtr[r+1] += out.RowPtr[r]
+	}
+	return out
+}
+
+// NNZBins partitions rows into bins with roughly equal *non-zero* counts
+// (Ginkgo's balancing strategy). The remaining imbalance then comes from
+// the gather work per non-zero, which row counting cannot see.
+func NNZBins(m *CSR, bins int) [][2]int {
+	if bins < 1 {
+		bins = 1
+	}
+	out := make([][2]int, bins)
+	per := (m.NNZ() + bins - 1) / bins
+	row := 0
+	for b := 0; b < bins; b++ {
+		lo := row
+		target := int32((b + 1) * per)
+		for row < m.Rows && m.RowPtr[row+1] < target {
+			row++
+		}
+		if row < m.Rows {
+			row++
+		}
+		if b == bins-1 {
+			row = m.Rows
+		}
+		out[b] = [2]int{lo, row}
+	}
+	return out
+}
+
+// WeightedBins partitions rows into bins balancing the mixed weight
+// nnz + vertexWeight·rows. It interpolates between RowBins (vertexWeight
+// → ∞) and NNZBins (vertexWeight = 0): the partial balance real graph
+// partitioners achieve, which leaves the hub partitions heavier without
+// RowBins' pathological skew.
+func WeightedBins(m *CSR, bins int, vertexWeight float64) [][2]int {
+	if bins < 1 {
+		bins = 1
+	}
+	total := float64(m.NNZ()) + vertexWeight*float64(m.Rows)
+	per := total / float64(bins)
+	out := make([][2]int, bins)
+	row := 0
+	var acc float64
+	for b := 0; b < bins; b++ {
+		lo := row
+		target := float64(b+1) * per
+		for row < m.Rows && acc < target {
+			acc += float64(m.RowPtr[row+1]-m.RowPtr[row]) + vertexWeight
+			row++
+		}
+		if b == bins-1 {
+			row = m.Rows
+		}
+		out[b] = [2]int{lo, row}
+	}
+	return out
+}
+
+// BinNNZ returns the number of non-zeros in each row bin.
+func BinNNZ(m *CSR, bins [][2]int) []int {
+	out := make([]int, len(bins))
+	for i, b := range bins {
+		out[i] = int(m.RowPtr[b[1]] - m.RowPtr[b[0]])
+	}
+	return out
+}
+
+// SymbolicRange computes, for rows [lo, hi) of A, the number of non-zeros
+// of each row of C = A·B (Gustavson symbolic phase) and the total number
+// of B-row gathers performed (the task's true memory workload).
+func SymbolicRange(a, b *CSR, lo, hi int) (rowNNZ []int32, gathers int64) {
+	rowNNZ = make([]int32, hi-lo)
+	marker := make([]int32, b.Cols)
+	for i := range marker {
+		marker[i] = -1
+	}
+	for r := lo; r < hi; r++ {
+		var count int32
+		for ap := a.RowPtr[r]; ap < a.RowPtr[r+1]; ap++ {
+			ac := a.ColIdx[ap]
+			for bp := b.RowPtr[ac]; bp < b.RowPtr[ac+1]; bp++ {
+				gathers++
+				bc := b.ColIdx[bp]
+				if marker[bc] != int32(r-lo+1) {
+					marker[bc] = int32(r - lo + 1)
+					count++
+				}
+			}
+		}
+		rowNNZ[r-lo] = count
+	}
+	return rowNNZ, gathers
+}
+
+// NumericRange computes rows [lo, hi) of C = A·B given the symbolic row
+// sizes, returning the C slice for the range and the number of multiply-
+// adds.
+func NumericRange(a, b *CSR, lo, hi int, rowNNZ []int32) (*CSR, int64) {
+	c := &CSR{Rows: hi - lo, Cols: b.Cols, RowPtr: make([]int32, hi-lo+1)}
+	var total int32
+	for i, n := range rowNNZ {
+		c.RowPtr[i+1] = c.RowPtr[i] + n
+		total += n
+	}
+	c.ColIdx = make([]int32, total)
+	c.Val = make([]float64, total)
+
+	acc := make([]float64, b.Cols)
+	pos := make([]int32, b.Cols)
+	for i := range pos {
+		pos[i] = -1
+	}
+	var flops int64
+	for r := lo; r < hi; r++ {
+		start := c.RowPtr[r-lo]
+		cur := start
+		for ap := a.RowPtr[r]; ap < a.RowPtr[r+1]; ap++ {
+			ac := a.ColIdx[ap]
+			av := a.Val[ap]
+			for bp := b.RowPtr[ac]; bp < b.RowPtr[ac+1]; bp++ {
+				bc := b.ColIdx[bp]
+				flops++
+				if pos[bc] < start {
+					pos[bc] = cur
+					c.ColIdx[cur] = bc
+					acc[bc] = av * b.Val[bp]
+					cur++
+				} else {
+					acc[bc] += av * b.Val[bp]
+				}
+			}
+		}
+		for p := start; p < cur; p++ {
+			c.Val[p] = acc[c.ColIdx[p]]
+		}
+		// Reset position markers for the next row.
+		for p := start; p < cur; p++ {
+			pos[c.ColIdx[p]] = -1
+		}
+	}
+	return c, flops
+}
+
+// MultiplyDense is the O(n³)-ish reference used by tests on tiny inputs.
+func MultiplyDense(a, b *CSR) [][]float64 {
+	out := make([][]float64, a.Rows)
+	for r := range out {
+		out[r] = make([]float64, b.Cols)
+		for ap := a.RowPtr[r]; ap < a.RowPtr[r+1]; ap++ {
+			ac := a.ColIdx[ap]
+			av := a.Val[ap]
+			for bp := b.RowPtr[ac]; bp < b.RowPtr[ac+1]; bp++ {
+				out[r][b.ColIdx[bp]] += av * b.Val[bp]
+			}
+		}
+	}
+	return out
+}
+
+// BFSResult holds a traversal's outcome.
+type BFSResult struct {
+	Dist []int32 // -1 for unreachable
+	// EdgesByPartition counts edge relaxations attributed to each vertex
+	// partition — the per-task workload of the BFS application.
+	EdgesByPartition []int64
+	// EdgeMatrix[s][t] counts relaxations from source partition s into
+	// target partition t — where each task's distance-array updates land.
+	EdgeMatrix [][]int64
+	Levels     int
+}
+
+// BFS runs a level-synchronous breadth-first search from src over the
+// graph g (CSR adjacency). partitions gives [lo, hi) vertex ranges; edge
+// work is attributed to the partition owning the *source* vertex of each
+// relaxed edge (owner-computes, as in distributed BFS).
+func BFS(g *CSR, src int, partitions [][2]int) (*BFSResult, error) {
+	if src < 0 || src >= g.Rows {
+		return nil, fmt.Errorf("sparse: bfs source %d out of range %d", src, g.Rows)
+	}
+	res := &BFSResult{
+		Dist:             make([]int32, g.Rows),
+		EdgesByPartition: make([]int64, len(partitions)),
+		EdgeMatrix:       make([][]int64, len(partitions)),
+	}
+	for i := range res.EdgeMatrix {
+		res.EdgeMatrix[i] = make([]int64, len(partitions))
+	}
+	for i := range res.Dist {
+		res.Dist[i] = -1
+	}
+	owner := make([]int32, g.Rows)
+	for p, pr := range partitions {
+		for v := pr[0]; v < pr[1] && v < g.Rows; v++ {
+			owner[v] = int32(p)
+		}
+	}
+	res.Dist[src] = 0
+	frontier := []int32{int32(src)}
+	level := int32(0)
+	for len(frontier) > 0 {
+		level++
+		var next []int32
+		for _, u := range frontier {
+			for p := g.RowPtr[u]; p < g.RowPtr[u+1]; p++ {
+				v := g.ColIdx[p]
+				res.EdgesByPartition[owner[u]]++
+				res.EdgeMatrix[owner[u]][owner[v]]++
+				if res.Dist[v] < 0 {
+					res.Dist[v] = level
+					next = append(next, v)
+				}
+			}
+		}
+		frontier = next
+	}
+	// Levels is the eccentricity of the source: the largest distance
+	// reached.
+	for _, d := range res.Dist {
+		if int(d) > res.Levels {
+			res.Levels = int(d)
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,249 @@
+// Package spindle is the static memory-access-pattern analyzer of the
+// Merchandiser reproduction, standing in for the LLVM-based Spindle tool
+// the paper uses (Wang et al., USENIX ATC'18).
+//
+// It consumes the loop-nest IR of internal/ir and produces an object-level
+// classification into the paper's four patterns — stream, strided, stencil,
+// random — including the sub-forms (delta, reduction, transpose, gather,
+// scatter) described in Section 4. Table 1 of the paper is this analysis
+// applied to the five applications' kernels.
+package spindle
+
+import (
+	"fmt"
+	"sort"
+
+	"merchandiser/internal/access"
+	"merchandiser/internal/ir"
+)
+
+// ObjectReport is the per-data-object analysis result.
+type ObjectReport struct {
+	Object   string
+	Pattern  access.Pattern
+	SubForms []string // e.g. "gather", "scatter", "reduction-source", "transpose"
+	Sites    int      // number of access sites involving the object
+}
+
+// Report is the whole-program analysis result.
+type Report struct {
+	Program string
+	Objects []ObjectReport // sorted by object name
+}
+
+// Patterns returns the object→pattern map.
+func (r Report) Patterns() map[string]access.Pattern {
+	out := make(map[string]access.Pattern, len(r.Objects))
+	for _, o := range r.Objects {
+		out[o.Object] = o.Pattern
+	}
+	return out
+}
+
+// PatternKinds returns the distinct pattern kinds present, most frequent
+// first — the per-application summary shown in Table 1.
+func (r Report) PatternKinds() []access.Kind {
+	count := map[access.Kind]int{}
+	for _, o := range r.Objects {
+		count[o.Pattern.Kind]++
+	}
+	kinds := make([]access.Kind, 0, len(count))
+	for k := range count {
+		kinds = append(kinds, k)
+	}
+	sort.Slice(kinds, func(i, j int) bool {
+		if count[kinds[i]] != count[kinds[j]] {
+			return count[kinds[i]] > count[kinds[j]]
+		}
+		return kinds[i] < kinds[j]
+	})
+	return kinds
+}
+
+// irregularity ranks pattern kinds; when an object is accessed in several
+// ways, the most irregular access dominates its main-memory behaviour.
+func irregularity(k access.Kind) int {
+	switch k {
+	case access.Stream:
+		return 0
+	case access.Strided:
+		return 1
+	case access.Stencil:
+		return 2
+	default: // Random
+		return 3
+	}
+}
+
+// Analyze classifies every array in the program. It returns an error if
+// the program fails validation.
+func Analyze(p ir.Program) (Report, error) {
+	if err := p.Validate(); err != nil {
+		return Report{}, err
+	}
+	sites := p.Sites()
+
+	type objState struct {
+		pattern  access.Pattern
+		set      bool
+		subForms map[string]bool
+		sites    int
+	}
+	objs := map[string]*objState{}
+	get := func(name string) *objState {
+		s, ok := objs[name]
+		if !ok {
+			s = &objState{subForms: map[string]bool{}}
+			objs[name] = s
+		}
+		return s
+	}
+
+	// First pass: stencil detection. Group per (kernel, array, dominant
+	// variable): multiple distinct constant offsets with the same
+	// coefficient mean a stencil.
+	offsets := map[stencilKey]map[int]bool{}
+	symbolic := map[stencilKey]bool{}
+	for _, s := range sites {
+		if s.Ref.Index.IsIndirect() {
+			continue
+		}
+		v, coef := dominantVar(s.Ref.Index, s.LoopVars)
+		// Stencils are unit-stride sweeps with neighbour offsets; a
+		// multi-element record access (A[6i], A[6i+1]) is strided, not a
+		// stencil.
+		if v == "" || abs(coef) != 1 {
+			continue
+		}
+		k := stencilKey{s.Kernel, s.Ref.Array, v, coef}
+		if offsets[k] == nil {
+			offsets[k] = map[int]bool{}
+		}
+		offsets[k][s.Ref.Index.Offset] = true
+		if s.Ref.Index.SymbolicOffset {
+			symbolic[k] = true
+		}
+	}
+
+	// Second pass: classify each site and merge per object.
+	for _, s := range sites {
+		st := get(s.Ref.Array)
+		st.sites++
+		pat, sub := classifySite(s, offsets, symbolic)
+		if sub != "" {
+			st.subForms[sub] = true
+		}
+		if !st.set || irregularity(pat.Kind) > irregularity(st.pattern.Kind) {
+			st.pattern = pat
+			st.set = true
+		} else if pat.Kind == st.pattern.Kind {
+			// Same kind: keep the wider stencil / larger stride.
+			if pat.Kind == access.Stencil && pat.Points > st.pattern.Points {
+				st.pattern = pat
+			}
+			if pat.Kind == access.Strided && pat.StrideBytes > st.pattern.StrideBytes {
+				st.pattern = pat
+			}
+		}
+	}
+
+	rep := Report{Program: p.Name}
+	names := make([]string, 0, len(objs))
+	for n := range objs {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		st := objs[n]
+		forms := make([]string, 0, len(st.subForms))
+		for f := range st.subForms {
+			forms = append(forms, f)
+		}
+		sort.Strings(forms)
+		rep.Objects = append(rep.Objects, ObjectReport{
+			Object:   n,
+			Pattern:  st.pattern,
+			SubForms: forms,
+			Sites:    st.sites,
+		})
+	}
+	return rep, nil
+}
+
+// stencilKey identifies one (kernel, array, induction variable,
+// coefficient) group for stencil detection.
+type stencilKey struct {
+	kernel, array, v string
+	coef             int
+}
+
+// dominantVar picks the induction variable that drives the expression's
+// fastest-moving dimension: the innermost enclosing loop variable that
+// appears with a nonzero coefficient; failing that, the variable with the
+// smallest coefficient (closest to unit stride).
+func dominantVar(e ir.Expr, loopVars []string) (string, int) {
+	for i := len(loopVars) - 1; i >= 0; i-- {
+		if c := e.Coef(loopVars[i]); c != 0 {
+			return loopVars[i], c
+		}
+	}
+	// The expression may use a variable not in the recorded loop order
+	// (defensive; shouldn't happen for well-formed programs).
+	best, bestCoef := "", 0
+	for v, c := range e.Terms {
+		if c == 0 {
+			continue
+		}
+		if best == "" || abs(c) < abs(bestCoef) {
+			best, bestCoef = v, c
+		}
+	}
+	return best, bestCoef
+}
+
+func abs(x int) int {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// classifySite classifies one access site, using the precomputed stencil
+// offset groups. It returns the pattern and an optional sub-form label.
+func classifySite(s ir.AccessSite, offsets map[stencilKey]map[int]bool, symbolic map[stencilKey]bool) (access.Pattern, string) {
+	es := s.Ref.ElemSize
+	if s.Ref.Index.IsIndirect() {
+		sub := "gather"
+		if s.IsStore {
+			sub = "scatter"
+		}
+		return access.Pattern{Kind: access.Random, ElemSize: es, InputDependent: true}, sub
+	}
+	v, coef := dominantVar(s.Ref.Index, s.LoopVars)
+	if v == "" {
+		// Constant index: a single resident element, effectively free;
+		// classify as stream so it never dominates.
+		return access.Pattern{Kind: access.Stream, ElemSize: es}, "constant"
+	}
+	k := stencilKey{s.Kernel, s.Ref.Array, v, coef}
+	if offs := offsets[k]; len(offs) >= 2 {
+		return access.Pattern{
+			Kind:           access.Stencil,
+			ElemSize:       es,
+			Points:         len(offs),
+			InputDependent: symbolic[k],
+		}, "stencil"
+	}
+	if abs(coef) == 1 {
+		sub := "unit-stride"
+		if s.InReduction {
+			sub = "reduction-source"
+		}
+		return access.Pattern{Kind: access.Stream, ElemSize: es}, sub
+	}
+	return access.Pattern{
+		Kind:        access.Strided,
+		ElemSize:    es,
+		StrideBytes: abs(coef) * es,
+	}, fmt.Sprintf("stride-%d", abs(coef))
+}

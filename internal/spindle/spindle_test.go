@@ -1,0 +1,251 @@
+package spindle
+
+import (
+	"testing"
+
+	"merchandiser/internal/access"
+	"merchandiser/internal/ir"
+)
+
+func analyze(t *testing.T, p ir.Program) Report {
+	t.Helper()
+	rep, err := Analyze(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func patternOf(t *testing.T, rep Report, obj string) access.Pattern {
+	t.Helper()
+	for _, o := range rep.Objects {
+		if o.Object == obj {
+			return o.Pattern
+		}
+	}
+	t.Fatalf("object %q not in report %+v", obj, rep.Objects)
+	return access.Pattern{}
+}
+
+// The paper's four demonstration loops (Section 4).
+
+func TestClassifyStream(t *testing.T) {
+	// A[i] = B[i] + C[i]
+	p := ir.Program{Name: "stream", Kernels: []ir.Kernel{{
+		Name: "k",
+		Body: []ir.Stmt{ir.Loop{Var: "i", Body: []ir.Stmt{
+			ir.Assign{
+				LHS: ir.Ref{Array: "A", ElemSize: 8, Index: ir.Ix("i")},
+				RHS: []ir.Ref{
+					{Array: "B", ElemSize: 8, Index: ir.Ix("i")},
+					{Array: "C", ElemSize: 8, Index: ir.Ix("i")},
+				},
+			},
+		}}},
+	}}}
+	rep := analyze(t, p)
+	for _, obj := range []string{"A", "B", "C"} {
+		if got := patternOf(t, rep, obj).Kind; got != access.Stream {
+			t.Fatalf("%s classified as %v, want Stream", obj, got)
+		}
+	}
+}
+
+func TestClassifyStrided(t *testing.T) {
+	// A[i*stride] = B[i*stride], stride = 16 elements of 4 bytes.
+	p := ir.Program{Name: "strided", Kernels: []ir.Kernel{{
+		Name: "k",
+		Body: []ir.Stmt{ir.Loop{Var: "i", Body: []ir.Stmt{
+			ir.Assign{
+				LHS: ir.Ref{Array: "A", ElemSize: 4, Index: ir.Affine("i", 16, 0)},
+				RHS: []ir.Ref{{Array: "B", ElemSize: 4, Index: ir.Affine("i", 16, 0)}},
+			},
+		}}},
+	}}}
+	rep := analyze(t, p)
+	pa := patternOf(t, rep, "A")
+	if pa.Kind != access.Strided {
+		t.Fatalf("A classified as %v, want Strided", pa.Kind)
+	}
+	if pa.StrideBytes != 64 {
+		t.Fatalf("stride = %d bytes, want 64", pa.StrideBytes)
+	}
+}
+
+func TestClassifyStencil(t *testing.T) {
+	// A[i] = A[i-1] + A[i+1] — 3 distinct offsets.
+	p := ir.Program{Name: "stencil", Kernels: []ir.Kernel{{
+		Name: "k",
+		Body: []ir.Stmt{ir.Loop{Var: "i", Body: []ir.Stmt{
+			ir.Assign{
+				LHS: ir.Ref{Array: "A", ElemSize: 8, Index: ir.Ix("i")},
+				RHS: []ir.Ref{
+					{Array: "A", ElemSize: 8, Index: ir.Affine("i", 1, -1)},
+					{Array: "A", ElemSize: 8, Index: ir.Affine("i", 1, 1)},
+				},
+			},
+		}}},
+	}}}
+	rep := analyze(t, p)
+	pa := patternOf(t, rep, "A")
+	if pa.Kind != access.Stencil {
+		t.Fatalf("A classified as %v, want Stencil", pa.Kind)
+	}
+	if pa.Points != 3 {
+		t.Fatalf("points = %d, want 3", pa.Points)
+	}
+	if pa.InputDependent {
+		t.Fatal("constant-offset stencil is input-independent")
+	}
+}
+
+func TestClassifyInputDependentStencil(t *testing.T) {
+	sym := ir.Affine("i", 1, 1)
+	sym.SymbolicOffset = true
+	p := ir.Program{Name: "adaptive", Kernels: []ir.Kernel{{
+		Name: "k",
+		Body: []ir.Stmt{ir.Loop{Var: "i", Body: []ir.Stmt{
+			ir.Assign{
+				LHS: ir.Ref{Array: "A", ElemSize: 8, Index: ir.Ix("i")},
+				RHS: []ir.Ref{{Array: "A", ElemSize: 8, Index: sym}},
+			},
+		}}},
+	}}}
+	pa := patternOf(t, analyze(t, p), "A")
+	if pa.Kind != access.Stencil || !pa.InputDependent {
+		t.Fatalf("got %+v, want input-dependent stencil", pa)
+	}
+}
+
+func TestClassifyGatherScatter(t *testing.T) {
+	// A[i] = B[C[i]] (gather) and D[E[i]] = F[i] (scatter).
+	p := ir.Program{Name: "random", Kernels: []ir.Kernel{{
+		Name: "k",
+		Body: []ir.Stmt{ir.Loop{Var: "i", Body: []ir.Stmt{
+			ir.Assign{
+				LHS: ir.Ref{Array: "A", ElemSize: 8, Index: ir.Ix("i")},
+				RHS: []ir.Ref{{Array: "B", ElemSize: 8, Index: ir.IndirectIx("C", 4, ir.Ix("i"))}},
+			},
+			ir.Assign{
+				LHS: ir.Ref{Array: "D", ElemSize: 8, Index: ir.IndirectIx("E", 4, ir.Ix("i"))},
+				RHS: []ir.Ref{{Array: "F", ElemSize: 8, Index: ir.Ix("i")}},
+			},
+		}}},
+	}}}
+	rep := analyze(t, p)
+	if got := patternOf(t, rep, "B").Kind; got != access.Random {
+		t.Fatalf("gathered B = %v, want Random", got)
+	}
+	if got := patternOf(t, rep, "D").Kind; got != access.Random {
+		t.Fatalf("scattered D = %v, want Random", got)
+	}
+	// Index arrays C and E are streamed.
+	if got := patternOf(t, rep, "C").Kind; got != access.Stream {
+		t.Fatalf("index array C = %v, want Stream", got)
+	}
+	if got := patternOf(t, rep, "A").Kind; got != access.Stream {
+		t.Fatalf("A = %v, want Stream", got)
+	}
+	// Sub-forms recorded.
+	for _, o := range rep.Objects {
+		switch o.Object {
+		case "B":
+			if len(o.SubForms) == 0 || o.SubForms[0] != "gather" {
+				t.Fatalf("B sub-forms = %v", o.SubForms)
+			}
+		case "D":
+			if len(o.SubForms) == 0 || o.SubForms[0] != "scatter" {
+				t.Fatalf("D sub-forms = %v", o.SubForms)
+			}
+		}
+	}
+}
+
+func TestMostIrregularWins(t *testing.T) {
+	// B is streamed in one kernel and gathered in another: Random must win.
+	p := ir.Program{Name: "mixed", Kernels: []ir.Kernel{
+		{Name: "k1", Body: []ir.Stmt{ir.Loop{Var: "i", Body: []ir.Stmt{
+			ir.Assign{Scalar: "x", RHS: []ir.Ref{{Array: "B", ElemSize: 8, Index: ir.Ix("i")}}},
+		}}}},
+		{Name: "k2", Body: []ir.Stmt{ir.Loop{Var: "i", Body: []ir.Stmt{
+			ir.Assign{
+				LHS: ir.Ref{Array: "A", ElemSize: 8, Index: ir.Ix("i")},
+				RHS: []ir.Ref{{Array: "B", ElemSize: 8, Index: ir.IndirectIx("C", 4, ir.Ix("i"))}},
+			},
+		}}}},
+	}}
+	if got := patternOf(t, analyze(t, p), "B").Kind; got != access.Random {
+		t.Fatalf("mixed-access B = %v, want Random (most irregular wins)", got)
+	}
+}
+
+func TestReductionSubForm(t *testing.T) {
+	p := ir.Program{Name: "sum", Kernels: []ir.Kernel{{
+		Name: "k",
+		Body: []ir.Stmt{ir.Loop{Var: "i", Body: []ir.Stmt{
+			ir.Assign{Scalar: "acc", RHS: []ir.Ref{{Array: "A", ElemSize: 8, Index: ir.Ix("i")}}},
+		}}},
+	}}}
+	rep := analyze(t, p)
+	if got := patternOf(t, rep, "A").Kind; got != access.Stream {
+		t.Fatalf("reduction source = %v, want Stream", got)
+	}
+	if rep.Objects[0].SubForms[0] != "reduction-source" {
+		t.Fatalf("sub-forms = %v", rep.Objects[0].SubForms)
+	}
+}
+
+func TestTransposeIsStrided(t *testing.T) {
+	// AT[i*n+j] = B[j*n+i] linearized: for the inner loop j, AT moves with
+	// coef 1 (stream) while B moves with coef n (strided).
+	n := 512
+	p := ir.Program{Name: "transpose", Kernels: []ir.Kernel{{
+		Name: "k",
+		Body: []ir.Stmt{ir.Loop{Var: "i", Body: []ir.Stmt{ir.Loop{Var: "j", Body: []ir.Stmt{
+			ir.Assign{
+				LHS: ir.Ref{Array: "AT", ElemSize: 8, Index: ir.Expr{Terms: map[string]int{"i": n, "j": 1}}},
+				RHS: []ir.Ref{{Array: "B", ElemSize: 8, Index: ir.Expr{Terms: map[string]int{"j": n, "i": 1}}}},
+			},
+		}}}}},
+	}}}
+	rep := analyze(t, p)
+	if got := patternOf(t, rep, "AT").Kind; got != access.Stream {
+		t.Fatalf("AT = %v, want Stream (unit stride in inner loop)", got)
+	}
+	pb := patternOf(t, rep, "B")
+	if pb.Kind != access.Strided || pb.StrideBytes != n*8 {
+		t.Fatalf("B = %+v, want Strided with %d-byte stride", pb, n*8)
+	}
+}
+
+func TestPatternKindsSummary(t *testing.T) {
+	// Two streamed objects and one gathered: Stream should list first.
+	p := ir.Program{Name: "spgemm-ish", Kernels: []ir.Kernel{{
+		Name: "k",
+		Body: []ir.Stmt{ir.Loop{Var: "i", Body: []ir.Stmt{
+			ir.Assign{
+				LHS: ir.Ref{Array: "C", ElemSize: 8, Index: ir.Ix("i")},
+				RHS: []ir.Ref{
+					{Array: "A", ElemSize: 8, Index: ir.Ix("i")},
+					{Array: "B", ElemSize: 8, Index: ir.IndirectIx("idx", 4, ir.Ix("i"))},
+				},
+			},
+		}}},
+	}}}
+	rep := analyze(t, p)
+	kinds := rep.PatternKinds()
+	if len(kinds) != 2 || kinds[0] != access.Stream || kinds[1] != access.Random {
+		t.Fatalf("kinds = %v, want [Stream Random]", kinds)
+	}
+	pats := rep.Patterns()
+	if pats["B"].Kind != access.Random || pats["A"].Kind != access.Stream {
+		t.Fatalf("Patterns() map wrong: %+v", pats)
+	}
+}
+
+func TestAnalyzeRejectsInvalid(t *testing.T) {
+	p := ir.Program{Kernels: []ir.Kernel{{Name: "k", Body: []ir.Stmt{ir.Assign{}}}}}
+	if _, err := Analyze(p); err == nil {
+		t.Fatal("invalid program should be rejected")
+	}
+}

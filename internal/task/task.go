@@ -1,0 +1,161 @@
+// Package task is the task-parallel runtime of the reproduction: it runs
+// an application as a sequence of task instances separated by global
+// synchronization points (the MPI/OpenMP structure of Figure 1), executing
+// each instance's task group on the hm engine under a pluggable
+// data-placement policy.
+//
+// An App supplies, per instance, one hm.TaskWork per task — sizes and
+// access counts may vary across instances (the paper's "task instances use
+// the same H but different PSI" situation). The Runner owns the Memory, so
+// page placement persists across instances, which is what makes profiling
+// and migration pay off.
+package task
+
+import (
+	"fmt"
+
+	"merchandiser/internal/hm"
+)
+
+// App is a task-parallel application.
+type App interface {
+	// Name returns the application name (e.g. "SpGEMM").
+	Name() string
+	// Setup allocates the application's long-lived data objects.
+	Setup(mem *hm.Memory) error
+	// NumInstances is how many task instances (iterations between global
+	// syncs) the app runs.
+	NumInstances() int
+	// Instance returns one TaskWork per task for instance i. It may
+	// allocate (and free) per-instance objects in mem.
+	Instance(i int, mem *hm.Memory) ([]hm.TaskWork, error)
+}
+
+// Policy is a data-placement policy driving a whole application run.
+type Policy interface {
+	// Name returns the policy name as used in the paper's figures.
+	Name() string
+	// Setup is called once after the app allocated its long-lived
+	// objects; static policies place pages here.
+	Setup(mem *hm.Memory, app App) error
+	// BeforeInstance is called with instance i's works right before
+	// execution (the LB_HM_config point: object sizes are known).
+	BeforeInstance(i int, mem *hm.Memory, works []hm.TaskWork) error
+	// EnginePolicy returns the migration daemon driven during execution,
+	// or nil.
+	EnginePolicy() hm.Policy
+	// MemoryMode reports whether the engine emulates Optane Memory Mode.
+	MemoryMode() bool
+	// AfterInstance is called with the instance's results (profiling,
+	// α refinement).
+	AfterInstance(i int, mem *hm.Memory, res *hm.RunResult) error
+}
+
+// Options tunes the runner.
+type Options struct {
+	StepSec     float64
+	IntervalSec float64
+	Debug       bool
+}
+
+// InstanceResult is one instance's outcome.
+type InstanceResult struct {
+	TaskTimes []float64
+	Makespan  float64
+	Counters  []hm.TaskCounters
+}
+
+// Result is a whole application run.
+type Result struct {
+	App       string
+	Policy    string
+	Instances []InstanceResult
+	// TotalTime is the sum of instance makespans — the end-to-end
+	// application time with a barrier after every instance.
+	TotalTime float64
+	// Bandwidth concatenates the per-instance telemetry with cumulative
+	// time offsets (Figure 6).
+	Bandwidth []hm.BWSample
+	// Migrated counts pages moved into DRAM over the whole run.
+	MigratedToDRAM uint64
+}
+
+// TaskTimeMatrix returns per-instance task times ([][]float64) — the
+// Figure 5 boxplot input.
+func (r *Result) TaskTimeMatrix() [][]float64 {
+	out := make([][]float64, len(r.Instances))
+	for i, inst := range r.Instances {
+		out[i] = inst.TaskTimes
+	}
+	return out
+}
+
+// Run executes the app under the policy on a fresh Memory with the given
+// spec.
+func Run(app App, spec hm.SystemSpec, pol Policy, opts Options) (*Result, error) {
+	mem := hm.NewMemory(spec)
+	if err := app.Setup(mem); err != nil {
+		return nil, fmt.Errorf("task: %s setup: %w", app.Name(), err)
+	}
+	if err := pol.Setup(mem, app); err != nil {
+		return nil, fmt.Errorf("task: policy %s setup: %w", pol.Name(), err)
+	}
+	res := &Result{App: app.Name(), Policy: pol.Name()}
+	for i := 0; i < app.NumInstances(); i++ {
+		works, err := app.Instance(i, mem)
+		if err != nil {
+			return nil, fmt.Errorf("task: %s instance %d: %w", app.Name(), i, err)
+		}
+		if len(works) == 0 {
+			return nil, fmt.Errorf("task: %s instance %d has no tasks", app.Name(), i)
+		}
+		if err := pol.BeforeInstance(i, mem, works); err != nil {
+			return nil, fmt.Errorf("task: policy %s before instance %d: %w", pol.Name(), i, err)
+		}
+		eng := &hm.Engine{
+			Mem:         mem,
+			Policy:      pol.EnginePolicy(),
+			StepSec:     opts.StepSec,
+			IntervalSec: opts.IntervalSec,
+			MemoryMode:  pol.MemoryMode(),
+			Debug:       opts.Debug,
+		}
+		rr, err := eng.Run(works)
+		if err != nil {
+			return nil, fmt.Errorf("task: %s instance %d under %s: %w", app.Name(), i, pol.Name(), err)
+		}
+		for _, s := range rr.Bandwidth {
+			s.Time += res.TotalTime
+			res.Bandwidth = append(res.Bandwidth, s)
+		}
+		res.Instances = append(res.Instances, InstanceResult{
+			TaskTimes: rr.TaskTimes,
+			Makespan:  rr.Makespan,
+			Counters:  rr.Counters,
+		})
+		res.TotalTime += rr.Makespan
+		if err := pol.AfterInstance(i, mem, rr); err != nil {
+			return nil, fmt.Errorf("task: policy %s after instance %d: %w", pol.Name(), i, err)
+		}
+	}
+	res.MigratedToDRAM = mem.MigratedToDRAM
+	return res, nil
+}
+
+// Base is a no-op Policy to embed; zero value implements every method.
+type Base struct{}
+
+// Setup implements Policy.
+func (Base) Setup(mem *hm.Memory, app App) error { return nil }
+
+// BeforeInstance implements Policy.
+func (Base) BeforeInstance(i int, mem *hm.Memory, works []hm.TaskWork) error { return nil }
+
+// EnginePolicy implements Policy.
+func (Base) EnginePolicy() hm.Policy { return nil }
+
+// MemoryMode implements Policy.
+func (Base) MemoryMode() bool { return false }
+
+// AfterInstance implements Policy.
+func (Base) AfterInstance(i int, mem *hm.Memory, res *hm.RunResult) error { return nil }

@@ -1,0 +1,148 @@
+package task
+
+import (
+	"errors"
+	"testing"
+
+	"merchandiser/internal/access"
+	"merchandiser/internal/hm"
+)
+
+func testSpec() hm.SystemSpec {
+	s := hm.DefaultSpec()
+	s.Tiers[hm.DRAM].CapacityBytes = 1 << 20
+	s.Tiers[hm.PM].CapacityBytes = 8 << 20
+	s.LLCBytes = 64 << 10
+	return s
+}
+
+// dummyApp runs nTasks streaming tasks for nInstances instances.
+type dummyApp struct {
+	nTasks, nInstances int
+	objs               []*hm.Object
+	failInstance       int // instance index that errors, -1 for none
+}
+
+func (a *dummyApp) Name() string      { return "dummy" }
+func (a *dummyApp) NumInstances() int { return a.nInstances }
+
+func (a *dummyApp) Setup(mem *hm.Memory) error {
+	for t := 0; t < a.nTasks; t++ {
+		o, err := mem.Alloc("obj", taskName(t), 256*1024, hm.PM)
+		if err != nil {
+			return err
+		}
+		a.objs = append(a.objs, o)
+	}
+	return nil
+}
+
+func taskName(t int) string { return string(rune('a' + t)) }
+
+func (a *dummyApp) Instance(i int, mem *hm.Memory) ([]hm.TaskWork, error) {
+	if i == a.failInstance {
+		return nil, errors.New("boom")
+	}
+	var works []hm.TaskWork
+	for t := 0; t < a.nTasks; t++ {
+		works = append(works, hm.TaskWork{
+			Name: taskName(t),
+			Phases: []hm.Phase{{
+				Name: "p",
+				Accesses: []hm.PhaseAccess{{
+					Obj:             a.objs[t],
+					Pattern:         access.Pattern{Kind: access.Random, ElemSize: 8},
+					ProgramAccesses: 1e6 * float64(t+1),
+				}},
+			}},
+		})
+	}
+	return works, nil
+}
+
+// namedNoop is Base with a name.
+type namedNoop struct{ Base }
+
+func (namedNoop) Name() string { return "noop" }
+
+func TestRunPlumbing(t *testing.T) {
+	app := &dummyApp{nTasks: 3, nInstances: 4, failInstance: -1}
+	res, err := Run(app, testSpec(), namedNoop{}, Options{StepSec: 0.001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.App != "dummy" || res.Policy != "noop" {
+		t.Fatalf("names: %s/%s", res.App, res.Policy)
+	}
+	if len(res.Instances) != 4 {
+		t.Fatalf("instances = %d", len(res.Instances))
+	}
+	var sum float64
+	for _, inst := range res.Instances {
+		if len(inst.TaskTimes) != 3 {
+			t.Fatalf("task times = %v", inst.TaskTimes)
+		}
+		if inst.Makespan <= 0 {
+			t.Fatal("zero makespan")
+		}
+		sum += inst.Makespan
+	}
+	if res.TotalTime != sum {
+		t.Fatalf("TotalTime %v != sum of makespans %v", res.TotalTime, sum)
+	}
+	// Task 2 (3x accesses) slowest in every instance.
+	for _, inst := range res.Instances {
+		if !(inst.TaskTimes[2] > inst.TaskTimes[0]) {
+			t.Fatalf("heavy task should be slowest: %v", inst.TaskTimes)
+		}
+	}
+	// Bandwidth timeline strictly increasing across instances.
+	for i := 1; i < len(res.Bandwidth); i++ {
+		if res.Bandwidth[i].Time <= res.Bandwidth[i-1].Time {
+			t.Fatalf("bandwidth timeline not monotone at %d", i)
+		}
+	}
+	// Matrix view.
+	m := res.TaskTimeMatrix()
+	if len(m) != 4 || len(m[0]) != 3 {
+		t.Fatalf("matrix shape %dx%d", len(m), len(m[0]))
+	}
+}
+
+func TestRunPropagatesErrors(t *testing.T) {
+	app := &dummyApp{nTasks: 1, nInstances: 3, failInstance: 1}
+	if _, err := Run(app, testSpec(), namedNoop{}, Options{StepSec: 0.001}); err == nil {
+		t.Fatal("instance error should propagate")
+	}
+	// App whose instance returns no tasks.
+	empty := &emptyApp{}
+	if _, err := Run(empty, testSpec(), namedNoop{}, Options{StepSec: 0.001}); err == nil {
+		t.Fatal("empty instance should error")
+	}
+}
+
+type emptyApp struct{}
+
+func (emptyApp) Name() string                                    { return "empty" }
+func (emptyApp) Setup(*hm.Memory) error                          { return nil }
+func (emptyApp) NumInstances() int                               { return 1 }
+func (emptyApp) Instance(int, *hm.Memory) ([]hm.TaskWork, error) { return nil, nil }
+
+func TestBaseIsNoop(t *testing.T) {
+	var b Base
+	if err := b.Setup(nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.BeforeInstance(0, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+	if b.EnginePolicy() != nil {
+		t.Fatal("Base engine policy should be nil")
+	}
+	if b.MemoryMode() {
+		t.Fatal("Base is not memory mode")
+	}
+	if err := b.AfterInstance(0, nil, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,34 @@
+package trace
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzClassify feeds arbitrary offset sequences to the recognizer: it must
+// never panic and must always return a valid pattern.
+func FuzzClassify(f *testing.F) {
+	f.Add([]byte{0, 0, 8, 0, 16, 0, 24, 0})
+	f.Add([]byte{1, 2, 3, 4, 5, 6, 7, 8, 9, 10})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := NewRecorder()
+		reg, err := r.Alloc("fuzz", 1<<20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i+2 <= len(data); i += 2 {
+			off := uint64(binary.LittleEndian.Uint16(data[i:]))
+			r.Touch(reg, off, off%3 == 0)
+		}
+		for _, elem := range []int{1, 4, 8, 0, -3} {
+			c := Classify(reg, elem)
+			if err := c.Pattern.Validate(); err != nil {
+				t.Fatalf("invalid pattern from fuzz input: %v", err)
+			}
+			if c.Confidence < 0 || c.Confidence > 1.0001 {
+				t.Fatalf("confidence %v out of range", c.Confidence)
+			}
+		}
+	})
+}

@@ -1,0 +1,179 @@
+// Package merchandiser is a Go reproduction of "Merchandiser: Data
+// Placement on Heterogeneous Memory for Task-Parallel HPC Applications
+// with Load-Balance Awareness" (Xie, Liu, Li, Li — PPoPP 2023).
+//
+// It bundles a two-tier heterogeneous-memory simulator (DRAM + persistent
+// memory), a task-parallel runtime with global synchronization points, the
+// paper's data-placement baselines (Optane Memory Mode, an Intel
+// MemoryOptimizer-style daemon, the application-specific Sparta and
+// WarpX-PM policies), and Merchandiser itself: task-semantic profiling,
+// input-aware memory-access estimation (Equation 1), learned performance
+// modeling (Equation 2) and the greedy load-balancing partitioner
+// (Algorithm 1).
+//
+// # Quick start
+//
+//	sys, err := merchandiser.NewSystem(merchandiser.DefaultSpec(), merchandiser.TrainQuick)
+//	res, err := sys.Run(app, sys.Merchandiser(), merchandiser.Options{})
+//
+// where app implements merchandiser.App (see AppBuilder for a declarative
+// way to define one, or internal/apps for the paper's five applications).
+package merchandiser
+
+import (
+	"fmt"
+
+	"merchandiser/internal/baseline"
+	"merchandiser/internal/core"
+	"merchandiser/internal/corpus"
+	"merchandiser/internal/hm"
+	"merchandiser/internal/ml"
+	"merchandiser/internal/model"
+	"merchandiser/internal/pmc"
+	"merchandiser/internal/task"
+)
+
+// Re-exported core types. The internal packages hold the implementations;
+// these aliases are the supported public surface.
+type (
+	// App is a task-parallel application: long-lived objects plus a
+	// sequence of task instances separated by global synchronizations.
+	App = task.App
+	// Policy is a data-placement policy for a run.
+	Policy = task.Policy
+	// Options tunes the simulation (time step, policy interval).
+	Options = task.Options
+	// Result is a full application run's outcome.
+	Result = task.Result
+	// SystemSpec describes the simulated platform.
+	SystemSpec = hm.SystemSpec
+	// TaskWork is one task's work for one instance.
+	TaskWork = hm.TaskWork
+	// Phase is a synchronization-free segment of a task.
+	Phase = hm.Phase
+	// PhaseAccess is one object access stream within a phase.
+	PhaseAccess = hm.PhaseAccess
+	// Memory is the simulated two-tier main memory.
+	Memory = hm.Memory
+	// Object is a registered data object.
+	Object = hm.Object
+)
+
+// Tier identifiers, re-exported.
+const (
+	DRAM = hm.DRAM
+	PM   = hm.PM
+)
+
+// DefaultSpec returns the scaled-down analogue of the paper's platform
+// (192 MB DRAM : 1.5 GB PM at the paper's 1:8 ratio and Optane-like
+// latency/bandwidth asymmetry).
+func DefaultSpec() SystemSpec { return hm.DefaultSpec() }
+
+// TrainLevel selects how much effort System construction spends training
+// the correlation function f(·).
+type TrainLevel int
+
+const (
+	// TrainQuick trains on a reduced corpus — seconds, accuracy in the
+	// high 80s. Good for examples and tests.
+	TrainQuick TrainLevel = iota
+	// TrainFull trains on the paper-sized corpus (281 regions, 10
+	// placements).
+	TrainFull
+	// TrainNone skips training; Equation 2 degrades to linear
+	// interpolation between the PM-only and DRAM-only bounds.
+	TrainNone
+)
+
+// System bundles a platform spec with the offline artifacts Merchandiser
+// needs (the trained correlation function). Construct once, run many apps.
+type System struct {
+	Spec SystemSpec
+	Perf *model.PerfModel
+	// TrainedR2 is the held-out R² of the correlation function (0 for
+	// TrainNone).
+	TrainedR2 float64
+}
+
+// NewSystem builds a System for the spec, training the correlation
+// function at the requested level (the paper's offline step 1).
+func NewSystem(spec SystemSpec, level TrainLevel) (*System, error) {
+	s := &System{Spec: spec, Perf: &model.PerfModel{}}
+	if level == TrainNone {
+		return s, nil
+	}
+	nRegions, placements := 80, 6
+	if level == TrainFull {
+		nRegions, placements = 281, 10
+	}
+	trainSpec := spec
+	// Train on a compact memory footprint: f depends on workload
+	// characteristics and r_dram, not on absolute capacity.
+	trainSpec.Tiers[hm.DRAM].CapacityBytes = 64 << 20
+	trainSpec.Tiers[hm.PM].CapacityBytes = 512 << 20
+	trainSpec.LLCBytes = 1 << 20
+	regions := corpus.StandardCorpus(nRegions, 1)
+	samples, err := corpus.Build(regions, trainSpec, corpus.BuildConfig{
+		Placements: placements, StepSec: 0.001, Seed: 1,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("merchandiser: training corpus: %w", err)
+	}
+	res, err := model.TrainCorrelation(samples, pmc.SelectedEvents,
+		func() ml.Regressor { return ml.NewGradientBoosted(ml.GBRConfig{Seed: 1}) }, 1)
+	if err != nil {
+		return nil, fmt.Errorf("merchandiser: training f(·): %w", err)
+	}
+	s.Perf = &model.PerfModel{Corr: res.Corr}
+	s.TrainedR2 = res.TestR2
+	return s, nil
+}
+
+// Merchandiser returns the paper's policy, wired with this system's
+// trained performance model.
+func (s *System) Merchandiser() Policy {
+	return core.New(core.Config{Spec: s.Spec, Perf: s.Perf})
+}
+
+// PMOnly returns the slow-tier-only baseline policy.
+func (s *System) PMOnly() Policy { return baseline.PMOnly{} }
+
+// MemoryMode returns the hardware-managed DRAM-cache baseline (Optane
+// Memory Mode).
+func (s *System) MemoryMode() Policy { return baseline.MemoryMode{} }
+
+// MemoryOptimizer returns the application-agnostic hot-page-migration
+// baseline.
+func (s *System) MemoryOptimizer() Policy {
+	return baseline.NewMemoryOptimizer(baseline.DaemonConfig{})
+}
+
+// Sparta returns the application-specific static policy that pins the
+// named objects (substring match) in DRAM.
+func (s *System) Sparta(priorityObjects ...string) Policy {
+	return &baseline.Sparta{Priority: priorityObjects}
+}
+
+// WarpXPM returns the oracle manual-placement policy.
+func (s *System) WarpXPM() Policy {
+	return baseline.NewWarpXPM(s.Spec.LLCBytes, 1)
+}
+
+// Run executes the app under the policy on a fresh memory with this
+// system's spec.
+func (s *System) Run(app App, pol Policy, opts Options) (*Result, error) {
+	return task.Run(app, s.Spec, pol, opts)
+}
+
+// Estimate is a closed-form what-if answer for one task (no simulation):
+// the predicted time, memory/compute split and DRAM ratio under the given
+// per-access-stream DRAM fractions (nil = everything on slow memory). It
+// applies the same physics as the engine and matches uncontended
+// single-task simulations to within a few percent.
+type Estimate = hm.Estimate
+
+// EstimateTask computes the closed form for tw on this system.
+func (s *System) EstimateTask(tw TaskWork, fracDRAM []float64) (*Estimate, error) {
+	return hm.EstimateTask(s.Spec, tw, fracDRAM)
+}

@@ -1,0 +1,29 @@
+package merchandiser
+
+import (
+	"merchandiser/internal/trace"
+)
+
+// TraceRecorder intercepts a workload's allocations and element accesses —
+// the paper's §5.3 fallback for applications whose source is unavailable
+// for static analysis. Instrument the code under study with Alloc/Touch
+// calls (what dynamic binary instrumentation would insert), then derive
+// access patterns for AppBuilder with ClassifyTrace.
+type TraceRecorder = trace.Recorder
+
+// TraceRegion is one intercepted allocation.
+type TraceRegion = trace.Region
+
+// TraceClassification is a recognized pattern for one traced region.
+type TraceClassification = trace.Classification
+
+// NewTraceRecorder builds an empty trace recorder.
+func NewTraceRecorder() *TraceRecorder { return trace.NewRecorder() }
+
+// ClassifyTrace recognizes each traced region's access pattern
+// (stream/strided/stencil/random) from its recorded offset sequence.
+// Unrecognizable traces default to Random, the §4 rule for unknown
+// patterns, and are refined online by Merchandiser's α machinery.
+func ClassifyTrace(r *TraceRecorder, elemSize int) []TraceClassification {
+	return trace.ClassifyAll(r, elemSize)
+}

@@ -1,0 +1,17 @@
+GO ?= go
+
+.PHONY: build test check bench
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+# check = vet + race-detector run over the concurrent packages (corpus
+# worker pool, parallel ml, memoized placement, pooled evaluation).
+check:
+	./scripts/check.sh
+
+bench:
+	$(GO) test -bench=. -benchmem -run '^$$' .

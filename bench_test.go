@@ -7,12 +7,18 @@ package merchandiser
 // so `go test -bench=. -benchmem` regenerates every experiment.
 
 import (
+	"fmt"
 	"io"
+	"math"
+	"math/rand"
+	"runtime"
 	"strings"
 	"testing"
 
+	"merchandiser/internal/corpus"
 	"merchandiser/internal/experiments"
 	"merchandiser/internal/hm"
+	"merchandiser/internal/ml"
 	"merchandiser/internal/model"
 	"merchandiser/internal/placement"
 	"merchandiser/internal/pmc"
@@ -209,5 +215,110 @@ func BenchmarkAblations(b *testing.B) {
 			name := strings.NewReplacer(" ", "-", "%", "pct", "(", "", ")", "").Replace(r.Variant)
 			b.ReportMetric(r.TotalTime, name+"-sim-s")
 		}
+	}
+}
+
+// benchCorpusSpec is the compact training platform (what System
+// construction uses for corpus generation).
+func benchCorpusSpec() hm.SystemSpec {
+	s := hm.DefaultSpec()
+	s.Tiers[hm.DRAM].CapacityBytes = 64 << 20
+	s.Tiers[hm.PM].CapacityBytes = 512 << 20
+	s.LLCBytes = 1 << 20
+	return s
+}
+
+// BenchmarkCorpusBuild measures training-corpus generation serially and
+// with the worker pool; the ratio is the offline-pipeline speedup on this
+// machine (output is identical either way).
+func BenchmarkCorpusBuild(b *testing.B) {
+	regions := corpus.StandardCorpus(20, 1)
+	spec := benchCorpusSpec()
+	for _, workers := range []int{1, runtime.NumCPU()} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				samples, err := corpus.Build(regions, spec, corpus.BuildConfig{
+					Placements: 4, StepSec: 0.002, Seed: 5, Workers: workers,
+				})
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.ReportMetric(float64(len(samples)), "samples")
+			}
+		})
+	}
+}
+
+// benchSynth is a nonlinear regression problem for the model benchmarks.
+func benchSynth(n, d int, seed int64) ([][]float64, []float64) {
+	r := rand.New(rand.NewSource(seed))
+	X := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range X {
+		row := make([]float64, d)
+		for j := range row {
+			row[j] = r.Float64()*2 - 1
+		}
+		X[i] = row
+		y[i] = 3*row[0] + 2*row[1]*row[1] + math.Sin(3*row[2]) + r.NormFloat64()*0.05
+	}
+	return X, y
+}
+
+// BenchmarkGBRFit measures fitting the paper's selected model (GBR) at the
+// Table 3 scale, serial vs pooled residual updates.
+func BenchmarkGBRFit(b *testing.B) {
+	X, y := benchSynth(2000, 9, 3)
+	for _, workers := range []int{1, runtime.NumCPU()} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				gbr := ml.NewGradientBoosted(ml.GBRConfig{NumStages: 150, MaxDepth: 4, Seed: 7, Workers: workers})
+				if err := gbr.Fit(X, y); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkGBRPredictAll measures batch inference over a test matrix —
+// what R² scoring and the feature-subset search pay per candidate.
+func BenchmarkGBRPredictAll(b *testing.B) {
+	X, y := benchSynth(2000, 9, 3)
+	gbr := ml.NewGradientBoosted(ml.GBRConfig{NumStages: 150, MaxDepth: 4, Seed: 7})
+	if err := gbr.Fit(X, y); err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, runtime.NumCPU()} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			gbr.Config.Workers = workers
+			for i := 0; i < b.N; i++ {
+				_ = gbr.PredictAll(X)
+			}
+		})
+	}
+}
+
+// BenchmarkGreedyLoadBalance measures Algorithm 1 with the trained model
+// at several task counts — the memoized hot path of online placement.
+func BenchmarkGreedyLoadBalance(b *testing.B) {
+	art := artifacts(b)
+	for _, n := range []int{8, 24, 64} {
+		tasks := make([]placement.TaskInput, n)
+		for i := range tasks {
+			tasks[i] = placement.TaskInput{
+				Name: fmt.Sprintf("t%03d", i), TPmOnly: 2 + float64(i%7), TDramOnly: 1,
+				TotalAccesses: 1e7, FootprintPages: 2000,
+				Events: pmc.Counters{Values: map[string]float64{}},
+			}
+		}
+		dc := uint64(n) * 500
+		b.Run(fmt.Sprintf("tasks=%d", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := placement.GreedyLoadBalance(tasks, dc, art.Perf, placement.Config{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

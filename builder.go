@@ -4,8 +4,67 @@ import (
 	"fmt"
 
 	"merchandiser/internal/access"
+	"merchandiser/internal/corpus"
 	"merchandiser/internal/hm"
+	"merchandiser/internal/ml"
+	"merchandiser/internal/model"
+	"merchandiser/internal/pmc"
 )
+
+// TrainConfig tunes System construction — the paper's offline training
+// pipeline (corpus generation + correlation-function fitting).
+type TrainConfig struct {
+	// Level selects the corpus scale (TrainQuick, TrainFull, TrainNone).
+	Level TrainLevel
+	// Workers bounds the concurrency of corpus simulation and model
+	// fitting; 0 uses runtime.NumCPU(). The trained system is identical
+	// for any value: every code region and tree seed is derived from Seed,
+	// not from scheduling.
+	Workers int
+	// Seed drives corpus generation and the train/test split (default 1,
+	// the value NewSystem has always used).
+	Seed int64
+}
+
+// NewSystemConfig builds a System with explicit training knobs. It is the
+// configurable form of NewSystem: NewSystemConfig(spec, TrainConfig{Level:
+// level}) is equivalent to NewSystem(spec, level).
+func NewSystemConfig(spec SystemSpec, cfg TrainConfig) (*System, error) {
+	if cfg.Seed == 0 {
+		cfg.Seed = 1
+	}
+	s := &System{Spec: spec, Perf: &model.PerfModel{}}
+	if cfg.Level == TrainNone {
+		return s, nil
+	}
+	nRegions, placements := 80, 6
+	if cfg.Level == TrainFull {
+		nRegions, placements = 281, 10
+	}
+	trainSpec := spec
+	// Train on a compact memory footprint: f depends on workload
+	// characteristics and r_dram, not on absolute capacity.
+	trainSpec.Tiers[hm.DRAM].CapacityBytes = 64 << 20
+	trainSpec.Tiers[hm.PM].CapacityBytes = 512 << 20
+	trainSpec.LLCBytes = 1 << 20
+	regions := corpus.StandardCorpus(nRegions, cfg.Seed)
+	samples, err := corpus.Build(regions, trainSpec, corpus.BuildConfig{
+		Placements: placements, StepSec: 0.001, Seed: cfg.Seed, Workers: cfg.Workers,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("merchandiser: training corpus: %w", err)
+	}
+	res, err := model.TrainCorrelation(samples, pmc.SelectedEvents,
+		func() ml.Regressor {
+			return ml.NewGradientBoosted(ml.GBRConfig{Seed: cfg.Seed, Workers: cfg.Workers})
+		}, cfg.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("merchandiser: training f(·): %w", err)
+	}
+	s.Perf = &model.PerfModel{Corr: res.Corr}
+	s.TrainedR2 = res.TestR2
+	return s, nil
+}
 
 // Pattern re-exports the access-pattern descriptor for app builders.
 type Pattern = access.Pattern

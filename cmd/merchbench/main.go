@@ -16,6 +16,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strings"
 	"time"
 
@@ -26,10 +27,11 @@ func main() {
 	exp := flag.String("exp", "all", "experiment to run: table1,table2,table3,table4,fig3,fig4,fig5,fig6,fig7,alpha,ablations,cxl or 'all'")
 	quick := flag.Bool("quick", false, "reduced scale (smaller apps and corpus)")
 	seed := flag.Int64("seed", 1, "random seed")
+	workers := flag.Int("workers", 0, "concurrency of training and evaluation (0 = NumCPU); results are identical for any value")
 	jsonPath := flag.String("json", "", "also write a machine-readable summary to this file")
 	flag.Parse()
 
-	cfg := experiments.Config{Quick: *quick, Seed: *seed}
+	cfg := experiments.Config{Quick: *quick, Seed: *seed, Workers: *workers}
 	want := map[string]bool{}
 	for _, e := range strings.Split(*exp, ",") {
 		want[strings.TrimSpace(e)] = true
@@ -45,18 +47,21 @@ func main() {
 	var art *experiments.Artifacts
 	var eval *experiments.Eval
 	var err error
+	var trainSec, evalSec float64
 	if needsArtifacts || *jsonPath != "" {
 		start := time.Now()
 		art, err = experiments.Prepare(cfg)
 		fail(err)
+		trainSec = time.Since(start).Seconds()
 		fmt.Fprintf(w, "offline: correlation function trained on %d samples, held-out R²=%.3f (%.1fs)\n\n",
-			len(art.Samples), art.TestR2, time.Since(start).Seconds())
+			len(art.Samples), art.TestR2, trainSec)
 	}
 	if needsEval {
 		start := time.Now()
 		eval, err = experiments.RunEvaluation(art, cfg)
 		fail(err)
-		fmt.Fprintf(w, "evaluation: 5 applications x policies executed (%.1fs)\n\n", time.Since(start).Seconds())
+		evalSec = time.Since(start).Seconds()
+		fmt.Fprintf(w, "evaluation: 5 applications x policies executed (%.1fs)\n\n", evalSec)
 	}
 
 	var fig3Rows []experiments.Fig3Row
@@ -117,6 +122,16 @@ func main() {
 		sum.Table4 = table4Rows
 		sum.Fig7 = fig7Points
 		sum.Ablations = ablationRows
+		resolved := *workers
+		if resolved <= 0 {
+			resolved = runtime.NumCPU()
+		}
+		sum.Timing = &experiments.Timing{
+			Workers:         resolved,
+			TrainSeconds:    trainSec,
+			EvalSeconds:     evalSec,
+			PlacementMicros: experiments.TimePlacement(art),
+		}
 		f, err := os.Create(*jsonPath)
 		fail(err)
 		fail(sum.WriteJSON(f))

@@ -16,8 +16,12 @@
 package corpus
 
 import (
+	"errors"
 	"fmt"
 	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"merchandiser/internal/access"
 	"merchandiser/internal/hm"
@@ -280,6 +284,10 @@ type BuildConfig struct {
 	// StepSec for the simulation runs.
 	StepSec float64
 	Seed    int64
+	// Workers is the number of regions simulated concurrently; 0 uses
+	// runtime.NumCPU(). Every region derives its seeds from its index, so
+	// Build's output is identical for any worker count.
+	Workers int
 }
 
 func (c BuildConfig) withDefaults() BuildConfig {
@@ -302,15 +310,59 @@ func (c BuildConfig) withDefaults() BuildConfig {
 // hybrid placements, inverting Equation 2 into f targets. spec is the
 // heterogeneous platform being trained for (Merchandiser retrains f when
 // ported to a new HM system — the "Extensibility" paragraph of §5.3).
+//
+// Regions are simulated by a pool of cfg.Workers goroutines, each owning a
+// private Memory/Engine instance. Samples are reassembled in region order
+// and every region keeps its index-derived seed, so the result is
+// byte-identical regardless of the worker count. Per-region failures are
+// all surfaced, joined in region order.
 func Build(regions []Region, spec hm.SystemSpec, cfg BuildConfig) ([]Sample, error) {
 	cfg = cfg.withDefaults()
-	var out []Sample
-	for ri, reg := range regions {
-		samples, err := buildRegion(reg, spec, cfg, int64(ri))
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > len(regions) {
+		workers = len(regions)
+	}
+	perRegion := make([][]Sample, len(regions))
+	errs := make([]error, len(regions))
+	build := func(ri int) {
+		samples, err := buildRegion(regions[ri], spec, cfg, int64(ri))
 		if err != nil {
-			return nil, fmt.Errorf("corpus: region %s: %w", reg.Name, err)
+			errs[ri] = fmt.Errorf("corpus: region %s: %w", regions[ri].Name, err)
+			return
 		}
-		out = append(out, samples...)
+		perRegion[ri] = samples
+	}
+	if workers <= 1 {
+		for ri := range regions {
+			build(ri)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					ri := int(next.Add(1)) - 1
+					if ri >= len(regions) {
+						return
+					}
+					build(ri)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
+	}
+	var out []Sample
+	for _, s := range perRegion {
+		out = append(out, s...)
 	}
 	return out, nil
 }

@@ -2,9 +2,11 @@ package corpus
 
 import (
 	"math"
+	"reflect"
 	"strings"
 	"testing"
 
+	"merchandiser/internal/access"
 	"merchandiser/internal/hm"
 	"merchandiser/internal/pmc"
 )
@@ -121,6 +123,62 @@ func TestBuildProducesValidSamples(t *testing.T) {
 	for _, s := range samples {
 		if s.THybrid > s.TPm*1.05 || s.THybrid < s.TDram*0.95 {
 			t.Fatalf("region %s: hybrid %v outside [%v, %v]", s.Region, s.THybrid, s.TDram, s.TPm)
+		}
+	}
+}
+
+func TestBuildDeterministicAcrossWorkers(t *testing.T) {
+	regions := StandardCorpus(14, 3)
+	spec := smallSpec()
+	cfg := BuildConfig{Placements: 4, StepSec: 0.004, Seed: 5}
+
+	cfg.Workers = 1
+	serial, err := Build(regions, spec, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8} {
+		cfg.Workers = workers
+		parallel, err := Build(regions, spec, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(parallel) != len(serial) {
+			t.Fatalf("Workers=%d: %d samples, Workers=1: %d", workers, len(parallel), len(serial))
+		}
+		for i := range serial {
+			if !reflect.DeepEqual(serial[i], parallel[i]) {
+				t.Fatalf("Workers=%d: sample %d differs:\nserial:   %+v\nparallel: %+v",
+					workers, i, serial[i], parallel[i])
+			}
+		}
+	}
+}
+
+func TestBuildSurfacesAllRegionErrors(t *testing.T) {
+	// Two regions referencing unknown objects fail independently; both
+	// errors must appear in the joined result, in region order.
+	bad := func(name string) Region {
+		return Region{
+			Name:    name,
+			Objects: []ObjectSpec{{Name: "a", BytesPerUnit: 1 << 20}},
+			Accesses: []AccessSpec{
+				{Object: "missing", Pattern: access.Pattern{Kind: access.Stream, ElemSize: 8}, AccessesPerUnit: 1e6},
+			},
+			ComputePerUnit: 0.01,
+		}
+	}
+	good := StandardCorpus(1, 7)[0]
+	_, err := Build([]Region{bad("bad1"), good, bad("bad2")}, smallSpec(), BuildConfig{
+		Placements: 2, StepSec: 0.004, Workers: 3,
+	})
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	msg := err.Error()
+	for _, want := range []string{"bad1", "bad2"} {
+		if !strings.Contains(msg, want) {
+			t.Fatalf("joined error misses region %s: %v", want, err)
 		}
 	}
 }

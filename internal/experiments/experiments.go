@@ -14,10 +14,13 @@
 package experiments
 
 import (
+	"errors"
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"merchandiser/internal/apps"
 	"merchandiser/internal/baseline"
@@ -39,6 +42,10 @@ type Config struct {
 	Seed  int64
 	// StepSec overrides the simulation step (default 2 ms).
 	StepSec float64
+	// Workers bounds the concurrency of corpus generation, model fitting
+	// and the evaluation matrix; 0 uses runtime.NumCPU(). Results are
+	// identical for any value — every run is seeded and isolated.
+	Workers int
 }
 
 func (c Config) step() float64 {
@@ -46,6 +53,13 @@ func (c Config) step() float64 {
 		return c.StepSec
 	}
 	return 0.002
+}
+
+func (c Config) workers() int {
+	if c.Workers > 0 {
+		return c.Workers
+	}
+	return runtime.NumCPU()
 }
 
 // Artifacts carries the offline products shared by experiments: the
@@ -80,13 +94,15 @@ func Prepare(cfg Config) (*Artifacts, error) {
 	}
 	regions := corpus.StandardCorpus(nRegions, cfg.Seed+1)
 	samples, err := corpus.Build(regions, trainSpec(spec), corpus.BuildConfig{
-		Placements: placements, StepSec: 0.001, Seed: cfg.Seed + 2,
+		Placements: placements, StepSec: 0.001, Seed: cfg.Seed + 2, Workers: cfg.workers(),
 	})
 	if err != nil {
 		return nil, fmt.Errorf("experiments: corpus: %w", err)
 	}
 	res, err := model.TrainCorrelation(samples, pmc.SelectedEvents,
-		func() ml.Regressor { return ml.NewGradientBoosted(ml.GBRConfig{Seed: cfg.Seed + 3}) }, cfg.Seed+4)
+		func() ml.Regressor {
+			return ml.NewGradientBoosted(ml.GBRConfig{Seed: cfg.Seed + 3, Workers: cfg.workers()})
+		}, cfg.Seed+4)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: training: %w", err)
 	}
@@ -101,10 +117,23 @@ func Prepare(cfg Config) (*Artifacts, error) {
 // AppNames is the evaluation order of Table 2 / Figure 4.
 var AppNames = []string{"SpGEMM", "WarpX", "BFS", "DMRG", "NWChem-TC"}
 
+// buildAppHook lets tests substitute application construction (e.g. to
+// inject failures); nil means BuildApp's own switch.
+var buildAppHook func(name string, cfg Config) (task.App, error)
+
 // BuildApp constructs one of the five applications at the configured
 // scale. Each call re-runs the app's real computation, so callers reuse
-// the result across policies.
+// the result across policies where runs are sequential.
 func BuildApp(name string, cfg Config) (task.App, error) {
+	if buildAppHook != nil {
+		return buildAppHook(name, cfg)
+	}
+	return buildAppDefault(name, cfg)
+}
+
+// buildAppDefault is the unhooked construction path (hooks may fall
+// through to it).
+func buildAppDefault(name string, cfg Config) (task.App, error) {
 	seed := cfg.Seed + 10
 	switch name {
 	case "SpGEMM":
@@ -205,45 +234,92 @@ func extraPolicies(app string) []string {
 	}
 }
 
-// RunEvaluation executes every application under every policy. The five
-// applications run concurrently (each goroutine owns one application and
-// iterates its policies sequentially — app state is not shareable across
-// simultaneous runs); results are deterministic regardless of scheduling
-// because every run is seeded and isolated.
+// RunEvaluation executes every application under every policy. Every
+// (application, policy) pair is an independent run: a worker pool of
+// cfg.Workers goroutines drains the full matrix, each run building its own
+// seeded application instance (app state is not shareable across
+// simultaneous runs). Results are deterministic regardless of scheduling
+// because every run is seeded and isolated. With a single worker, one
+// application instance is reused across its policies (the cheaper
+// sequential schedule). All per-run errors are surfaced, joined in matrix
+// order — one failing run does not mask another's error.
 func RunEvaluation(art *Artifacts, cfg Config) (*Eval, error) {
-	eval := &Eval{Runs: map[string]map[string]*AppRun{}}
-	var mu sync.Mutex
-	var wg sync.WaitGroup
-	errs := make([]error, len(AppNames))
-	for ai, appName := range AppNames {
-		wg.Add(1)
-		go func(ai int, appName string) {
-			defer wg.Done()
-			app, err := BuildApp(appName, cfg)
-			if err != nil {
-				errs[ai] = err
-				return
-			}
-			runs := map[string]*AppRun{}
-			pols := append(append([]string(nil), PolicyNames...), extraPolicies(appName)...)
-			for _, polName := range pols {
-				run, err := runOne(app, appName, polName, art, cfg)
-				if err != nil {
-					errs[ai] = err
-					return
-				}
-				runs[polName] = run
-			}
-			mu.Lock()
-			eval.Runs[appName] = runs
-			mu.Unlock()
-		}(ai, appName)
+	type cell struct {
+		app, policy string
 	}
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return nil, err
+	var cells []cell
+	for _, appName := range AppNames {
+		for _, polName := range append(append([]string(nil), PolicyNames...), extraPolicies(appName)...) {
+			cells = append(cells, cell{appName, polName})
 		}
+	}
+
+	eval := &Eval{Runs: map[string]map[string]*AppRun{}}
+	for _, appName := range AppNames {
+		eval.Runs[appName] = map[string]*AppRun{}
+	}
+	errs := make([]error, len(cells))
+	workers := cfg.workers()
+	if workers > len(cells) {
+		workers = len(cells)
+	}
+
+	if workers <= 1 {
+		// Sequential schedule: build each application once and reuse it
+		// across its policies (BuildApp re-runs the app's computation).
+		built := map[string]task.App{}
+		for ci, c := range cells {
+			app, ok := built[c.app]
+			if !ok {
+				var err error
+				app, err = BuildApp(c.app, cfg)
+				if err != nil {
+					errs[ci] = err
+					continue
+				}
+				built[c.app] = app
+			}
+			run, err := runOne(app, c.app, c.policy, art, cfg)
+			if err != nil {
+				errs[ci] = err
+				continue
+			}
+			eval.Runs[c.app][c.policy] = run
+		}
+	} else {
+		var mu sync.Mutex
+		var wg sync.WaitGroup
+		var next atomic.Int64
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					ci := int(next.Add(1)) - 1
+					if ci >= len(cells) {
+						return
+					}
+					c := cells[ci]
+					app, err := BuildApp(c.app, cfg)
+					if err != nil {
+						errs[ci] = err
+						continue
+					}
+					run, err := runOne(app, c.app, c.policy, art, cfg)
+					if err != nil {
+						errs[ci] = err
+						continue
+					}
+					mu.Lock()
+					eval.Runs[c.app][c.policy] = run
+					mu.Unlock()
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
 	}
 	return eval, nil
 }

@@ -3,10 +3,12 @@ package experiments
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"strings"
 	"testing"
 
 	"merchandiser/internal/hm"
+	"merchandiser/internal/task"
 )
 
 // quickCfg is the reduced-scale configuration with a finer step so tiny
@@ -433,5 +435,33 @@ func TestCXLExtensibility(t *testing.T) {
 	if merch > optane.MeanSpeedup("Merchandiser")*1.3 {
 		t.Fatalf("CXL headroom (%.3f) should not exceed Optane's (%.3f) substantially",
 			merch, optane.MeanSpeedup("Merchandiser"))
+	}
+}
+
+// TestEvaluationSurfacesAllErrors checks that one failing application does
+// not mask another's failure: both errors appear in the joined result.
+func TestEvaluationSurfacesAllErrors(t *testing.T) {
+	saved := buildAppHook
+	defer func() { buildAppHook = saved }()
+	buildAppHook = func(name string, cfg Config) (task.App, error) {
+		switch name {
+		case "SpGEMM":
+			return nil, errors.New("spgemm exploded")
+		case "DMRG":
+			return nil, errors.New("dmrg exploded")
+		}
+		return buildAppDefault(name, cfg)
+	}
+	// Workers > 1 exercises the pooled schedule where errors land from
+	// different goroutines.
+	art, _ := quickEval(t)
+	_, err := RunEvaluation(art, Config{Quick: true, Seed: 1, StepSec: 0.0005, Workers: 4})
+	if err == nil {
+		t.Fatal("expected an error")
+	}
+	for _, want := range []string{"spgemm exploded", "dmrg exploded"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Fatalf("joined error misses %q: %v", want, err)
+		}
 	}
 }

@@ -3,8 +3,11 @@ package experiments
 import (
 	"encoding/json"
 	"io"
+	"time"
 
 	"merchandiser/internal/hm"
+	"merchandiser/internal/placement"
+	"merchandiser/internal/pmc"
 	"merchandiser/internal/stats"
 )
 
@@ -22,6 +25,43 @@ type Summary struct {
 	Table4         []Table4Row        `json:"table4,omitempty"`
 	Fig7           []Fig7Point        `json:"fig7,omitempty"`
 	Ablations      []AblationRow      `json:"ablations,omitempty"`
+	Timing         *Timing            `json:"timing,omitempty"`
+}
+
+// Timing is the wall-clock cost of the offline pipeline and the online
+// placement decision, for BENCH_*.json trajectory tracking across PRs.
+type Timing struct {
+	// Workers is the concurrency the run used (0 was resolved to NumCPU).
+	Workers int `json:"workers"`
+	// TrainSeconds is corpus generation + correlation-function fitting.
+	TrainSeconds float64 `json:"train_seconds"`
+	// EvalSeconds is the full (application × policy) evaluation matrix.
+	EvalSeconds float64 `json:"eval_seconds"`
+	// PlacementMicros is one Algorithm 1 partitioning of a 24-task
+	// instance with the trained model (the §7.2 overhead claim).
+	PlacementMicros float64 `json:"placement_micros"`
+}
+
+// TimePlacement measures one GreedyLoadBalance call on a representative
+// 24-task instance with the trained performance model and returns the
+// wall-clock cost in microseconds (averaged over a few repetitions).
+func TimePlacement(art *Artifacts) float64 {
+	tasks := make([]placement.TaskInput, 24)
+	for i := range tasks {
+		tasks[i] = placement.TaskInput{
+			Name: string(rune('a' + i)), TPmOnly: 2 + float64(i%5), TDramOnly: 1,
+			TotalAccesses: 1e7, FootprintPages: 2000,
+			Events: pmc.Counters{Values: map[string]float64{}},
+		}
+	}
+	const reps = 10
+	start := time.Now()
+	for r := 0; r < reps; r++ {
+		if _, err := placement.GreedyLoadBalance(tasks, 2048, art.Perf, placement.Config{}); err != nil {
+			return 0
+		}
+	}
+	return float64(time.Since(start).Microseconds()) / reps
 }
 
 // AppSummary is one application's per-policy results.

@@ -13,6 +13,11 @@ type ForestConfig struct {
 	// MaxFeatures per split; 0 means d/3 (the regression default).
 	MaxFeatures int
 	Seed        int64
+	// Workers bounds how many trees are fitted (and how many prediction
+	// row chunks run) concurrently; 0 uses runtime.NumCPU(). The fitted
+	// model is identical for any value: bootstrap resamples and tree seeds
+	// are drawn sequentially before the pool starts.
+	Workers int
 }
 
 func (c ForestConfig) withDefaults() ForestConfig {
@@ -57,24 +62,46 @@ func (f *RandomForest) Fit(X [][]float64, y []float64) error {
 	f.trees = make([]*DecisionTree, f.Config.NumTrees)
 	f.importances = make([]float64, d)
 	n := len(X)
+	// Draw every tree's bootstrap resample and split seed sequentially (in
+	// the same rng order as a serial fit), then fit the trees on a worker
+	// pool: the model is byte-identical for any Workers value.
+	resampleX := make([][][]float64, f.Config.NumTrees)
+	resampleY := make([][]float64, f.Config.NumTrees)
+	seeds := make([]int64, f.Config.NumTrees)
 	for t := range f.trees {
-		// Bootstrap resample.
 		bx := make([][]float64, n)
 		by := make([]float64, n)
 		for i := 0; i < n; i++ {
 			j := rng.Intn(n)
 			bx[i], by[i] = X[j], y[j]
 		}
-		tree := NewDecisionTree(TreeConfig{
-			MaxDepth:       f.Config.MaxDepth,
-			MinSamplesLeaf: f.Config.MinSamplesLeaf,
-			MaxFeatures:    maxFeatures,
-			Seed:           rng.Int63(),
-		})
-		if err := tree.Fit(bx, by); err != nil {
+		resampleX[t], resampleY[t] = bx, by
+		seeds[t] = rng.Int63()
+	}
+	errs := make([]error, f.Config.NumTrees)
+	parallelChunks(f.Config.NumTrees, f.Config.Workers, func(lo, hi int) {
+		for t := lo; t < hi; t++ {
+			tree := NewDecisionTree(TreeConfig{
+				MaxDepth:       f.Config.MaxDepth,
+				MinSamplesLeaf: f.Config.MinSamplesLeaf,
+				MaxFeatures:    maxFeatures,
+				Seed:           seeds[t],
+			})
+			if err := tree.Fit(resampleX[t], resampleY[t]); err != nil {
+				errs[t] = err
+				continue
+			}
+			f.trees[t] = tree
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
 			return err
 		}
-		f.trees[t] = tree
+	}
+	// Accumulate importances in tree order so the float sums match a
+	// serial fit exactly.
+	for _, tree := range f.trees {
 		for j, v := range tree.Importances() {
 			f.importances[j] += v
 		}
@@ -104,6 +131,26 @@ func (f *RandomForest) Predict(x []float64) float64 {
 	return s / float64(len(f.trees))
 }
 
+// PredictAll implements BatchRegressor: rows are split into chunks
+// evaluated concurrently, and within a chunk each row walks the trees in
+// fit order, so PredictAll(X)[i] == Predict(X[i]) bit-for-bit.
+func (f *RandomForest) PredictAll(X [][]float64) []float64 {
+	out := make([]float64, len(X))
+	if !f.fitted {
+		return out
+	}
+	parallelChunks(len(X), f.Config.Workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			var s float64
+			for _, t := range f.trees {
+				s += t.root.predict(X[i])
+			}
+			out[i] = s / float64(len(f.trees))
+		}
+	})
+	return out
+}
+
 // Importances implements Importancer.
 func (f *RandomForest) Importances() []float64 {
 	return append([]float64(nil), f.importances...)
@@ -119,6 +166,11 @@ type GBRConfig struct {
 	// boosting); 1 uses all rows.
 	Subsample float64
 	Seed      int64
+	// Workers bounds the concurrency of the per-stage residual update and
+	// of PredictAll row chunks; 0 uses runtime.NumCPU(). Stages themselves
+	// are inherently sequential, and each row's update is independent, so
+	// the fitted model is identical for any value.
+	Workers int
 }
 
 func (c GBRConfig) withDefaults() GBRConfig {
@@ -208,9 +260,13 @@ func (g *GradientBoosted) Fit(X [][]float64, y []float64) error {
 		for j, v := range tree.Importances() {
 			g.importances[j] += v
 		}
-		for i := range pred {
-			pred[i] += g.Config.LearningRate * tree.Predict(X[i])
-		}
+		// The residual update walks the new tree once per row; rows are
+		// independent, so chunk them across workers.
+		parallelChunks(n, g.Config.Workers, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				pred[i] += g.Config.LearningRate * tree.root.predict(X[i])
+			}
+		})
 	}
 	var isum float64
 	for _, v := range g.importances {
@@ -234,6 +290,26 @@ func (g *GradientBoosted) Predict(x []float64) float64 {
 	for _, t := range g.trees {
 		out += g.Config.LearningRate * t.Predict(x)
 	}
+	return out
+}
+
+// PredictAll implements BatchRegressor: row chunks are evaluated
+// concurrently and each row accumulates the stages in fit order, so
+// PredictAll(X)[i] == Predict(X[i]) bit-for-bit.
+func (g *GradientBoosted) PredictAll(X [][]float64) []float64 {
+	out := make([]float64, len(X))
+	if !g.fitted {
+		return out
+	}
+	parallelChunks(len(X), g.Config.Workers, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			s := g.base
+			for _, t := range g.trees {
+				s += g.Config.LearningRate * t.root.predict(X[i])
+			}
+			out[i] = s
+		}
+	})
 	return out
 }
 

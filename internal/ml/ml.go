@@ -18,6 +18,8 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"runtime"
+	"sync"
 
 	"merchandiser/internal/stats"
 )
@@ -40,9 +42,52 @@ type Importancer interface {
 	Importances() []float64
 }
 
+// BatchRegressor is implemented by models with a batch predictor that is
+// cheaper than per-point Predict calls (one pass over the trees, chunked
+// across goroutines). PredictAll(X)[i] equals Predict(X[i]) exactly.
+type BatchRegressor interface {
+	Regressor
+	// PredictAll returns the model output for every row of X.
+	PredictAll(X [][]float64) []float64
+}
+
 // ErrNotFitted is returned by Predict-time misuse and by helpers that
 // require a trained model.
 var ErrNotFitted = errors.New("ml: model not fitted")
+
+// parallelChunks splits [0, n) into contiguous chunks and runs fn on up to
+// `workers` goroutines (0 = runtime.NumCPU()). Each index is processed
+// exactly once; chunk boundaries never overlap, so fn may write result
+// slots without synchronization and the output is deterministic.
+func parallelChunks(n, workers int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		fn(0, n)
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
 
 // validate checks the common Fit preconditions.
 func validate(X [][]float64, y []float64) error {
@@ -64,8 +109,12 @@ func validate(X [][]float64, y []float64) error {
 	return nil
 }
 
-// PredictBatch applies the model to every row.
+// PredictBatch applies the model to every row, using the model's batch
+// predictor when it has one.
 func PredictBatch(m Regressor, X [][]float64) []float64 {
+	if b, ok := m.(BatchRegressor); ok {
+		return b.PredictAll(X)
+	}
 	out := make([]float64, len(X))
 	for i, x := range X {
 		out[i] = m.Predict(x)

@@ -379,3 +379,151 @@ func TestProjectColumns(t *testing.T) {
 		t.Fatalf("ProjectColumns = %v", got)
 	}
 }
+
+// TestPredictAllMatchesPredict checks BatchRegressor implementations are
+// bit-identical to their per-point Predict, for every worker count.
+func TestPredictAllMatchesPredict(t *testing.T) {
+	X, y := synth(300, 5, 3, 0.05, 11)
+	models := []BatchRegressor{
+		NewDecisionTree(TreeConfig{MaxDepth: 8}),
+		NewRandomForest(ForestConfig{NumTrees: 12, MaxDepth: 6, Seed: 2, Workers: 3}),
+		NewGradientBoosted(GBRConfig{NumStages: 40, MaxDepth: 3, Seed: 2, Workers: 3}),
+	}
+	for _, m := range models {
+		if err := m.Fit(X, y); err != nil {
+			t.Fatal(err)
+		}
+		batch := m.PredictAll(X)
+		for i, x := range X {
+			if p := m.Predict(x); p != batch[i] {
+				t.Fatalf("%s: row %d: PredictAll %v != Predict %v", m.Name(), i, batch[i], p)
+			}
+		}
+	}
+}
+
+// TestEnsembleFitDeterministicAcrossWorkers checks that the parallel
+// bagged-forest fit and the parallel GBR residual update produce the same
+// model as a serial fit.
+func TestEnsembleFitDeterministicAcrossWorkers(t *testing.T) {
+	X, y := synth(400, 6, 3, 0.05, 13)
+	probe, _ := synth(50, 6, 3, 0, 14)
+
+	type mk func(workers int) BatchRegressor
+	cases := map[string]mk{
+		"RFR": func(w int) BatchRegressor {
+			return NewRandomForest(ForestConfig{NumTrees: 10, MaxDepth: 8, Seed: 3, Workers: w})
+		},
+		"GBR": func(w int) BatchRegressor {
+			return NewGradientBoosted(GBRConfig{NumStages: 30, MaxDepth: 3, Subsample: 0.8, Seed: 3, Workers: w})
+		},
+	}
+	for name, mkModel := range cases {
+		serial := mkModel(1)
+		if err := serial.Fit(X, y); err != nil {
+			t.Fatal(err)
+		}
+		want := serial.PredictAll(probe)
+		wantImp := serial.(Importancer).Importances()
+		for _, workers := range []int{2, 8} {
+			par := mkModel(workers)
+			if err := par.Fit(X, y); err != nil {
+				t.Fatal(err)
+			}
+			got := par.PredictAll(probe)
+			for i := range want {
+				if want[i] != got[i] {
+					t.Fatalf("%s Workers=%d: prediction %d differs: %v vs %v", name, workers, i, got[i], want[i])
+				}
+			}
+			for j, imp := range par.(Importancer).Importances() {
+				if imp != wantImp[j] {
+					t.Fatalf("%s Workers=%d: importance %d differs: %v vs %v", name, workers, j, imp, wantImp[j])
+				}
+			}
+		}
+	}
+}
+
+func TestCrossValidateSubsets(t *testing.T) {
+	X, y := synth(300, 6, 3, 0.05, 17)
+	features := []string{"f0", "f1", "f2", "f3", "f4", "f5"}
+	candidates := [][]int{
+		{0, 1, 2},    // the informative set
+		{3, 4, 5},    // pure noise
+		{0, 1, 2, 3}, // informative + noise
+	}
+	mk := func() Regressor { return NewGradientBoosted(GBRConfig{NumStages: 40, MaxDepth: 3, Seed: 5}) }
+	scores, err := CrossValidateSubsets(mk, X, y, features, candidates, 5, 9, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(scores) != len(candidates) {
+		t.Fatalf("got %d scores, want %d", len(scores), len(candidates))
+	}
+	best := BestSubset(scores)
+	if best == 1 {
+		t.Fatalf("noise-only subset won: %+v", scores)
+	}
+	if scores[0].MeanR2 <= scores[1].MeanR2 {
+		t.Fatalf("informative subset (%v) not better than noise (%v)", scores[0].MeanR2, scores[1].MeanR2)
+	}
+	if len(scores[0].FoldR2) != 5 {
+		t.Fatalf("fold count = %d, want 5", len(scores[0].FoldR2))
+	}
+	if scores[0].Features[0] != "f0" || scores[2].Features[3] != "f3" {
+		t.Fatalf("feature names mismapped: %+v", scores)
+	}
+}
+
+func TestCrossValidateSubsetsDeterministicAcrossWorkers(t *testing.T) {
+	X, y := synth(240, 5, 3, 0.05, 19)
+	features := []string{"a", "b", "c", "d", "e"}
+	var candidates [][]int
+	for i := 0; i < 5; i++ {
+		for j := i + 1; j < 5; j++ {
+			candidates = append(candidates, []int{i, j})
+		}
+	}
+	mk := func() Regressor { return NewRandomForest(ForestConfig{NumTrees: 8, MaxDepth: 6, Seed: 7}) }
+	want, err := CrossValidateSubsets(mk, X, y, features, candidates, 4, 21, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8} {
+		got, err := CrossValidateSubsets(mk, X, y, features, candidates, 4, 21, workers)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for ci := range want {
+			if want[ci].MeanR2 != got[ci].MeanR2 {
+				t.Fatalf("workers=%d: candidate %d mean R² %v != %v", workers, ci, got[ci].MeanR2, want[ci].MeanR2)
+			}
+			for k := range want[ci].FoldR2 {
+				if want[ci].FoldR2[k] != got[ci].FoldR2[k] {
+					t.Fatalf("workers=%d: candidate %d fold %d differs", workers, ci, k)
+				}
+			}
+		}
+	}
+}
+
+func TestCrossValidateSubsetsValidation(t *testing.T) {
+	X, y := synth(30, 3, 2, 0.05, 23)
+	mk := func() Regressor { return NewDecisionTree(TreeConfig{MaxDepth: 4}) }
+	if _, err := CrossValidateSubsets(mk, X, y, []string{"a", "b", "c"}, nil, 3, 1, 0); err == nil {
+		t.Fatal("no candidates must error")
+	}
+	if _, err := CrossValidateSubsets(mk, X, y, []string{"a", "b"}, [][]int{{0}}, 3, 1, 0); err == nil {
+		t.Fatal("name/column mismatch must error")
+	}
+	if _, err := CrossValidateSubsets(mk, X, y, []string{"a", "b", "c"}, [][]int{{}}, 3, 1, 0); err == nil {
+		t.Fatal("empty candidate must error")
+	}
+	if _, err := CrossValidateSubsets(mk, X, y, []string{"a", "b", "c"}, [][]int{{3}}, 3, 1, 0); err == nil {
+		t.Fatal("out-of-range column must error")
+	}
+	if BestSubset(nil) != -1 {
+		t.Fatal("BestSubset(nil) != -1")
+	}
+}

@@ -3,6 +3,9 @@ package ml
 import (
 	"errors"
 	"fmt"
+	"math/rand"
+
+	"merchandiser/internal/stats"
 )
 
 // EliminationStep records one round of the paper's recursive feature
@@ -99,6 +102,141 @@ func projectColumns(X [][]float64, cols []int) [][]float64 {
 		out[i] = row
 	}
 	return out
+}
+
+// SubsetScore is one candidate feature subset's cross-validated accuracy.
+type SubsetScore struct {
+	// Columns are the candidate's column indices into X.
+	Columns []int
+	// Features are the corresponding feature names.
+	Features []string
+	// FoldR2 is the held-out R² of each fold, MeanR2 their average.
+	FoldR2 []float64
+	MeanR2 float64
+}
+
+// CrossValidateSubsets scores candidate feature subsets (column-index sets
+// into X) by k-fold cross-validation, the subset-search counterpart of the
+// paper's §5.1 event selection: instead of one 70/30 split per elimination
+// step, each candidate subset is trained k times and judged on its mean
+// held-out R².
+//
+// Candidates are evaluated concurrently on up to `workers` goroutines
+// (0 = runtime.NumCPU()). The fold assignment is derived from seed alone
+// and scores are returned in candidate order, so the result is identical
+// for any worker count (given a deterministic newModel).
+func CrossValidateSubsets(
+	newModel func() Regressor,
+	X [][]float64, y []float64,
+	features []string,
+	candidates [][]int,
+	folds int,
+	seed int64,
+	workers int,
+) ([]SubsetScore, error) {
+	if err := validate(X, y); err != nil {
+		return nil, err
+	}
+	if len(features) != len(X[0]) {
+		return nil, fmt.Errorf("ml: %d feature names but %d columns", len(features), len(X[0]))
+	}
+	if len(candidates) == 0 {
+		return nil, errors.New("ml: no candidate subsets")
+	}
+	n := len(X)
+	if folds < 2 {
+		folds = 5
+	}
+	if folds > n {
+		folds = n
+	}
+	for ci, cand := range candidates {
+		if len(cand) == 0 {
+			return nil, fmt.Errorf("ml: candidate %d is empty", ci)
+		}
+		for _, c := range cand {
+			if c < 0 || c >= len(features) {
+				return nil, fmt.Errorf("ml: candidate %d references column %d of %d", ci, c, len(features))
+			}
+		}
+	}
+
+	// One shuffled fold assignment shared by every candidate, so subsets
+	// compete on the same splits.
+	perm := rand.New(rand.NewSource(seed)).Perm(n)
+	foldOf := make([]int, n)
+	for k, i := range perm {
+		foldOf[i] = k % folds
+	}
+
+	scores := make([]SubsetScore, len(candidates))
+	errs := make([]error, len(candidates))
+	parallelChunks(len(candidates), workers, func(lo, hi int) {
+		for ci := lo; ci < hi; ci++ {
+			scores[ci], errs[ci] = scoreSubset(newModel, X, y, features, candidates[ci], foldOf, folds)
+		}
+	})
+	if err := errors.Join(errs...); err != nil {
+		return nil, err
+	}
+	return scores, nil
+}
+
+func scoreSubset(newModel func() Regressor, X [][]float64, y []float64, features []string, cand []int, foldOf []int, folds int) (SubsetScore, error) {
+	px := projectColumns(X, cand)
+	score := SubsetScore{
+		Columns:  append([]int(nil), cand...),
+		Features: make([]string, len(cand)),
+	}
+	for i, c := range cand {
+		score.Features[i] = features[c]
+	}
+	for k := 0; k < folds; k++ {
+		var xtr, xte [][]float64
+		var ytr, yte []float64
+		for i := range px {
+			if foldOf[i] == k {
+				xte = append(xte, px[i])
+				yte = append(yte, y[i])
+			} else {
+				xtr = append(xtr, px[i])
+				ytr = append(ytr, y[i])
+			}
+		}
+		if len(xtr) == 0 || len(xte) == 0 {
+			continue
+		}
+		m := newModel()
+		if err := m.Fit(xtr, ytr); err != nil {
+			return SubsetScore{}, err
+		}
+		r2, err := stats.R2(yte, PredictBatch(m, xte))
+		if err != nil {
+			return SubsetScore{}, err
+		}
+		score.FoldR2 = append(score.FoldR2, r2)
+	}
+	if len(score.FoldR2) == 0 {
+		return SubsetScore{}, errors.New("ml: no usable folds")
+	}
+	var s float64
+	for _, v := range score.FoldR2 {
+		s += v
+	}
+	score.MeanR2 = s / float64(len(score.FoldR2))
+	return score, nil
+}
+
+// BestSubset returns the index of the highest-scoring candidate (first
+// wins ties), or -1 for an empty slice.
+func BestSubset(scores []SubsetScore) int {
+	best := -1
+	for i, s := range scores {
+		if best < 0 || s.MeanR2 > scores[best].MeanR2 {
+			best = i
+		}
+	}
+	return best
 }
 
 // RankFeatures trains one model on all features and returns the feature

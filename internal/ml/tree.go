@@ -87,7 +87,24 @@ func (t *DecisionTree) Predict(x []float64) float64 {
 	if !t.fitted {
 		return 0
 	}
-	n := t.root
+	return t.root.predict(x)
+}
+
+// PredictAll implements BatchRegressor. A single tree walk is already
+// cheap, so rows are evaluated in place without goroutines — ensemble
+// callers parallelize at the row-chunk level instead.
+func (t *DecisionTree) PredictAll(X [][]float64) []float64 {
+	out := make([]float64, len(X))
+	if !t.fitted {
+		return out
+	}
+	for i, x := range X {
+		out[i] = t.root.predict(x)
+	}
+	return out
+}
+
+func (n *treeNode) predict(x []float64) float64 {
 	for !n.leaf {
 		if x[n.feature] <= n.threshold {
 			n = n.left

@@ -1,0 +1,65 @@
+package placement
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"merchandiser/internal/ml"
+	"merchandiser/internal/model"
+	"merchandiser/internal/pmc"
+)
+
+// trainedModel fits a small GBR on synthetic Equation 2 targets so the
+// benchmarks pay a realistic (forest-walk) cost per prediction.
+func trainedModel(b *testing.B) *model.PerfModel {
+	b.Helper()
+	rng := rand.New(rand.NewSource(1))
+	var X [][]float64
+	var y []float64
+	for i := 0; i < 600; i++ {
+		ev := rng.Float64()
+		r := rng.Float64()
+		X = append(X, []float64{ev, r})
+		y = append(y, 0.6+0.4*ev*(1-r))
+	}
+	gbr := ml.NewGradientBoosted(ml.GBRConfig{NumStages: 150, MaxDepth: 4, Seed: 1})
+	if err := gbr.Fit(X, y); err != nil {
+		b.Fatal(err)
+	}
+	return &model.PerfModel{Corr: &model.CorrelationFunc{Model: gbr, Events: []string{"EV"}}}
+}
+
+func benchTasks(n int) []TaskInput {
+	tasks := make([]TaskInput, n)
+	for i := range tasks {
+		tasks[i] = TaskInput{
+			Name: fmt.Sprintf("t%03d", i), TPmOnly: 2 + float64(i%7), TDramOnly: 1,
+			TotalAccesses: 1e7, FootprintPages: 2000,
+			Events: pmc.Counters{Values: map[string]float64{"EV": float64(i%5) / 5}},
+		}
+	}
+	return tasks
+}
+
+func BenchmarkGreedyLoadBalanceTrained(b *testing.B) {
+	perf := trainedModel(b)
+	tasks := benchTasks(24)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := GreedyLoadBalance(tasks, 12000, perf, Config{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkMinMakespanPlan(b *testing.B) {
+	perf := trainedModel(b)
+	tasks := benchTasks(24)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := MinMakespanPlan(tasks, 12000, perf, 1e-3); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

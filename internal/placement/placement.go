@@ -153,6 +153,50 @@ func density(o ObjectLoad) float64 {
 	return o.Accesses / float64(o.Pages)
 }
 
+// predictMemo caches performance-model predictions for one plan
+// construction. The model is deterministic in (task, r_dram), and keys
+// quantize the ratio to its exact float64 bits, so a cache hit returns the
+// identical value a fresh perf.Predict call would — plans are unchanged,
+// only the repeated forest walks disappear.
+type predictMemo struct {
+	tasks []TaskInput
+	perf  *model.PerfModel
+	cache map[predictKey]float64
+}
+
+type predictKey struct {
+	task  int
+	rbits uint64
+}
+
+func newPredictMemo(tasks []TaskInput, perf *model.PerfModel) *predictMemo {
+	// Pre-size for a handful of distinct ratios per task so the common case
+	// never rehashes.
+	return &predictMemo{tasks: tasks, perf: perf, cache: make(map[predictKey]float64, 8*len(tasks))}
+}
+
+// predict converts a DRAM access goal into a ratio and returns the cached
+// prediction for it.
+func (m *predictMemo) predict(i int, dramAcc float64) float64 {
+	t := m.tasks[i]
+	r := 0.0
+	if t.TotalAccesses > 0 {
+		r = dramAcc / t.TotalAccesses
+	}
+	return m.predictRatio(i, r)
+}
+
+func (m *predictMemo) predictRatio(i int, r float64) float64 {
+	key := predictKey{task: i, rbits: math.Float64bits(r)}
+	if v, ok := m.cache[key]; ok {
+		return v
+	}
+	t := m.tasks[i]
+	v := m.perf.Predict(t.TPmOnly, t.TDramOnly, t.Events, r)
+	m.cache[key] = v
+	return v
+}
+
 // GreedyLoadBalance is Algorithm 1. It returns the per-task DRAM access
 // goals that (predictedly) minimize the makespan within the DRAM capacity
 // dc (in pages), using the performance model for Line 15's prediction.
@@ -183,21 +227,16 @@ func GreedyLoadBalance(tasks []TaskInput, dc uint64, perf *model.PerfModel, cfg 
 		plan.Predicted[i] = t.TPmOnly // D'_i ← D_i
 	}
 
-	usedPages := func() uint64 {
-		var s uint64
-		for _, p := range plan.DRAMPages {
-			s += p
-		}
-		return s
-	}
-	predict := func(i int, dramAcc float64) float64 {
-		t := tasks[i]
-		r := 0.0
-		if t.TotalAccesses > 0 {
-			r = dramAcc / t.TotalAccesses
-		}
-		return perf.Predict(t.TPmOnly, t.TDramOnly, t.Events, r)
-	}
+	// used maintains sum(plan.DRAMPages) incrementally: every grant updates
+	// one task's page budget, so a full rescan per round is wasted work.
+	var used uint64
+	// Algorithm 1 revisits the same (task, r_dram) pairs across rounds —
+	// every round re-predicts the incumbent at its current grant, and 5%
+	// steps land on a small grid of ratios. Predictions are deterministic,
+	// so memoize them per plan, keyed on the exact ratio bits (a lossless
+	// quantization: equal ratios share a key, different ratios never do).
+	memo := newPredictMemo(tasks, perf)
+	predict := memo.predict
 
 	// full marks tasks whose DRAM access goal reached 100%.
 	full := make([]bool, n)
@@ -246,7 +285,7 @@ func GreedyLoadBalance(tasks []TaskInput, dc uint64, perf *model.PerfModel, cfg 
 		// Line 19: respect DRAM capacity; clamp the final grant to fit.
 		newPages := mapToPages(t, dramAcc)
 		oldPages := plan.DRAMPages[longest]
-		others := usedPages() - oldPages
+		others := used - oldPages
 		if others+newPages > dc {
 			fit := uint64(0)
 			if dc > others {
@@ -254,6 +293,7 @@ func GreedyLoadBalance(tasks []TaskInput, dc uint64, perf *model.PerfModel, cfg 
 			}
 			if fit > oldPages {
 				plan.DRAMPages[longest] = fit
+				used = others + fit
 				if t.FootprintPages > 0 {
 					frac := float64(fit) / float64(t.FootprintPages)
 					if frac > 1 {
@@ -268,6 +308,7 @@ func GreedyLoadBalance(tasks []TaskInput, dc uint64, perf *model.PerfModel, cfg 
 		}
 		plan.DRAMAccesses[longest] = dramAcc
 		plan.DRAMPages[longest] = newPages
+		used = others + newPages
 		plan.Rounds = round + 1
 	}
 
@@ -362,9 +403,10 @@ func MinMakespanPlan(tasks []TaskInput, dc uint64, perf *model.PerfModel, tol fl
 			return nil, fmt.Errorf("placement: task %d (%s) has invalid bounds", i, t.Name)
 		}
 	}
-	predict := func(i int, r float64) float64 {
-		return perf.Predict(tasks[i].TPmOnly, tasks[i].TDramOnly, tasks[i].Events, r)
-	}
+	// The bisections revisit the endpoints and nearby ratios for every
+	// candidate T; the same per-plan memo that serves Algorithm 1 removes
+	// those repeated model walks.
+	predict := newPredictMemo(tasks, perf).predictRatio
 	// Minimum DRAM ratio for task i to be predicted at or under T
 	// (+inf pages when even r = 1 cannot reach T).
 	minRatioFor := func(i int, T float64) (float64, bool) {

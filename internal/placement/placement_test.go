@@ -2,6 +2,8 @@ package placement
 
 import (
 	"math"
+	"math/rand"
+	"reflect"
 	"testing"
 	"testing/quick"
 
@@ -222,5 +224,136 @@ func TestMapToPages(t *testing.T) {
 	}
 	if got := mapToPages(task("z", 1, 0.5, 0, 100), 10); got != 0 {
 		t.Fatalf("zero accesses should map to zero pages, got %d", got)
+	}
+}
+
+// referenceGreedy is the pre-optimization Algorithm 1 (full usedPages
+// rescan every round, no prediction memo), kept as the oracle for the
+// incremental-sum and memoization rewrite: plans must be unchanged.
+func referenceGreedy(tasks []TaskInput, dc uint64, perf *model.PerfModel, cfg Config) *Plan {
+	cfg = cfg.withDefaults()
+	n := len(tasks)
+	plan := &Plan{
+		DRAMAccesses: make([]float64, n),
+		GoalRatio:    make([]float64, n),
+		DRAMPages:    make([]uint64, n),
+		Predicted:    make([]float64, n),
+	}
+	for i, t := range tasks {
+		plan.Predicted[i] = t.TPmOnly
+	}
+	usedPages := func() uint64 {
+		var s uint64
+		for _, p := range plan.DRAMPages {
+			s += p
+		}
+		return s
+	}
+	predict := func(i int, dramAcc float64) float64 {
+		t := tasks[i]
+		r := 0.0
+		if t.TotalAccesses > 0 {
+			r = dramAcc / t.TotalAccesses
+		}
+		return perf.Predict(t.TPmOnly, t.TDramOnly, t.Events, r)
+	}
+	full := make([]bool, n)
+	for round := 0; round < cfg.MaxRounds; round++ {
+		longest := -1
+		for i := 0; i < n; i++ {
+			if full[i] {
+				continue
+			}
+			if longest < 0 || plan.Predicted[i] > plan.Predicted[longest] {
+				longest = i
+			}
+		}
+		if longest < 0 {
+			break
+		}
+		secondT := 0.0
+		for i := 0; i < n; i++ {
+			if i != longest && plan.Predicted[i] > secondT {
+				secondT = plan.Predicted[i]
+			}
+		}
+		if n == 1 {
+			secondT = tasks[0].TDramOnly
+		}
+		t := tasks[longest]
+		dramAcc := plan.DRAMAccesses[longest]
+		for {
+			dramAcc += cfg.Step * t.TotalAccesses
+			if dramAcc >= t.TotalAccesses {
+				dramAcc = t.TotalAccesses
+				full[longest] = true
+			}
+			plan.Predicted[longest] = predict(longest, dramAcc)
+			if plan.Predicted[longest] <= secondT || full[longest] {
+				break
+			}
+		}
+		newPages := mapToPages(t, dramAcc)
+		oldPages := plan.DRAMPages[longest]
+		others := usedPages() - oldPages
+		if others+newPages > dc {
+			fit := uint64(0)
+			if dc > others {
+				fit = dc - others
+			}
+			if fit > oldPages {
+				plan.DRAMPages[longest] = fit
+				if t.FootprintPages > 0 {
+					frac := float64(fit) / float64(t.FootprintPages)
+					if frac > 1 {
+						frac = 1
+					}
+					plan.DRAMAccesses[longest] = frac * t.TotalAccesses
+				}
+			}
+			plan.Predicted[longest] = predict(longest, plan.DRAMAccesses[longest])
+			plan.Rounds = round + 1
+			break
+		}
+		plan.DRAMAccesses[longest] = dramAcc
+		plan.DRAMPages[longest] = newPages
+		plan.Rounds = round + 1
+	}
+	for i, t := range tasks {
+		if t.TotalAccesses > 0 {
+			plan.GoalRatio[i] = plan.DRAMAccesses[i] / t.TotalAccesses
+		}
+	}
+	return plan
+}
+
+// TestGreedyMatchesReferenceImplementation pins the memoized/incremental
+// GreedyLoadBalance to the original algorithm on randomized instances.
+func TestGreedyMatchesReferenceImplementation(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	perf := linearModel()
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(12)
+		tasks := make([]TaskInput, n)
+		var footprint uint64
+		for i := range tasks {
+			tDram := 0.5 + rng.Float64()*2
+			pages := uint64(100 + rng.Intn(4000))
+			footprint += pages
+			tasks[i] = task(
+				string(rune('a'+i)),
+				tDram*(1.05+rng.Float64()*4), tDram,
+				float64(1+rng.Intn(10))*1e6, pages,
+			)
+		}
+		dc := uint64(rng.Int63n(int64(footprint) + 1))
+		got, err := GreedyLoadBalance(tasks, dc, perf, Config{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := referenceGreedy(tasks, dc, perf, Config{})
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("trial %d (n=%d dc=%d): plans diverged\ngot:  %+v\nwant: %+v", trial, n, dc, got, want)
+		}
 	}
 }

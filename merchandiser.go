@@ -21,15 +21,10 @@
 package merchandiser
 
 import (
-	"fmt"
-
 	"merchandiser/internal/baseline"
 	"merchandiser/internal/core"
-	"merchandiser/internal/corpus"
 	"merchandiser/internal/hm"
-	"merchandiser/internal/ml"
 	"merchandiser/internal/model"
-	"merchandiser/internal/pmc"
 	"merchandiser/internal/task"
 )
 
@@ -97,37 +92,10 @@ type System struct {
 }
 
 // NewSystem builds a System for the spec, training the correlation
-// function at the requested level (the paper's offline step 1).
+// function at the requested level (the paper's offline step 1) with the
+// default TrainConfig — see NewSystemConfig in builder.go for the knobs.
 func NewSystem(spec SystemSpec, level TrainLevel) (*System, error) {
-	s := &System{Spec: spec, Perf: &model.PerfModel{}}
-	if level == TrainNone {
-		return s, nil
-	}
-	nRegions, placements := 80, 6
-	if level == TrainFull {
-		nRegions, placements = 281, 10
-	}
-	trainSpec := spec
-	// Train on a compact memory footprint: f depends on workload
-	// characteristics and r_dram, not on absolute capacity.
-	trainSpec.Tiers[hm.DRAM].CapacityBytes = 64 << 20
-	trainSpec.Tiers[hm.PM].CapacityBytes = 512 << 20
-	trainSpec.LLCBytes = 1 << 20
-	regions := corpus.StandardCorpus(nRegions, 1)
-	samples, err := corpus.Build(regions, trainSpec, corpus.BuildConfig{
-		Placements: placements, StepSec: 0.001, Seed: 1,
-	})
-	if err != nil {
-		return nil, fmt.Errorf("merchandiser: training corpus: %w", err)
-	}
-	res, err := model.TrainCorrelation(samples, pmc.SelectedEvents,
-		func() ml.Regressor { return ml.NewGradientBoosted(ml.GBRConfig{Seed: 1}) }, 1)
-	if err != nil {
-		return nil, fmt.Errorf("merchandiser: training f(·): %w", err)
-	}
-	s.Perf = &model.PerfModel{Corr: res.Corr}
-	s.TrainedR2 = res.TestR2
-	return s, nil
+	return NewSystemConfig(spec, TrainConfig{Level: level})
 }
 
 // Merchandiser returns the paper's policy, wired with this system's

@@ -1,0 +1,18 @@
+#!/bin/sh
+# Repo health check: vet everything, then run the concurrency-bearing
+# packages (corpus worker pool, parallel ml fitting, memoized placement,
+# pooled evaluation matrix) under the race detector so the training
+# pipeline stays race-clean.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== go vet ./..."
+go vet ./...
+
+echo "== go build ./..."
+go build ./...
+
+echo "== go test -race (corpus, ml, placement, experiments)"
+go test -race ./internal/corpus ./internal/ml ./internal/placement ./internal/experiments
+
+echo "check OK"

@@ -7,6 +7,8 @@
 //	merchbench -exp fig4                 # one experiment
 //	merchbench -exp fig4 -quick          # reduced scale
 //	merchbench -exp all -json out.json   # machine-readable summary too
+//	merchbench -exp fig4 -metrics m.json # deterministic metrics dump
+//	merchbench -exp fig4 -trace t.json   # chrome-trace event log
 //
 // Experiments: table1 table2 table3 table4 fig3 fig4 fig5 fig6 fig7 alpha
 // ablations.
@@ -18,9 +20,9 @@ import (
 	"os"
 	"runtime"
 	"strings"
-	"time"
 
 	"merchandiser/internal/experiments"
+	"merchandiser/internal/obs"
 )
 
 func main() {
@@ -29,9 +31,18 @@ func main() {
 	seed := flag.Int64("seed", 1, "random seed")
 	workers := flag.Int("workers", 0, "concurrency of training and evaluation (0 = NumCPU); results are identical for any value")
 	jsonPath := flag.String("json", "", "also write a machine-readable summary to this file")
+	metricsPath := flag.String("metrics", "", "write the deterministic metrics dump (per-cell registry snapshots) to this file")
+	tracePath := flag.String("trace", "", "write a chrome-trace event log of the evaluation to this file")
 	flag.Parse()
 
-	cfg := experiments.Config{Quick: *quick, Seed: *seed, Workers: *workers}
+	// The pipeline registry times training and evaluation (volatile wall
+	// timers, read back for the summary's timing block) and is the
+	// deterministic "pipeline" section of -metrics.
+	reg := obs.New()
+	cfg := experiments.Config{
+		Quick: *quick, Seed: *seed, Workers: *workers,
+		Obs: reg, Trace: *tracePath != "",
+	}
 	want := map[string]bool{}
 	for _, e := range strings.Split(*exp, ",") {
 		want[strings.TrimSpace(e)] = true
@@ -42,26 +53,22 @@ func main() {
 	needsArtifacts := all || want["table3"] || want["table4"] || want["fig4"] ||
 		want["fig5"] || want["fig6"] || want["fig7"] || want["alpha"] || want["ablations"]
 	needsEval := all || want["table4"] || want["fig4"] || want["fig5"] ||
-		want["fig6"] || want["alpha"] || *jsonPath != ""
+		want["fig6"] || want["alpha"] || *jsonPath != "" || *metricsPath != "" || *tracePath != ""
 
 	var art *experiments.Artifacts
 	var eval *experiments.Eval
 	var err error
-	var trainSec, evalSec float64
-	if needsArtifacts || *jsonPath != "" {
-		start := time.Now()
+	if needsArtifacts || *jsonPath != "" || *metricsPath != "" || *tracePath != "" {
 		art, err = experiments.Prepare(cfg)
 		fail(err)
-		trainSec = time.Since(start).Seconds()
 		fmt.Fprintf(w, "offline: correlation function trained on %d samples, held-out R²=%.3f (%.1fs)\n\n",
-			len(art.Samples), art.TestR2, trainSec)
+			len(art.Samples), art.TestR2, reg.WallTimer("pipeline.train_seconds").Seconds())
 	}
 	if needsEval {
-		start := time.Now()
 		eval, err = experiments.RunEvaluation(art, cfg)
 		fail(err)
-		evalSec = time.Since(start).Seconds()
-		fmt.Fprintf(w, "evaluation: 5 applications x policies executed (%.1fs)\n\n", evalSec)
+		fmt.Fprintf(w, "evaluation: 5 applications x policies executed (%.1fs)\n\n",
+			reg.WallTimer("pipeline.eval_seconds").Seconds())
 	}
 
 	var fig3Rows []experiments.Fig3Row
@@ -115,6 +122,21 @@ func main() {
 		fail(err)
 	}
 
+	if *metricsPath != "" {
+		f, err := os.Create(*metricsPath)
+		fail(err)
+		fail(eval.MetricsDump(reg).WriteMetricsJSON(f))
+		fail(f.Close())
+		fmt.Fprintf(w, "metrics written to %s\n", *metricsPath)
+	}
+	if *tracePath != "" {
+		f, err := os.Create(*tracePath)
+		fail(err)
+		fail(eval.WriteTraceJSON(f))
+		fail(f.Close())
+		fmt.Fprintf(w, "trace written to %s\n", *tracePath)
+	}
+
 	if *jsonPath != "" {
 		sum := experiments.Summarize(art, eval, cfg)
 		sum.Fig3 = fig3Rows
@@ -128,8 +150,8 @@ func main() {
 		}
 		sum.Timing = &experiments.Timing{
 			Workers:         resolved,
-			TrainSeconds:    trainSec,
-			EvalSeconds:     evalSec,
+			TrainSeconds:    reg.WallTimer("pipeline.train_seconds").Seconds(),
+			EvalSeconds:     reg.WallTimer("pipeline.eval_seconds").Seconds(),
 			PlacementMicros: experiments.TimePlacement(art),
 		}
 		f, err := os.Create(*jsonPath)

@@ -28,6 +28,7 @@ import (
 	"merchandiser/internal/baseline"
 	"merchandiser/internal/hm"
 	"merchandiser/internal/model"
+	"merchandiser/internal/obs"
 	"merchandiser/internal/placement"
 	"merchandiser/internal/pmc"
 	"merchandiser/internal/task"
@@ -62,6 +63,10 @@ type Config struct {
 	// 5%-step greedy leave on the table?).
 	OptimalPlanner bool
 	Seed           int64
+	// Obs, when non-nil, receives the runtime's metrics (plans built,
+	// migration-gate blocks) and is forwarded to Algorithm 1 as
+	// Algorithm.Obs unless that is set explicitly.
+	Obs *obs.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -73,6 +78,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Perf == nil {
 		c.Perf = &model.PerfModel{}
+	}
+	if c.Algorithm.Obs == nil {
+		c.Algorithm.Obs = c.Obs
 	}
 	return c
 }
@@ -388,6 +396,7 @@ func (m *Merchandiser) plan(i int, mem *hm.Memory, works []hm.TaskWork) error {
 	if err != nil {
 		return fmt.Errorf("core: Algorithm 1: %w", err)
 	}
+	m.cfg.Obs.Counter("core.plans").Inc()
 	m.LastPlan = plan
 	gate := placement.NewGate(inputs, plan)
 	gate.Accessors = map[string][]string{}
@@ -694,6 +703,10 @@ func (m *Merchandiser) AfterInstance(i int, mem *hm.Memory, res *hm.RunResult) e
 				}
 			}
 		}
+	}
+
+	if reg := m.cfg.Obs; reg != nil {
+		reg.Gauge("core.gate.blocked").Set(float64(m.daemon.GateBlocked))
 	}
 
 	// Fill measured times for this instance's predictions.

@@ -29,6 +29,7 @@ import (
 	"merchandiser/internal/hm"
 	"merchandiser/internal/ml"
 	"merchandiser/internal/model"
+	"merchandiser/internal/obs"
 	"merchandiser/internal/pmc"
 	"merchandiser/internal/stats"
 	"merchandiser/internal/task"
@@ -46,6 +47,23 @@ type Config struct {
 	// and the evaluation matrix; 0 uses runtime.NumCPU(). Results are
 	// identical for any value — every run is seeded and isolated.
 	Workers int
+	// Apps restricts the evaluation matrix to the named applications
+	// (empty = AppNames). Order follows AppNames regardless of the filter's
+	// order, so filtered dumps stay deterministic.
+	Apps []string
+	// Policies restricts the evaluation matrix to the named policies
+	// (empty = PolicyNames plus per-app extras). App-specific extras run
+	// only when explicitly listed or when the filter is empty.
+	Policies []string
+	// Obs, when non-nil, enables observability: the pipeline registry
+	// receives train/eval wall timers and training stats, and every
+	// (app, policy) cell collects its own registry, snapshotted into
+	// AppRun.Metrics. Cells run single-threaded, so per-cell metrics are
+	// deterministic for any Workers value.
+	Obs *obs.Registry
+	// Trace additionally enables per-cell event logs (AppRun.Events);
+	// requires Obs.
+	Trace bool
 }
 
 func (c Config) step() float64 {
@@ -60,6 +78,37 @@ func (c Config) workers() int {
 		return c.Workers
 	}
 	return runtime.NumCPU()
+}
+
+// evalApps returns the applications the matrix covers, in AppNames order.
+func (c Config) evalApps() []string {
+	return filterNames(AppNames, c.Apps)
+}
+
+// evalPolicies returns the policies to run for one application: the
+// standard comparison set plus the app's extras, narrowed by the filter.
+func (c Config) evalPolicies(app string) []string {
+	all := append(append([]string(nil), PolicyNames...), extraPolicies(app)...)
+	return filterNames(all, c.Policies)
+}
+
+// filterNames keeps the members of all that appear in want (all of them
+// when want is empty), preserving all's order.
+func filterNames(all, want []string) []string {
+	if len(want) == 0 {
+		return all
+	}
+	keep := map[string]bool{}
+	for _, w := range want {
+		keep[w] = true
+	}
+	var out []string
+	for _, n := range all {
+		if keep[n] {
+			out = append(out, n)
+		}
+	}
+	return out
 }
 
 // Artifacts carries the offline products shared by experiments: the
@@ -84,6 +133,7 @@ func trainSpec(spec hm.SystemSpec) hm.SystemSpec {
 // Prepare trains the correlation function (offline step 1) and returns
 // the shared artifacts.
 func Prepare(cfg Config) (*Artifacts, error) {
+	defer cfg.Obs.WallTimer("pipeline.train_seconds").Start()()
 	spec := apps.ExperimentSpec()
 	if artifactsSpecHook != nil {
 		spec = *artifactsSpecHook
@@ -101,10 +151,14 @@ func Prepare(cfg Config) (*Artifacts, error) {
 	}
 	res, err := model.TrainCorrelation(samples, pmc.SelectedEvents,
 		func() ml.Regressor {
-			return ml.NewGradientBoosted(ml.GBRConfig{Seed: cfg.Seed + 3, Workers: cfg.workers()})
+			return ml.NewGradientBoosted(ml.GBRConfig{Seed: cfg.Seed + 3, Workers: cfg.workers(), Obs: cfg.Obs})
 		}, cfg.Seed+4)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: training: %w", err)
+	}
+	if reg := cfg.Obs; reg != nil {
+		reg.Counter("pipeline.train_samples").Add(float64(len(samples)))
+		reg.Gauge("pipeline.correlation_r2").Set(res.TestR2)
 	}
 	return &Artifacts{
 		Spec:    spec,
@@ -174,8 +228,9 @@ func buildAppDefault(name string, cfg Config) (task.App, error) {
 // PolicyNames is the comparison order of Figure 4.
 var PolicyNames = []string{"PM-only", "MemoryMode", "MemoryOptimizer", "Merchandiser"}
 
-// buildPolicy constructs one policy instance.
-func buildPolicy(name string, art *Artifacts, cfg Config) (task.Policy, error) {
+// buildPolicy constructs one policy instance. reg is the cell's registry
+// (nil when observability is off); only Merchandiser consumes it.
+func buildPolicy(name string, art *Artifacts, cfg Config, reg *obs.Registry) (task.Policy, error) {
 	switch name {
 	case "PM-only":
 		return baseline.PMOnly{}, nil
@@ -189,6 +244,7 @@ func buildPolicy(name string, art *Artifacts, cfg Config) (task.Policy, error) {
 			Perf:   art.Perf,
 			Daemon: baseline.DaemonConfig{Seed: cfg.Seed + 20},
 			Seed:   cfg.Seed + 21,
+			Obs:    reg,
 		}), nil
 	case "Sparta":
 		return &baseline.Sparta{Priority: []string{"spgemm/B"}}, nil
@@ -213,6 +269,11 @@ type AppRun struct {
 	// Merch is non-nil for Merchandiser runs (predictions, α, gate
 	// statistics).
 	Merch *core.Merchandiser
+	// Metrics is the cell's deterministic registry snapshot (nil unless
+	// Config.Obs enabled observability).
+	Metrics *obs.Snapshot
+	// Events is the cell's event log (nil unless Config.Trace).
+	Events []obs.Event
 }
 
 // Eval is the full 5-apps × policies evaluation matrix shared by
@@ -244,18 +305,19 @@ func extraPolicies(app string) []string {
 // sequential schedule). All per-run errors are surfaced, joined in matrix
 // order — one failing run does not mask another's error.
 func RunEvaluation(art *Artifacts, cfg Config) (*Eval, error) {
+	defer cfg.Obs.WallTimer("pipeline.eval_seconds").Start()()
 	type cell struct {
 		app, policy string
 	}
 	var cells []cell
-	for _, appName := range AppNames {
-		for _, polName := range append(append([]string(nil), PolicyNames...), extraPolicies(appName)...) {
+	for _, appName := range cfg.evalApps() {
+		for _, polName := range cfg.evalPolicies(appName) {
 			cells = append(cells, cell{appName, polName})
 		}
 	}
 
 	eval := &Eval{Runs: map[string]map[string]*AppRun{}}
-	for _, appName := range AppNames {
+	for _, appName := range cfg.evalApps() {
 		eval.Runs[appName] = map[string]*AppRun{}
 	}
 	errs := make([]error, len(cells))
@@ -325,11 +387,21 @@ func RunEvaluation(art *Artifacts, cfg Config) (*Eval, error) {
 }
 
 func runOne(app task.App, appName, polName string, art *Artifacts, cfg Config) (*AppRun, error) {
-	pol, err := buildPolicy(polName, art, cfg)
+	// Each cell collects into its own registry: the cell itself is
+	// single-threaded, so its metrics are deterministic no matter how the
+	// matrix is scheduled across workers.
+	var reg *obs.Registry
+	if cfg.Obs != nil {
+		reg = obs.New()
+		if cfg.Trace {
+			reg.EnableEvents()
+		}
+	}
+	pol, err := buildPolicy(polName, art, cfg, reg)
 	if err != nil {
 		return nil, err
 	}
-	res, err := task.Run(app, art.Spec, pol, task.Options{StepSec: cfg.step(), IntervalSec: 0.05})
+	res, err := task.Run(app, art.Spec, pol, task.Options{StepSec: cfg.step(), IntervalSec: 0.05, Observer: reg})
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %s under %s: %w", appName, polName, err)
 	}
@@ -347,6 +419,13 @@ func runOne(app task.App, appName, polName string, art *Artifacts, cfg Config) (
 		run.MigMax, run.MigMin = p.Daemon().MigrationSpread()
 	case *baseline.MemoryOptimizer:
 		run.MigMax, run.MigMin = p.Daemon().MigrationSpread()
+	}
+	if reg != nil {
+		reg.Gauge("eval.acv").Set(run.ACV)
+		run.Metrics = reg.Snapshot(false)
+		if cfg.Trace {
+			run.Events = reg.Events()
+		}
 	}
 	return run, nil
 }

@@ -254,7 +254,7 @@ func TestBuildAppRejectsUnknown(t *testing.T) {
 	if _, err := BuildApp("nope", quickCfg()); err == nil {
 		t.Fatal("unknown app accepted")
 	}
-	if _, err := buildPolicy("nope", &Artifacts{}, quickCfg()); err == nil {
+	if _, err := buildPolicy("nope", &Artifacts{}, quickCfg(), nil); err == nil {
 		t.Fatal("unknown policy accepted")
 	}
 }

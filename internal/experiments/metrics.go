@@ -1,0 +1,116 @@
+package experiments
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+
+	"merchandiser/internal/obs"
+)
+
+// MetricsDump is the machine-readable observability view of one
+// evaluation: the per-cell registry snapshots keyed "App/Policy" plus the
+// pipeline registry's deterministic view (training stats; wall timers are
+// volatile and excluded). encoding/json sorts map keys, so the dump is
+// byte-identical across repeated runs and worker counts.
+type MetricsDump struct {
+	Pipeline *obs.Snapshot            `json:"pipeline,omitempty"`
+	Cells    map[string]*obs.Snapshot `json:"cells,omitempty"`
+}
+
+// MetricsDump collects the evaluation's per-cell snapshots. pipeline may
+// be nil (e.g. when only the matrix ran).
+func (e *Eval) MetricsDump(pipeline *obs.Registry) *MetricsDump {
+	d := &MetricsDump{}
+	if pipeline != nil {
+		d.Pipeline = pipeline.Snapshot(false)
+	}
+	for app, pols := range e.Runs {
+		for pol, run := range pols {
+			if run == nil || run.Metrics == nil {
+				continue
+			}
+			if d.Cells == nil {
+				d.Cells = map[string]*obs.Snapshot{}
+			}
+			d.Cells[app+"/"+pol] = run.Metrics
+		}
+	}
+	return d
+}
+
+// WriteMetricsJSON writes the dump as indented JSON with sorted keys.
+func (d *MetricsDump) WriteMetricsJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(d)
+}
+
+// sortedCellKeys returns the evaluation's "App/Policy" keys in a fixed
+// order: AppNames order, then each app's policies in render order.
+func (e *Eval) sortedCellKeys() []string {
+	var apps []string
+	for app := range e.Runs {
+		apps = append(apps, app)
+	}
+	// AppNames order first, any unknown apps alphabetically after.
+	order := map[string]int{}
+	for i, a := range AppNames {
+		order[a] = i
+	}
+	sort.Slice(apps, func(i, j int) bool {
+		oi, iok := order[apps[i]]
+		oj, jok := order[apps[j]]
+		if iok != jok {
+			return iok
+		}
+		if iok && jok && oi != oj {
+			return oi < oj
+		}
+		return apps[i] < apps[j]
+	})
+	var keys []string
+	for _, app := range apps {
+		for _, pol := range e.sortedPolicies(app) {
+			keys = append(keys, app+"/"+pol)
+		}
+	}
+	return keys
+}
+
+// TraceEvents merges every cell's event log into one chrome-trace stream:
+// each cell gets a distinct pid (1-based, in sortedCellKeys order) plus a
+// process_name metadata record, so about:tracing shows one lane per
+// (app, policy). Deterministic for a fixed configuration.
+func (e *Eval) TraceEvents() []obs.Event {
+	var out []obs.Event
+	pid := 0
+	for _, key := range e.sortedCellKeys() {
+		i := 0
+		for ; i < len(key); i++ {
+			if key[i] == '/' {
+				break
+			}
+		}
+		run := e.Runs[key[:i]][key[i+1:]]
+		if run == nil || len(run.Events) == 0 {
+			continue
+		}
+		pid++
+		out = append(out, obs.Event{
+			Name: "process_name", Ph: "M", Pid: pid,
+			Args: map[string]any{"name": key},
+		})
+		for _, ev := range run.Events {
+			ev.Pid = pid
+			out = append(out, ev)
+		}
+	}
+	return out
+}
+
+// WriteTraceJSON writes the merged trace in chrome-trace format
+// (load via about:tracing or Perfetto).
+func (e *Eval) WriteTraceJSON(w io.Writer) error {
+	return obs.WriteChromeTrace(w, e.TraceEvents())
+}

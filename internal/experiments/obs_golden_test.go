@@ -1,0 +1,136 @@
+package experiments
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"merchandiser/internal/apps"
+	"merchandiser/internal/model"
+	"merchandiser/internal/obs"
+)
+
+// Regenerate the golden metrics files after an intentional behavior change
+// with:
+//
+//	go test ./internal/experiments -run TestMetricsGolden -update
+var update = flag.Bool("update", false, "rewrite golden metrics files")
+
+// goldenCfg is a 2 applications × 2 policies quick matrix — small enough
+// for CI, rich enough to cover the static baseline and the full
+// Merchandiser pipeline (planner, gate, daemon).
+func goldenCfg(workers int) Config {
+	return Config{
+		Quick: true, Seed: 1, StepSec: 0.0005, Workers: workers,
+		Apps:     []string{"SpGEMM", "BFS"},
+		Policies: []string{"PM-only", "Merchandiser"},
+		Obs:      obs.New(),
+	}
+}
+
+// goldenEval runs the golden matrix with an untrained performance model
+// (linear interpolation — no corpus generation, so the test stays fast).
+func goldenEval(t *testing.T, workers int) (*Eval, Config) {
+	t.Helper()
+	cfg := goldenCfg(workers)
+	art := &Artifacts{Spec: apps.ExperimentSpec(), Perf: &model.PerfModel{}}
+	eval, err := RunEvaluation(art, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return eval, cfg
+}
+
+// TestMetricsGolden pins every cell's deterministic metrics snapshot to a
+// golden file under testdata/. Drift prints a readable line diff; -update
+// regenerates the files.
+func TestMetricsGolden(t *testing.T) {
+	eval, _ := goldenEval(t, 1)
+	for _, key := range eval.sortedCellKeys() {
+		slash := strings.IndexByte(key, '/')
+		run := eval.Runs[key[:slash]][key[slash+1:]]
+		if run == nil || run.Metrics == nil {
+			t.Fatalf("cell %s has no metrics", key)
+		}
+		got, err := run.Metrics.MarshalIndent()
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join("testdata", strings.ReplaceAll(key, "/", "__")+".metrics.json")
+		if *update {
+			if err := os.MkdirAll("testdata", 0o755); err != nil {
+				t.Fatal(err)
+			}
+			if err := os.WriteFile(path, got, 0o644); err != nil {
+				t.Fatal(err)
+			}
+			continue
+		}
+		want, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatalf("missing golden file for %s (run with -update to create): %v", key, err)
+		}
+		if d := obs.DiffText(string(want), string(got)); d != "" {
+			t.Errorf("metrics drift for %s (re-run with -update if intentional):\n%s", key, d)
+		}
+	}
+}
+
+// TestMetricsDeterministicAcrossWorkers is the cross-worker determinism
+// bar: the full metrics dump must be byte-identical whether the matrix ran
+// on one worker (sequential schedule, shared app instances) or eight.
+func TestMetricsDeterministicAcrossWorkers(t *testing.T) {
+	dump := func(workers int) string {
+		eval, cfg := goldenEval(t, workers)
+		var b strings.Builder
+		if err := eval.MetricsDump(cfg.Obs).WriteMetricsJSON(&b); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	one := dump(1)
+	eight := dump(8)
+	if d := obs.DiffText(one, eight); d != "" {
+		t.Fatalf("metrics differ between Workers=1 and Workers=8:\n%s", d)
+	}
+}
+
+// TestTraceDeterministicAndWellFormed checks the merged chrome-trace
+// stream: stable across runs, one process lane per cell, and every span
+// within its cell's run.
+func TestTraceDeterministicAndWellFormed(t *testing.T) {
+	trace := func() (*Eval, string) {
+		cfg := goldenCfg(4)
+		cfg.Trace = true
+		art := &Artifacts{Spec: apps.ExperimentSpec(), Perf: &model.PerfModel{}}
+		eval, err := RunEvaluation(art, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b strings.Builder
+		if err := eval.WriteTraceJSON(&b); err != nil {
+			t.Fatal(err)
+		}
+		return eval, b.String()
+	}
+	eval, first := trace()
+	_, second := trace()
+	if d := obs.DiffText(first, second); d != "" {
+		t.Fatalf("trace not deterministic:\n%s", d)
+	}
+	events := eval.TraceEvents()
+	if len(events) == 0 {
+		t.Fatal("no trace events")
+	}
+	lanes := map[int]bool{}
+	for _, ev := range events {
+		if ev.Name == "process_name" {
+			lanes[ev.Pid] = true
+		}
+	}
+	if len(lanes) != 4 {
+		t.Fatalf("%d process lanes, want 4 (2 apps x 2 policies)", len(lanes))
+	}
+}

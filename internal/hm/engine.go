@@ -6,6 +6,7 @@ import (
 
 	"merchandiser/internal/access"
 	"merchandiser/internal/cache"
+	"merchandiser/internal/obs"
 )
 
 // PhaseAccess is one data object's access stream within a phase: the
@@ -129,6 +130,11 @@ type Engine struct {
 	MaxSteps int
 	// Debug enables per-tick invariant checking.
 	Debug bool
+	// Obs, when non-nil, receives the engine's run metrics (per-tier bytes
+	// moved, migrations, occupancy, steps/ticks). All values derive from
+	// simulated time and seeded state, so they are deterministic for a
+	// fixed workload. A nil registry costs one branch per recording site.
+	Obs *obs.Registry
 }
 
 // entryState tracks one PhaseAccess's progress inside the engine.
@@ -206,6 +212,26 @@ func (e *Engine) Run(tasks []TaskWork) (*RunResult, error) {
 		Counters:  make([]TaskCounters, len(tasks)),
 	}
 
+	// Engine metrics: resolved once so the simulation loop pays a nil
+	// branch per tick, not a map lookup. Tier byte counters are flushed at
+	// tick granularity (the telemetry interval), never per step.
+	var (
+		obsBytes    [NumTiers]*obs.Counter
+		obsMigBytes [NumTiers]*obs.Counter
+		obsOcc      [NumTiers]*obs.Gauge
+		obsTicks    = e.Obs.Counter("hm.ticks")
+		obsSteps    = e.Obs.Counter("hm.steps")
+	)
+	if e.Obs != nil {
+		obsBytes[DRAM] = e.Obs.Counter("hm.bytes.dram")
+		obsBytes[PM] = e.Obs.Counter("hm.bytes.pm")
+		obsMigBytes[DRAM] = e.Obs.Counter("hm.bytes.migration.dram")
+		obsMigBytes[PM] = e.Obs.Counter("hm.bytes.migration.pm")
+		obsOcc[DRAM] = e.Obs.Gauge("hm.occupancy.dram_pages")
+		obsOcc[PM] = e.Obs.Gauge("hm.occupancy.pm_pages")
+	}
+	startMigDRAM, startMigPM := e.Mem.MigratedToDRAM, e.Mem.MigratedToPM
+
 	now := 0.0
 	nextTick := interval
 	var tickBytes, tickMigBytes [NumTiers]float64
@@ -216,7 +242,8 @@ func (e *Engine) Run(tasks []TaskWork) (*RunResult, error) {
 		}
 	}
 
-	for stepCount := 0; running > 0; stepCount++ {
+	stepCount := 0
+	for ; running > 0; stepCount++ {
 		if stepCount >= maxSteps {
 			return nil, fmt.Errorf("hm: simulation exceeded %d steps (step=%vs, %d tasks still running)", maxSteps, step, running)
 		}
@@ -360,8 +387,12 @@ func (e *Engine) Run(tasks []TaskWork) (*RunResult, error) {
 			for t := TierID(0); t < NumTiers; t++ {
 				s.GBs[t] = (tickBytes[t] + tickMigBytes[t]) / span / 1e9
 				s.MigGBs[t] = tickMigBytes[t] / span / 1e9
+				obsBytes[t].Add(tickBytes[t])
+				obsMigBytes[t].Add(tickMigBytes[t])
+				obsOcc[t].Set(float64(e.Mem.UsedPages(t)))
 				tickBytes[t], tickMigBytes[t] = 0, 0
 			}
+			obsTicks.Inc()
 			res.Bandwidth = append(res.Bandwidth, s)
 
 			if e.Policy != nil && running > 0 {
@@ -384,6 +415,15 @@ func (e *Engine) Run(tasks []TaskWork) (*RunResult, error) {
 			}
 			e.Mem.ResetIntervalCounters()
 			nextTick += interval
+		}
+	}
+
+	obsSteps.Add(float64(stepCount))
+	if e.Obs != nil {
+		e.Obs.Counter("hm.migrations.to_dram").Add(float64(e.Mem.MigratedToDRAM - startMigDRAM))
+		e.Obs.Counter("hm.migrations.to_pm").Add(float64(e.Mem.MigratedToPM - startMigPM))
+		for t := TierID(0); t < NumTiers; t++ {
+			obsOcc[t].Set(float64(e.Mem.UsedPages(t)))
 		}
 	}
 

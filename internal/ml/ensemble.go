@@ -2,6 +2,8 @@ package ml
 
 import (
 	"math/rand"
+
+	"merchandiser/internal/obs"
 )
 
 // ForestConfig configures a random forest (Table 3: n_estimators=20,
@@ -171,6 +173,10 @@ type GBRConfig struct {
 	// are inherently sequential, and each row's update is independent, so
 	// the fitted model is identical for any value.
 	Workers int
+	// Obs, when non-nil, receives fit/predict counts plus wall-clock fit
+	// and predict timers. The timers are volatile (excluded from
+	// deterministic snapshots); the counts are deterministic.
+	Obs *obs.Registry
 }
 
 func (c GBRConfig) withDefaults() GBRConfig {
@@ -199,11 +205,15 @@ type GradientBoosted struct {
 	trees       []*DecisionTree
 	importances []float64
 	fitted      bool
+	// predictions is resolved once at construction so the per-call cost of
+	// counting Predict/PredictAll rows is a nil check plus an atomic add.
+	predictions *obs.Counter
 }
 
 // NewGradientBoosted builds an unfitted GBR.
 func NewGradientBoosted(cfg GBRConfig) *GradientBoosted {
-	return &GradientBoosted{Config: cfg.withDefaults()}
+	cfg = cfg.withDefaults()
+	return &GradientBoosted{Config: cfg, predictions: cfg.Obs.Counter("ml.gbr.predictions")}
 }
 
 // Name implements Regressor.
@@ -214,6 +224,8 @@ func (g *GradientBoosted) Fit(X [][]float64, y []float64) error {
 	if err := validate(X, y); err != nil {
 		return err
 	}
+	defer g.Config.Obs.WallTimer("ml.gbr.fit_seconds").Start()()
+	g.Config.Obs.Counter("ml.gbr.fits").Inc()
 	n := len(X)
 	d := len(X[0])
 	rng := rand.New(rand.NewSource(g.Config.Seed))
@@ -286,6 +298,7 @@ func (g *GradientBoosted) Predict(x []float64) float64 {
 	if !g.fitted {
 		return 0
 	}
+	g.predictions.Inc()
 	out := g.base
 	for _, t := range g.trees {
 		out += g.Config.LearningRate * t.Predict(x)
@@ -301,6 +314,8 @@ func (g *GradientBoosted) PredictAll(X [][]float64) []float64 {
 	if !g.fitted {
 		return out
 	}
+	defer g.Config.Obs.WallTimer("ml.gbr.predict_seconds").Start()()
+	g.predictions.Add(float64(len(X)))
 	parallelChunks(len(X), g.Config.Workers, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			s := g.base

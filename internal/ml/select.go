@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"merchandiser/internal/obs"
 	"merchandiser/internal/stats"
 )
 
@@ -126,6 +127,61 @@ type SubsetScore struct {
 // and scores are returned in candidate order, so the result is identical
 // for any worker count (given a deterministic newModel).
 func CrossValidateSubsets(
+	newModel func() Regressor,
+	X [][]float64, y []float64,
+	features []string,
+	candidates [][]int,
+	folds int,
+	seed int64,
+	workers int,
+) ([]SubsetScore, error) {
+	return CrossValidateSubsetsObs(newModel, X, y, features, candidates, CVOptions{
+		Folds: folds, Seed: seed, Workers: workers,
+	})
+}
+
+// CVOptions tunes CrossValidateSubsetsObs.
+type CVOptions struct {
+	// Folds is the k of k-fold CV (min 2, default 5, capped at n).
+	Folds int
+	// Seed derives the shared fold assignment.
+	Seed int64
+	// Workers bounds candidate-level concurrency (0 = runtime.NumCPU()).
+	Workers int
+	// Obs, when non-nil, receives per-candidate mean-R² observations
+	// (ml.cv.mean_r2), the candidate count (ml.cv.candidates) and the best
+	// score (ml.cv.best_r2). Recorded after the parallel join in candidate
+	// order, so the metrics are identical for any worker count.
+	Obs *obs.Registry
+}
+
+// CrossValidateSubsetsObs is CrossValidateSubsets with an options struct
+// and optional metrics recording.
+func CrossValidateSubsetsObs(
+	newModel func() Regressor,
+	X [][]float64, y []float64,
+	features []string,
+	candidates [][]int,
+	opt CVOptions,
+) ([]SubsetScore, error) {
+	scores, err := crossValidateSubsets(newModel, X, y, features, candidates, opt.Folds, opt.Seed, opt.Workers)
+	if err != nil {
+		return nil, err
+	}
+	if reg := opt.Obs; reg != nil {
+		hist := reg.HistogramBuckets("ml.cv.mean_r2", []float64{-1, 0, 0.25, 0.5, 0.75, 0.9, 0.95, 0.99, 1})
+		for _, s := range scores {
+			hist.Observe(s.MeanR2)
+		}
+		reg.Counter("ml.cv.candidates").Add(float64(len(scores)))
+		if best := BestSubset(scores); best >= 0 {
+			reg.Gauge("ml.cv.best_r2").Set(scores[best].MeanR2)
+		}
+	}
+	return scores, nil
+}
+
+func crossValidateSubsets(
 	newModel func() Regressor,
 	X [][]float64, y []float64,
 	features []string,

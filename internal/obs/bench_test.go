@@ -1,0 +1,48 @@
+package obs
+
+import "testing"
+
+// BenchmarkCounterDisabled is the disabled hot path: a nil metric op must
+// be a branch, not an allocation (run with -benchmem; allocs/op must be 0).
+func BenchmarkCounterDisabled(b *testing.B) {
+	var r *Registry
+	c := r.Counter("hm.bytes.dram")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Add(64)
+	}
+}
+
+func BenchmarkCounterEnabled(b *testing.B) {
+	c := New().Counter("hm.bytes.dram")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Add(64)
+	}
+}
+
+func BenchmarkEmitDisabled(b *testing.B) {
+	var r *Registry
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		r.Emit(Event{Name: "instance", Ts: float64(i)})
+	}
+}
+
+func BenchmarkHistogramEnabled(b *testing.B) {
+	h := New().Histogram("run.instance_makespan")
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(float64(i%7) * 0.25)
+	}
+}
+
+func BenchmarkEventAppendJSON(b *testing.B) {
+	ev := Event{Name: "task:t0", Ts: 1500, Dur: 250, Pid: 1, Args: map[string]any{"instance": 3}}
+	var buf []byte
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		buf = ev.AppendJSON(buf[:0])
+	}
+	_ = buf
+}

@@ -1,0 +1,143 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+)
+
+// Event is one structured trace record, chrome-trace compatible: load the
+// encoded stream into chrome://tracing or Perfetto to see instance and
+// task spans on the simulated timeline.
+type Event struct {
+	// Name labels the event (task name, "instance", ...).
+	Name string
+	// Ph is the chrome-trace phase: "X" complete span, "B"/"E" begin/end,
+	// "i" instant, "C" counter, "M" metadata. Empty encodes as "X".
+	Ph string
+	// Ts is the event timestamp in microseconds of simulated time.
+	Ts float64
+	// Dur is the span duration in microseconds ("X" events).
+	Dur float64
+	// Pid/Tid group events into process/thread lanes; the experiments
+	// layer assigns one pid per (app, policy) cell.
+	Pid int
+	Tid int
+	// Args carries free-form structured detail.
+	Args map[string]any
+}
+
+// AppendJSON appends the event's canonical JSON encoding to dst and
+// returns the extended slice. The encoding is deterministic (args keys
+// sorted) and always valid JSON: non-finite numbers are zeroed and values
+// encoding/json rejects fall back to their string form.
+func (e Event) AppendJSON(dst []byte) []byte {
+	dst = append(dst, `{"name":`...)
+	dst = appendJSONString(dst, e.Name)
+	dst = append(dst, `,"ph":`...)
+	ph := e.Ph
+	if ph == "" {
+		ph = "X"
+	}
+	dst = appendJSONString(dst, ph)
+	dst = append(dst, `,"ts":`...)
+	dst = appendJSONFloat(dst, e.Ts)
+	if e.Dur != 0 {
+		dst = append(dst, `,"dur":`...)
+		dst = appendJSONFloat(dst, e.Dur)
+	}
+	dst = append(dst, `,"pid":`...)
+	dst = strconv.AppendInt(dst, int64(e.Pid), 10)
+	dst = append(dst, `,"tid":`...)
+	dst = strconv.AppendInt(dst, int64(e.Tid), 10)
+	if len(e.Args) > 0 {
+		dst = append(dst, `,"args":{`...)
+		keys := make([]string, 0, len(e.Args))
+		for k := range e.Args {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for i, k := range keys {
+			if i > 0 {
+				dst = append(dst, ',')
+			}
+			dst = appendJSONString(dst, k)
+			dst = append(dst, ':')
+			dst = appendJSONValue(dst, e.Args[k])
+		}
+		dst = append(dst, '}')
+	}
+	return append(dst, '}')
+}
+
+func appendJSONString(dst []byte, s string) []byte {
+	b, err := json.Marshal(s)
+	if err != nil {
+		// Unreachable: Marshal of a string cannot fail (invalid UTF-8 is
+		// replaced). Defensive fallback keeps the output valid regardless.
+		return append(dst, `""`...)
+	}
+	return append(dst, b...)
+}
+
+func appendJSONFloat(dst []byte, v float64) []byte {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return append(dst, '0')
+	}
+	b, err := json.Marshal(v)
+	if err != nil {
+		return append(dst, '0')
+	}
+	return append(dst, b...)
+}
+
+func appendJSONValue(dst []byte, v any) []byte {
+	if f, ok := v.(float64); ok && (math.IsNaN(f) || math.IsInf(f, 0)) {
+		return append(dst, '0')
+	}
+	b, err := json.Marshal(v)
+	if err != nil {
+		// Funcs, channels, cycles, NaN-in-composites: degrade to the
+		// value's string form so the record stays valid JSON.
+		return appendJSONString(dst, fmt.Sprint(v))
+	}
+	return append(dst, b...)
+}
+
+// WriteJSONL writes one JSON object per line — the grep-friendly form.
+func WriteJSONL(w io.Writer, events []Event) error {
+	var buf []byte
+	for _, ev := range events {
+		buf = ev.AppendJSON(buf[:0])
+		buf = append(buf, '\n')
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// WriteChromeTrace writes the chrome://tracing JSON object form:
+// {"traceEvents":[...]}.
+func WriteChromeTrace(w io.Writer, events []Event) error {
+	if _, err := io.WriteString(w, `{"traceEvents":[`); err != nil {
+		return err
+	}
+	var buf []byte
+	for i, ev := range events {
+		buf = buf[:0]
+		if i > 0 {
+			buf = append(buf, ',')
+		}
+		buf = append(buf, '\n')
+		buf = ev.AppendJSON(buf)
+		if _, err := w.Write(buf); err != nil {
+			return err
+		}
+	}
+	_, err := io.WriteString(w, "\n]}\n")
+	return err
+}

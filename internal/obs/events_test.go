@@ -1,0 +1,114 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestEventAppendJSON(t *testing.T) {
+	ev := Event{
+		Name: "task:t0",
+		Ts:   1500,
+		Dur:  250.5,
+		Pid:  2,
+		Tid:  1,
+		Args: map[string]any{"instance": 3, "app": "SpGEMM"},
+	}
+	got := string(ev.AppendJSON(nil))
+	want := `{"name":"task:t0","ph":"X","ts":1500,"dur":250.5,"pid":2,"tid":1,"args":{"app":"SpGEMM","instance":3}}`
+	if got != want {
+		t.Fatalf("encoded event:\n got %s\nwant %s", got, want)
+	}
+}
+
+func TestEventEncodeNonFinite(t *testing.T) {
+	ev := Event{Name: "x", Ts: math.NaN(), Dur: math.Inf(1), Args: map[string]any{"v": math.NaN()}}
+	b := ev.AppendJSON(nil)
+	var m map[string]any
+	if err := json.Unmarshal(b, &m); err != nil {
+		t.Fatalf("non-finite event encodes invalid JSON %s: %v", b, err)
+	}
+	if m["ts"] != 0.0 {
+		t.Fatalf("NaN ts not zeroed: %v", m["ts"])
+	}
+}
+
+func TestEventEncodeUnmarshalableArg(t *testing.T) {
+	ev := Event{Name: "x", Args: map[string]any{"f": func() {}}}
+	b := ev.AppendJSON(nil)
+	var m map[string]any
+	if err := json.Unmarshal(b, &m); err != nil {
+		t.Fatalf("unmarshalable arg broke encoding %s: %v", b, err)
+	}
+}
+
+func TestEmitAndOrder(t *testing.T) {
+	r := New()
+	r.Emit(Event{Name: "dropped"}) // events not yet enabled
+	r.EnableEvents()
+	r.Emit(Event{Name: "a", Ts: 1})
+	r.Emit(Event{Name: "b", Ts: 2})
+	evs := r.Events()
+	if len(evs) != 2 || evs[0].Name != "a" || evs[1].Name != "b" {
+		t.Fatalf("event log = %+v", evs)
+	}
+}
+
+func TestWriteJSONLAndChromeTrace(t *testing.T) {
+	events := []Event{
+		{Name: "instance", Ts: 0, Dur: 100, Args: map[string]any{"instance": 0}},
+		{Name: "task:t1", Ts: 0, Dur: 80},
+	}
+	var jl strings.Builder
+	if err := WriteJSONL(&jl, events); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(jl.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("jsonl has %d lines, want 2", len(lines))
+	}
+	for _, ln := range lines {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(ln), &m); err != nil {
+			t.Fatalf("invalid JSONL line %q: %v", ln, err)
+		}
+	}
+
+	var ct strings.Builder
+	if err := WriteChromeTrace(&ct, events); err != nil {
+		t.Fatal(err)
+	}
+	var wrapper struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal([]byte(ct.String()), &wrapper); err != nil {
+		t.Fatalf("invalid chrome trace %q: %v", ct.String(), err)
+	}
+	if len(wrapper.TraceEvents) != 2 {
+		t.Fatalf("chrome trace has %d events, want 2", len(wrapper.TraceEvents))
+	}
+	if wrapper.TraceEvents[0]["ph"] != "X" {
+		t.Fatalf("default phase = %v, want X", wrapper.TraceEvents[0]["ph"])
+	}
+}
+
+// TestEventEncodeDeterministic requires identical bytes for identical
+// events (args keys sorted, no map-order leakage).
+func TestEventEncodeDeterministic(t *testing.T) {
+	mk := func() Event {
+		return Event{Name: "e", Ts: 1, Args: map[string]any{
+			"zeta": 1, "alpha": "x", "mid": []int{1, 2}, "beta": 3.5, "gamma": true,
+		}}
+	}
+	a := string(mk().AppendJSON(nil))
+	for i := 0; i < 20; i++ {
+		if b := string(mk().AppendJSON(nil)); b != a {
+			t.Fatalf("encoding unstable:\n%s\n%s", a, b)
+		}
+	}
+	if idx := strings.Index(a, "alpha"); idx < 0 || idx > strings.Index(a, "zeta") {
+		t.Fatalf("args keys not sorted: %s", a)
+	}
+}

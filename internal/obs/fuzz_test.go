@@ -1,0 +1,50 @@
+package obs
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+)
+
+// FuzzEventEncode drives the chrome-trace encoder with arbitrary names,
+// phases, timestamps and args and requires that every record parses back
+// as valid JSON with the name and phase preserved.
+func FuzzEventEncode(f *testing.F) {
+	f.Add("task:t0", "X", 1.5, 2.5, "instance", "3")
+	f.Add("", "", 0.0, 0.0, "", "")
+	f.Add("weird\"name\\", "B", -1.0, math.MaxFloat64, "k\ney", "v\x00al")
+	f.Add("unicode→名前", "i", math.SmallestNonzeroFloat64, 1e308, "ключ", "значение")
+	f.Add("\xff\xfe invalid utf8", "M", math.NaN(), math.Inf(-1), "\xc3\x28", "{]")
+	f.Fuzz(func(t *testing.T, name, ph string, ts, dur float64, argKey, argVal string) {
+		ev := Event{
+			Name: name,
+			Ph:   ph,
+			Ts:   ts,
+			Dur:  dur,
+			Pid:  1,
+			Args: map[string]any{argKey: argVal, "f": ts},
+		}
+		b := ev.AppendJSON(nil)
+		var m map[string]any
+		if err := json.Unmarshal(b, &m); err != nil {
+			t.Fatalf("invalid JSON %q: %v", b, err)
+		}
+		// Round-trip: the decoded name must equal the input modulo the
+		// UTF-8 sanitation encoding/json applies to invalid bytes.
+		wantName, _ := json.Marshal(name)
+		var norm string
+		if err := json.Unmarshal(wantName, &norm); err != nil {
+			t.Fatalf("reference marshal broken: %v", err)
+		}
+		if m["name"] != norm {
+			t.Fatalf("name round-trip: got %q want %q", m["name"], norm)
+		}
+		if ph == "" && m["ph"] != "X" {
+			t.Fatalf("empty phase encoded as %v, want X", m["ph"])
+		}
+		// Encoding must be stable call-to-call.
+		if b2 := ev.AppendJSON(nil); string(b2) != string(b) {
+			t.Fatalf("unstable encoding:\n%s\n%s", b, b2)
+		}
+	})
+}

@@ -1,0 +1,378 @@
+// Package obs is the reproduction's deterministic observability layer:
+// counters, gauges, histograms and timers collected in a per-run Registry,
+// plus an optional structured event log of chrome-trace-compatible
+// records.
+//
+// Two properties make it usable as a test substrate, not just a
+// diagnostic:
+//
+//   - Determinism. Every metric recorded from the (single-threaded)
+//     simulation path is a pure function of the seed and the workload, and
+//     Snapshot/WriteJSON emit names in sorted order, so a metrics dump is
+//     byte-identical across repeated runs and across worker counts.
+//     Wall-clock timers are the one necessarily nondeterministic metric;
+//     they are marked volatile at creation (WallTimer) and excluded from
+//     snapshots unless explicitly requested, so the deterministic view
+//     stays golden-file stable.
+//   - Zero cost when disabled. Every method is nil-receiver safe: a nil
+//     *Registry returns nil metrics, and operations on nil metrics are
+//     no-ops with no allocation, so instrumented hot paths pay one
+//     predictable branch when observability is off.
+//
+// Counters use lock-free float64 CAS addition: integer-valued adds are
+// exact and commutative, so even counters shared across worker goroutines
+// (e.g. prediction counts) stay deterministic. Metrics whose value depends
+// on accumulation order (gauges, histogram sums) must only be recorded
+// from deterministic call sites; the simulation engine, task runtime and
+// placement planner are all single-goroutine per run.
+package obs
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically accumulated float64. Integer-valued adds are
+// exact and order-independent, so concurrent use keeps determinism.
+type Counter struct {
+	bits atomic.Uint64
+}
+
+// Add accumulates delta. No-op on a nil counter.
+func (c *Counter) Add(delta float64) {
+	if c == nil {
+		return
+	}
+	for {
+		old := c.bits.Load()
+		nv := math.Float64bits(math.Float64frombits(old) + delta)
+		if c.bits.CompareAndSwap(old, nv) {
+			return
+		}
+	}
+}
+
+// Inc adds 1. No-op on a nil counter.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Value returns the accumulated total (0 for nil).
+func (c *Counter) Value() float64 {
+	if c == nil {
+		return 0
+	}
+	return math.Float64frombits(c.bits.Load())
+}
+
+// Gauge is a sampled value that also tracks its observed range — the Max
+// is what capacity invariants assert against.
+type Gauge struct {
+	mu            sync.Mutex
+	set           bool
+	cur, min, max float64
+}
+
+// Set records the gauge's current value. No-op on a nil gauge.
+func (g *Gauge) Set(v float64) {
+	if g == nil {
+		return
+	}
+	g.mu.Lock()
+	if !g.set {
+		g.set, g.min, g.max = true, v, v
+	} else {
+		if v < g.min {
+			g.min = v
+		}
+		if v > g.max {
+			g.max = v
+		}
+	}
+	g.cur = v
+	g.mu.Unlock()
+}
+
+// Value returns the last Set value (0 for nil or never-set).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.cur
+}
+
+// Max returns the largest Set value (0 for nil or never-set).
+func (g *Gauge) Max() float64 {
+	if g == nil {
+		return 0
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.max
+}
+
+// Min returns the smallest Set value (0 for nil or never-set).
+func (g *Gauge) Min() float64 {
+	if g == nil {
+		return 0
+	}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	return g.min
+}
+
+// DefaultBuckets is the bucket ladder histograms use unless constructed
+// with explicit bounds: decades from 1 µs to 1000 s, a natural fit for the
+// simulator's seconds-valued observations.
+var DefaultBuckets = []float64{1e-6, 1e-5, 1e-4, 1e-3, 1e-2, 0.1, 1, 10, 100, 1000}
+
+// Histogram accumulates observations into fixed buckets (counts[i] holds
+// observations ≤ bounds[i]; the last slot is the overflow bucket).
+type Histogram struct {
+	mu       sync.Mutex
+	bounds   []float64
+	counts   []uint64
+	count    uint64
+	sum      float64
+	min, max float64
+}
+
+// Observe records one value. No-op on a nil histogram.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	h.mu.Lock()
+	if h.count == 0 {
+		h.min, h.max = v, v
+	} else {
+		if v < h.min {
+			h.min = v
+		}
+		if v > h.max {
+			h.max = v
+		}
+	}
+	h.count++
+	h.sum += v
+	i := sort.SearchFloat64s(h.bounds, v)
+	h.counts[i]++
+	h.mu.Unlock()
+}
+
+// Count returns the number of observations (0 for nil).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Sum returns the sum of observations (0 for nil).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// Timer accumulates durations in seconds. Deterministic timers are fed
+// simulated durations via Observe; WallTimer-created timers measure wall
+// clock via Start and are marked volatile (excluded from deterministic
+// snapshots).
+type Timer struct {
+	volatile bool
+	mu       sync.Mutex
+	count    uint64
+	seconds  float64
+}
+
+// Observe records a duration in seconds. No-op on a nil timer.
+func (t *Timer) Observe(seconds float64) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.count++
+	t.seconds += seconds
+	t.mu.Unlock()
+}
+
+// Start begins a wall-clock measurement and returns the function that
+// stops it. Safe (and a no-op) on a nil timer.
+func (t *Timer) Start() func() {
+	if t == nil {
+		return func() {}
+	}
+	start := time.Now()
+	return func() { t.Observe(time.Since(start).Seconds()) }
+}
+
+// Seconds returns the accumulated duration (0 for nil).
+func (t *Timer) Seconds() float64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.seconds
+}
+
+// Count returns the number of recorded durations (0 for nil).
+func (t *Timer) Count() uint64 {
+	if t == nil {
+		return 0
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.count
+}
+
+// Registry collects one run's metrics. The zero value is not usable; build
+// with New. A nil *Registry is the disabled observer: every method is safe
+// and every returned metric is a nil no-op.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+	timers   map[string]*Timer
+
+	eventsOn atomic.Bool
+	evMu     sync.Mutex
+	events   []Event
+}
+
+// New builds an empty registry (events disabled).
+func New() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+		timers:   map[string]*Timer{},
+	}
+}
+
+// Counter returns the named counter, creating it on first use. Nil
+// registry → nil counter.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	r.mu.Unlock()
+	return c
+}
+
+// Gauge returns the named gauge, creating it on first use.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	r.mu.Unlock()
+	return g
+}
+
+// Histogram returns the named histogram with DefaultBuckets, creating it
+// on first use.
+func (r *Registry) Histogram(name string) *Histogram {
+	return r.HistogramBuckets(name, DefaultBuckets)
+}
+
+// HistogramBuckets returns the named histogram, creating it with the given
+// upper bounds on first use (later calls reuse the existing buckets).
+func (r *Registry) HistogramBuckets(name string, bounds []float64) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	h, ok := r.hists[name]
+	if !ok {
+		b := append([]float64(nil), bounds...)
+		sort.Float64s(b)
+		h = &Histogram{bounds: b, counts: make([]uint64, len(b)+1)}
+		r.hists[name] = h
+	}
+	r.mu.Unlock()
+	return h
+}
+
+// Timer returns the named deterministic timer, creating it on first use.
+func (r *Registry) Timer(name string) *Timer {
+	return r.timer(name, false)
+}
+
+// WallTimer returns the named wall-clock timer, creating it (marked
+// volatile) on first use. Volatile timers are excluded from deterministic
+// snapshots.
+func (r *Registry) WallTimer(name string) *Timer {
+	return r.timer(name, true)
+}
+
+func (r *Registry) timer(name string, volatile bool) *Timer {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	t, ok := r.timers[name]
+	if !ok {
+		t = &Timer{volatile: volatile}
+		r.timers[name] = t
+	}
+	r.mu.Unlock()
+	return t
+}
+
+// EnableEvents turns on the structured event log. Safe on nil.
+func (r *Registry) EnableEvents() {
+	if r == nil {
+		return
+	}
+	r.eventsOn.Store(true)
+}
+
+// EventsEnabled reports whether Emit records anything — callers building
+// Event args on hot paths should guard on it to keep the disabled path
+// allocation-free.
+func (r *Registry) EventsEnabled() bool {
+	return r != nil && r.eventsOn.Load()
+}
+
+// Emit appends one event to the log. No-op (no allocation) unless events
+// are enabled.
+func (r *Registry) Emit(ev Event) {
+	if !r.EventsEnabled() {
+		return
+	}
+	r.evMu.Lock()
+	r.events = append(r.events, ev)
+	r.evMu.Unlock()
+}
+
+// Events returns a copy of the recorded event log in emission order.
+func (r *Registry) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	r.evMu.Lock()
+	defer r.evMu.Unlock()
+	return append([]Event(nil), r.events...)
+}

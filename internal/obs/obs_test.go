@@ -1,0 +1,170 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCounter(t *testing.T) {
+	r := New()
+	c := r.Counter("x")
+	c.Inc()
+	c.Add(2.5)
+	if got := c.Value(); got != 3.5 {
+		t.Fatalf("counter = %v, want 3.5", got)
+	}
+	if r.Counter("x") != c {
+		t.Fatal("second lookup returned a different counter")
+	}
+}
+
+func TestGaugeTracksRange(t *testing.T) {
+	g := New().Gauge("g")
+	g.Set(5)
+	g.Set(-1)
+	g.Set(3)
+	if g.Value() != 3 || g.Min() != -1 || g.Max() != 5 {
+		t.Fatalf("gauge value/min/max = %v/%v/%v, want 3/-1/5", g.Value(), g.Min(), g.Max())
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	r := New()
+	h := r.HistogramBuckets("h", []float64{1, 10})
+	for _, v := range []float64{0.5, 2, 3, 100} {
+		h.Observe(v)
+	}
+	if h.Count() != 4 {
+		t.Fatalf("count = %d, want 4", h.Count())
+	}
+	if h.Sum() != 105.5 {
+		t.Fatalf("sum = %v, want 105.5", h.Sum())
+	}
+	s := r.Snapshot(false)
+	hv := s.Histograms["h"]
+	want := []uint64{1, 2, 1} // ≤1, ≤10, overflow
+	for i, c := range want {
+		if hv.Counts[i] != c {
+			t.Fatalf("bucket %d = %d, want %d (counts %v)", i, hv.Counts[i], c, hv.Counts)
+		}
+	}
+	if hv.Min != 0.5 || hv.Max != 100 {
+		t.Fatalf("min/max = %v/%v", hv.Min, hv.Max)
+	}
+}
+
+func TestTimerDeterministicAndWall(t *testing.T) {
+	r := New()
+	d := r.Timer("sim")
+	d.Observe(1.5)
+	d.Observe(0.5)
+	if d.Seconds() != 2 || d.Count() != 2 {
+		t.Fatalf("timer seconds/count = %v/%d", d.Seconds(), d.Count())
+	}
+	w := r.WallTimer("wall")
+	w.Start()()
+	if w.Count() != 1 {
+		t.Fatalf("wall timer count = %d, want 1", w.Count())
+	}
+	s := r.Snapshot(false)
+	if _, ok := s.Timers["wall"]; ok {
+		t.Fatal("volatile timer leaked into deterministic snapshot")
+	}
+	if _, ok := s.Timers["sim"]; !ok {
+		t.Fatal("deterministic timer missing from snapshot")
+	}
+	sv := r.Snapshot(true)
+	if _, ok := sv.Timers["wall"]; !ok {
+		t.Fatal("volatile timer missing from includeVolatile snapshot")
+	}
+}
+
+func TestNilRegistryIsSafe(t *testing.T) {
+	var r *Registry
+	r.Counter("c").Add(1)
+	r.Counter("c").Inc()
+	r.Gauge("g").Set(2)
+	r.Histogram("h").Observe(3)
+	r.Timer("t").Observe(4)
+	r.WallTimer("w").Start()()
+	r.EnableEvents()
+	if r.EventsEnabled() {
+		t.Fatal("nil registry reports events enabled")
+	}
+	r.Emit(Event{Name: "e"})
+	if got := r.Events(); got != nil {
+		t.Fatalf("nil registry has events: %v", got)
+	}
+	if r.Counter("c").Value() != 0 || r.Gauge("g").Max() != 0 || r.Histogram("h").Count() != 0 || r.Timer("t").Seconds() != 0 {
+		t.Fatal("nil metrics returned non-zero values")
+	}
+	s := r.Snapshot(true)
+	if s == nil || len(s.Counters) != 0 {
+		t.Fatalf("nil registry snapshot = %+v", s)
+	}
+}
+
+func TestDisabledPathAllocatesNothing(t *testing.T) {
+	var r *Registry
+	c := r.Counter("c")
+	g := r.Gauge("g")
+	h := r.Histogram("h")
+	tm := r.Timer("t")
+	allocs := testing.AllocsPerRun(1000, func() {
+		c.Add(1)
+		g.Set(2)
+		h.Observe(3)
+		tm.Observe(4)
+		r.Emit(Event{Name: "e", Ts: 1})
+	})
+	if allocs != 0 {
+		t.Fatalf("disabled path allocates %.1f per op, want 0", allocs)
+	}
+}
+
+// TestSnapshotDeterministic replays the same recording into two registries
+// and requires byte-identical JSON — the substrate of the golden tests.
+func TestSnapshotDeterministic(t *testing.T) {
+	record := func() *Registry {
+		r := New()
+		r.Counter("b.count").Add(7)
+		r.Counter("a.count").Add(1e7 + 0.25)
+		r.Gauge("z.gauge").Set(3.25)
+		r.Gauge("z.gauge").Set(-1)
+		r.Histogram("m.hist").Observe(0.002)
+		r.Histogram("m.hist").Observe(13)
+		r.Timer("t.sim").Observe(0.125)
+		return r
+	}
+	a, err := record().Snapshot(false).MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := record().Snapshot(false).MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(a) != string(b) {
+		t.Fatalf("snapshots differ:\n%s", DiffText(string(a), string(b)))
+	}
+	// Keys must appear sorted for stability under map-layout changes.
+	if !strings.Contains(string(a), "a.count") {
+		t.Fatalf("snapshot missing counter: %s", a)
+	}
+	if strings.Index(string(a), "a.count") > strings.Index(string(a), "b.count") {
+		t.Fatal("counter keys not sorted in JSON output")
+	}
+}
+
+func TestDiffText(t *testing.T) {
+	if d := DiffText("a\nb", "a\nb"); d != "" {
+		t.Fatalf("identical texts diff: %q", d)
+	}
+	d := DiffText("a\nb\nc", "a\nX\nc")
+	if !strings.Contains(d, "line 2") || !strings.Contains(d, "want: b") || !strings.Contains(d, "got:  X") {
+		t.Fatalf("unreadable diff: %q", d)
+	}
+	if d := DiffText("a\n\n", "a\n"); d == "" {
+		t.Fatal("length-only difference not reported")
+	}
+}

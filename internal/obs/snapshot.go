@@ -1,0 +1,153 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// GaugeValue is one gauge's snapshot: the last value and the observed
+// range.
+type GaugeValue struct {
+	Value float64 `json:"value"`
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+}
+
+// HistogramValue is one histogram's snapshot. Counts[i] holds observations
+// ≤ Bounds[i]; the final slot is the overflow bucket.
+type HistogramValue struct {
+	Count  uint64    `json:"count"`
+	Sum    float64   `json:"sum"`
+	Min    float64   `json:"min"`
+	Max    float64   `json:"max"`
+	Bounds []float64 `json:"bounds"`
+	Counts []uint64  `json:"counts"`
+}
+
+// TimerValue is one timer's snapshot.
+type TimerValue struct {
+	Count   uint64  `json:"count"`
+	Seconds float64 `json:"seconds"`
+}
+
+// Snapshot is the point-in-time state of a registry's metrics. Maps
+// marshal with sorted keys under encoding/json, so WriteJSON output is
+// byte-stable for identical metric state.
+type Snapshot struct {
+	Counters   map[string]float64        `json:"counters,omitempty"`
+	Gauges     map[string]GaugeValue     `json:"gauges,omitempty"`
+	Histograms map[string]HistogramValue `json:"histograms,omitempty"`
+	Timers     map[string]TimerValue     `json:"timers,omitempty"`
+}
+
+// Snapshot captures the registry's current metric state. Volatile
+// (wall-clock) timers are included only when includeVolatile is set, so
+// the default view is deterministic for a fixed seed and workload. Nil
+// registries snapshot to an empty (non-nil) Snapshot.
+func (r *Registry) Snapshot(includeVolatile bool) *Snapshot {
+	s := &Snapshot{}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for name, c := range r.counters {
+		if s.Counters == nil {
+			s.Counters = map[string]float64{}
+		}
+		s.Counters[name] = c.Value()
+	}
+	for name, g := range r.gauges {
+		if s.Gauges == nil {
+			s.Gauges = map[string]GaugeValue{}
+		}
+		g.mu.Lock()
+		s.Gauges[name] = GaugeValue{Value: g.cur, Min: g.min, Max: g.max}
+		g.mu.Unlock()
+	}
+	for name, h := range r.hists {
+		if s.Histograms == nil {
+			s.Histograms = map[string]HistogramValue{}
+		}
+		h.mu.Lock()
+		s.Histograms[name] = HistogramValue{
+			Count:  h.count,
+			Sum:    h.sum,
+			Min:    h.min,
+			Max:    h.max,
+			Bounds: append([]float64(nil), h.bounds...),
+			Counts: append([]uint64(nil), h.counts...),
+		}
+		h.mu.Unlock()
+	}
+	for name, t := range r.timers {
+		if t.volatile && !includeVolatile {
+			continue
+		}
+		if s.Timers == nil {
+			s.Timers = map[string]TimerValue{}
+		}
+		t.mu.Lock()
+		s.Timers[name] = TimerValue{Count: t.count, Seconds: t.seconds}
+		t.mu.Unlock()
+	}
+	return s
+}
+
+// WriteJSON writes the snapshot as indented JSON with sorted keys —
+// byte-identical for identical metric state, directly assertable against
+// golden files.
+func (s *Snapshot) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(s)
+}
+
+// MarshalIndent returns the snapshot's canonical indented JSON bytes.
+func (s *Snapshot) MarshalIndent() ([]byte, error) {
+	var b strings.Builder
+	if err := s.WriteJSON(&b); err != nil {
+		return nil, err
+	}
+	return []byte(b.String()), nil
+}
+
+// DiffText compares two texts line by line and returns a readable
+// description of the first few differences ("" when identical) — what
+// golden-file tests print on drift.
+func DiffText(want, got string) string {
+	if want == got {
+		return ""
+	}
+	wl := strings.Split(want, "\n")
+	gl := strings.Split(got, "\n")
+	var b strings.Builder
+	shown := 0
+	n := len(wl)
+	if len(gl) > n {
+		n = len(gl)
+	}
+	for i := 0; i < n && shown < 8; i++ {
+		var w, g string
+		if i < len(wl) {
+			w = wl[i]
+		}
+		if i < len(gl) {
+			g = gl[i]
+		}
+		if w == g {
+			continue
+		}
+		fmt.Fprintf(&b, "line %d:\n  want: %s\n  got:  %s\n", i+1, w, g)
+		shown++
+	}
+	if shown == 8 {
+		b.WriteString("  ... (further differences elided)\n")
+	}
+	if b.Len() == 0 {
+		fmt.Fprintf(&b, "texts differ in length only: want %d lines, got %d", len(wl), len(gl))
+	}
+	return b.String()
+}

@@ -1,0 +1,82 @@
+package placement
+
+import (
+	"math/rand"
+	"testing"
+
+	"merchandiser/internal/obs"
+)
+
+// TestPlannerMetricsInvariants checks the planner's observed identities
+// over randomized instances: every prediction is either a memo hit or a
+// miss, the rounds counter mirrors Plan.Rounds, and the recorded predicted
+// makespan matches the plan's.
+func TestPlannerMetricsInvariants(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3, 4} {
+		rng := rand.New(rand.NewSource(seed))
+		n := 2 + rng.Intn(6)
+		tasks := make([]TaskInput, n)
+		for i := range tasks {
+			tPm := 1 + 9*rng.Float64()
+			tasks[i] = task(string(rune('a'+i)), tPm, tPm*(0.2+0.5*rng.Float64()),
+				1e6*(1+rng.Float64()), 500+uint64(rng.Intn(1500)))
+		}
+		reg := obs.New()
+		dc := uint64(200 + rng.Intn(4000))
+		plan, err := GreedyLoadBalance(tasks, dc, linearModel(), Config{Obs: reg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		snap := reg.Snapshot(false)
+		preds := snap.Counters["placement.predictions"]
+		hits := snap.Counters["placement.memo.hits"]
+		misses := snap.Counters["placement.memo.misses"]
+		if preds == 0 {
+			t.Fatalf("seed %d: no predictions recorded", seed)
+		}
+		if hits+misses != preds {
+			t.Fatalf("seed %d: hits %v + misses %v != predictions %v", seed, hits, misses, preds)
+		}
+		if got := snap.Counters["placement.rounds"]; got != float64(plan.Rounds) {
+			t.Fatalf("seed %d: rounds counter %v, plan ran %d", seed, got, plan.Rounds)
+		}
+		if got := snap.Counters["placement.plans"]; got != 1 {
+			t.Fatalf("seed %d: plans counter %v", seed, got)
+		}
+		if got := snap.Gauges["placement.predicted_makespan"].Value; got != plan.PredictedMakespan() {
+			t.Fatalf("seed %d: predicted makespan gauge %v != %v", seed, got, plan.PredictedMakespan())
+		}
+		h, ok := snap.Histograms["placement.ratio_delta"]
+		if !ok || h.Count == 0 {
+			t.Fatalf("seed %d: no ratio-delta observations", seed)
+		}
+		if uint64(plan.Rounds) != h.Count {
+			t.Fatalf("seed %d: %d rounds but %d ratio deltas", seed, plan.Rounds, h.Count)
+		}
+	}
+}
+
+// TestPlannerNilRegistryUnchanged verifies that observing a plan does not
+// change it: with and without a registry, the outputs are identical.
+func TestPlannerNilRegistryUnchanged(t *testing.T) {
+	tasks := []TaskInput{
+		task("slow", 10, 2, 1e6, 1000),
+		task("fast", 4, 1, 1e6, 1000),
+	}
+	bare, err := GreedyLoadBalance(tasks, 1200, linearModel(), Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	observed, err := GreedyLoadBalance(tasks, 1200, linearModel(), Config{Obs: obs.New()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bare.PredictedMakespan() != observed.PredictedMakespan() || bare.Rounds != observed.Rounds {
+		t.Fatalf("observation changed the plan: %+v vs %+v", bare, observed)
+	}
+	for i := range bare.DRAMAccesses {
+		if bare.DRAMAccesses[i] != observed.DRAMAccesses[i] || bare.DRAMPages[i] != observed.DRAMPages[i] {
+			t.Fatalf("task %d grants differ under observation", i)
+		}
+	}
+}

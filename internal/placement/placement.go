@@ -19,6 +19,7 @@ import (
 
 	"merchandiser/internal/hm"
 	"merchandiser/internal/model"
+	"merchandiser/internal/obs"
 	"merchandiser/internal/pmc"
 )
 
@@ -90,6 +91,10 @@ type Config struct {
 	Step float64
 	// MaxRounds bounds the outer loop defensively.
 	MaxRounds int
+	// Obs, when non-nil, receives planner metrics: rounds, per-round grant
+	// ratio deltas, memoized-prediction hit rates and the predicted
+	// makespan. Deterministic for identical inputs.
+	Obs *obs.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -162,6 +167,10 @@ type predictMemo struct {
 	tasks []TaskInput
 	perf  *model.PerfModel
 	cache map[predictKey]float64
+	// requests/hits/misses count prediction lookups for the memo-hit-rate
+	// metric; requests == hits + misses is an observed invariant the
+	// property tests assert.
+	requests, hits, misses *obs.Counter
 }
 
 type predictKey struct {
@@ -169,10 +178,17 @@ type predictKey struct {
 	rbits uint64
 }
 
-func newPredictMemo(tasks []TaskInput, perf *model.PerfModel) *predictMemo {
+func newPredictMemo(tasks []TaskInput, perf *model.PerfModel, reg *obs.Registry) *predictMemo {
 	// Pre-size for a handful of distinct ratios per task so the common case
 	// never rehashes.
-	return &predictMemo{tasks: tasks, perf: perf, cache: make(map[predictKey]float64, 8*len(tasks))}
+	return &predictMemo{
+		tasks:    tasks,
+		perf:     perf,
+		cache:    make(map[predictKey]float64, 8*len(tasks)),
+		requests: reg.Counter("placement.predictions"),
+		hits:     reg.Counter("placement.memo.hits"),
+		misses:   reg.Counter("placement.memo.misses"),
+	}
 }
 
 // predict converts a DRAM access goal into a ratio and returns the cached
@@ -187,10 +203,13 @@ func (m *predictMemo) predict(i int, dramAcc float64) float64 {
 }
 
 func (m *predictMemo) predictRatio(i int, r float64) float64 {
+	m.requests.Inc()
 	key := predictKey{task: i, rbits: math.Float64bits(r)}
 	if v, ok := m.cache[key]; ok {
+		m.hits.Inc()
 		return v
 	}
+	m.misses.Inc()
 	t := m.tasks[i]
 	v := m.perf.Predict(t.TPmOnly, t.TDramOnly, t.Events, r)
 	m.cache[key] = v
@@ -235,8 +254,13 @@ func GreedyLoadBalance(tasks []TaskInput, dc uint64, perf *model.PerfModel, cfg 
 	// steps land on a small grid of ratios. Predictions are deterministic,
 	// so memoize them per plan, keyed on the exact ratio bits (a lossless
 	// quantization: equal ratios share a key, different ratios never do).
-	memo := newPredictMemo(tasks, perf)
+	memo := newPredictMemo(tasks, perf, cfg.Obs)
 	predict := memo.predict
+	// ratioDelta observes the per-round grant growth as a fraction of the
+	// incumbent's total accesses; one Step per inner iteration, so the
+	// distribution shows how many 5% steps each round needed.
+	ratioDelta := cfg.Obs.HistogramBuckets("placement.ratio_delta",
+		[]float64{0.01, 0.02, 0.05, 0.1, 0.2, 0.5, 1})
 
 	// full marks tasks whose DRAM access goal reached 100%.
 	full := make([]bool, n)
@@ -267,6 +291,7 @@ func GreedyLoadBalance(tasks []TaskInput, dc uint64, perf *model.PerfModel, cfg 
 
 		t := tasks[longest]
 		dramAcc := plan.DRAMAccesses[longest]
+		prevAcc := dramAcc
 
 		// Lines 13-16 (do-while): grow this task's DRAM accesses by 5%
 		// steps until it is no longer the bottleneck (or fully granted).
@@ -304,18 +329,29 @@ func GreedyLoadBalance(tasks []TaskInput, dc uint64, perf *model.PerfModel, cfg 
 			}
 			plan.Predicted[longest] = predict(longest, plan.DRAMAccesses[longest])
 			plan.Rounds = round + 1
+			if t.TotalAccesses > 0 {
+				ratioDelta.Observe((plan.DRAMAccesses[longest] - prevAcc) / t.TotalAccesses)
+			}
 			break // Line 19: DRAM capacity exhausted
 		}
 		plan.DRAMAccesses[longest] = dramAcc
 		plan.DRAMPages[longest] = newPages
 		used = others + newPages
 		plan.Rounds = round + 1
+		if t.TotalAccesses > 0 {
+			ratioDelta.Observe((dramAcc - prevAcc) / t.TotalAccesses)
+		}
 	}
 
 	for i, t := range tasks {
 		if t.TotalAccesses > 0 {
 			plan.GoalRatio[i] = plan.DRAMAccesses[i] / t.TotalAccesses
 		}
+	}
+	if reg := cfg.Obs; reg != nil {
+		reg.Counter("placement.plans").Inc()
+		reg.Counter("placement.rounds").Add(float64(plan.Rounds))
+		reg.Gauge("placement.predicted_makespan").Set(plan.PredictedMakespan())
 	}
 	return plan, nil
 }
@@ -406,7 +442,7 @@ func MinMakespanPlan(tasks []TaskInput, dc uint64, perf *model.PerfModel, tol fl
 	// The bisections revisit the endpoints and nearby ratios for every
 	// candidate T; the same per-plan memo that serves Algorithm 1 removes
 	// those repeated model walks.
-	predict := newPredictMemo(tasks, perf).predictRatio
+	predict := newPredictMemo(tasks, perf, nil).predictRatio
 	// Minimum DRAM ratio for task i to be predicted at or under T
 	// (+inf pages when even r = 1 cannot reach T).
 	minRatioFor := func(i int, T float64) (float64, bool) {

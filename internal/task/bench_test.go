@@ -1,0 +1,36 @@
+package task
+
+import (
+	"testing"
+
+	"merchandiser/internal/obs"
+)
+
+func benchRun(b *testing.B, reg func() *obs.Registry) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		app := &randomApp{nTasks: 4, nInstances: 3, seed: 1}
+		if _, err := Run(app, testSpec(), namedNoop{}, Options{StepSec: 0.001, Observer: reg()}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRunBare is the disabled-observer baseline; comparing against
+// BenchmarkRunObserved bounds the enabled-path overhead (the acceptance
+// bar is 5%), and allocs/op must match the pre-instrumentation engine.
+func BenchmarkRunBare(b *testing.B) {
+	benchRun(b, func() *obs.Registry { return nil })
+}
+
+func BenchmarkRunObserved(b *testing.B) {
+	benchRun(b, obs.New)
+}
+
+func BenchmarkRunTraced(b *testing.B) {
+	benchRun(b, func() *obs.Registry {
+		r := obs.New()
+		r.EnableEvents()
+		return r
+	})
+}

@@ -1,0 +1,175 @@
+package task
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"merchandiser/internal/access"
+	"merchandiser/internal/hm"
+	"merchandiser/internal/obs"
+)
+
+// randomApp is dummyApp with per-instance access counts drawn from a
+// seeded rng, so the observability invariants are exercised on irregular
+// workloads, not just hand-picked ones.
+type randomApp struct {
+	nTasks, nInstances int
+	seed               int64
+	objs               []*hm.Object
+}
+
+func (a *randomApp) Name() string      { return "random" }
+func (a *randomApp) NumInstances() int { return a.nInstances }
+
+func (a *randomApp) Setup(mem *hm.Memory) error {
+	for t := 0; t < a.nTasks; t++ {
+		o, err := mem.Alloc("obj", taskName(t), 128*1024, hm.PM)
+		if err != nil {
+			return err
+		}
+		a.objs = append(a.objs, o)
+	}
+	return nil
+}
+
+func (a *randomApp) Instance(i int, mem *hm.Memory) ([]hm.TaskWork, error) {
+	rng := rand.New(rand.NewSource(a.seed + int64(i)))
+	var works []hm.TaskWork
+	for t := 0; t < a.nTasks; t++ {
+		kind := access.Stream
+		if t%2 == 1 {
+			kind = access.Random
+		}
+		works = append(works, hm.TaskWork{
+			Name: taskName(t),
+			Phases: []hm.Phase{{
+				Name:           "p",
+				ComputeSeconds: 0.001 * rng.Float64(),
+				Accesses: []hm.PhaseAccess{{
+					Obj:             a.objs[t],
+					Pattern:         access.Pattern{Kind: kind, ElemSize: 8},
+					ProgramAccesses: 2e5 + 8e5*rng.Float64(),
+				}},
+			}},
+		})
+	}
+	return works, nil
+}
+
+// TestObservedInvariants checks the metric identities the observability
+// layer promises, over several randomized workloads:
+//
+//   - per task, busy + stall == wall at every global sync (stall includes
+//     the barrier wait behind the slowest task);
+//   - per task, accumulated wall time == the run's total time;
+//   - the DRAM occupancy gauge never exceeds the platform's capacity;
+//   - the instance-makespan histogram count equals the instance count and
+//     its sum equals Result.TotalTime;
+//   - run.total_seconds reports exactly Result.TotalTime.
+func TestObservedInvariants(t *testing.T) {
+	for _, seed := range []int64{1, 7, 42} {
+		app := &randomApp{nTasks: 4, nInstances: 3, seed: seed}
+		reg := obs.New()
+		spec := testSpec()
+		res, err := Run(app, spec, namedNoop{}, Options{StepSec: 0.001, Observer: reg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		snap := reg.Snapshot(false)
+		const eps = 1e-9
+		for i := 0; i < app.nTasks; i++ {
+			name := taskName(i)
+			busy := snap.Counters["task."+name+".busy_seconds"]
+			stall := snap.Counters["task."+name+".stall_seconds"]
+			wall := snap.Counters["task."+name+".wall_seconds"]
+			if math.Abs(busy+stall-wall) > eps*math.Max(1, wall) {
+				t.Fatalf("seed %d task %s: busy %v + stall %v != wall %v", seed, name, busy, stall, wall)
+			}
+			if math.Abs(wall-res.TotalTime) > eps*math.Max(1, wall) {
+				t.Fatalf("seed %d task %s: wall %v != total %v", seed, name, wall, res.TotalTime)
+			}
+		}
+		occ, ok := snap.Gauges["hm.occupancy.dram_pages"]
+		if !ok {
+			t.Fatalf("seed %d: no DRAM occupancy gauge", seed)
+		}
+		if cap := float64(spec.CapacityPages(hm.DRAM)); occ.Max > cap {
+			t.Fatalf("seed %d: DRAM occupancy peaked at %v pages, capacity %v", seed, occ.Max, cap)
+		}
+		h, ok := snap.Histograms["run.instance_makespan_seconds"]
+		if !ok {
+			t.Fatalf("seed %d: no makespan histogram", seed)
+		}
+		if h.Count != uint64(app.nInstances) {
+			t.Fatalf("seed %d: histogram saw %d instances, ran %d", seed, h.Count, app.nInstances)
+		}
+		if math.Abs(h.Sum-res.TotalTime) > eps*math.Max(1, res.TotalTime) {
+			t.Fatalf("seed %d: histogram sum %v != TotalTime %v", seed, h.Sum, res.TotalTime)
+		}
+		if got := snap.Counters["run.instances"]; got != float64(app.nInstances) {
+			t.Fatalf("seed %d: run.instances = %v", seed, got)
+		}
+		if got := snap.Gauges["run.total_seconds"].Value; got != res.TotalTime {
+			t.Fatalf("seed %d: run.total_seconds %v != %v", seed, got, res.TotalTime)
+		}
+	}
+}
+
+// TestObserverEventsSpanInstances checks the trace view: one instance span
+// per instance plus one task span per (instance, task), laid out on the
+// simulated timeline in microseconds.
+func TestObserverEventsSpanInstances(t *testing.T) {
+	app := &randomApp{nTasks: 3, nInstances: 2, seed: 5}
+	reg := obs.New()
+	reg.EnableEvents()
+	res, err := Run(app, testSpec(), namedNoop{}, Options{StepSec: 0.001, Observer: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	events := reg.Events()
+	var instances, tasks int
+	var lastTs float64 = -1
+	for _, ev := range events {
+		switch {
+		case ev.Name == "instance":
+			instances++
+			if ev.Ts < lastTs {
+				t.Fatalf("instance spans out of order: %v after %v", ev.Ts, lastTs)
+			}
+			lastTs = ev.Ts
+		default:
+			tasks++
+		}
+		if ev.Ts < 0 || ev.Ts > res.TotalTime*1e6 {
+			t.Fatalf("event %q at ts %v outside the run [0, %v]", ev.Name, ev.Ts, res.TotalTime*1e6)
+		}
+	}
+	if instances != app.nInstances {
+		t.Fatalf("%d instance spans, want %d", instances, app.nInstances)
+	}
+	if tasks != app.nInstances*app.nTasks {
+		t.Fatalf("%d task spans, want %d", tasks, app.nInstances*app.nTasks)
+	}
+}
+
+// TestRunMetricsDeterministic replays the same run twice into fresh
+// registries and requires byte-identical deterministic snapshots.
+func TestRunMetricsDeterministic(t *testing.T) {
+	dump := func() string {
+		app := &randomApp{nTasks: 4, nInstances: 3, seed: 9}
+		reg := obs.New()
+		if _, err := Run(app, testSpec(), namedNoop{}, Options{StepSec: 0.001, Observer: reg}); err != nil {
+			t.Fatal(err)
+		}
+		b, err := reg.Snapshot(false).MarshalIndent()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(b)
+	}
+	a, b := dump(), dump()
+	if d := obs.DiffText(a, b); d != "" {
+		t.Fatalf("repeated runs produced different metrics:\n%s", d)
+	}
+}

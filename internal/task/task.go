@@ -15,6 +15,7 @@ import (
 	"fmt"
 
 	"merchandiser/internal/hm"
+	"merchandiser/internal/obs"
 )
 
 // App is a task-parallel application.
@@ -56,6 +57,13 @@ type Options struct {
 	StepSec     float64
 	IntervalSec float64
 	Debug       bool
+	// Observer, when non-nil, collects the run's metrics (per-task
+	// busy/stall at every global sync, per-instance makespans, tier bytes
+	// and occupancy from the engine) and — if its event log is enabled —
+	// chrome-trace spans per instance and task on the simulated timeline.
+	// Everything recorded is deterministic for a fixed seed; nil disables
+	// observability at no allocation cost.
+	Observer *obs.Registry
 }
 
 // InstanceResult is one instance's outcome.
@@ -119,6 +127,7 @@ func Run(app App, spec hm.SystemSpec, pol Policy, opts Options) (*Result, error)
 			IntervalSec: opts.IntervalSec,
 			MemoryMode:  pol.MemoryMode(),
 			Debug:       opts.Debug,
+			Obs:         opts.Observer,
 		}
 		rr, err := eng.Run(works)
 		if err != nil {
@@ -133,13 +142,61 @@ func Run(app App, spec hm.SystemSpec, pol Policy, opts Options) (*Result, error)
 			Makespan:  rr.Makespan,
 			Counters:  rr.Counters,
 		})
+		observeInstance(opts.Observer, res.TotalTime, i, rr)
 		res.TotalTime += rr.Makespan
 		if err := pol.AfterInstance(i, mem, rr); err != nil {
 			return nil, fmt.Errorf("task: policy %s after instance %d: %w", pol.Name(), i, err)
 		}
 	}
 	res.MigratedToDRAM = mem.MigratedToDRAM
+	if reg := opts.Observer; reg != nil {
+		reg.Gauge("run.total_seconds").Set(res.TotalTime)
+		reg.Gauge("run.migrated_pages.to_dram").Set(float64(res.MigratedToDRAM))
+	}
 	return res, nil
+}
+
+// observeInstance records one instance's outcome at its global sync point:
+// per-task busy/stall/wall accumulators (Figure 5's load-balance view —
+// stall includes both memory stalls and the barrier wait behind the
+// slowest task), the makespan histogram, and — when the event log is on —
+// one chrome-trace span per instance and per task at the instance's
+// simulated-time offset t0.
+func observeInstance(reg *obs.Registry, t0 float64, instance int, rr *hm.RunResult) {
+	if reg == nil {
+		return
+	}
+	for _, c := range rr.Counters {
+		busy := c.FinishTime - c.StallSeconds
+		stall := c.StallSeconds + (rr.Makespan - c.FinishTime)
+		reg.Counter("task."+c.Name+".busy_seconds").Add(busy)
+		reg.Counter("task."+c.Name+".stall_seconds").Add(stall)
+		reg.Counter("task."+c.Name+".wall_seconds").Add(rr.Makespan)
+	}
+	reg.Histogram("run.instance_makespan_seconds").Observe(rr.Makespan)
+	reg.Counter("run.instances").Inc()
+	if !reg.EventsEnabled() {
+		return
+	}
+	reg.Emit(obs.Event{
+		Name: "instance",
+		Ts:   t0 * 1e6,
+		Dur:  rr.Makespan * 1e6,
+		Args: map[string]any{"instance": instance, "tasks": len(rr.Counters)},
+	})
+	for ti, c := range rr.Counters {
+		reg.Emit(obs.Event{
+			Name: "task:" + c.Name,
+			Ts:   t0 * 1e6,
+			Dur:  c.FinishTime * 1e6,
+			Tid:  ti + 1,
+			Args: map[string]any{
+				"instance": instance,
+				"stall_s":  c.StallSeconds,
+				"r_dram":   c.RDRAM(),
+			},
+		})
+	}
 }
 
 // Base is a no-op Policy to embed; zero value implements every method.

@@ -25,6 +25,7 @@ import (
 	"merchandiser/internal/core"
 	"merchandiser/internal/hm"
 	"merchandiser/internal/model"
+	"merchandiser/internal/obs"
 	"merchandiser/internal/task"
 )
 
@@ -52,7 +53,23 @@ type (
 	Memory = hm.Memory
 	// Object is a registered data object.
 	Object = hm.Object
+	// Observer collects a run's metrics and (optionally) its event log;
+	// attach one via Options.Observer. A nil Observer disables
+	// observability at zero cost.
+	Observer = obs.Registry
+	// Metrics is a point-in-time snapshot of an Observer's metric state,
+	// byte-stable under its WriteJSON for identical runs.
+	Metrics = obs.Snapshot
+	// TraceEvent is one chrome-trace-compatible record of an Observer's
+	// event log.
+	TraceEvent = obs.Event
 )
+
+// NewObserver returns an empty metrics registry. Call EnableEvents on it
+// to additionally collect the chrome-trace event log, pass it as
+// Options.Observer, and read results with Snapshot(false) (deterministic
+// view) or Events().
+func NewObserver() *Observer { return obs.New() }
 
 // Tier identifiers, re-exported.
 const (
@@ -102,6 +119,14 @@ func NewSystem(spec SystemSpec, level TrainLevel) (*System, error) {
 // trained performance model.
 func (s *System) Merchandiser() Policy {
 	return core.New(core.Config{Spec: s.Spec, Perf: s.Perf})
+}
+
+// MerchandiserWithObserver returns the paper's policy wired to record its
+// planner and migration-gate metrics into reg (pass the same registry as
+// Options.Observer to get runtime, engine and planner metrics in one
+// place).
+func (s *System) MerchandiserWithObserver(reg *Observer) Policy {
+	return core.New(core.Config{Spec: s.Spec, Perf: s.Perf, Obs: reg})
 }
 
 // PMOnly returns the slow-tier-only baseline policy.

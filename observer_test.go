@@ -1,0 +1,65 @@
+package merchandiser
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPublicObserverAPI exercises the exported observability surface: an
+// Observer attached via Options.Observer (and wired into the policy via
+// MerchandiserWithObserver) collects runtime, engine and planner metrics
+// plus trace events, and the deterministic snapshot is byte-stable across
+// repeated runs.
+func TestPublicObserverAPI(t *testing.T) {
+	sys, err := NewSystem(testSpec(), TrainNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() (*Metrics, []TraceEvent) {
+		reg := NewObserver()
+		reg.EnableEvents()
+		res, err := sys.Run(buildTestApp(t, 3), sys.MerchandiserWithObserver(reg),
+			Options{StepSec: 0.001, IntervalSec: 0.02, Observer: reg})
+		if err != nil {
+			t.Fatal(err)
+		}
+		snap := reg.Snapshot(false)
+		if got := snap.Gauges["run.total_seconds"].Value; got != res.TotalTime {
+			t.Fatalf("run.total_seconds %v != TotalTime %v", got, res.TotalTime)
+		}
+		return snap, reg.Events()
+	}
+	snap, events := run()
+	for _, name := range []string{
+		"run.instances", "hm.steps", "placement.predictions", "core.plans",
+		"task.t0.busy_seconds", "task.t1.stall_seconds",
+	} {
+		if _, ok := snap.Counters[name]; !ok {
+			t.Fatalf("metric %q missing; have %v", name, snap.Counters)
+		}
+	}
+	if len(events) == 0 {
+		t.Fatal("no trace events recorded")
+	}
+
+	first, err := snap.MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap2, _ := run()
+	second, err := snap2.MarshalIndent()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(first) != string(second) {
+		t.Fatal("deterministic snapshot differs across identical runs")
+	}
+	if !strings.HasPrefix(string(first), "{") {
+		t.Fatalf("snapshot JSON malformed: %s", first)
+	}
+
+	// Without an observer nothing is collected and nothing breaks.
+	if _, err := sys.Run(buildTestApp(t, 2), sys.Merchandiser(), Options{StepSec: 0.001}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,8 +1,10 @@
 #!/bin/sh
 # Repo health check: vet everything, then run the concurrency-bearing
 # packages (corpus worker pool, parallel ml fitting, memoized placement,
-# pooled evaluation matrix) under the race detector so the training
-# pipeline stays race-clean.
+# pooled evaluation matrix, observability registries shared across
+# workers) under the race detector, smoke the event-encoder fuzz target
+# on its seed corpus plus 10s of new inputs, and hold internal/obs to a
+# coverage floor.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -12,7 +14,23 @@ go vet ./...
 echo "== go build ./..."
 go build ./...
 
-echo "== go test -race (corpus, ml, placement, experiments)"
-go test -race ./internal/corpus ./internal/ml ./internal/placement ./internal/experiments
+echo "== go test -race (corpus, ml, placement, experiments, obs, hm, task)"
+go test -race ./internal/corpus ./internal/ml ./internal/placement \
+	./internal/experiments ./internal/obs ./internal/hm ./internal/task
+
+echo "== fuzz smoke (FuzzEventEncode, 10s)"
+go test ./internal/obs -run '^$' -fuzz '^FuzzEventEncode$' -fuzztime 10s
+
+echo "== coverage floor (internal/obs >= 70%)"
+cov=$(go test -cover ./internal/obs | awk '{for (i=1;i<=NF;i++) if ($i ~ /^[0-9.]+%$/) {sub(/%/,"",$i); print $i}}')
+if [ -z "$cov" ]; then
+	echo "could not parse coverage for internal/obs" >&2
+	exit 1
+fi
+if ! awk -v c="$cov" 'BEGIN { exit (c >= 70.0) ? 0 : 1 }'; then
+	echo "internal/obs coverage ${cov}% is under the 70% floor" >&2
+	exit 1
+fi
+echo "internal/obs coverage: ${cov}%"
 
 echo "check OK"

@@ -7,6 +7,7 @@ package merchandiser
 // so `go test -bench=. -benchmem` regenerates every experiment.
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -35,7 +36,7 @@ var benchArt *experiments.Artifacts
 func artifacts(b *testing.B) *experiments.Artifacts {
 	b.Helper()
 	if benchArt == nil {
-		a, err := experiments.Prepare(benchCfg())
+		a, err := experiments.Prepare(context.Background(), benchCfg())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -49,7 +50,7 @@ var benchEval *experiments.Eval
 func evaluation(b *testing.B) *experiments.Eval {
 	b.Helper()
 	if benchEval == nil {
-		e, err := experiments.RunEvaluation(artifacts(b), benchCfg())
+		e, err := experiments.RunEvaluation(context.Background(), artifacts(b), benchCfg())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -76,7 +77,7 @@ func BenchmarkTable2ApplicationFootprints(b *testing.B) {
 
 func BenchmarkFig3PhaseSensitivity(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.Fig3(io.Discard, benchCfg())
+		rows, err := experiments.Fig3(context.Background(), io.Discard, benchCfg())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -91,7 +92,7 @@ func BenchmarkFig3PhaseSensitivity(b *testing.B) {
 func BenchmarkFig4OverallPerformance(b *testing.B) {
 	art := artifacts(b)
 	for i := 0; i < b.N; i++ {
-		eval, err := experiments.RunEvaluation(art, benchCfg())
+		eval, err := experiments.RunEvaluation(context.Background(), art, benchCfg())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -123,7 +124,7 @@ func BenchmarkFig6Bandwidth(b *testing.B) {
 func BenchmarkTable3ModelSelection(b *testing.B) {
 	art := artifacts(b)
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.Table3(io.Discard, art, benchCfg())
+		rows, err := experiments.Table3(context.Background(), io.Discard, art, benchCfg())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -138,7 +139,7 @@ func BenchmarkTable3ModelSelection(b *testing.B) {
 func BenchmarkFig7EventSelection(b *testing.B) {
 	art := artifacts(b)
 	for i := 0; i < b.N; i++ {
-		points, err := experiments.Fig7(io.Discard, art, benchCfg())
+		points, err := experiments.Fig7(context.Background(), io.Discard, art, benchCfg())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -207,7 +208,7 @@ func BenchmarkAlgorithm1(b *testing.B) {
 func BenchmarkAblations(b *testing.B) {
 	art := artifacts(b)
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.Ablations(io.Discard, art, benchCfg())
+		rows, err := experiments.Ablations(context.Background(), io.Discard, art, benchCfg())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -237,7 +238,7 @@ func BenchmarkCorpusBuild(b *testing.B) {
 	for _, workers := range []int{1, runtime.NumCPU()} {
 		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				samples, err := corpus.Build(regions, spec, corpus.BuildConfig{
+				samples, err := corpus.Build(context.Background(), regions, spec, corpus.BuildConfig{
 					Placements: 4, StepSec: 0.002, Seed: 5, Workers: workers,
 				})
 				if err != nil {

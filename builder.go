@@ -1,11 +1,13 @@
 package merchandiser
 
 import (
+	"context"
 	"fmt"
 
 	"merchandiser/internal/access"
 	"merchandiser/internal/corpus"
 	"merchandiser/internal/hm"
+	"merchandiser/internal/merr"
 	"merchandiser/internal/ml"
 	"merchandiser/internal/model"
 	"merchandiser/internal/pmc"
@@ -27,9 +29,14 @@ type TrainConfig struct {
 }
 
 // NewSystemConfig builds a System with explicit training knobs. It is the
-// configurable form of NewSystem: NewSystemConfig(spec, TrainConfig{Level:
-// level}) is equivalent to NewSystem(spec, level).
-func NewSystemConfig(spec SystemSpec, cfg TrainConfig) (*System, error) {
+// configurable form of NewSystem: NewSystemConfig(ctx, spec,
+// TrainConfig{Level: level}) with a background ctx is equivalent to
+// NewSystem(spec, level). Cancel ctx to abort training mid-corpus or
+// mid-boosting; the error satisfies errors.Is(err, context.Canceled).
+func NewSystemConfig(ctx context.Context, spec SystemSpec, cfg TrainConfig) (*System, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if cfg.Seed == 0 {
 		cfg.Seed = 1
 	}
@@ -48,13 +55,13 @@ func NewSystemConfig(spec SystemSpec, cfg TrainConfig) (*System, error) {
 	trainSpec.Tiers[hm.PM].CapacityBytes = 512 << 20
 	trainSpec.LLCBytes = 1 << 20
 	regions := corpus.StandardCorpus(nRegions, cfg.Seed)
-	samples, err := corpus.Build(regions, trainSpec, corpus.BuildConfig{
+	samples, err := corpus.Build(ctx, regions, trainSpec, corpus.BuildConfig{
 		Placements: placements, StepSec: 0.001, Seed: cfg.Seed, Workers: cfg.Workers,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("merchandiser: training corpus: %w", err)
 	}
-	res, err := model.TrainCorrelation(samples, pmc.SelectedEvents,
+	res, err := model.TrainCorrelation(ctx, samples, pmc.SelectedEvents,
 		func() ml.Regressor {
 			return ml.NewGradientBoosted(ml.GBRConfig{Seed: cfg.Seed, Workers: cfg.Workers})
 		}, cfg.Seed)
@@ -129,21 +136,21 @@ type AppBuilder struct {
 // Build validates the definition and returns an App.
 func (b *AppBuilder) Build() (App, error) {
 	if b.AppName == "" {
-		return nil, fmt.Errorf("merchandiser: app needs a name")
+		return nil, merr.Errorf(merr.ErrBadApp, "merchandiser: app needs a name")
 	}
 	if len(b.Objects) == 0 || len(b.Tasks) == 0 {
-		return nil, fmt.Errorf("merchandiser: app %q needs objects and tasks", b.AppName)
+		return nil, merr.Errorf(merr.ErrBadApp, "merchandiser: app %q needs objects and tasks", b.AppName)
 	}
 	if b.Instances <= 0 {
-		return nil, fmt.Errorf("merchandiser: app %q needs a positive instance count", b.AppName)
+		return nil, merr.Errorf(merr.ErrBadApp, "merchandiser: app %q needs a positive instance count", b.AppName)
 	}
 	names := map[string]bool{}
 	for _, o := range b.Objects {
 		if o.Bytes == 0 {
-			return nil, fmt.Errorf("merchandiser: object %q has zero size", o.Name)
+			return nil, merr.Errorf(merr.ErrBadApp, "merchandiser: object %q has zero size", o.Name)
 		}
 		if names[o.Name] {
-			return nil, fmt.Errorf("merchandiser: duplicate object %q", o.Name)
+			return nil, merr.Errorf(merr.ErrBadApp, "merchandiser: duplicate object %q", o.Name)
 		}
 		names[o.Name] = true
 	}
@@ -151,10 +158,10 @@ func (b *AppBuilder) Build() (App, error) {
 		for _, ph := range t.Phases {
 			for _, a := range ph.Accesses {
 				if !names[a.Object] {
-					return nil, fmt.Errorf("merchandiser: task %q references unknown object %q", t.Name, a.Object)
+					return nil, merr.Errorf(merr.ErrBadApp, "merchandiser: task %q references unknown object %q", t.Name, a.Object)
 				}
 				if err := a.Pattern.Validate(); err != nil {
-					return nil, fmt.Errorf("merchandiser: task %q: %w", t.Name, err)
+					return nil, merr.Wrap(merr.ErrBadApp, fmt.Sprintf("merchandiser: task %q", t.Name), err)
 				}
 			}
 		}

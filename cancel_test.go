@@ -1,0 +1,152 @@
+package merchandiser
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"testing"
+	"time"
+
+	"merchandiser/internal/hm"
+	"merchandiser/internal/task"
+)
+
+// tickCanceller is a policy that cancels the run's own context from its
+// Nth engine tick — the deterministic way to make cancellation arrive
+// mid-run.
+type tickCanceller struct {
+	task.Base
+	cancel context.CancelFunc
+	after  int
+	ticks  int
+}
+
+func (c *tickCanceller) Name() string { return "tick-canceller" }
+func (c *tickCanceller) Tick(now float64, mem *hm.Memory, tasks []hm.TaskStatus) {
+	c.ticks++
+	if c.ticks == c.after {
+		c.cancel()
+	}
+}
+
+func TestRunCanceledMidRun(t *testing.T) {
+	sys, err := NewSystem(testSpec(), TrainNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	pol := &tickCanceller{cancel: cancel, after: 2}
+	f := NewFactory("tick-canceller", func() (Policy, error) { return pol, nil })
+
+	res, err := sys.Run(ctx, buildTestApp(t, 3), f, Options{StepSec: 0.001, IntervalSec: 0.005})
+	if res != nil {
+		t.Fatal("canceled run must not return a result")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatalf("want ErrCanceled, got %v", err)
+	}
+	// Abort within one engine tick of the cancellation: the policy must
+	// not have been driven more than once past the cancelling tick.
+	if pol.ticks > pol.after+1 {
+		t.Fatalf("engine ran %d ticks after cancelling on tick %d", pol.ticks, pol.after)
+	}
+}
+
+func TestRunCanceledBeforeStart(t *testing.T) {
+	sys, err := NewSystem(testSpec(), TrainNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := sys.Run(ctx, buildTestApp(t, 3), sys.Merchandiser(), Options{StepSec: 0.001})
+	if res != nil || !errors.Is(err, context.Canceled) || !errors.Is(err, ErrCanceled) {
+		t.Fatalf("pre-canceled run: res=%v err=%v", res, err)
+	}
+}
+
+func TestTrainingCanceledMidCorpus(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	timer := time.AfterFunc(5*time.Millisecond, cancel)
+	defer timer.Stop()
+	_, err := NewSystemConfig(ctx, testSpec(), TrainConfig{Level: TrainQuick})
+	if err == nil {
+		t.Fatal("training with a cancelled context must fail")
+	}
+	if !errors.Is(err, context.Canceled) || !errors.Is(err, ErrCanceled) {
+		t.Fatalf("want dual-matchable cancellation error, got %v", err)
+	}
+}
+
+func TestTrainingCanceledUpfront(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := NewSystemConfig(ctx, testSpec(), TrainConfig{Level: TrainQuick})
+	if !errors.Is(err, context.Canceled) || !errors.Is(err, ErrCanceled) {
+		t.Fatalf("want dual-matchable cancellation error, got %v", err)
+	}
+}
+
+func TestCompareCanceled(t *testing.T) {
+	sys, err := NewSystem(testSpec(), TrainNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err = sys.Compare(ctx, buildTestApp(t, 2), Options{StepSec: 0.001},
+		sys.PMOnly(), sys.Merchandiser())
+	if !errors.Is(err, context.Canceled) || !errors.Is(err, ErrCanceled) {
+		t.Fatalf("want dual-matchable cancellation error, got %v", err)
+	}
+}
+
+// settleGoroutines waits for the goroutine count to drop back to at most
+// target, tolerating the runtime's brief cleanup lag.
+func settleGoroutines(t *testing.T, target int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		runtime.Gosched()
+		if n := runtime.NumGoroutine(); n <= target {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d running, want <= %d", runtime.NumGoroutine(), target)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+func TestNoGoroutineLeakAfterCancellation(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	// Canceled training (exercises the corpus worker pool).
+	ctx, cancel := context.WithCancel(context.Background())
+	timer := time.AfterFunc(5*time.Millisecond, cancel)
+	if _, err := NewSystemConfig(ctx, testSpec(), TrainConfig{Level: TrainQuick, Workers: 4}); err == nil {
+		t.Fatal("expected cancellation error")
+	}
+	timer.Stop()
+
+	// Canceled runs (exercise the engine tick loop).
+	sys, err := NewSystem(testSpec(), TrainNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 4; i++ {
+		runCtx, runCancel := context.WithCancel(context.Background())
+		pol := &tickCanceller{cancel: runCancel, after: 1}
+		f := NewFactory("tick-canceller", func() (Policy, error) { return pol, nil })
+		if _, err := sys.Run(runCtx, buildTestApp(t, 3), f, Options{StepSec: 0.001, IntervalSec: 0.005}); err == nil {
+			t.Fatal("expected cancellation error")
+		}
+		runCancel()
+	}
+
+	settleGoroutines(t, before)
+}

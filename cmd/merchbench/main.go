@@ -15,14 +15,18 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"strings"
+	"syscall"
 
 	"merchandiser/internal/experiments"
 	"merchandiser/internal/obs"
+	"merchandiser/internal/policyreg"
 )
 
 func main() {
@@ -33,7 +37,14 @@ func main() {
 	jsonPath := flag.String("json", "", "also write a machine-readable summary to this file")
 	metricsPath := flag.String("metrics", "", "write the deterministic metrics dump (per-cell registry snapshots) to this file")
 	tracePath := flag.String("trace", "", "write a chrome-trace event log of the evaluation to this file")
+	policies := flag.String("policy", "", "comma-separated policy names to evaluate (default: all registered; see -policy list)")
 	flag.Parse()
+
+	// Ctrl-C / SIGTERM cancels the run: workers stop claiming cells,
+	// in-flight simulations abort at the next engine tick, and merchbench
+	// exits with the cancellation error instead of hanging.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	// The pipeline registry times training and evaluation (volatile wall
 	// timers, read back for the summary's timing block) and is the
@@ -42,6 +53,19 @@ func main() {
 	cfg := experiments.Config{
 		Quick: *quick, Seed: *seed, Workers: *workers,
 		Obs: reg, Trace: *tracePath != "",
+	}
+	if *policies != "" {
+		if *policies == "list" {
+			fmt.Println(strings.Join(policyreg.Names(), "\n"))
+			return
+		}
+		for _, name := range strings.Split(*policies, ",") {
+			name = strings.TrimSpace(name)
+			if _, err := policyreg.Lookup(name); err != nil {
+				fail(err)
+			}
+			cfg.Policies = append(cfg.Policies, name)
+		}
 	}
 	want := map[string]bool{}
 	for _, e := range strings.Split(*exp, ",") {
@@ -59,13 +83,13 @@ func main() {
 	var eval *experiments.Eval
 	var err error
 	if needsArtifacts || *jsonPath != "" || *metricsPath != "" || *tracePath != "" {
-		art, err = experiments.Prepare(cfg)
+		art, err = experiments.Prepare(ctx, cfg)
 		fail(err)
 		fmt.Fprintf(w, "offline: correlation function trained on %d samples, held-out R²=%.3f (%.1fs)\n\n",
 			len(art.Samples), art.TestR2, reg.WallTimer("pipeline.train_seconds").Seconds())
 	}
 	if needsEval {
-		eval, err = experiments.RunEvaluation(art, cfg)
+		eval, err = experiments.RunEvaluation(ctx, art, cfg)
 		fail(err)
 		fmt.Fprintf(w, "evaluation: 5 applications x policies executed (%.1fs)\n\n",
 			reg.WallTimer("pipeline.eval_seconds").Seconds())
@@ -86,7 +110,7 @@ func main() {
 		fmt.Fprintln(w)
 	}
 	if all || want["fig3"] {
-		fig3Rows, err = experiments.Fig3(w, cfg)
+		fig3Rows, err = experiments.Fig3(ctx, w, cfg)
 		fail(err)
 	}
 	if all || want["fig4"] {
@@ -99,11 +123,11 @@ func main() {
 		experiments.Fig6(w, eval)
 	}
 	if all || want["table3"] {
-		table3Rows, err = experiments.Table3(w, art, cfg)
+		table3Rows, err = experiments.Table3(ctx, w, art, cfg)
 		fail(err)
 	}
 	if all || want["fig7"] {
-		fig7Points, err = experiments.Fig7(w, art, cfg)
+		fig7Points, err = experiments.Fig7(ctx, w, art, cfg)
 		fail(err)
 	}
 	if all || want["table4"] {
@@ -114,11 +138,11 @@ func main() {
 		fail(experiments.AlphaStudy(w, eval))
 	}
 	if all || want["ablations"] {
-		ablationRows, err = experiments.Ablations(w, art, cfg)
+		ablationRows, err = experiments.Ablations(ctx, w, art, cfg)
 		fail(err)
 	}
 	if want["cxl"] { // not part of 'all': it retrains and re-runs everything
-		_, err := experiments.CXL(w, cfg)
+		_, err := experiments.CXL(ctx, w, cfg)
 		fail(err)
 	}
 

@@ -1,8 +1,10 @@
 package merchandiser
 
 import (
+	"context"
 	"fmt"
 
+	"merchandiser/internal/merr"
 	"merchandiser/internal/stats"
 )
 
@@ -25,22 +27,30 @@ type Comparison struct {
 // returns one row per policy, with speedups normalized to the first
 // (conventionally PM-only). This is the Figure 4 measurement loop as a
 // library call.
-func (s *System) Compare(app App, opts Options, policies ...Policy) ([]Comparison, error) {
-	if len(policies) == 0 {
+//
+// Each row materializes a fresh policy from its factory, so factories may
+// be reused across Compare calls — including concurrent ones — without
+// sharing policy state. Cancel ctx to abort mid-comparison; the error
+// satisfies errors.Is(err, context.Canceled).
+func (s *System) Compare(ctx context.Context, app App, opts Options, factories ...PolicyFactory) ([]Comparison, error) {
+	if len(factories) == 0 {
 		return nil, fmt.Errorf("merchandiser: nothing to compare")
 	}
-	out := make([]Comparison, 0, len(policies))
+	out := make([]Comparison, 0, len(factories))
 	var baselineTime float64
-	for i, pol := range policies {
-		res, err := s.Run(app, pol, opts)
+	for i, f := range factories {
+		if err := merr.FromContext(ctx, "merchandiser: compare canceled"); err != nil {
+			return nil, err
+		}
+		res, err := s.Run(ctx, app, f, opts)
 		if err != nil {
-			return nil, fmt.Errorf("merchandiser: %s under %s: %w", app.Name(), pol.Name(), err)
+			return nil, fmt.Errorf("merchandiser: %s under %s: %w", app.Name(), f.Name(), err)
 		}
 		if i == 0 {
 			baselineTime = res.TotalTime
 		}
 		c := Comparison{
-			Policy:        pol.Name(),
+			Policy:        f.Name(),
 			TotalSeconds:  res.TotalTime,
 			ACV:           stats.ACV(res.TaskTimeMatrix()),
 			MigratedPages: res.MigratedToDRAM,

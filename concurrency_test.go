@@ -1,0 +1,184 @@
+package merchandiser
+
+import (
+	"context"
+	"errors"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+// TestConcurrentRunsMatchSerial is the session-safety contract: one System
+// serving 8 simultaneous runs under mixed policies must produce, for each
+// run, exactly the result the same run produces serially. Policies are
+// minted fresh per run by their factories, so no state is shared; run it
+// under -race (scripts/check.sh does) to also prove data-race freedom.
+func TestConcurrentRunsMatchSerial(t *testing.T) {
+	sys, err := NewSystem(testSpec(), TrainNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	factories := []PolicyFactory{
+		sys.PMOnly(),
+		sys.MemoryMode(),
+		sys.MemoryOptimizer(),
+		sys.Merchandiser(),
+		sys.Sparta("B"),
+		sys.WarpXPM(),
+		sys.Merchandiser(),
+		sys.MemoryOptimizer(),
+	}
+	opts := Options{StepSec: 0.001, IntervalSec: 0.02}
+
+	// Serial golden pass: one run per factory, fresh app each time (apps
+	// carry per-run object handles, just like policies carry per-run
+	// state).
+	golden := make([]*Result, len(factories))
+	for i, f := range factories {
+		res, err := sys.Run(context.Background(), buildTestApp(t, 3), f, opts)
+		if err != nil {
+			t.Fatalf("serial %d (%s): %v", i, f.Name(), err)
+		}
+		golden[i] = res
+	}
+
+	// Concurrent pass: all 8 at once against the same System.
+	results := make([]*Result, len(factories))
+	errs := make([]error, len(factories))
+	var wg sync.WaitGroup
+	for i, f := range factories {
+		wg.Add(1)
+		go func(i int, f PolicyFactory) {
+			defer wg.Done()
+			results[i], errs[i] = sys.Run(context.Background(), buildTestApp(t, 3), f, opts)
+		}(i, f)
+	}
+	wg.Wait()
+
+	for i := range factories {
+		if errs[i] != nil {
+			t.Fatalf("concurrent %d (%s): %v", i, factories[i].Name(), errs[i])
+		}
+		if !reflect.DeepEqual(results[i], golden[i]) {
+			t.Fatalf("concurrent run %d (%s) diverged from its serial golden:\nserial   total=%v\nparallel total=%v",
+				i, factories[i].Name(), golden[i].TotalTime, results[i].TotalTime)
+		}
+	}
+}
+
+// TestConcurrentCompare exercises the same property through Compare: two
+// goroutines comparing overlapping factory sets on one System.
+func TestConcurrentCompare(t *testing.T) {
+	sys, err := NewSystem(testSpec(), TrainNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := Options{StepSec: 0.001, IntervalSec: 0.02}
+	run := func() ([]Comparison, error) {
+		return sys.Compare(context.Background(), buildTestApp(t, 3), opts,
+			sys.PMOnly(), sys.MemoryOptimizer(), sys.Merchandiser())
+	}
+	golden, err := run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	rows := make([][]Comparison, 4)
+	errs := make([]error, 4)
+	for i := range rows {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			rows[i], errs[i] = run()
+		}(i)
+	}
+	wg.Wait()
+	for i := range rows {
+		if errs[i] != nil {
+			t.Fatal(errs[i])
+		}
+		if !reflect.DeepEqual(rows[i], golden) {
+			t.Fatalf("concurrent Compare %d diverged from serial golden", i)
+		}
+	}
+}
+
+// TestSessionExposesPolicy checks the explicit-session path: the policy a
+// session minted is reachable after the run for introspection.
+func TestSessionExposesPolicy(t *testing.T) {
+	sys, err := NewSystem(testSpec(), TrainNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	se, err := sys.NewSession(sys.Merchandiser())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if se.Policy() == nil || se.Policy().Name() != "Merchandiser" {
+		t.Fatalf("session policy = %v", se.Policy())
+	}
+	if _, err := se.Run(context.Background(), buildTestApp(t, 2), Options{StepSec: 0.001, IntervalSec: 0.02}); err != nil {
+		t.Fatal(err)
+	}
+	// Two sessions from one factory are distinct instances.
+	se2, err := sys.NewSession(sys.Merchandiser())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if se.Policy() == se2.Policy() {
+		t.Fatal("sessions shared a policy instance")
+	}
+}
+
+// TestRegistryRoundTrip drives the public registry surface: builtins are
+// listed, System.Policy resolves them, and a custom registration is
+// usable through the same path.
+func TestRegistryRoundTrip(t *testing.T) {
+	names := RegisteredPolicies()
+	for _, want := range []string{"PM-only", "MemoryMode", "MemoryOptimizer", "Merchandiser", "Sparta", "WarpX-PM"} {
+		found := false
+		for _, n := range names {
+			if n == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Fatalf("builtin %q missing from RegisteredPolicies(): %v", want, names)
+		}
+	}
+
+	sys, err := NewSystem(testSpec(), TrainNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := sys.Policy("Merchandiser")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Run(context.Background(), buildTestApp(t, 2), f, Options{StepSec: 0.001, IntervalSec: 0.02}); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, err := sys.Policy("no-such-policy"); err == nil {
+		t.Fatal("unknown policy accepted")
+	} else if !errors.Is(err, ErrUnknownPolicy) {
+		t.Fatalf("want ErrUnknownPolicy classification, got %v", err)
+	}
+
+	if err := Register("root-test-policy", func(p PolicyParams) (Policy, error) {
+		f, err := Lookup("PM-only")
+		if err != nil {
+			return nil, err
+		}
+		return f.New()
+	}); err != nil {
+		t.Fatal(err)
+	}
+	custom, err := sys.Policy("root-test-policy")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.Run(context.Background(), buildTestApp(t, 2), custom, Options{StepSec: 0.001}); err != nil {
+		t.Fatal(err)
+	}
+}

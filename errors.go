@@ -1,0 +1,29 @@
+package merchandiser
+
+import "merchandiser/internal/merr"
+
+// The typed error taxonomy. Every error crossing the public API boundary
+// is classified under one of these sentinels; match with errors.Is. The
+// message text is unchanged from earlier releases — only the wrapping is
+// new.
+var (
+	// ErrCanceled classifies run, training and comparison aborts caused by
+	// context cancellation. Such errors also satisfy
+	// errors.Is(err, context.Canceled) (or context.DeadlineExceeded),
+	// whichever matcher the caller prefers.
+	ErrCanceled = merr.ErrCanceled
+	// ErrCapacity classifies allocation and migration failures against a
+	// full memory tier.
+	ErrCapacity = merr.ErrCapacity
+	// ErrUntrained classifies uses of an unfitted model (including
+	// training corpora too small to fit one).
+	ErrUntrained = merr.ErrUntrained
+	// ErrBadSpec classifies invalid platform specifications.
+	ErrBadSpec = merr.ErrBadSpec
+	// ErrBadApp classifies invalid application definitions (AppBuilder
+	// validation, empty instance work lists).
+	ErrBadApp = merr.ErrBadApp
+	// ErrUnknownPolicy classifies lookups of unregistered policy names and
+	// invalid registrations.
+	ErrUnknownPolicy = merr.ErrUnknownPolicy
+)

@@ -1,6 +1,7 @@
 package merchandiser_test
 
 import (
+	"context"
 	"fmt"
 
 	"merchandiser"
@@ -41,7 +42,7 @@ func ExampleAppBuilder() {
 		fmt.Println("error:", err)
 		return
 	}
-	res, err := sys.Run(app, sys.Merchandiser(), merchandiser.Options{StepSec: 0.001})
+	res, err := sys.Run(context.Background(), app, sys.Merchandiser(), merchandiser.Options{StepSec: 0.001})
 	if err != nil {
 		fmt.Println("error:", err)
 		return

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -29,7 +30,7 @@ func main() {
 	fmt.Printf("per-instance BFS eccentricities (identical under every policy): %v\n\n", app.Levels())
 
 	opts := merchandiser.Options{StepSec: 0.001, IntervalSec: 0.05}
-	rows, err := sys.Compare(app, opts,
+	rows, err := sys.Compare(context.Background(), app, opts,
 		sys.PMOnly(), sys.MemoryMode(), sys.MemoryOptimizer(), sys.Merchandiser())
 	if err != nil {
 		log.Fatal(err)

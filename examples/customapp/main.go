@@ -4,6 +4,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -82,7 +83,7 @@ func main() {
 		Daemon: baseline.DaemonConfig{Seed: 1},
 		Seed:   1,
 	})
-	res, err := task.Run(app, spec, merch, task.Options{StepSec: 0.001, IntervalSec: 0.05})
+	res, err := task.Run(context.Background(), app, spec, merch, task.Options{StepSec: 0.001, IntervalSec: 0.05})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -36,13 +37,13 @@ func main() {
 
 	regions := corpus.StandardCorpus(120, 1)
 	train := func(spec hm.SystemSpec) ([]corpus.Sample, *model.TrainResult) {
-		samples, err := corpus.Build(regions, spec, corpus.BuildConfig{
+		samples, err := corpus.Build(context.Background(), regions, spec, corpus.BuildConfig{
 			Placements: 8, StepSec: 0.001, Seed: 2,
 		})
 		if err != nil {
 			log.Fatal(err)
 		}
-		res, err := model.TrainCorrelation(samples, pmc.SelectedEvents,
+		res, err := model.TrainCorrelation(context.Background(), samples, pmc.SelectedEvents,
 			func() ml.Regressor { return ml.NewGradientBoosted(ml.GBRConfig{Seed: 3}) }, 4)
 		if err != nil {
 			log.Fatal(err)

@@ -3,6 +3,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -58,15 +59,16 @@ func main() {
 		log.Fatal(err)
 	}
 
+	ctx := context.Background()
 	opts := merchandiser.Options{StepSec: 0.001, IntervalSec: 0.05}
-	for _, pol := range []merchandiser.Policy{sys.PMOnly(), sys.MemoryOptimizer(), sys.Merchandiser()} {
-		res, err := sys.Run(app, pol, opts)
+	for _, f := range []merchandiser.PolicyFactory{sys.PMOnly(), sys.MemoryOptimizer(), sys.Merchandiser()} {
+		res, err := sys.Run(ctx, app, f, opts)
 		if err != nil {
 			log.Fatal(err)
 		}
 		last := res.Instances[len(res.Instances)-1]
 		fmt.Printf("%-16s total %6.2fs  last-instance task times: scanner %.2fs, chaser %.2fs\n",
-			pol.Name(), res.TotalTime, last.TaskTimes[0], last.TaskTimes[1])
+			f.Name(), res.TotalTime, last.TaskTimes[0], last.TaskTimes[1])
 	}
 	fmt.Println("\nMerchandiser predicts the chaser is the bottleneck and gives")
 	fmt.Println("it the fast memory; hot-page daemons chase the scanner's pages.")

@@ -1,0 +1,158 @@
+// Server example: one shared System behind an HTTP endpoint, serving
+// placement plans with request-scoped contexts. This is the concurrency
+// contract of the session pipeline in miniature — the System is built
+// once, every request materializes its own policy and memory via a
+// PolicyFactory, and a client that disconnects cancels its simulation at
+// the next engine tick.
+//
+//	go run ./examples/server &
+//	curl 'localhost:8080/run?policy=Merchandiser&instances=3'
+//	curl 'localhost:8080/policies'
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"log"
+	"net/http"
+	"strconv"
+
+	"merchandiser"
+)
+
+type server struct {
+	sys *merchandiser.System
+}
+
+func main() {
+	spec := merchandiser.DefaultSpec()
+	spec.Tiers[merchandiser.DRAM].CapacityBytes = 8 << 20
+	spec.Tiers[merchandiser.PM].CapacityBytes = 64 << 20
+	spec.LLCBytes = 256 << 10
+
+	// TrainNone keeps startup instant; swap in TrainQuick for a trained
+	// correlation function. Either way the System is immutable after this
+	// line and safe to share across all request goroutines.
+	sys, err := merchandiser.NewSystem(spec, merchandiser.TrainNone)
+	if err != nil {
+		log.Fatal(err)
+	}
+	s := &server{sys: sys}
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/run", s.handleRun)
+	mux.HandleFunc("/policies", s.handlePolicies)
+	log.Println("serving placement plans on :8080")
+	log.Fatal(http.ListenAndServe("localhost:8080", mux))
+}
+
+// handleRun simulates a small two-task workload under the requested
+// policy and returns the run's outcome as JSON. The request's context is
+// threaded into the simulation: when the client goes away, the run
+// aborts at the next engine tick instead of burning the CPU to the end.
+func (s *server) handleRun(w http.ResponseWriter, r *http.Request) {
+	name := r.URL.Query().Get("policy")
+	if name == "" {
+		name = "Merchandiser"
+	}
+	instances := 3
+	if v := r.URL.Query().Get("instances"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 1 || n > 16 {
+			http.Error(w, "instances must be in [1,16]", http.StatusBadRequest)
+			return
+		}
+		instances = n
+	}
+
+	factory, err := s.sys.Policy(name)
+	if err != nil {
+		if errors.Is(err, merchandiser.ErrUnknownPolicy) {
+			http.Error(w, fmt.Sprintf("unknown policy %q (try /policies)", name), http.StatusNotFound)
+			return
+		}
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+
+	app, err := demoApp(instances)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+
+	res, err := s.sys.Run(r.Context(), app, factory,
+		merchandiser.Options{StepSec: 0.001, IntervalSec: 0.02})
+	if err != nil {
+		if errors.Is(err, merchandiser.ErrCanceled) {
+			// Client disconnected mid-run; nothing left to answer.
+			log.Printf("run canceled: %v", err)
+			return
+		}
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+		return
+	}
+
+	type instance struct {
+		Makespan  float64   `json:"makespan_seconds"`
+		TaskTimes []float64 `json:"task_times_seconds"`
+	}
+	out := struct {
+		Policy        string     `json:"policy"`
+		TotalSeconds  float64    `json:"total_seconds"`
+		MigratedPages uint64     `json:"migrated_pages_to_dram"`
+		Instances     []instance `json:"instances"`
+	}{Policy: name, TotalSeconds: res.TotalTime, MigratedPages: res.MigratedToDRAM}
+	for _, inst := range res.Instances {
+		out.Instances = append(out.Instances, instance{
+			Makespan:  inst.Makespan,
+			TaskTimes: inst.TaskTimes,
+		})
+	}
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(out); err != nil {
+		log.Printf("encode: %v", err)
+	}
+}
+
+// handlePolicies lists every registered policy name.
+func (s *server) handlePolicies(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	if err := json.NewEncoder(w).Encode(merchandiser.RegisteredPolicies()); err != nil {
+		log.Printf("encode: %v", err)
+	}
+}
+
+// demoApp is a small scanner/chaser workload: a cheap streaming task and
+// an expensive random-lookup task — the shape where load-balance-aware
+// placement visibly beats hot-page heuristics.
+func demoApp(instances int) (merchandiser.App, error) {
+	return (&merchandiser.AppBuilder{
+		AppName: "demo",
+		Objects: []merchandiser.ObjectDef{
+			{Name: "table", Owner: "scanner", Bytes: 12 << 20},
+			{Name: "index", Owner: "chaser", Bytes: 12 << 20},
+		},
+		Tasks: []merchandiser.TaskDef{
+			{Name: "scanner", Phases: []merchandiser.PhaseDef{{
+				Name: "scan", ComputeSeconds: 0.02,
+				Accesses: []merchandiser.AccessDef{{
+					Object:          "table",
+					Pattern:         merchandiser.Pattern{Kind: merchandiser.Stream, ElemSize: 8},
+					ProgramAccesses: 3e8,
+				}},
+			}}},
+			{Name: "chaser", Phases: []merchandiser.PhaseDef{{
+				Name: "chase", ComputeSeconds: 0.02,
+				Accesses: []merchandiser.AccessDef{{
+					Object:          "index",
+					Pattern:         merchandiser.Pattern{Kind: merchandiser.Random, ElemSize: 8},
+					ProgramAccesses: 4e7,
+				}},
+			}}},
+		},
+		Instances: instances,
+		Scale:     func(i int, _ string) float64 { return 1 + 0.15*float64(i%3) },
+	}).Build()
+}

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -29,7 +30,7 @@ func main() {
 	fmt.Printf("result checksum (identical under every policy): %.6e\n\n", app.Checksum())
 
 	opts := merchandiser.Options{StepSec: 0.001, IntervalSec: 0.05}
-	rows, err := sys.Compare(app, opts,
+	rows, err := sys.Compare(context.Background(), app, opts,
 		sys.PMOnly(), sys.MemoryMode(), sys.MemoryOptimizer(), sys.Sparta("spgemm/B"), sys.Merchandiser())
 	if err != nil {
 		log.Fatal(err)

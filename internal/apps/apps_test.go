@@ -1,6 +1,7 @@
 package apps
 
 import (
+	"context"
 	"testing"
 
 	"merchandiser/internal/access"
@@ -69,7 +70,7 @@ func testSpec() hm.SystemSpec {
 
 func runApp(t *testing.T, app task.App) *task.Result {
 	t.Helper()
-	res, err := task.Run(app, testSpec(), namedNoop{}, task.Options{StepSec: 0.002, Debug: true})
+	res, err := task.Run(context.Background(), app, testSpec(), namedNoop{}, task.Options{StepSec: 0.002, Debug: true})
 	if err != nil {
 		t.Fatalf("%s: %v", app.Name(), err)
 	}

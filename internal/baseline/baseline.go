@@ -19,6 +19,7 @@
 package baseline
 
 import (
+	"context"
 	"sort"
 
 	"merchandiser/internal/hm"
@@ -366,8 +367,11 @@ func NewMemoryOptimizer(cfg DaemonConfig) *MemoryOptimizer {
 // Name implements task.Policy.
 func (*MemoryOptimizer) Name() string { return "MemoryOptimizer" }
 
-// EnginePolicy implements task.Policy.
-func (m *MemoryOptimizer) EnginePolicy() hm.Policy { return m.daemon }
+// Tick implements the unified task.Policy contract by driving the
+// migration daemon at every engine tick.
+func (m *MemoryOptimizer) Tick(now float64, mem *hm.Memory, tasks []hm.TaskStatus) {
+	m.daemon.Tick(now, mem, tasks)
+}
 
 // Migrations reports pages migrated to DRAM so far.
 func (m *MemoryOptimizer) Migrations() uint64 { return m.daemon.Migrations }
@@ -393,7 +397,7 @@ type Sparta struct {
 func (*Sparta) Name() string { return "Sparta" }
 
 // Setup implements task.Policy: pin priority objects present at startup.
-func (s *Sparta) Setup(mem *hm.Memory, app task.App) error {
+func (s *Sparta) Setup(ctx context.Context, mem *hm.Memory, app task.App) error {
 	s.place(mem, nil)
 	return nil
 }
@@ -401,7 +405,7 @@ func (s *Sparta) Setup(mem *hm.Memory, app task.App) error {
 // BeforeInstance implements task.Policy: re-place for the instance's
 // (possibly reallocated) operands, ranked by their true access density
 // when works are available.
-func (s *Sparta) BeforeInstance(i int, mem *hm.Memory, works []hm.TaskWork) error {
+func (s *Sparta) BeforeInstance(ctx context.Context, i int, mem *hm.Memory, works []hm.TaskWork) error {
 	s.place(mem, works)
 	return nil
 }
@@ -514,16 +518,17 @@ func NewWarpXPM(llcBytes float64, seed int64) *WarpXPM {
 // Name implements task.Policy.
 func (*WarpXPM) Name() string { return "WarpX-PM" }
 
-// EnginePolicy implements task.Policy.
-func (w *WarpXPM) EnginePolicy() hm.Policy {
-	if w.daemon == nil {
-		return nil
+// Tick implements the unified task.Policy contract; the manual scheme
+// has no reactive daemon (see NewWarpXPM), so ticks are a no-op unless
+// one is installed.
+func (w *WarpXPM) Tick(now float64, mem *hm.Memory, tasks []hm.TaskStatus) {
+	if w.daemon != nil {
+		w.daemon.Tick(now, mem, tasks)
 	}
-	return w.daemon
 }
 
 // BeforeInstance implements task.Policy.
-func (w *WarpXPM) BeforeInstance(i int, mem *hm.Memory, works []hm.TaskWork) error {
+func (w *WarpXPM) BeforeInstance(ctx context.Context, i int, mem *hm.Memory, works []hm.TaskWork) error {
 	if len(works) == 0 {
 		return nil // nothing known to place against
 	}

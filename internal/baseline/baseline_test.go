@@ -1,6 +1,7 @@
 package baseline
 
 import (
+	"context"
 	"testing"
 
 	"merchandiser/internal/access"
@@ -124,7 +125,7 @@ func TestSpartaPinsPriorityObjects(t *testing.T) {
 	b, _ := mem.Alloc("spgemm/B", "", 32*4096, hm.PM)
 	a, _ := mem.Alloc("spgemm/A0", "t0", 32*4096, hm.PM)
 	s := &Sparta{Priority: []string{"/B"}}
-	if err := s.Setup(mem, nil); err != nil {
+	if err := s.Setup(context.Background(), mem, nil); err != nil {
 		t.Fatal(err)
 	}
 	if b.DRAMPages() != uint64(b.NumPages()) {
@@ -144,7 +145,7 @@ func TestSpartaStopsAtCapacity(t *testing.T) {
 	mem := hm.NewMemory(spec)
 	b, _ := mem.Alloc("B", "", 32*4096, hm.PM)
 	s := &Sparta{Priority: []string{"B"}}
-	if err := s.BeforeInstance(0, mem, nil); err != nil {
+	if err := s.BeforeInstance(context.Background(), 0, mem, nil); err != nil {
 		t.Fatal(err)
 	}
 	if b.DRAMPages() != 8 {
@@ -174,7 +175,7 @@ func TestWarpXPMPacksDensestObjects(t *testing.T) {
 		}},
 	}}
 	w := NewWarpXPM(spec.LLCBytes, 1)
-	if err := w.BeforeInstance(0, mem, works); err != nil {
+	if err := w.BeforeInstance(context.Background(), 0, mem, works); err != nil {
 		t.Fatal(err)
 	}
 	if dense.DRAMPages() != uint64(dense.NumPages()) {
@@ -208,7 +209,7 @@ func TestTrivialPolicies(t *testing.T) {
 		t.Fatal("MemoryMode must report memory mode")
 	}
 	mo := NewMemoryOptimizer(DaemonConfig{})
-	if mo.Name() != "MemoryOptimizer" || mo.EnginePolicy() == nil {
+	if mo.Name() != "MemoryOptimizer" {
 		t.Fatal("MemoryOptimizer wiring")
 	}
 	if mo.Migrations() != 0 {
@@ -285,7 +286,7 @@ func TestWarpXPMFallbackWithoutWorks(t *testing.T) {
 	small, _ := mem.Alloc("small", "t0", 8*4096, hm.PM)
 	big, _ := mem.Alloc("big", "t0", 64*4096, hm.PM)
 	w := NewWarpXPM(spec.LLCBytes, 2)
-	if err := w.BeforeInstance(0, mem, nil); err != nil {
+	if err := w.BeforeInstance(context.Background(), 0, mem, nil); err != nil {
 		t.Fatal(err)
 	}
 	// Without density data nothing ranks, so nothing migrates; the
@@ -306,7 +307,7 @@ func TestSpartaSizeFallbackAndEviction(t *testing.T) {
 	bSmall, _ := mem.Alloc("app/B1", "t0", 8*4096, hm.PM)
 	bBig, _ := mem.Alloc("app/B2", "t1", 32*4096, hm.PM)
 	s := &Sparta{Priority: []string{"/B"}}
-	if err := s.BeforeInstance(0, mem, nil); err != nil {
+	if err := s.BeforeInstance(context.Background(), 0, mem, nil); err != nil {
 		t.Fatal(err)
 	}
 	// Without works, smaller operands rank first (denser reuse).

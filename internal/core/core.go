@@ -21,6 +21,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 
@@ -164,8 +165,11 @@ func New(cfg Config) *Merchandiser {
 // Name implements task.Policy.
 func (m *Merchandiser) Name() string { return "Merchandiser" }
 
-// EnginePolicy implements task.Policy.
-func (m *Merchandiser) EnginePolicy() hm.Policy { return m.daemon }
+// Tick implements the unified task.Policy contract by driving the gated
+// migration daemon at every engine tick.
+func (m *Merchandiser) Tick(now float64, mem *hm.Memory, tasks []hm.TaskStatus) {
+	m.daemon.Tick(now, mem, tasks)
+}
 
 // GateBlocked reports how many migration candidates the load-balance gate
 // held back.
@@ -175,18 +179,18 @@ func (m *Merchandiser) GateBlocked() uint64 { return m.daemon.GateBlocked }
 func (m *Merchandiser) Daemon() *baseline.Daemon { return m.daemon }
 
 // BeforeInstance implements task.Policy.
-func (m *Merchandiser) BeforeInstance(i int, mem *hm.Memory, works []hm.TaskWork) error {
+func (m *Merchandiser) BeforeInstance(ctx context.Context, i int, mem *hm.Memory, works []hm.TaskWork) error {
 	if i == 0 {
 		// Base input: build profile skeletons and measure basic blocks
 		// offline; the instance itself runs ungated for profiling.
-		return m.initProfiles(works)
+		return m.initProfiles(ctx, works)
 	}
 	return m.plan(i, mem, works)
 }
 
 // initProfiles builds the per-task profile skeletons from the base
 // instance's works and measures per-phase homogeneous times.
-func (m *Merchandiser) initProfiles(works []hm.TaskWork) error {
+func (m *Merchandiser) initProfiles(ctx context.Context, works []hm.TaskWork) error {
 	m.profiles = m.profiles[:0]
 	for _, tw := range works {
 		tp := &taskProfile{name: tw.Name}
@@ -216,7 +220,7 @@ func (m *Merchandiser) initProfiles(works []hm.TaskWork) error {
 		}
 		m.profiles = append(m.profiles, tp)
 	}
-	return m.measureBlocksGrouped(works)
+	return m.measureBlocksGrouped(ctx, works)
 }
 
 func irr(p access.Pattern) int {
@@ -238,7 +242,7 @@ func irr(p access.Pattern) int {
 // group, so tier bandwidth contention (which dominates bandwidth-hungry
 // applications) is part of the measurement, exactly as offline profiling
 // on the real machine would see it.
-func (m *Merchandiser) measureBlocksGrouped(works []hm.TaskWork) error {
+func (m *Merchandiser) measureBlocksGrouped(ctx context.Context, works []hm.TaskWork) error {
 	maxPhases := 0
 	for _, tw := range works {
 		if len(tw.Phases) > maxPhases {
@@ -278,7 +282,7 @@ func (m *Merchandiser) measureBlocksGrouped(works []hm.TaskWork) error {
 				continue
 			}
 			eng := &hm.Engine{Mem: scratch, StepSec: m.cfg.OfflineStepSec}
-			res, err := eng.Run(group)
+			res, err := eng.Run(ctx, group)
 			if err != nil {
 				return fmt.Errorf("core: offline block measurement: %w", err)
 			}
@@ -677,7 +681,7 @@ func (m *Merchandiser) sizesFor(tp *taskProfile, tw hm.TaskWork) ([]float64, []*
 // AfterInstance implements task.Policy: base-input profiling after
 // instance 0, α refinement and prediction bookkeeping after every
 // instance.
-func (m *Merchandiser) AfterInstance(i int, mem *hm.Memory, res *hm.RunResult) error {
+func (m *Merchandiser) AfterInstance(ctx context.Context, i int, mem *hm.Memory, res *hm.RunResult) error {
 	for ti, tp := range m.profiles {
 		perObj := res.Counters[ti].ObjectAccesses
 		if i == 0 {

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -81,7 +82,7 @@ func (a *imbalanceApp) Instance(i int, mem *hm.Memory) ([]hm.TaskWork, error) {
 func runPolicy(t *testing.T, pol task.Policy) *task.Result {
 	t.Helper()
 	app := &imbalanceApp{instances: 6}
-	res, err := task.Run(app, testSpec(), pol, task.Options{StepSec: 0.001, IntervalSec: 0.02, Debug: true})
+	res, err := task.Run(context.Background(), app, testSpec(), pol, task.Options{StepSec: 0.001, IntervalSec: 0.02, Debug: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -190,10 +191,10 @@ func TestMerchandiserTaskCountMismatch(t *testing.T) {
 		t.Fatal(err)
 	}
 	works, _ := app.Instance(0, mem)
-	if err := merch.BeforeInstance(0, mem, works); err != nil {
+	if err := merch.BeforeInstance(context.Background(), 0, mem, works); err != nil {
 		t.Fatal(err)
 	}
-	if err := merch.BeforeInstance(1, mem, works[:1]); err == nil {
+	if err := merch.BeforeInstance(context.Background(), 1, mem, works[:1]); err == nil {
 		t.Fatal("task-count mismatch should error")
 	}
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -53,7 +54,7 @@ func (a *sharedApp) Instance(i int, mem *hm.Memory) ([]hm.TaskWork, error) {
 func TestSharedObjectStaysMigratable(t *testing.T) {
 	app := &sharedApp{}
 	merch := New(Config{Spec: testSpec(), Daemon: baseline.DaemonConfig{Seed: 5}, Seed: 5})
-	res, err := task.Run(app, testSpec(), merch, task.Options{StepSec: 0.001, IntervalSec: 0.02, Debug: true})
+	res, err := task.Run(context.Background(), app, testSpec(), merch, task.Options{StepSec: 0.001, IntervalSec: 0.02, Debug: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -82,7 +83,7 @@ func TestUniformMappingAblationIsNoBetter(t *testing.T) {
 	run := func(uniform bool) float64 {
 		app := &imbalanceApp{instances: 5}
 		cfg := Config{Spec: testSpec(), Daemon: baseline.DaemonConfig{Seed: 6}, Seed: 6, UniformMapping: uniform}
-		res, err := task.Run(app, testSpec(), New(cfg), task.Options{StepSec: 0.001, IntervalSec: 0.02})
+		res, err := task.Run(context.Background(), app, testSpec(), New(cfg), task.Options{StepSec: 0.001, IntervalSec: 0.02})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -99,7 +100,7 @@ func TestDisableRefinementFreezesAlpha(t *testing.T) {
 	app := &imbalanceApp{instances: 5}
 	cfg := Config{Spec: testSpec(), Daemon: baseline.DaemonConfig{Seed: 7}, Seed: 7, DisableRefinement: true}
 	merch := New(cfg)
-	if _, err := task.Run(app, testSpec(), merch, task.Options{StepSec: 0.001, IntervalSec: 0.02}); err != nil {
+	if _, err := task.Run(context.Background(), app, testSpec(), merch, task.Options{StepSec: 0.001, IntervalSec: 0.02}); err != nil {
 		t.Fatal(err)
 	}
 	for _, tp := range merch.profiles {
@@ -126,7 +127,7 @@ func TestMemoryInvariantsAcrossPolicies(t *testing.T) {
 	}
 	for _, pol := range pols {
 		app := &imbalanceApp{instances: 3}
-		if _, err := task.Run(app, testSpec(), pol, task.Options{StepSec: 0.001, IntervalSec: 0.02, Debug: true}); err != nil {
+		if _, err := task.Run(context.Background(), app, testSpec(), pol, task.Options{StepSec: 0.001, IntervalSec: 0.02, Debug: true}); err != nil {
 			t.Fatalf("%s: %v", pol.Name(), err)
 		}
 	}
@@ -135,7 +136,7 @@ func TestMemoryInvariantsAcrossPolicies(t *testing.T) {
 func TestPlanRespectsDRAMCapacity(t *testing.T) {
 	app := &imbalanceApp{instances: 4}
 	merch := New(Config{Spec: testSpec(), Daemon: baseline.DaemonConfig{Seed: 9}, Seed: 9})
-	if _, err := task.Run(app, testSpec(), merch, task.Options{StepSec: 0.001, IntervalSec: 0.02}); err != nil {
+	if _, err := task.Run(context.Background(), app, testSpec(), merch, task.Options{StepSec: 0.001, IntervalSec: 0.02}); err != nil {
 		t.Fatal(err)
 	}
 	var total uint64
@@ -150,7 +151,7 @@ func TestPlanRespectsDRAMCapacity(t *testing.T) {
 func TestPredictionsWithinPhysicalBounds(t *testing.T) {
 	app := &imbalanceApp{instances: 5}
 	merch := New(Config{Spec: testSpec(), Daemon: baseline.DaemonConfig{Seed: 10}, Seed: 10})
-	if _, err := task.Run(app, testSpec(), merch, task.Options{StepSec: 0.001, IntervalSec: 0.02}); err != nil {
+	if _, err := task.Run(context.Background(), app, testSpec(), merch, task.Options{StepSec: 0.001, IntervalSec: 0.02}); err != nil {
 		t.Fatal(err)
 	}
 	for _, p := range merch.Predictions {
@@ -195,7 +196,7 @@ func (a *mixedPatternApp) Instance(i int, mem *hm.Memory) ([]hm.TaskWork, error)
 func TestMixedPatternObjectKeepsIrregularProfile(t *testing.T) {
 	app := &mixedPatternApp{}
 	merch := New(Config{Spec: testSpec(), Daemon: baseline.DaemonConfig{Seed: 11}, Seed: 11})
-	if _, err := task.Run(app, testSpec(), merch, task.Options{StepSec: 0.001, IntervalSec: 0.02}); err != nil {
+	if _, err := task.Run(context.Background(), app, testSpec(), merch, task.Options{StepSec: 0.001, IntervalSec: 0.02}); err != nil {
 		t.Fatal(err)
 	}
 	if len(merch.profiles) != 1 || len(merch.profiles[0].objects) != 1 {

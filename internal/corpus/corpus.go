@@ -16,6 +16,7 @@
 package corpus
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
@@ -25,6 +26,7 @@ import (
 
 	"merchandiser/internal/access"
 	"merchandiser/internal/hm"
+	"merchandiser/internal/merr"
 	"merchandiser/internal/pmc"
 )
 
@@ -316,7 +318,15 @@ func (c BuildConfig) withDefaults() BuildConfig {
 // and every region keeps its index-derived seed, so the result is
 // byte-identical regardless of the worker count. Per-region failures are
 // all surfaced, joined in region order.
-func Build(regions []Region, spec hm.SystemSpec, cfg BuildConfig) ([]Sample, error) {
+//
+// Cancellation: once ctx is done, workers stop claiming new regions and
+// in-flight regions abort at the next engine tick; Build then returns an
+// error satisfying errors.Is(err, context.Canceled) with no goroutine
+// left behind. A nil ctx behaves like context.Background().
+func Build(ctx context.Context, regions []Region, spec hm.SystemSpec, cfg BuildConfig) ([]Sample, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	cfg = cfg.withDefaults()
 	workers := cfg.Workers
 	if workers <= 0 {
@@ -328,7 +338,7 @@ func Build(regions []Region, spec hm.SystemSpec, cfg BuildConfig) ([]Sample, err
 	perRegion := make([][]Sample, len(regions))
 	errs := make([]error, len(regions))
 	build := func(ri int) {
-		samples, err := buildRegion(regions[ri], spec, cfg, int64(ri))
+		samples, err := buildRegion(ctx, regions[ri], spec, cfg, int64(ri))
 		if err != nil {
 			errs[ri] = fmt.Errorf("corpus: region %s: %w", regions[ri].Name, err)
 			return
@@ -337,6 +347,9 @@ func Build(regions []Region, spec hm.SystemSpec, cfg BuildConfig) ([]Sample, err
 	}
 	if workers <= 1 {
 		for ri := range regions {
+			if ctx.Err() != nil {
+				break
+			}
 			build(ri)
 		}
 	} else {
@@ -346,7 +359,7 @@ func Build(regions []Region, spec hm.SystemSpec, cfg BuildConfig) ([]Sample, err
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				for {
+				for ctx.Err() == nil {
 					ri := int(next.Add(1)) - 1
 					if ri >= len(regions) {
 						return
@@ -356,6 +369,9 @@ func Build(regions []Region, spec hm.SystemSpec, cfg BuildConfig) ([]Sample, err
 			}()
 		}
 		wg.Wait()
+	}
+	if err := merr.FromContext(ctx, "corpus: build canceled"); err != nil {
+		return nil, err
 	}
 	if err := errors.Join(errs...); err != nil {
 		return nil, err
@@ -369,7 +385,7 @@ func Build(regions []Region, spec hm.SystemSpec, cfg BuildConfig) ([]Sample, err
 
 // runHomogeneous runs the region alone on a tier-homogeneous system and
 // returns its counters.
-func runHomogeneous(reg Region, spec hm.SystemSpec, scale float64, tier hm.TierID, step float64, seed int64) (hm.TaskCounters, error) {
+func runHomogeneous(ctx context.Context, reg Region, spec hm.SystemSpec, scale float64, tier hm.TierID, step float64, seed int64) (hm.TaskCounters, error) {
 	hspec := hm.HomogeneousSpec(spec, tier)
 	mem := hm.NewMemory(hspec)
 	tw, err := reg.Instantiate(mem, scale, hm.PM, seed)
@@ -377,7 +393,7 @@ func runHomogeneous(reg Region, spec hm.SystemSpec, scale float64, tier hm.TierI
 		return hm.TaskCounters{}, err
 	}
 	eng := &hm.Engine{Mem: mem, StepSec: step}
-	res, err := eng.Run([]hm.TaskWork{tw})
+	res, err := eng.Run(ctx, []hm.TaskWork{tw})
 	if err != nil {
 		return hm.TaskCounters{}, err
 	}
@@ -386,7 +402,7 @@ func runHomogeneous(reg Region, spec hm.SystemSpec, scale float64, tier hm.TierI
 
 // runPlacement runs the region with dramFrac of each object's pages in
 // DRAM and returns the counters.
-func runPlacement(reg Region, spec hm.SystemSpec, scale, dramFrac float64, step float64, seed int64) (hm.TaskCounters, error) {
+func runPlacement(ctx context.Context, reg Region, spec hm.SystemSpec, scale, dramFrac float64, step float64, seed int64) (hm.TaskCounters, error) {
 	// Give the hybrid run enough DRAM headroom for any fraction.
 	pspec := spec
 	pspec.Tiers[hm.DRAM].CapacityBytes = spec.Tiers[hm.PM].CapacityBytes
@@ -414,21 +430,21 @@ func runPlacement(reg Region, spec hm.SystemSpec, scale, dramFrac float64, step 
 		}
 	}
 	eng := &hm.Engine{Mem: mem, StepSec: step}
-	res, err := eng.Run([]hm.TaskWork{tw})
+	res, err := eng.Run(ctx, []hm.TaskWork{tw})
 	if err != nil {
 		return hm.TaskCounters{}, err
 	}
 	return res.Counters[0], nil
 }
 
-func buildRegion(reg Region, spec hm.SystemSpec, cfg BuildConfig, regionSeed int64) ([]Sample, error) {
+func buildRegion(ctx context.Context, reg Region, spec hm.SystemSpec, cfg BuildConfig, regionSeed int64) ([]Sample, error) {
 	seed := cfg.Seed + regionSeed*101
 
-	pmCtr, err := runHomogeneous(reg, spec, cfg.TrainScale, hm.PM, cfg.StepSec, seed)
+	pmCtr, err := runHomogeneous(ctx, reg, spec, cfg.TrainScale, hm.PM, cfg.StepSec, seed)
 	if err != nil {
 		return nil, err
 	}
-	dramCtr, err := runHomogeneous(reg, spec, cfg.TrainScale, hm.DRAM, cfg.StepSec, seed)
+	dramCtr, err := runHomogeneous(ctx, reg, spec, cfg.TrainScale, hm.DRAM, cfg.StepSec, seed)
 	if err != nil {
 		return nil, err
 	}
@@ -443,7 +459,7 @@ func buildRegion(reg Region, spec hm.SystemSpec, cfg BuildConfig, regionSeed int
 
 	// Workload characteristics come from a *seed input* run on PM only —
 	// a different input than the one targets are generated with (§5.1).
-	seedCtr, err := runHomogeneous(reg, spec, cfg.SeedScale, hm.PM, cfg.StepSec, seed+7)
+	seedCtr, err := runHomogeneous(ctx, reg, spec, cfg.SeedScale, hm.PM, cfg.StepSec, seed+7)
 	if err != nil {
 		return nil, err
 	}
@@ -452,7 +468,7 @@ func buildRegion(reg Region, spec hm.SystemSpec, cfg BuildConfig, regionSeed int
 	var out []Sample
 	for p := 0; p < cfg.Placements; p++ {
 		frac := (float64(p) + 0.5) / float64(cfg.Placements)
-		ctr, err := runPlacement(reg, spec, cfg.TrainScale, frac, cfg.StepSec, seed)
+		ctr, err := runPlacement(ctx, reg, spec, cfg.TrainScale, frac, cfg.StepSec, seed)
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package corpus
 
 import (
+	"context"
 	"math"
 	"reflect"
 	"strings"
@@ -89,7 +90,7 @@ func TestInstantiate(t *testing.T) {
 func TestBuildProducesValidSamples(t *testing.T) {
 	regions := StandardCorpus(14, 3) // two of each family
 	spec := smallSpec()
-	samples, err := Build(regions, spec, BuildConfig{Placements: 4, StepSec: 0.004, Seed: 5})
+	samples, err := Build(context.Background(), regions, spec, BuildConfig{Placements: 4, StepSec: 0.004, Seed: 5})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -133,13 +134,13 @@ func TestBuildDeterministicAcrossWorkers(t *testing.T) {
 	cfg := BuildConfig{Placements: 4, StepSec: 0.004, Seed: 5}
 
 	cfg.Workers = 1
-	serial, err := Build(regions, spec, cfg)
+	serial, err := Build(context.Background(), regions, spec, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for _, workers := range []int{2, 8} {
 		cfg.Workers = workers
-		parallel, err := Build(regions, spec, cfg)
+		parallel, err := Build(context.Background(), regions, spec, cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -169,7 +170,7 @@ func TestBuildSurfacesAllRegionErrors(t *testing.T) {
 		}
 	}
 	good := StandardCorpus(1, 7)[0]
-	_, err := Build([]Region{bad("bad1"), good, bad("bad2")}, smallSpec(), BuildConfig{
+	_, err := Build(context.Background(), []Region{bad("bad1"), good, bad("bad2")}, smallSpec(), BuildConfig{
 		Placements: 2, StepSec: 0.004, Workers: 3,
 	})
 	if err == nil {
@@ -186,7 +187,7 @@ func TestBuildSurfacesAllRegionErrors(t *testing.T) {
 func TestBuildMonotoneInRDram(t *testing.T) {
 	// For a single region, more DRAM accesses must not slow it down.
 	regions := StandardCorpus(1, 7)
-	samples, err := Build(regions, smallSpec(), BuildConfig{Placements: 6, StepSec: 0.004})
+	samples, err := Build(context.Background(), regions, smallSpec(), BuildConfig{Placements: 6, StepSec: 0.004})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -27,7 +28,10 @@ type AblationRow struct {
 //   - density-aware vs uniform (paper Line 18) access-to-page mapping;
 //   - the load-balance gate + plan vs the raw daemon (task semantics off —
 //     this variant is exactly MemoryOptimizer at page granularity).
-func Ablations(w io.Writer, art *Artifacts, cfg Config) ([]AblationRow, error) {
+func Ablations(ctx context.Context, w io.Writer, art *Artifacts, cfg Config) ([]AblationRow, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	app, err := BuildApp("SpGEMM", cfg)
 	if err != nil {
 		return nil, err
@@ -86,7 +90,7 @@ func Ablations(w io.Writer, art *Artifacts, cfg Config) ([]AblationRow, error) {
 	fprintf(w, "%-26s %12s\n", "Variant", "total (s)")
 	var rows []AblationRow
 	for _, v := range variants {
-		res, err := task.Run(app, art.Spec, v.pol(), task.Options{StepSec: cfg.step(), IntervalSec: 0.05})
+		res, err := task.Run(ctx, app, art.Spec, v.pol(), task.Options{StepSec: cfg.step(), IntervalSec: 0.05})
 		if err != nil {
 			return nil, fmt.Errorf("experiments: ablation %q: %w", v.name, err)
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -28,9 +29,12 @@ func CXLSpec() hm.SystemSpec {
 // The expected shape: every policy's headroom shrinks (the tier gap is
 // smaller), Merchandiser still leads, and the ordering of applications by
 // gain tracks their slow-tier sensitivity.
-func CXL(w io.Writer, cfg Config) (*Eval, error) {
+func CXL(ctx context.Context, w io.Writer, cfg Config) (*Eval, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	spec := CXLSpec()
-	art, err := prepareFor(spec, cfg)
+	art, err := prepareFor(ctx, spec, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -39,7 +43,7 @@ func CXL(w io.Writer, cfg Config) (*Eval, error) {
 		apps.ExperimentSpec().Tiers[hm.PM].ReadLatencyNs, apps.ExperimentSpec().Tiers[hm.PM].BandwidthGBs)
 	fprintf(w, "correlation function retrained: held-out R² = %.3f\n\n", art.TestR2)
 
-	eval, err := RunEvaluation(art, cfg)
+	eval, err := RunEvaluation(ctx, art, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -60,11 +64,11 @@ func CXL(w io.Writer, cfg Config) (*Eval, error) {
 }
 
 // prepareFor trains artifacts for an arbitrary platform spec.
-func prepareFor(spec hm.SystemSpec, cfg Config) (*Artifacts, error) {
+func prepareFor(ctx context.Context, spec hm.SystemSpec, cfg Config) (*Artifacts, error) {
 	saved := artifactsSpecHook
 	artifactsSpecHook = &spec
 	defer func() { artifactsSpecHook = saved }()
-	return Prepare(cfg)
+	return Prepare(ctx, cfg)
 }
 
 // artifactsSpecHook lets prepareFor substitute the platform; nil means the

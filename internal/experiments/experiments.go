@@ -14,6 +14,7 @@
 package experiments
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -27,10 +28,12 @@ import (
 	"merchandiser/internal/core"
 	"merchandiser/internal/corpus"
 	"merchandiser/internal/hm"
+	"merchandiser/internal/merr"
 	"merchandiser/internal/ml"
 	"merchandiser/internal/model"
 	"merchandiser/internal/obs"
 	"merchandiser/internal/pmc"
+	"merchandiser/internal/policyreg"
 	"merchandiser/internal/stats"
 	"merchandiser/internal/task"
 )
@@ -131,8 +134,13 @@ func trainSpec(spec hm.SystemSpec) hm.SystemSpec {
 }
 
 // Prepare trains the correlation function (offline step 1) and returns
-// the shared artifacts.
-func Prepare(cfg Config) (*Artifacts, error) {
+// the shared artifacts. Cancellation via ctx unwinds through the corpus
+// worker pool and the boosting stages, returning an error satisfying
+// errors.Is(err, context.Canceled).
+func Prepare(ctx context.Context, cfg Config) (*Artifacts, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	defer cfg.Obs.WallTimer("pipeline.train_seconds").Start()()
 	spec := apps.ExperimentSpec()
 	if artifactsSpecHook != nil {
@@ -143,13 +151,13 @@ func Prepare(cfg Config) (*Artifacts, error) {
 		nRegions, placements = 70, 6
 	}
 	regions := corpus.StandardCorpus(nRegions, cfg.Seed+1)
-	samples, err := corpus.Build(regions, trainSpec(spec), corpus.BuildConfig{
+	samples, err := corpus.Build(ctx, regions, trainSpec(spec), corpus.BuildConfig{
 		Placements: placements, StepSec: 0.001, Seed: cfg.Seed + 2, Workers: cfg.workers(),
 	})
 	if err != nil {
 		return nil, fmt.Errorf("experiments: corpus: %w", err)
 	}
-	res, err := model.TrainCorrelation(samples, pmc.SelectedEvents,
+	res, err := model.TrainCorrelation(ctx, samples, pmc.SelectedEvents,
 		func() ml.Regressor {
 			return ml.NewGradientBoosted(ml.GBRConfig{Seed: cfg.Seed + 3, Workers: cfg.workers(), Obs: cfg.Obs})
 		}, cfg.Seed+4)
@@ -228,31 +236,22 @@ func buildAppDefault(name string, cfg Config) (task.App, error) {
 // PolicyNames is the comparison order of Figure 4.
 var PolicyNames = []string{"PM-only", "MemoryMode", "MemoryOptimizer", "Merchandiser"}
 
-// buildPolicy constructs one policy instance. reg is the cell's registry
-// (nil when observability is off); only Merchandiser consumes it.
+// buildPolicy constructs one fresh policy instance through the shared
+// name-based registry (internal/policyreg). reg is the cell's metrics
+// registry (nil when observability is off); only Merchandiser consumes
+// it. The registry's builtins reproduce the historical constructions and
+// seed offsets exactly, so evaluation outputs are unchanged.
 func buildPolicy(name string, art *Artifacts, cfg Config, reg *obs.Registry) (task.Policy, error) {
-	switch name {
-	case "PM-only":
-		return baseline.PMOnly{}, nil
-	case "MemoryMode":
-		return baseline.MemoryMode{}, nil
-	case "MemoryOptimizer":
-		return baseline.NewMemoryOptimizer(baseline.DaemonConfig{Seed: cfg.Seed + 20}), nil
-	case "Merchandiser":
-		return core.New(core.Config{
-			Spec:   art.Spec,
-			Perf:   art.Perf,
-			Daemon: baseline.DaemonConfig{Seed: cfg.Seed + 20},
-			Seed:   cfg.Seed + 21,
-			Obs:    reg,
-		}), nil
-	case "Sparta":
-		return &baseline.Sparta{Priority: []string{"spgemm/B"}}, nil
-	case "WarpX-PM":
-		return baseline.NewWarpXPM(art.Spec.LLCBytes, cfg.Seed+22), nil
-	default:
-		return nil, fmt.Errorf("experiments: unknown policy %q", name)
+	pol, err := policyreg.Build(name, policyreg.Params{
+		Spec: art.Spec,
+		Perf: art.Perf,
+		Seed: cfg.Seed,
+		Obs:  reg,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %w", err)
 	}
+	return pol, nil
 }
 
 // AppRun is one (application, policy) execution.
@@ -304,7 +303,14 @@ func extraPolicies(app string) []string {
 // application instance is reused across its policies (the cheaper
 // sequential schedule). All per-run errors are surfaced, joined in matrix
 // order — one failing run does not mask another's error.
-func RunEvaluation(art *Artifacts, cfg Config) (*Eval, error) {
+// Cancellation: once ctx is done, workers stop claiming cells and
+// in-flight runs abort at the next engine tick; RunEvaluation then
+// returns an error satisfying errors.Is(err, context.Canceled) with no
+// goroutine left behind.
+func RunEvaluation(ctx context.Context, art *Artifacts, cfg Config) (*Eval, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	defer cfg.Obs.WallTimer("pipeline.eval_seconds").Start()()
 	type cell struct {
 		app, policy string
@@ -331,6 +337,9 @@ func RunEvaluation(art *Artifacts, cfg Config) (*Eval, error) {
 		// across its policies (BuildApp re-runs the app's computation).
 		built := map[string]task.App{}
 		for ci, c := range cells {
+			if ctx.Err() != nil {
+				break
+			}
 			app, ok := built[c.app]
 			if !ok {
 				var err error
@@ -341,7 +350,7 @@ func RunEvaluation(art *Artifacts, cfg Config) (*Eval, error) {
 				}
 				built[c.app] = app
 			}
-			run, err := runOne(app, c.app, c.policy, art, cfg)
+			run, err := runOne(ctx, app, c.app, c.policy, art, cfg)
 			if err != nil {
 				errs[ci] = err
 				continue
@@ -356,7 +365,7 @@ func RunEvaluation(art *Artifacts, cfg Config) (*Eval, error) {
 			wg.Add(1)
 			go func() {
 				defer wg.Done()
-				for {
+				for ctx.Err() == nil {
 					ci := int(next.Add(1)) - 1
 					if ci >= len(cells) {
 						return
@@ -367,7 +376,7 @@ func RunEvaluation(art *Artifacts, cfg Config) (*Eval, error) {
 						errs[ci] = err
 						continue
 					}
-					run, err := runOne(app, c.app, c.policy, art, cfg)
+					run, err := runOne(ctx, app, c.app, c.policy, art, cfg)
 					if err != nil {
 						errs[ci] = err
 						continue
@@ -380,13 +389,16 @@ func RunEvaluation(art *Artifacts, cfg Config) (*Eval, error) {
 		}
 		wg.Wait()
 	}
+	if err := merr.FromContext(ctx, "experiments: evaluation canceled"); err != nil {
+		return nil, err
+	}
 	if err := errors.Join(errs...); err != nil {
 		return nil, err
 	}
 	return eval, nil
 }
 
-func runOne(app task.App, appName, polName string, art *Artifacts, cfg Config) (*AppRun, error) {
+func runOne(ctx context.Context, app task.App, appName, polName string, art *Artifacts, cfg Config) (*AppRun, error) {
 	// Each cell collects into its own registry: the cell itself is
 	// single-threaded, so its metrics are deterministic no matter how the
 	// matrix is scheduled across workers.
@@ -401,7 +413,7 @@ func runOne(app task.App, appName, polName string, art *Artifacts, cfg Config) (
 	if err != nil {
 		return nil, err
 	}
-	res, err := task.Run(app, art.Spec, pol, task.Options{StepSec: cfg.step(), IntervalSec: 0.05, Observer: reg})
+	res, err := task.Run(ctx, app, art.Spec, pol, task.Options{StepSec: cfg.step(), IntervalSec: 0.05, Observer: reg})
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %s under %s: %w", appName, polName, err)
 	}

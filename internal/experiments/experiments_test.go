@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
 	"errors"
 	"strings"
@@ -46,7 +47,7 @@ func TestTable2FootprintsExceedDRAM(t *testing.T) {
 
 func TestFig3PhaseSensitivityShape(t *testing.T) {
 	var buf bytes.Buffer
-	rows, err := Fig3(&buf, quickCfg())
+	rows, err := Fig3(context.Background(), &buf, quickCfg())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -91,11 +92,11 @@ func quickEval(t *testing.T) (*Artifacts, *Eval) {
 	if cachedEval != nil {
 		return cachedArt, cachedEval
 	}
-	art, err := Prepare(quickCfg())
+	art, err := Prepare(context.Background(), quickCfg())
 	if err != nil {
 		t.Fatal(err)
 	}
-	eval, err := RunEvaluation(art, quickCfg())
+	eval, err := RunEvaluation(context.Background(), art, quickCfg())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -164,7 +165,7 @@ func TestFig5AndFig6Render(t *testing.T) {
 func TestTable3ModelSelection(t *testing.T) {
 	art, _ := quickEval(t)
 	var buf bytes.Buffer
-	rows, err := Table3(&buf, art, quickCfg())
+	rows, err := Table3(context.Background(), &buf, art, quickCfg())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -189,7 +190,7 @@ func TestTable3ModelSelection(t *testing.T) {
 func TestFig7EventAblation(t *testing.T) {
 	art, _ := quickEval(t)
 	var buf bytes.Buffer
-	points, err := Fig7(&buf, art, quickCfg())
+	points, err := Fig7(context.Background(), &buf, art, quickCfg())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -262,7 +263,7 @@ func TestBuildAppRejectsUnknown(t *testing.T) {
 func TestAblationsShape(t *testing.T) {
 	art, _ := quickEval(t)
 	var buf bytes.Buffer
-	rows, err := Ablations(&buf, art, quickCfg())
+	rows, err := Ablations(context.Background(), &buf, art, quickCfg())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -287,7 +288,7 @@ func TestAblationsShape(t *testing.T) {
 
 func TestEvaluationDeterminism(t *testing.T) {
 	art, eval1 := quickEval(t)
-	eval2, err := RunEvaluation(art, quickCfg())
+	eval2, err := RunEvaluation(context.Background(), art, quickCfg())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -311,11 +312,11 @@ func TestHeadlineRobustAcrossSeeds(t *testing.T) {
 	// average) must hold for several seeds, not just the default.
 	for _, seed := range []int64{2, 3} {
 		cfg := Config{Quick: true, Seed: seed, StepSec: 0.0005}
-		art, err := Prepare(cfg)
+		art, err := Prepare(context.Background(), cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
-		eval, err := RunEvaluation(art, cfg)
+		eval, err := RunEvaluation(context.Background(), art, cfg)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -339,14 +340,14 @@ func TestFullScaleGoldenShapes(t *testing.T) {
 		t.Skip("full-scale evaluation is slow")
 	}
 	cfg := Config{Seed: 1}
-	art, err := Prepare(cfg)
+	art, err := Prepare(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if art.TestR2 < 0.85 {
 		t.Fatalf("full-corpus correlation R2 = %.3f, want > 0.85", art.TestR2)
 	}
-	eval, err := RunEvaluation(art, cfg)
+	eval, err := RunEvaluation(context.Background(), art, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -416,7 +417,7 @@ func TestSummaryJSONRoundTrip(t *testing.T) {
 
 func TestCXLExtensibility(t *testing.T) {
 	var buf bytes.Buffer
-	eval, err := CXL(&buf, quickCfg())
+	eval, err := CXL(context.Background(), &buf, quickCfg())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -455,7 +456,7 @@ func TestEvaluationSurfacesAllErrors(t *testing.T) {
 	// Workers > 1 exercises the pooled schedule where errors land from
 	// different goroutines.
 	art, _ := quickEval(t)
-	_, err := RunEvaluation(art, Config{Quick: true, Seed: 1, StepSec: 0.0005, Workers: 4})
+	_, err := RunEvaluation(context.Background(), art, Config{Quick: true, Seed: 1, StepSec: 0.0005, Workers: 4})
 	if err == nil {
 		t.Fatal("expected an error")
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -20,7 +21,10 @@ type Fig3Row struct {
 // Fig3 reproduces Figure 3: the five NWChem-TC execution phases (plus the
 // entire task) run alone with 0%, 50% and 100% of their memory accesses
 // on DRAM; times normalized to the 0% case.
-func Fig3(w io.Writer, cfg Config) ([]Fig3Row, error) {
+func Fig3(ctx context.Context, w io.Writer, cfg Config) ([]Fig3Row, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	app, err := apps.NewNWChemTC(apps.NWChemTCConfig{Seed: cfg.Seed + 10})
 	if err != nil {
 		return nil, err
@@ -64,7 +68,7 @@ func Fig3(w io.Writer, cfg Config) ([]Fig3Row, error) {
 			}
 		}
 		eng := &hm.Engine{Mem: mem, StepSec: 0.0005}
-		res, err := eng.Run([]hm.TaskWork{tw})
+		res, err := eng.Run(ctx, []hm.TaskWork{tw})
 		if err != nil {
 			return 0, err
 		}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -25,7 +26,10 @@ type Fig7Point struct {
 // on regular- and irregular-pattern regions. The R_DRAM input of
 // Equation 2 is always kept — elimination applies to hardware events
 // only, as in the paper.
-func Fig7(w io.Writer, art *Artifacts, cfg Config) ([]Fig7Point, error) {
+func Fig7(ctx context.Context, w io.Writer, art *Artifacts, cfg Config) ([]Fig7Point, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	events := append([]string(nil), pmc.AllEvents...)
 	X, y := corpus.Matrix(art.Samples, events)
 	// Split deterministically, tracking which samples are regular.
@@ -67,7 +71,7 @@ func Fig7(w io.Writer, art *Artifacts, cfg Config) ([]Fig7Point, error) {
 		xtr := ml.ProjectColumns(Xtr, cols)
 		xte := ml.ProjectColumns(Xte, cols)
 		gbr := ml.NewGradientBoosted(ml.GBRConfig{Seed: cfg.Seed + 7})
-		if err := gbr.Fit(xtr, ytr); err != nil {
+		if err := ml.Fit(ctx, gbr, xtr, ytr); err != nil {
 			return nil, err
 		}
 		var regY, regP, irrY, irrP []float64

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"flag"
 	"os"
 	"path/filepath"
@@ -36,7 +37,7 @@ func goldenEval(t *testing.T, workers int) (*Eval, Config) {
 	t.Helper()
 	cfg := goldenCfg(workers)
 	art := &Artifacts{Spec: apps.ExperimentSpec(), Perf: &model.PerfModel{}}
-	eval, err := RunEvaluation(art, cfg)
+	eval, err := RunEvaluation(context.Background(), art, cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -105,7 +106,7 @@ func TestTraceDeterministicAndWellFormed(t *testing.T) {
 		cfg := goldenCfg(4)
 		cfg.Trace = true
 		art := &Artifacts{Spec: apps.ExperimentSpec(), Perf: &model.PerfModel{}}
-		eval, err := RunEvaluation(art, cfg)
+		eval, err := RunEvaluation(context.Background(), art, cfg)
 		if err != nil {
 			t.Fatal(err)
 		}

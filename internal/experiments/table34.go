@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -19,7 +20,10 @@ type Table3Row struct {
 
 // Table3 trains the six statistical models of the paper on the corpus
 // with a 70/30 split and reports held-out R².
-func Table3(w io.Writer, art *Artifacts, cfg Config) ([]Table3Row, error) {
+func Table3(ctx context.Context, w io.Writer, art *Artifacts, cfg Config) ([]Table3Row, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	type cand struct {
 		name, params string
 		mk           func() ml.Regressor
@@ -54,7 +58,7 @@ func Table3(w io.Writer, art *Artifacts, cfg Config) ([]Table3Row, error) {
 	fprintf(w, "%-6s %-40s %8s\n", "Model", "Parameters", "R²")
 	var rows []Table3Row
 	for _, c := range cands {
-		res, err := model.TrainCorrelation(art.Samples, pmc.AllEvents, c.mk, cfg.Seed+5)
+		res, err := model.TrainCorrelation(ctx, art.Samples, pmc.AllEvents, c.mk, cfg.Seed+5)
 		if err != nil {
 			return nil, err
 		}

@@ -1,0 +1,92 @@
+package hm
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"merchandiser/internal/merr"
+)
+
+// cancelAfterTicks cancels the run's context from inside the policy hook,
+// making "cancellation arrives mid-run" deterministic: the engine must
+// notice at the next tick boundary.
+type cancelAfterTicks struct {
+	cancel context.CancelFunc
+	after  int
+	ticks  int
+}
+
+func (c *cancelAfterTicks) Name() string { return "cancel-after-ticks" }
+func (c *cancelAfterTicks) Tick(now float64, mem *Memory, tasks []TaskStatus) {
+	c.ticks++
+	if c.ticks == c.after {
+		c.cancel()
+	}
+}
+
+func TestEngineRunCanceledBeforeStart(t *testing.T) {
+	mem := NewMemory(testSpec())
+	o, err := mem.Alloc("A", "t0", 64*4096, PM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	eng := &Engine{Mem: mem, StepSec: 0.001}
+	res, err := eng.Run(ctx, []TaskWork{streamTask("t0", o, 1e6)})
+	if res != nil {
+		t.Fatal("canceled run must not return a result")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if !errors.Is(err, merr.ErrCanceled) {
+		t.Fatalf("want merr.ErrCanceled, got %v", err)
+	}
+}
+
+func TestEngineRunCanceledMidRunAtTickGranularity(t *testing.T) {
+	mem := NewMemory(testSpec())
+	o, err := mem.Alloc("A", "t0", 64*4096, PM)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	pol := &cancelAfterTicks{cancel: cancel, after: 2}
+	eng := &Engine{Mem: mem, StepSec: 0.001, IntervalSec: 0.005, Policy: pol}
+	res, err := eng.Run(ctx, []TaskWork{randomTask("t0", o, 5e7)})
+	if res != nil {
+		t.Fatal("canceled run must not return a result")
+	}
+	if !errors.Is(err, context.Canceled) || !errors.Is(err, merr.ErrCanceled) {
+		t.Fatalf("want dual-matchable cancellation error, got %v", err)
+	}
+	// The engine checks the context once per tick: cancelling on tick 2
+	// must abort on tick 3, before any further policy work.
+	if pol.ticks != 2+1 && pol.ticks != 2 {
+		t.Fatalf("engine ran %d policy ticks after cancellation on tick 2", pol.ticks)
+	}
+}
+
+func TestEngineRunBackgroundMatchesNilContextBehavior(t *testing.T) {
+	run := func(ctx context.Context) *RunResult {
+		mem := NewMemory(testSpec())
+		o, err := mem.Alloc("A", "t0", 64*4096, PM)
+		if err != nil {
+			t.Fatal(err)
+		}
+		eng := &Engine{Mem: mem, StepSec: 0.001}
+		res, err := eng.Run(ctx, []TaskWork{streamTask("t0", o, 2e6)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a := run(context.Background())
+	b := run(nil) //lint:ignore SA1012 nil-context defense is part of the contract
+	if a.Makespan != b.Makespan || len(a.Counters) != len(b.Counters) {
+		t.Fatalf("background vs nil context diverged: %v vs %v", a.Makespan, b.Makespan)
+	}
+}

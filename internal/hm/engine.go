@@ -1,11 +1,13 @@
 package hm
 
 import (
+	"context"
 	"fmt"
 	"math"
 
 	"merchandiser/internal/access"
 	"merchandiser/internal/cache"
+	"merchandiser/internal/merr"
 	"merchandiser/internal/obs"
 )
 
@@ -176,12 +178,22 @@ type taskState struct {
 const eps = 1e-9
 
 // Run executes the task group to completion and returns per-task timings,
-// counters and bandwidth telemetry.
-func (e *Engine) Run(tasks []TaskWork) (*RunResult, error) {
+// counters and bandwidth telemetry. Cancellation is honored at policy-tick
+// granularity: once ctx is done the run aborts within one IntervalSec of
+// simulated progress, returning an error satisfying both
+// errors.Is(err, merr.ErrCanceled) and errors.Is(err, context.Canceled).
+// A nil ctx behaves like context.Background().
+func (e *Engine) Run(ctx context.Context, tasks []TaskWork) (*RunResult, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if len(tasks) == 0 {
-		return nil, fmt.Errorf("hm: no tasks to run")
+		return nil, merr.Errorf(merr.ErrBadApp, "hm: no tasks to run")
 	}
 	if err := e.Mem.Spec.Validate(); err != nil {
+		return nil, err
+	}
+	if err := merr.FromContext(ctx, "hm: run canceled before start"); err != nil {
 		return nil, err
 	}
 	step := e.StepSec
@@ -395,6 +407,13 @@ func (e *Engine) Run(tasks []TaskWork) (*RunResult, error) {
 			obsTicks.Inc()
 			res.Bandwidth = append(res.Bandwidth, s)
 
+			// The cancellation point: checked once per policy tick, so a
+			// canceled context aborts the run within one interval.
+			if running > 0 {
+				if err := merr.FromContext(ctx, "hm: run canceled"); err != nil {
+					return nil, err
+				}
+			}
 			if e.Policy != nil && running > 0 {
 				statuses := e.taskStatuses(states)
 				e.Policy.Tick(now, e.Mem, statuses)

@@ -1,6 +1,7 @@
 package hm
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -20,7 +21,7 @@ func TestEngineDeterminism(t *testing.T) {
 			_ = m.Migrate(a, p*3, DRAM)
 		}
 		eng := &Engine{Mem: m, StepSec: 0.001, IntervalSec: 0.02}
-		res, err := eng.Run([]TaskWork{
+		res, err := eng.Run(context.Background(), []TaskWork{
 			randomTask("t0", a, 5e6),
 			streamTask("t1", b, 2e7),
 		})
@@ -61,7 +62,7 @@ func TestPlacementMonotonicityProperty(t *testing.T) {
 			}
 			m.migrationBytes = [NumTiers]float64{}
 			eng := &Engine{Mem: m, StepSec: 0.001}
-			res, err := eng.Run([]TaskWork{randomTask("t0", o, 4e6)})
+			res, err := eng.Run(context.Background(), []TaskWork{randomTask("t0", o, 4e6)})
 			if err != nil {
 				return math.NaN()
 			}
@@ -87,7 +88,7 @@ func TestAccessConservation(t *testing.T) {
 	}
 	m.migrationBytes = [NumTiers]float64{}
 	eng := &Engine{Mem: m, StepSec: 0.001, IntervalSec: 0.02}
-	res, err := eng.Run([]TaskWork{{
+	res, err := eng.Run(context.Background(), []TaskWork{{
 		Name: "t0",
 		Phases: []Phase{{
 			Name: "mix",
@@ -136,7 +137,7 @@ func TestBandwidthNeverExceedsCapacity(t *testing.T) {
 		works = append(works, streamTask("t", o, 3e7))
 	}
 	eng := &Engine{Mem: m, StepSec: 0.001, IntervalSec: 0.02}
-	res, err := eng.Run(works)
+	res, err := eng.Run(context.Background(), works)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -169,7 +170,7 @@ func TestSweepPositionAccounting(t *testing.T) {
 		}
 		m.migrationBytes = [NumTiers]float64{}
 		eng := &Engine{Mem: m, StepSec: 0.0005}
-		res, err := eng.Run([]TaskWork{streamTask("t0", o, 2e7)})
+		res, err := eng.Run(context.Background(), []TaskWork{streamTask("t0", o, 2e7)})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -188,7 +189,7 @@ func TestEngineMaxStepsGuard(t *testing.T) {
 	m := NewMemory(testSpec())
 	o, _ := m.Alloc("A", "t0", 4096, PM)
 	eng := &Engine{Mem: m, StepSec: 0.001, MaxSteps: 10}
-	_, err := eng.Run([]TaskWork{randomTask("t0", o, 1e12)})
+	_, err := eng.Run(context.Background(), []TaskWork{randomTask("t0", o, 1e12)})
 	if err == nil {
 		t.Fatal("runaway simulation should be cut off")
 	}
@@ -239,7 +240,7 @@ func TestWriteFractionCostsMore(t *testing.T) {
 		m := NewMemory(testSpec())
 		o, _ := m.Alloc("A", "t0", 200*4096, PM)
 		eng := &Engine{Mem: m, StepSec: 0.001}
-		res, err := eng.Run([]TaskWork{{
+		res, err := eng.Run(context.Background(), []TaskWork{{
 			Name: "t0",
 			Phases: []Phase{{
 				Name: "w",
@@ -276,7 +277,7 @@ func TestMigrationTrafficSlowsTasks(t *testing.T) {
 			pol = &churnPolicy{obj: o}
 		}
 		eng := &Engine{Mem: m, StepSec: 0.001, IntervalSec: 0.01, Policy: pol}
-		res, err := eng.Run([]TaskWork{streamTask("t0", o, 3e7)})
+		res, err := eng.Run(context.Background(), []TaskWork{streamTask("t0", o, 3e7)})
 		if err != nil {
 			t.Fatal(err)
 		}

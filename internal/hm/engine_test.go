@@ -1,6 +1,7 @@
 package hm
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -56,7 +57,7 @@ func runOne(t *testing.T, spec SystemSpec, tier TierID, mk func(*Memory) []TaskW
 	// Drain pending migration accounting so placement setup is free.
 	m.migrationBytes = [NumTiers]float64{}
 	eng := &Engine{Mem: m, StepSec: 0.001, IntervalSec: 0.05, Debug: true}
-	res, err := eng.Run(tasks)
+	res, err := eng.Run(context.Background(), tasks)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,7 +99,7 @@ func TestHybridPlacementBetweenBounds(t *testing.T) {
 		}
 		m.migrationBytes = [NumTiers]float64{}
 		eng := &Engine{Mem: m, StepSec: 0.001}
-		res, err := eng.Run([]TaskWork{randomTask("t0", o, 3e6)})
+		res, err := eng.Run(context.Background(), []TaskWork{randomTask("t0", o, 3e6)})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -123,7 +124,7 @@ func TestRDRAMMatchesPlacement(t *testing.T) {
 	}
 	m.migrationBytes = [NumTiers]float64{}
 	eng := &Engine{Mem: m, StepSec: 0.001}
-	res, err := eng.Run([]TaskWork{streamTask("t0", o, 4e6)})
+	res, err := eng.Run(context.Background(), []TaskWork{streamTask("t0", o, 4e6)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -138,7 +139,7 @@ func TestPageCountersAccumulate(t *testing.T) {
 	m := NewMemory(spec)
 	o, _ := m.Alloc("A", "t0", 10*4096, PM)
 	eng := &Engine{Mem: m, StepSec: 0.001}
-	res, err := eng.Run([]TaskWork{streamTask("t0", o, 1e6)})
+	res, err := eng.Run(context.Background(), []TaskWork{streamTask("t0", o, 1e6)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -187,7 +188,7 @@ func TestMakespanIsMaxTaskTime(t *testing.T) {
 	a, _ := m.Alloc("A", "t0", 64*1024, PM)
 	b, _ := m.Alloc("B", "t1", 64*1024, PM)
 	eng := &Engine{Mem: m, StepSec: 0.001}
-	res, err := eng.Run([]TaskWork{streamTask("t0", a, 1e6), streamTask("t1", b, 8e6)})
+	res, err := eng.Run(context.Background(), []TaskWork{streamTask("t0", a, 1e6), streamTask("t1", b, 8e6)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -224,7 +225,7 @@ func TestPolicyMigrationSpeedsUpRun(t *testing.T) {
 		m := NewMemory(spec)
 		o, _ := m.Alloc("A", "t0", 512*1024, PM)
 		eng := &Engine{Mem: m, StepSec: 0.001, IntervalSec: 0.02, Policy: pol, Debug: true}
-		res, err := eng.Run([]TaskWork{randomTask("t0", o, 2e7)})
+		res, err := eng.Run(context.Background(), []TaskWork{randomTask("t0", o, 2e7)})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -242,7 +243,7 @@ func TestMigrationTrafficAppearsInTelemetry(t *testing.T) {
 	m := NewMemory(spec)
 	o, _ := m.Alloc("A", "t0", 512*1024, PM)
 	eng := &Engine{Mem: m, StepSec: 0.001, IntervalSec: 0.02, Policy: &migrateAllPolicy{}}
-	res, err := eng.Run([]TaskWork{randomTask("t0", o, 1e7)})
+	res, err := eng.Run(context.Background(), []TaskWork{randomTask("t0", o, 1e7)})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -261,7 +262,7 @@ func TestMemoryModeSmallVsLargeWorkingSet(t *testing.T) {
 		m := NewMemory(spec)
 		o, _ := m.Alloc("A", "t0", objBytes, PM)
 		eng := &Engine{Mem: m, StepSec: 0.001, MemoryMode: true}
-		res, err := eng.Run([]TaskWork{randomTask("t0", o, 4e6)})
+		res, err := eng.Run(context.Background(), []TaskWork{randomTask("t0", o, 4e6)})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -285,16 +286,16 @@ func TestMemoryModeSmallVsLargeWorkingSet(t *testing.T) {
 func TestRunValidation(t *testing.T) {
 	m := NewMemory(testSpec())
 	eng := &Engine{Mem: m}
-	if _, err := eng.Run(nil); err == nil {
+	if _, err := eng.Run(context.Background(), nil); err == nil {
 		t.Fatal("empty task list should error")
 	}
-	if _, err := eng.Run([]TaskWork{{Name: "bad", Phases: []Phase{{
+	if _, err := eng.Run(context.Background(), []TaskWork{{Name: "bad", Phases: []Phase{{
 		Accesses: []PhaseAccess{{Obj: nil, Pattern: access.Pattern{Kind: access.Stream, ElemSize: 8}, ProgramAccesses: 1}},
 	}}}}); err == nil {
 		t.Fatal("nil object should error")
 	}
 	o, _ := m.Alloc("A", "", 4096, PM)
-	if _, err := eng.Run([]TaskWork{{Name: "bad", Phases: []Phase{{
+	if _, err := eng.Run(context.Background(), []TaskWork{{Name: "bad", Phases: []Phase{{
 		Accesses: []PhaseAccess{{Obj: o, Pattern: access.Pattern{Kind: access.Stream, ElemSize: 0}, ProgramAccesses: 1}},
 	}}}}); err == nil {
 		t.Fatal("invalid pattern should error")
@@ -304,7 +305,7 @@ func TestRunValidation(t *testing.T) {
 func TestEmptyPhasesFinishImmediately(t *testing.T) {
 	m := NewMemory(testSpec())
 	eng := &Engine{Mem: m, StepSec: 0.001}
-	res, err := eng.Run([]TaskWork{{Name: "noop"}})
+	res, err := eng.Run(context.Background(), []TaskWork{{Name: "noop"}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -323,7 +324,7 @@ func TestMultiPhaseSequencing(t *testing.T) {
 		}}},
 	}}
 	eng := &Engine{Mem: m, StepSec: 0.001}
-	res, err := eng.Run([]TaskWork{tw})
+	res, err := eng.Run(context.Background(), []TaskWork{tw})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -340,7 +341,7 @@ func TestCountersAggregates(t *testing.T) {
 	m := NewMemory(testSpec())
 	o, _ := m.Alloc("A", "t0", 256*1024, PM)
 	eng := &Engine{Mem: m, StepSec: 0.001}
-	res, err := eng.Run([]TaskWork{{
+	res, err := eng.Run(context.Background(), []TaskWork{{
 		Name: "t0",
 		Phases: []Phase{{
 			Name: "mix",

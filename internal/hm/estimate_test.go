@@ -1,6 +1,7 @@
 package hm
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -49,7 +50,7 @@ func TestEstimateMatchesEngine(t *testing.T) {
 				}},
 			}}}
 			eng := &Engine{Mem: m, StepSec: 0.0005}
-			res, err := eng.Run([]TaskWork{tw})
+			res, err := eng.Run(context.Background(), []TaskWork{tw})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -124,7 +125,7 @@ func TestSpecValidate(t *testing.T) {
 		// The engine surfaces the same error instead of hanging.
 		m := NewMemory(s)
 		eng := &Engine{Mem: m, StepSec: 0.001}
-		if _, err := eng.Run([]TaskWork{{Name: "t"}}); err == nil {
+		if _, err := eng.Run(context.Background(), []TaskWork{{Name: "t"}}); err == nil {
 			t.Fatalf("engine accepted bad spec %d", i)
 		}
 	}

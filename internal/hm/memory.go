@@ -2,6 +2,8 @@ package hm
 
 import (
 	"fmt"
+
+	"merchandiser/internal/merr"
 )
 
 // Object is a data object registered with the memory system. Pages are
@@ -75,7 +77,7 @@ func (m *Memory) Alloc(name, owner string, bytes uint64, t TierID) (*Object, err
 	}
 	pages := (bytes + m.Spec.PageSize - 1) / m.Spec.PageSize
 	if m.used[t]+pages > m.Spec.CapacityPages(t) {
-		return nil, fmt.Errorf("hm: tier %v full: need %d pages, %d of %d used",
+		return nil, merr.Errorf(merr.ErrCapacity, "hm: tier %v full: need %d pages, %d of %d used",
 			t, pages, m.used[t], m.Spec.CapacityPages(t))
 	}
 	o := &Object{
@@ -142,7 +144,7 @@ func (m *Memory) Migrate(o *Object, pageIdx int, to TierID) error {
 		return nil
 	}
 	if m.used[to] >= m.Spec.CapacityPages(to) {
-		return fmt.Errorf("hm: tier %v full, cannot migrate page of %q", to, o.Name)
+		return merr.Errorf(merr.ErrCapacity, "hm: tier %v full, cannot migrate page of %q", to, o.Name)
 	}
 	o.Loc[pageIdx] = to
 	m.used[from]--

@@ -13,7 +13,7 @@
 // for the substitution argument.
 package hm
 
-import "fmt"
+import "merchandiser/internal/merr"
 
 // TierID identifies one of the two memory tiers.
 type TierID int
@@ -123,24 +123,24 @@ func HomogeneousSpec(base SystemSpec, t TierID) SystemSpec {
 // turns a hang into an error.
 func (s SystemSpec) Validate() error {
 	if s.PageSize == 0 {
-		return fmt.Errorf("hm: zero page size")
+		return merr.Errorf(merr.ErrBadSpec, "hm: zero page size")
 	}
 	if s.LLCBytes < 0 {
-		return fmt.Errorf("hm: negative LLC size")
+		return merr.Errorf(merr.ErrBadSpec, "hm: negative LLC size")
 	}
 	for t := TierID(0); t < NumTiers; t++ {
 		ts := s.Tiers[t]
 		if ts.CapacityBytes < s.PageSize {
-			return fmt.Errorf("hm: tier %v capacity %d below one page", t, ts.CapacityBytes)
+			return merr.Errorf(merr.ErrBadSpec, "hm: tier %v capacity %d below one page", t, ts.CapacityBytes)
 		}
 		if ts.ReadLatencyNs <= 0 || ts.WriteLatencyNs <= 0 {
-			return fmt.Errorf("hm: tier %v has non-positive latency", t)
+			return merr.Errorf(merr.ErrBadSpec, "hm: tier %v has non-positive latency", t)
 		}
 		if ts.BandwidthGBs <= 0 {
-			return fmt.Errorf("hm: tier %v has non-positive bandwidth", t)
+			return merr.Errorf(merr.ErrBadSpec, "hm: tier %v has non-positive bandwidth", t)
 		}
 		if ts.WriteFactor < 1 {
-			return fmt.Errorf("hm: tier %v write factor %v below 1", t, ts.WriteFactor)
+			return merr.Errorf(merr.ErrBadSpec, "hm: tier %v write factor %v below 1", t, ts.WriteFactor)
 		}
 	}
 	return nil

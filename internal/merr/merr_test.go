@@ -1,0 +1,60 @@
+package merr
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+)
+
+func TestErrorClassification(t *testing.T) {
+	err := Errorf(ErrCapacity, "hm: tier %v full", "PM")
+	if !errors.Is(err, ErrCapacity) {
+		t.Fatal("not classified as ErrCapacity")
+	}
+	if errors.Is(err, ErrBadSpec) {
+		t.Fatal("misclassified as ErrBadSpec")
+	}
+	if got := err.Error(); got != "hm: tier PM full" {
+		t.Fatalf("message %q carries taxonomy noise", got)
+	}
+	var e *Error
+	if !errors.As(err, &e) || e.Kind != ErrCapacity {
+		t.Fatal("errors.As failed to recover *Error")
+	}
+}
+
+func TestCanceledUnwrapsBothWays(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := FromContext(ctx, "hm: run canceled")
+	if !errors.Is(err, ErrCanceled) {
+		t.Fatal("not classified as ErrCanceled")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatal("context.Canceled not reachable through Unwrap")
+	}
+	if got := err.Error(); got != "hm: run canceled: context canceled" {
+		t.Fatalf("message %q", got)
+	}
+}
+
+func TestFromContextLiveAndNil(t *testing.T) {
+	if err := FromContext(context.Background(), "x"); err != nil {
+		t.Fatalf("live context yielded %v", err)
+	}
+	if err := FromContext(nil, "x"); err != nil { //nolint:staticcheck // nil-tolerance is the contract
+		t.Fatalf("nil context yielded %v", err)
+	}
+}
+
+func TestWrapPreservesCauseChain(t *testing.T) {
+	cause := fmt.Errorf("disk on fire")
+	err := Wrap(ErrUntrained, "model: fit failed", cause)
+	if !errors.Is(err, ErrUntrained) || !errors.Is(err, cause) {
+		t.Fatal("wrap lost kind or cause")
+	}
+	if got := err.Error(); got != "model: fit failed: disk on fire" {
+		t.Fatalf("message %q", got)
+	}
+}

@@ -1,8 +1,10 @@
 package ml
 
 import (
+	"context"
 	"math/rand"
 
+	"merchandiser/internal/merr"
 	"merchandiser/internal/obs"
 )
 
@@ -52,6 +54,17 @@ func (f *RandomForest) Name() string { return "RFR" }
 
 // Fit implements Regressor.
 func (f *RandomForest) Fit(X [][]float64, y []float64) error {
+	return f.FitContext(context.Background(), X, y)
+}
+
+// FitContext implements ContextFitter: workers stop claiming trees once
+// ctx is done and the fit returns a canceled error without marking the
+// model fitted. With a live context the trained forest is byte-identical
+// to Fit.
+func (f *RandomForest) FitContext(ctx context.Context, X [][]float64, y []float64) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := validate(X, y); err != nil {
 		return err
 	}
@@ -82,7 +95,7 @@ func (f *RandomForest) Fit(X [][]float64, y []float64) error {
 	}
 	errs := make([]error, f.Config.NumTrees)
 	parallelChunks(f.Config.NumTrees, f.Config.Workers, func(lo, hi int) {
-		for t := lo; t < hi; t++ {
+		for t := lo; t < hi && ctx.Err() == nil; t++ {
 			tree := NewDecisionTree(TreeConfig{
 				MaxDepth:       f.Config.MaxDepth,
 				MinSamplesLeaf: f.Config.MinSamplesLeaf,
@@ -96,6 +109,9 @@ func (f *RandomForest) Fit(X [][]float64, y []float64) error {
 			f.trees[t] = tree
 		}
 	})
+	if err := merr.FromContext(ctx, "ml: forest fit canceled"); err != nil {
+		return err
+	}
 	for _, err := range errs {
 		if err != nil {
 			return err
@@ -221,6 +237,17 @@ func (g *GradientBoosted) Name() string { return "GBR" }
 
 // Fit implements Regressor.
 func (g *GradientBoosted) Fit(X [][]float64, y []float64) error {
+	return g.FitContext(context.Background(), X, y)
+}
+
+// FitContext implements ContextFitter: the context is checked between
+// boosting stages, so cancellation aborts within one stage (one tree fit
+// plus one residual pass) without marking the model fitted. With a live
+// context the trained model is byte-identical to Fit.
+func (g *GradientBoosted) FitContext(ctx context.Context, X [][]float64, y []float64) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := validate(X, y); err != nil {
 		return err
 	}
@@ -248,6 +275,9 @@ func (g *GradientBoosted) Fit(X [][]float64, y []float64) error {
 		sampleSize = 1
 	}
 	for stage := 0; stage < g.Config.NumStages; stage++ {
+		if err := merr.FromContext(ctx, "ml: boosting canceled"); err != nil {
+			return err
+		}
 		for i := range residual {
 			residual[i] = y[i] - pred[i]
 		}

@@ -14,6 +14,7 @@
 package ml
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -21,6 +22,7 @@ import (
 	"runtime"
 	"sync"
 
+	"merchandiser/internal/merr"
 	"merchandiser/internal/stats"
 )
 
@@ -52,8 +54,31 @@ type BatchRegressor interface {
 }
 
 // ErrNotFitted is returned by Predict-time misuse and by helpers that
-// require a trained model.
-var ErrNotFitted = errors.New("ml: model not fitted")
+// require a trained model. It is classified under merr.ErrUntrained so
+// callers can match either sentinel.
+var ErrNotFitted = merr.Wrap(merr.ErrUntrained, "", errors.New("ml: model not fitted"))
+
+// ContextFitter is implemented by models whose training can be canceled
+// mid-fit (between boosting stages or tree fits). FitContext with a
+// context.Background() is exactly Fit.
+type ContextFitter interface {
+	Regressor
+	FitContext(ctx context.Context, X [][]float64, y []float64) error
+}
+
+// Fit trains m on (X, y) honoring ctx when the model supports
+// cancellation; other models are fitted atomically after an upfront
+// context check. The trained model is identical to m.Fit(X, y) whenever
+// ctx stays live.
+func Fit(ctx context.Context, m Regressor, X [][]float64, y []float64) error {
+	if cf, ok := m.(ContextFitter); ok {
+		return cf.FitContext(ctx, X, y)
+	}
+	if err := merr.FromContext(ctx, "ml: fit canceled"); err != nil {
+		return err
+	}
+	return m.Fit(X, y)
+}
 
 // parallelChunks splits [0, n) into contiguous chunks and runs fn on up to
 // `workers` goroutines (0 = runtime.NumCPU()). Each index is processed

@@ -1,10 +1,12 @@
 package ml
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math/rand"
 
+	"merchandiser/internal/merr"
 	"merchandiser/internal/obs"
 	"merchandiser/internal/stats"
 )
@@ -142,6 +144,10 @@ func CrossValidateSubsets(
 
 // CVOptions tunes CrossValidateSubsetsObs.
 type CVOptions struct {
+	// Ctx, when non-nil, cancels the search: workers stop claiming
+	// candidates and the call returns an error satisfying
+	// errors.Is(err, context.Canceled) within one fold fit.
+	Ctx context.Context
 	// Folds is the k of k-fold CV (min 2, default 5, capped at n).
 	Folds int
 	// Seed derives the shared fold assignment.
@@ -164,7 +170,7 @@ func CrossValidateSubsetsObs(
 	candidates [][]int,
 	opt CVOptions,
 ) ([]SubsetScore, error) {
-	scores, err := crossValidateSubsets(newModel, X, y, features, candidates, opt.Folds, opt.Seed, opt.Workers)
+	scores, err := crossValidateSubsets(opt.Ctx, newModel, X, y, features, candidates, opt.Folds, opt.Seed, opt.Workers)
 	if err != nil {
 		return nil, err
 	}
@@ -182,6 +188,7 @@ func CrossValidateSubsetsObs(
 }
 
 func crossValidateSubsets(
+	ctx context.Context,
 	newModel func() Regressor,
 	X [][]float64, y []float64,
 	features []string,
@@ -190,6 +197,9 @@ func crossValidateSubsets(
 	seed int64,
 	workers int,
 ) ([]SubsetScore, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if err := validate(X, y); err != nil {
 		return nil, err
 	}
@@ -228,17 +238,20 @@ func crossValidateSubsets(
 	scores := make([]SubsetScore, len(candidates))
 	errs := make([]error, len(candidates))
 	parallelChunks(len(candidates), workers, func(lo, hi int) {
-		for ci := lo; ci < hi; ci++ {
-			scores[ci], errs[ci] = scoreSubset(newModel, X, y, features, candidates[ci], foldOf, folds)
+		for ci := lo; ci < hi && ctx.Err() == nil; ci++ {
+			scores[ci], errs[ci] = scoreSubset(ctx, newModel, X, y, features, candidates[ci], foldOf, folds)
 		}
 	})
+	if err := merr.FromContext(ctx, "ml: cross-validation canceled"); err != nil {
+		return nil, err
+	}
 	if err := errors.Join(errs...); err != nil {
 		return nil, err
 	}
 	return scores, nil
 }
 
-func scoreSubset(newModel func() Regressor, X [][]float64, y []float64, features []string, cand []int, foldOf []int, folds int) (SubsetScore, error) {
+func scoreSubset(ctx context.Context, newModel func() Regressor, X [][]float64, y []float64, features []string, cand []int, foldOf []int, folds int) (SubsetScore, error) {
 	px := projectColumns(X, cand)
 	score := SubsetScore{
 		Columns:  append([]int(nil), cand...),
@@ -263,7 +276,7 @@ func scoreSubset(newModel func() Regressor, X [][]float64, y []float64, features
 			continue
 		}
 		m := newModel()
-		if err := m.Fit(xtr, ytr); err != nil {
+		if err := Fit(ctx, m, xtr, ytr); err != nil {
 			return SubsetScore{}, err
 		}
 		r2, err := stats.R2(yte, PredictBatch(m, xte))

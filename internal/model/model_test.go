@@ -1,6 +1,7 @@
 package model
 
 import (
+	"context"
 	"math"
 	"testing"
 	"testing/quick"
@@ -152,11 +153,11 @@ func smallSpec() hm.SystemSpec {
 func trainSmallCorr(t *testing.T) (*TrainResult, []corpus.Sample) {
 	t.Helper()
 	regions := corpus.StandardCorpus(70, 3)
-	samples, err := corpus.Build(regions, smallSpec(), corpus.BuildConfig{Placements: 8, StepSec: 0.002, Seed: 1})
+	samples, err := corpus.Build(context.Background(), regions, smallSpec(), corpus.BuildConfig{Placements: 8, StepSec: 0.002, Seed: 1})
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := TrainCorrelation(samples, pmc.SelectedEvents,
+	res, err := TrainCorrelation(context.Background(), samples, pmc.SelectedEvents,
 		func() ml.Regressor { return ml.NewGradientBoosted(ml.GBRConfig{NumStages: 100, Seed: 2}) }, 4)
 	if err != nil {
 		t.Fatal(err)
@@ -205,7 +206,7 @@ func TestPerfModelWithoutCorrFallsBackToLinear(t *testing.T) {
 }
 
 func TestTrainCorrelationErrors(t *testing.T) {
-	if _, err := TrainCorrelation(nil, pmc.SelectedEvents,
+	if _, err := TrainCorrelation(context.Background(), nil, pmc.SelectedEvents,
 		func() ml.Regressor { return ml.NewKNN(ml.KNNConfig{}) }, 1); err == nil {
 		t.Fatal("too few samples should error")
 	}
@@ -363,7 +364,7 @@ func TestEquation1CrossValidatedAgainstEngine(t *testing.T) {
 			t.Fatal(err)
 		}
 		eng := &hm.Engine{Mem: mem, StepSec: 0.001}
-		res, err := eng.Run([]hm.TaskWork{{
+		res, err := eng.Run(context.Background(), []hm.TaskWork{{
 			Name: "t",
 			Phases: []hm.Phase{{
 				Name:     "k",

@@ -1,11 +1,13 @@
 package model
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
 
 	"merchandiser/internal/corpus"
+	"merchandiser/internal/merr"
 	"merchandiser/internal/ml"
 	"merchandiser/internal/pmc"
 	"merchandiser/internal/stats"
@@ -45,10 +47,12 @@ type TrainResult struct {
 
 // TrainCorrelation fits the correlation function on corpus samples with a
 // 70/30 split (the paper's protocol). newModel supplies the statistical
-// model (Table 3 selects GBR).
-func TrainCorrelation(samples []corpus.Sample, events []string, newModel func() ml.Regressor, seed int64) (*TrainResult, error) {
+// model (Table 3 selects GBR). Cancellation via ctx aborts within one
+// boosting stage for context-aware models; the result is identical to an
+// uncancellable fit while ctx stays live.
+func TrainCorrelation(ctx context.Context, samples []corpus.Sample, events []string, newModel func() ml.Regressor, seed int64) (*TrainResult, error) {
 	if len(samples) < 10 {
-		return nil, fmt.Errorf("model: only %d samples; need at least 10", len(samples))
+		return nil, merr.Errorf(merr.ErrUntrained, "model: only %d samples; need at least 10", len(samples))
 	}
 	X, y := corpus.Matrix(samples, events)
 	Xtr, ytr, Xte, yte, err := ml.TrainTestSplit(X, y, 0.7, seed)
@@ -56,7 +60,7 @@ func TrainCorrelation(samples []corpus.Sample, events []string, newModel func() 
 		return nil, err
 	}
 	m := newModel()
-	if err := m.Fit(Xtr, ytr); err != nil {
+	if err := ml.Fit(ctx, m, Xtr, ytr); err != nil {
 		return nil, err
 	}
 	trainR2, err := ml.R2Score(m, Xtr, ytr)

@@ -1,0 +1,44 @@
+package policyreg
+
+import (
+	"merchandiser/internal/baseline"
+	"merchandiser/internal/core"
+	"merchandiser/internal/task"
+)
+
+// The built-in catalogue: the four comparison policies of Figure 4 plus
+// the two application-specific baselines of §7.1. Constructions and seed
+// offsets replicate the evaluation's historical hard-coded switch
+// byte-for-byte, so golden outputs are unchanged.
+func init() {
+	must(Register("PM-only", func(p Params) (task.Policy, error) {
+		return baseline.PMOnly{}, nil
+	}))
+	must(Register("MemoryMode", func(p Params) (task.Policy, error) {
+		return baseline.MemoryMode{}, nil
+	}))
+	must(Register("MemoryOptimizer", func(p Params) (task.Policy, error) {
+		return baseline.NewMemoryOptimizer(baseline.DaemonConfig{Seed: p.Seed + 20}), nil
+	}))
+	must(Register("Merchandiser", func(p Params) (task.Policy, error) {
+		return core.New(core.Config{
+			Spec:   p.Spec,
+			Perf:   p.Perf,
+			Daemon: baseline.DaemonConfig{Seed: p.Seed + 20},
+			Seed:   p.Seed + 21,
+			Obs:    p.Obs,
+		}), nil
+	}))
+	must(Register("Sparta", func(p Params) (task.Policy, error) {
+		return &baseline.Sparta{Priority: []string{"spgemm/B"}}, nil
+	}))
+	must(Register("WarpX-PM", func(p Params) (task.Policy, error) {
+		return baseline.NewWarpXPM(p.Spec.LLCBytes, p.Seed+22), nil
+	}))
+}
+
+func must(err error) {
+	if err != nil {
+		panic(err)
+	}
+}

@@ -1,0 +1,95 @@
+// Package policyreg is the name-based data-placement policy registry.
+// Every policy the evaluation and the public API can run — the paper's
+// four comparison policies plus the two application-specific extras, and
+// any user-registered policy — is constructed through a named Factory, so
+// callers (cmd/merchbench's -policy flag, internal/experiments, the
+// public merchandiser.Register/Lookup surface) share one catalogue
+// instead of hard-coded switches.
+//
+// Factories mint a fresh policy per call: policies carry per-run mutable
+// state (profiles, α refiners, hotness scores) and must never be shared
+// across concurrent runs.
+package policyreg
+
+import (
+	"sort"
+	"sync"
+
+	"merchandiser/internal/hm"
+	"merchandiser/internal/merr"
+	"merchandiser/internal/model"
+	"merchandiser/internal/obs"
+	"merchandiser/internal/task"
+)
+
+// Params carries everything a factory may need to build a policy for one
+// system: the platform spec, the trained performance model, the base seed
+// (builtins derive their sub-seeds from it exactly as the evaluation
+// always has: daemon seed+20, planner seed+21, WarpX-PM seed+22) and an
+// optional per-run metrics registry.
+type Params struct {
+	Spec hm.SystemSpec
+	Perf *model.PerfModel
+	Seed int64
+	Obs  *obs.Registry
+}
+
+// Factory builds one fresh policy instance from the given parameters.
+type Factory func(p Params) (task.Policy, error)
+
+var (
+	mu        sync.RWMutex
+	factories = map[string]Factory{}
+)
+
+// Register adds a named factory to the registry. Registering an empty
+// name, a nil factory, or a name already taken is an error (builtins are
+// registered at init; user policies must pick fresh names).
+func Register(name string, f Factory) error {
+	if name == "" {
+		return merr.Errorf(merr.ErrUnknownPolicy, "policyreg: empty policy name")
+	}
+	if f == nil {
+		return merr.Errorf(merr.ErrUnknownPolicy, "policyreg: nil factory for %q", name)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if _, dup := factories[name]; dup {
+		return merr.Errorf(merr.ErrUnknownPolicy, "policyreg: policy %q already registered", name)
+	}
+	factories[name] = f
+	return nil
+}
+
+// Lookup returns the factory registered under name, or an error
+// satisfying errors.Is(err, merr.ErrUnknownPolicy).
+func Lookup(name string) (Factory, error) {
+	mu.RLock()
+	defer mu.RUnlock()
+	f, ok := factories[name]
+	if !ok {
+		return nil, merr.Errorf(merr.ErrUnknownPolicy, "policyreg: unknown policy %q", name)
+	}
+	return f, nil
+}
+
+// Build is Lookup followed by the factory call.
+func Build(name string, p Params) (task.Policy, error) {
+	f, err := Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	return f(p)
+}
+
+// Names returns every registered policy name, sorted.
+func Names() []string {
+	mu.RLock()
+	defer mu.RUnlock()
+	out := make([]string, 0, len(factories))
+	for n := range factories {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,78 @@
+package policyreg
+
+import (
+	"errors"
+	"testing"
+
+	"merchandiser/internal/core"
+	"merchandiser/internal/hm"
+	"merchandiser/internal/merr"
+	"merchandiser/internal/task"
+)
+
+func TestBuiltinsRegistered(t *testing.T) {
+	for _, name := range []string{"PM-only", "MemoryMode", "MemoryOptimizer", "Merchandiser", "Sparta", "WarpX-PM"} {
+		pol, err := Build(name, Params{Spec: hm.DefaultSpec(), Seed: 1})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if pol.Name() != name {
+			t.Fatalf("factory %q built policy named %q", name, pol.Name())
+		}
+	}
+}
+
+func TestFactoriesMintFreshState(t *testing.T) {
+	a, err := Build("Merchandiser", Params{Spec: hm.DefaultSpec(), Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Build("Merchandiser", Params{Spec: hm.DefaultSpec(), Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.(*core.Merchandiser) == b.(*core.Merchandiser) {
+		t.Fatal("factory returned a shared policy instance")
+	}
+}
+
+func TestLookupUnknown(t *testing.T) {
+	_, err := Lookup("no-such-policy")
+	if !errors.Is(err, merr.ErrUnknownPolicy) {
+		t.Fatalf("want ErrUnknownPolicy, got %v", err)
+	}
+}
+
+func TestRegisterValidation(t *testing.T) {
+	if err := Register("", nil); err == nil {
+		t.Fatal("empty name accepted")
+	}
+	if err := Register("PM-only", func(Params) (task.Policy, error) { return nil, nil }); err == nil {
+		t.Fatal("duplicate name accepted")
+	}
+	if err := Register("custom-test-policy", func(Params) (task.Policy, error) {
+		return pmOnly(), nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	names := Names()
+	found := false
+	for _, n := range names {
+		if n == "custom-test-policy" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("custom policy missing from Names(): %v", names)
+	}
+}
+
+// pmOnly builds the PM-only policy through the registry itself, keeping
+// the test free of extra imports.
+func pmOnly() task.Policy {
+	pol, err := Build("PM-only", Params{})
+	if err != nil {
+		panic(err)
+	}
+	return pol
+}

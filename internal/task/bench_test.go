@@ -1,6 +1,7 @@
 package task
 
 import (
+	"context"
 	"testing"
 
 	"merchandiser/internal/obs"
@@ -10,7 +11,7 @@ func benchRun(b *testing.B, reg func() *obs.Registry) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		app := &randomApp{nTasks: 4, nInstances: 3, seed: 1}
-		if _, err := Run(app, testSpec(), namedNoop{}, Options{StepSec: 0.001, Observer: reg()}); err != nil {
+		if _, err := Run(context.Background(), app, testSpec(), namedNoop{}, Options{StepSec: 0.001, Observer: reg()}); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,6 +1,7 @@
 package task
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"testing"
@@ -72,7 +73,7 @@ func TestObservedInvariants(t *testing.T) {
 		app := &randomApp{nTasks: 4, nInstances: 3, seed: seed}
 		reg := obs.New()
 		spec := testSpec()
-		res, err := Run(app, spec, namedNoop{}, Options{StepSec: 0.001, Observer: reg})
+		res, err := Run(context.Background(), app, spec, namedNoop{}, Options{StepSec: 0.001, Observer: reg})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -123,7 +124,7 @@ func TestObserverEventsSpanInstances(t *testing.T) {
 	app := &randomApp{nTasks: 3, nInstances: 2, seed: 5}
 	reg := obs.New()
 	reg.EnableEvents()
-	res, err := Run(app, testSpec(), namedNoop{}, Options{StepSec: 0.001, Observer: reg})
+	res, err := Run(context.Background(), app, testSpec(), namedNoop{}, Options{StepSec: 0.001, Observer: reg})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -159,7 +160,7 @@ func TestRunMetricsDeterministic(t *testing.T) {
 	dump := func() string {
 		app := &randomApp{nTasks: 4, nInstances: 3, seed: 9}
 		reg := obs.New()
-		if _, err := Run(app, testSpec(), namedNoop{}, Options{StepSec: 0.001, Observer: reg}); err != nil {
+		if _, err := Run(context.Background(), app, testSpec(), namedNoop{}, Options{StepSec: 0.001, Observer: reg}); err != nil {
 			t.Fatal(err)
 		}
 		b, err := reg.Snapshot(false).MarshalIndent()

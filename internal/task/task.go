@@ -12,9 +12,11 @@
 package task
 
 import (
+	"context"
 	"fmt"
 
 	"merchandiser/internal/hm"
+	"merchandiser/internal/merr"
 	"merchandiser/internal/obs"
 )
 
@@ -32,24 +34,30 @@ type App interface {
 	Instance(i int, mem *hm.Memory) ([]hm.TaskWork, error)
 }
 
-// Policy is a data-placement policy driving a whole application run.
+// Policy is a data-placement policy driving a whole application run. It
+// unifies the two historical contracts: the run-lifecycle hooks below and
+// the engine-tick contract (hm.Policy — Name plus Tick), so one value is
+// both the runtime's policy and the engine's migration daemon. Policies
+// with no runtime migration embed Base for a no-op Tick.
+//
+// A Policy instance carries per-run mutable state (profiles, α refiners,
+// hotness scores) and must not be shared across concurrent runs — mint a
+// fresh one per run (the public API does this through PolicyFactory).
 type Policy interface {
-	// Name returns the policy name as used in the paper's figures.
-	Name() string
+	// hm.Policy: Name (as used in the paper's figures) and the per-interval
+	// Tick driven by the engine during execution.
+	hm.Policy
 	// Setup is called once after the app allocated its long-lived
 	// objects; static policies place pages here.
-	Setup(mem *hm.Memory, app App) error
+	Setup(ctx context.Context, mem *hm.Memory, app App) error
 	// BeforeInstance is called with instance i's works right before
 	// execution (the LB_HM_config point: object sizes are known).
-	BeforeInstance(i int, mem *hm.Memory, works []hm.TaskWork) error
-	// EnginePolicy returns the migration daemon driven during execution,
-	// or nil.
-	EnginePolicy() hm.Policy
+	BeforeInstance(ctx context.Context, i int, mem *hm.Memory, works []hm.TaskWork) error
 	// MemoryMode reports whether the engine emulates Optane Memory Mode.
 	MemoryMode() bool
 	// AfterInstance is called with the instance's results (profiling,
 	// α refinement).
-	AfterInstance(i int, mem *hm.Memory, res *hm.RunResult) error
+	AfterInstance(ctx context.Context, i int, mem *hm.Memory, res *hm.RunResult) error
 }
 
 // Options tunes the runner.
@@ -99,37 +107,46 @@ func (r *Result) TaskTimeMatrix() [][]float64 {
 }
 
 // Run executes the app under the policy on a fresh Memory with the given
-// spec.
-func Run(app App, spec hm.SystemSpec, pol Policy, opts Options) (*Result, error) {
+// spec. Cancellation unwinds at instance boundaries and — through the
+// engine — at policy-tick granularity within an instance; the returned
+// error then satisfies errors.Is(err, context.Canceled). A nil ctx
+// behaves like context.Background().
+func Run(ctx context.Context, app App, spec hm.SystemSpec, pol Policy, opts Options) (*Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	mem := hm.NewMemory(spec)
 	if err := app.Setup(mem); err != nil {
 		return nil, fmt.Errorf("task: %s setup: %w", app.Name(), err)
 	}
-	if err := pol.Setup(mem, app); err != nil {
+	if err := pol.Setup(ctx, mem, app); err != nil {
 		return nil, fmt.Errorf("task: policy %s setup: %w", pol.Name(), err)
 	}
 	res := &Result{App: app.Name(), Policy: pol.Name()}
 	for i := 0; i < app.NumInstances(); i++ {
+		if err := merr.FromContext(ctx, fmt.Sprintf("task: %s canceled before instance %d", app.Name(), i)); err != nil {
+			return nil, err
+		}
 		works, err := app.Instance(i, mem)
 		if err != nil {
 			return nil, fmt.Errorf("task: %s instance %d: %w", app.Name(), i, err)
 		}
 		if len(works) == 0 {
-			return nil, fmt.Errorf("task: %s instance %d has no tasks", app.Name(), i)
+			return nil, merr.Errorf(merr.ErrBadApp, "task: %s instance %d has no tasks", app.Name(), i)
 		}
-		if err := pol.BeforeInstance(i, mem, works); err != nil {
+		if err := pol.BeforeInstance(ctx, i, mem, works); err != nil {
 			return nil, fmt.Errorf("task: policy %s before instance %d: %w", pol.Name(), i, err)
 		}
 		eng := &hm.Engine{
 			Mem:         mem,
-			Policy:      pol.EnginePolicy(),
+			Policy:      pol,
 			StepSec:     opts.StepSec,
 			IntervalSec: opts.IntervalSec,
 			MemoryMode:  pol.MemoryMode(),
 			Debug:       opts.Debug,
 			Obs:         opts.Observer,
 		}
-		rr, err := eng.Run(works)
+		rr, err := eng.Run(ctx, works)
 		if err != nil {
 			return nil, fmt.Errorf("task: %s instance %d under %s: %w", app.Name(), i, pol.Name(), err)
 		}
@@ -144,7 +161,7 @@ func Run(app App, spec hm.SystemSpec, pol Policy, opts Options) (*Result, error)
 		})
 		observeInstance(opts.Observer, res.TotalTime, i, rr)
 		res.TotalTime += rr.Makespan
-		if err := pol.AfterInstance(i, mem, rr); err != nil {
+		if err := pol.AfterInstance(ctx, i, mem, rr); err != nil {
 			return nil, fmt.Errorf("task: policy %s after instance %d: %w", pol.Name(), i, err)
 		}
 	}
@@ -169,9 +186,9 @@ func observeInstance(reg *obs.Registry, t0 float64, instance int, rr *hm.RunResu
 	for _, c := range rr.Counters {
 		busy := c.FinishTime - c.StallSeconds
 		stall := c.StallSeconds + (rr.Makespan - c.FinishTime)
-		reg.Counter("task."+c.Name+".busy_seconds").Add(busy)
-		reg.Counter("task."+c.Name+".stall_seconds").Add(stall)
-		reg.Counter("task."+c.Name+".wall_seconds").Add(rr.Makespan)
+		reg.Counter("task." + c.Name + ".busy_seconds").Add(busy)
+		reg.Counter("task." + c.Name + ".stall_seconds").Add(stall)
+		reg.Counter("task." + c.Name + ".wall_seconds").Add(rr.Makespan)
 	}
 	reg.Histogram("run.instance_makespan_seconds").Observe(rr.Makespan)
 	reg.Counter("run.instances").Inc()
@@ -199,20 +216,26 @@ func observeInstance(reg *obs.Registry, t0 float64, instance int, rr *hm.RunResu
 	}
 }
 
-// Base is a no-op Policy to embed; zero value implements every method.
+// Base is a no-op Policy to embed; zero value implements every method
+// except Name.
 type Base struct{}
 
 // Setup implements Policy.
-func (Base) Setup(mem *hm.Memory, app App) error { return nil }
+func (Base) Setup(ctx context.Context, mem *hm.Memory, app App) error { return nil }
 
 // BeforeInstance implements Policy.
-func (Base) BeforeInstance(i int, mem *hm.Memory, works []hm.TaskWork) error { return nil }
+func (Base) BeforeInstance(ctx context.Context, i int, mem *hm.Memory, works []hm.TaskWork) error {
+	return nil
+}
 
-// EnginePolicy implements Policy.
-func (Base) EnginePolicy() hm.Policy { return nil }
+// Tick implements hm.Policy: policies without runtime migration do
+// nothing at engine ticks.
+func (Base) Tick(now float64, mem *hm.Memory, tasks []hm.TaskStatus) {}
 
 // MemoryMode implements Policy.
 func (Base) MemoryMode() bool { return false }
 
 // AfterInstance implements Policy.
-func (Base) AfterInstance(i int, mem *hm.Memory, res *hm.RunResult) error { return nil }
+func (Base) AfterInstance(ctx context.Context, i int, mem *hm.Memory, res *hm.RunResult) error {
+	return nil
+}

@@ -1,6 +1,7 @@
 package task
 
 import (
+	"context"
 	"errors"
 	"testing"
 
@@ -67,7 +68,7 @@ func (namedNoop) Name() string { return "noop" }
 
 func TestRunPlumbing(t *testing.T) {
 	app := &dummyApp{nTasks: 3, nInstances: 4, failInstance: -1}
-	res, err := Run(app, testSpec(), namedNoop{}, Options{StepSec: 0.001})
+	res, err := Run(context.Background(), app, testSpec(), namedNoop{}, Options{StepSec: 0.001})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -111,12 +112,12 @@ func TestRunPlumbing(t *testing.T) {
 
 func TestRunPropagatesErrors(t *testing.T) {
 	app := &dummyApp{nTasks: 1, nInstances: 3, failInstance: 1}
-	if _, err := Run(app, testSpec(), namedNoop{}, Options{StepSec: 0.001}); err == nil {
+	if _, err := Run(context.Background(), app, testSpec(), namedNoop{}, Options{StepSec: 0.001}); err == nil {
 		t.Fatal("instance error should propagate")
 	}
 	// App whose instance returns no tasks.
 	empty := &emptyApp{}
-	if _, err := Run(empty, testSpec(), namedNoop{}, Options{StepSec: 0.001}); err == nil {
+	if _, err := Run(context.Background(), empty, testSpec(), namedNoop{}, Options{StepSec: 0.001}); err == nil {
 		t.Fatal("empty instance should error")
 	}
 }
@@ -130,19 +131,18 @@ func (emptyApp) Instance(int, *hm.Memory) ([]hm.TaskWork, error) { return nil, n
 
 func TestBaseIsNoop(t *testing.T) {
 	var b Base
-	if err := b.Setup(nil, nil); err != nil {
+	ctx := context.Background()
+	if err := b.Setup(ctx, nil, nil); err != nil {
 		t.Fatal(err)
 	}
-	if err := b.BeforeInstance(0, nil, nil); err != nil {
+	if err := b.BeforeInstance(ctx, 0, nil, nil); err != nil {
 		t.Fatal(err)
 	}
-	if b.EnginePolicy() != nil {
-		t.Fatal("Base engine policy should be nil")
-	}
+	b.Tick(0, nil, nil) // no-op engine hook
 	if b.MemoryMode() {
 		t.Fatal("Base is not memory mode")
 	}
-	if err := b.AfterInstance(0, nil, nil); err != nil {
+	if err := b.AfterInstance(ctx, 0, nil, nil); err != nil {
 		t.Fatal(err)
 	}
 }

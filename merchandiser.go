@@ -14,13 +14,29 @@
 // # Quick start
 //
 //	sys, err := merchandiser.NewSystem(merchandiser.DefaultSpec(), merchandiser.TrainQuick)
-//	res, err := sys.Run(app, sys.Merchandiser(), merchandiser.Options{})
+//	res, err := sys.Run(ctx, app, sys.Merchandiser(), merchandiser.Options{})
 //
 // where app implements merchandiser.App (see AppBuilder for a declarative
 // way to define one, or internal/apps for the paper's five applications).
+//
+// # Sessions and concurrency
+//
+// Policies carry per-run mutable state (profiles, α refiners, hotness
+// scores), so the policy helpers on System return a PolicyFactory rather
+// than a policy: every Run and every Compare row materializes a fresh
+// policy from its factory. One System is therefore safe for any number of
+// concurrent Run/Compare calls (the trained artifacts it holds are
+// read-only after construction).
+//
+// Every run takes a context.Context; cancellation aborts the simulation
+// at the next engine tick with an error satisfying
+// errors.Is(err, context.Canceled). Pass context.Background() for the
+// historical non-cancelable behavior — outputs are byte-identical.
 package merchandiser
 
 import (
+	"context"
+
 	"merchandiser/internal/baseline"
 	"merchandiser/internal/core"
 	"merchandiser/internal/hm"
@@ -35,7 +51,8 @@ type (
 	// App is a task-parallel application: long-lived objects plus a
 	// sequence of task instances separated by global synchronizations.
 	App = task.App
-	// Policy is a data-placement policy for a run.
+	// Policy is a data-placement policy for a run. A Policy instance holds
+	// per-run state; obtain a fresh one per run via a PolicyFactory.
 	Policy = task.Policy
 	// Options tunes the simulation (time step, policy interval).
 	Options = task.Options
@@ -99,7 +116,9 @@ const (
 )
 
 // System bundles a platform spec with the offline artifacts Merchandiser
-// needs (the trained correlation function). Construct once, run many apps.
+// needs (the trained correlation function). Construct once, run many apps
+// — concurrently if desired: the artifacts are read-only after
+// construction and every run builds its own policy and memory.
 type System struct {
 	Spec SystemSpec
 	Perf *model.PerfModel
@@ -110,53 +129,102 @@ type System struct {
 
 // NewSystem builds a System for the spec, training the correlation
 // function at the requested level (the paper's offline step 1) with the
-// default TrainConfig — see NewSystemConfig in builder.go for the knobs.
+// default TrainConfig — see NewSystemConfig in builder.go for the knobs
+// and for a cancelable form.
 func NewSystem(spec SystemSpec, level TrainLevel) (*System, error) {
-	return NewSystemConfig(spec, TrainConfig{Level: level})
+	return NewSystemConfig(context.Background(), spec, TrainConfig{Level: level})
 }
 
-// Merchandiser returns the paper's policy, wired with this system's
-// trained performance model.
-func (s *System) Merchandiser() Policy {
-	return core.New(core.Config{Spec: s.Spec, Perf: s.Perf})
+// PolicyFactory mints a fresh Policy per run. Factories are stateless and
+// safe for concurrent use; the policies they build are not — never share
+// one Policy instance across runs.
+type PolicyFactory interface {
+	// Name identifies the policy this factory builds.
+	Name() string
+	// New returns a fresh policy instance.
+	New() (Policy, error)
 }
 
-// MerchandiserWithObserver returns the paper's policy wired to record its
-// planner and migration-gate metrics into reg (pass the same registry as
-// Options.Observer to get runtime, engine and planner metrics in one
-// place).
-func (s *System) MerchandiserWithObserver(reg *Observer) Policy {
-	return core.New(core.Config{Spec: s.Spec, Perf: s.Perf, Obs: reg})
+// NewFactory adapts a constructor function into a PolicyFactory — the
+// hook for custom policies (see examples/extensibility).
+func NewFactory(name string, make func() (Policy, error)) PolicyFactory {
+	return factoryFunc{name: name, make: make}
 }
 
-// PMOnly returns the slow-tier-only baseline policy.
-func (s *System) PMOnly() Policy { return baseline.PMOnly{} }
-
-// MemoryMode returns the hardware-managed DRAM-cache baseline (Optane
-// Memory Mode).
-func (s *System) MemoryMode() Policy { return baseline.MemoryMode{} }
-
-// MemoryOptimizer returns the application-agnostic hot-page-migration
-// baseline.
-func (s *System) MemoryOptimizer() Policy {
-	return baseline.NewMemoryOptimizer(baseline.DaemonConfig{})
+type factoryFunc struct {
+	name string
+	make func() (Policy, error)
 }
 
-// Sparta returns the application-specific static policy that pins the
-// named objects (substring match) in DRAM.
-func (s *System) Sparta(priorityObjects ...string) Policy {
-	return &baseline.Sparta{Priority: priorityObjects}
+func (f factoryFunc) Name() string         { return f.name }
+func (f factoryFunc) New() (Policy, error) { return f.make() }
+
+// Merchandiser returns a factory for the paper's policy, wired with this
+// system's trained performance model.
+func (s *System) Merchandiser() PolicyFactory {
+	return NewFactory("Merchandiser", func() (Policy, error) {
+		return core.New(core.Config{Spec: s.Spec, Perf: s.Perf}), nil
+	})
 }
 
-// WarpXPM returns the oracle manual-placement policy.
-func (s *System) WarpXPM() Policy {
-	return baseline.NewWarpXPM(s.Spec.LLCBytes, 1)
+// MerchandiserWithObserver returns a factory for the paper's policy wired
+// to record its planner and migration-gate metrics into reg (pass the
+// same registry as Options.Observer to get runtime, engine and planner
+// metrics in one place).
+func (s *System) MerchandiserWithObserver(reg *Observer) PolicyFactory {
+	return NewFactory("Merchandiser", func() (Policy, error) {
+		return core.New(core.Config{Spec: s.Spec, Perf: s.Perf, Obs: reg}), nil
+	})
 }
 
-// Run executes the app under the policy on a fresh memory with this
-// system's spec.
-func (s *System) Run(app App, pol Policy, opts Options) (*Result, error) {
-	return task.Run(app, s.Spec, pol, opts)
+// PMOnly returns a factory for the slow-tier-only baseline policy.
+func (s *System) PMOnly() PolicyFactory {
+	return NewFactory("PM-only", func() (Policy, error) {
+		return baseline.PMOnly{}, nil
+	})
+}
+
+// MemoryMode returns a factory for the hardware-managed DRAM-cache
+// baseline (Optane Memory Mode).
+func (s *System) MemoryMode() PolicyFactory {
+	return NewFactory("MemoryMode", func() (Policy, error) {
+		return baseline.MemoryMode{}, nil
+	})
+}
+
+// MemoryOptimizer returns a factory for the application-agnostic
+// hot-page-migration baseline.
+func (s *System) MemoryOptimizer() PolicyFactory {
+	return NewFactory("MemoryOptimizer", func() (Policy, error) {
+		return baseline.NewMemoryOptimizer(baseline.DaemonConfig{}), nil
+	})
+}
+
+// Sparta returns a factory for the application-specific static policy
+// that pins the named objects (substring match) in DRAM.
+func (s *System) Sparta(priorityObjects ...string) PolicyFactory {
+	return NewFactory("Sparta", func() (Policy, error) {
+		return &baseline.Sparta{Priority: priorityObjects}, nil
+	})
+}
+
+// WarpXPM returns a factory for the oracle manual-placement policy.
+func (s *System) WarpXPM() PolicyFactory {
+	return NewFactory("WarpX-PM", func() (Policy, error) {
+		return baseline.NewWarpXPM(s.Spec.LLCBytes, 1), nil
+	})
+}
+
+// Run executes the app under a fresh policy minted from f, on a fresh
+// memory with this system's spec. Cancel ctx to abort: the run stops at
+// the next engine tick and the error satisfies
+// errors.Is(err, context.Canceled).
+func (s *System) Run(ctx context.Context, app App, f PolicyFactory, opts Options) (*Result, error) {
+	se, err := s.NewSession(f)
+	if err != nil {
+		return nil, err
+	}
+	return se.Run(ctx, app, opts)
 }
 
 // Estimate is a closed-form what-if answer for one task (no simulation):

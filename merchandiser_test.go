@@ -1,6 +1,7 @@
 package merchandiser
 
 import (
+	"context"
 	"testing"
 
 	"merchandiser/internal/hm"
@@ -48,16 +49,16 @@ func TestSystemEndToEnd(t *testing.T) {
 		t.Fatal(err)
 	}
 	app := buildTestApp(t, 4)
-	for _, pol := range []Policy{
+	for _, f := range []PolicyFactory{
 		sys.PMOnly(), sys.MemoryMode(), sys.MemoryOptimizer(), sys.Merchandiser(),
 		sys.Sparta("B"), sys.WarpXPM(),
 	} {
-		res, err := sys.Run(buildTestApp(t, 3), pol, Options{StepSec: 0.001, IntervalSec: 0.02})
+		res, err := sys.Run(context.Background(), buildTestApp(t, 3), f, Options{StepSec: 0.001, IntervalSec: 0.02})
 		if err != nil {
-			t.Fatalf("%s: %v", pol.Name(), err)
+			t.Fatalf("%s: %v", f.Name(), err)
 		}
 		if res.TotalTime <= 0 || len(res.Instances) != 3 {
-			t.Fatalf("%s: bad result %+v", pol.Name(), res)
+			t.Fatalf("%s: bad result %+v", f.Name(), res)
 		}
 	}
 	_ = app
@@ -74,7 +75,7 @@ func TestSystemTrainedBeatsUntrainedPredictions(t *testing.T) {
 	if sys.Perf.Corr == nil {
 		t.Fatal("trained system must carry a correlation function")
 	}
-	res, err := sys.Run(buildTestApp(t, 3), sys.Merchandiser(), Options{StepSec: 0.001, IntervalSec: 0.02})
+	res, err := sys.Run(context.Background(), buildTestApp(t, 3), sys.Merchandiser(), Options{StepSec: 0.001, IntervalSec: 0.02})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -127,7 +128,7 @@ func TestAppBuilderScaleErrors(t *testing.T) {
 		t.Fatal(err)
 	}
 	sys, _ := NewSystem(testSpec(), TrainNone)
-	if _, err := sys.Run(app, sys.PMOnly(), Options{StepSec: 0.001}); err == nil {
+	if _, err := sys.Run(context.Background(), app, sys.PMOnly(), Options{StepSec: 0.001}); err == nil {
 		t.Fatal("zero scale should surface as an error")
 	}
 }
@@ -164,7 +165,7 @@ func TestPublicTraceAPI(t *testing.T) {
 		t.Fatal(err)
 	}
 	sys, _ := NewSystem(testSpec(), TrainNone)
-	if _, err := sys.Run(app, sys.Merchandiser(), Options{StepSec: 0.001}); err != nil {
+	if _, err := sys.Run(context.Background(), app, sys.Merchandiser(), Options{StepSec: 0.001}); err != nil {
 		t.Fatal(err)
 	}
 }
@@ -202,7 +203,7 @@ func TestPublicEstimateAPI(t *testing.T) {
 
 func TestCompare(t *testing.T) {
 	sys, _ := NewSystem(testSpec(), TrainNone)
-	rows, err := sys.Compare(buildTestApp(t, 3),
+	rows, err := sys.Compare(context.Background(), buildTestApp(t, 3),
 		Options{StepSec: 0.001, IntervalSec: 0.02},
 		sys.PMOnly(), sys.MemoryOptimizer(), sys.Merchandiser())
 	if err != nil {
@@ -222,7 +223,7 @@ func TestCompare(t *testing.T) {
 	if rows[2].Speedup < 1 {
 		t.Fatalf("Merchandiser should not lose to PM-only: %+v", rows[2])
 	}
-	if _, err := sys.Compare(buildTestApp(t, 2), Options{}); err == nil {
+	if _, err := sys.Compare(context.Background(), buildTestApp(t, 2), Options{}); err == nil {
 		t.Fatal("empty policy list accepted")
 	}
 }

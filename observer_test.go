@@ -1,6 +1,7 @@
 package merchandiser
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -18,7 +19,7 @@ func TestPublicObserverAPI(t *testing.T) {
 	run := func() (*Metrics, []TraceEvent) {
 		reg := NewObserver()
 		reg.EnableEvents()
-		res, err := sys.Run(buildTestApp(t, 3), sys.MerchandiserWithObserver(reg),
+		res, err := sys.Run(context.Background(), buildTestApp(t, 3), sys.MerchandiserWithObserver(reg),
 			Options{StepSec: 0.001, IntervalSec: 0.02, Observer: reg})
 		if err != nil {
 			t.Fatal(err)
@@ -59,7 +60,7 @@ func TestPublicObserverAPI(t *testing.T) {
 	}
 
 	// Without an observer nothing is collected and nothing breaks.
-	if _, err := sys.Run(buildTestApp(t, 2), sys.Merchandiser(), Options{StepSec: 0.001}); err != nil {
+	if _, err := sys.Run(context.Background(), buildTestApp(t, 2), sys.Merchandiser(), Options{StepSec: 0.001}); err != nil {
 		t.Fatal(err)
 	}
 }

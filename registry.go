@@ -1,0 +1,62 @@
+package merchandiser
+
+import (
+	"merchandiser/internal/policyreg"
+)
+
+// PolicyParams is what a registered policy factory may draw on: the
+// platform spec and a base seed (an optional per-run metrics registry
+// arrives as Observer). Builtins additionally receive the system's
+// trained performance model through the internal registry.
+type PolicyParams struct {
+	Spec     SystemSpec
+	Seed     int64
+	Observer *Observer
+}
+
+// Register adds a named policy constructor to the process-wide registry,
+// making it available to Lookup, System.Policy, internal/experiments and
+// cmd/merchbench's -policy flag. Names must be unique; the six built-in
+// policies (PM-only, MemoryMode, MemoryOptimizer, Merchandiser, Sparta,
+// WarpX-PM) are pre-registered. Errors satisfy
+// errors.Is(err, ErrUnknownPolicy).
+func Register(name string, factory func(p PolicyParams) (Policy, error)) error {
+	if factory == nil {
+		return policyreg.Register(name, nil)
+	}
+	return policyreg.Register(name, func(p policyreg.Params) (Policy, error) {
+		return factory(PolicyParams{Spec: p.Spec, Seed: p.Seed, Observer: p.Obs})
+	})
+}
+
+// Lookup returns a PolicyFactory for the registered name, bound to
+// default parameters (DefaultSpec, seed 1). For a factory wired to a
+// trained System, use System.Policy. Unknown names yield an error
+// satisfying errors.Is(err, ErrUnknownPolicy).
+func Lookup(name string) (PolicyFactory, error) {
+	f, err := policyreg.Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	return NewFactory(name, func() (Policy, error) {
+		return f(policyreg.Params{Spec: DefaultSpec(), Seed: 1})
+	}), nil
+}
+
+// Policy returns a PolicyFactory for the registered name bound to this
+// system's spec and trained performance model (seed 1). It is the
+// name-based counterpart of the typed helpers (Merchandiser, PMOnly, …):
+// s.Policy("Merchandiser") builds the paper's policy with this system's
+// artifacts, and custom Register-ed policies resolve the same way.
+func (s *System) Policy(name string) (PolicyFactory, error) {
+	f, err := policyreg.Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	return NewFactory(name, func() (Policy, error) {
+		return f(policyreg.Params{Spec: s.Spec, Perf: s.Perf, Seed: 1})
+	}), nil
+}
+
+// RegisteredPolicies returns every registered policy name, sorted.
+func RegisteredPolicies() []string { return policyreg.Names() }

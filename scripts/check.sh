@@ -1,10 +1,12 @@
 #!/bin/sh
 # Repo health check: vet everything, then run the concurrency-bearing
-# packages (corpus worker pool, parallel ml fitting, memoized placement,
-# pooled evaluation matrix, observability registries shared across
-# workers) under the race detector, smoke the event-encoder fuzz target
-# on its seed corpus plus 10s of new inputs, and hold internal/obs to a
-# coverage floor.
+# packages (root session pipeline, corpus worker pool, parallel ml
+# fitting, memoized placement, pooled evaluation matrix, observability
+# registries shared across workers) under the race detector, smoke the
+# event-encoder fuzz target on its seed corpus plus 10s of new inputs,
+# and hold internal/obs to a coverage floor. Every test invocation gets a
+# per-package timeout (60s plain, 600s for the ~10x-slower race tier) so
+# a hung run fails instead of wedging CI.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -14,15 +16,27 @@ go vet ./...
 echo "== go build ./..."
 go build ./...
 
-echo "== go test -race (corpus, ml, placement, experiments, obs, hm, task)"
-go test -race ./internal/corpus ./internal/ml ./internal/placement \
+echo "== govulncheck (best effort)"
+if command -v govulncheck >/dev/null 2>&1; then
+	govulncheck ./... || echo "govulncheck reported findings (non-blocking)"
+else
+	echo "govulncheck not installed; skipping"
+fi
+
+echo "== go test ./... (60s per-package timeout)"
+go test -timeout 60s ./...
+
+echo "== go test -race (root session pipeline + corpus, ml, placement, experiments, obs, hm, task)"
+# The race detector slows the evaluation matrix ~10x, so this tier gets a
+# scaled bound; it still fails fast on a genuine hang.
+go test -race -timeout 600s . ./internal/corpus ./internal/ml ./internal/placement \
 	./internal/experiments ./internal/obs ./internal/hm ./internal/task
 
 echo "== fuzz smoke (FuzzEventEncode, 10s)"
-go test ./internal/obs -run '^$' -fuzz '^FuzzEventEncode$' -fuzztime 10s
+go test -timeout 60s ./internal/obs -run '^$' -fuzz '^FuzzEventEncode$' -fuzztime 10s
 
 echo "== coverage floor (internal/obs >= 70%)"
-cov=$(go test -cover ./internal/obs | awk '{for (i=1;i<=NF;i++) if ($i ~ /^[0-9.]+%$/) {sub(/%/,"",$i); print $i}}')
+cov=$(go test -timeout 60s -cover ./internal/obs | awk '{for (i=1;i<=NF;i++) if ($i ~ /^[0-9.]+%$/) {sub(/%/,"",$i); print $i}}')
 if [ -z "$cov" ]; then
 	echo "could not parse coverage for internal/obs" >&2
 	exit 1

@@ -1,0 +1,49 @@
+package merchandiser
+
+import (
+	"context"
+
+	"merchandiser/internal/merr"
+	"merchandiser/internal/task"
+)
+
+// Session is one run's worth of policy state: a System plus a freshly
+// minted Policy. System.Run creates one per call; create sessions
+// explicitly when you need to inspect the policy after the run (e.g. a
+// Merchandiser's α report) or to drive several instances of the same
+// policy object through custom tooling.
+//
+// A Session owns mutable policy state and must not be used from more than
+// one goroutine at a time. Mint a new Session per concurrent run — the
+// factory is cheap.
+type Session struct {
+	sys *System
+	pol Policy
+}
+
+// NewSession materializes a fresh policy from f for one run on this
+// system.
+func (s *System) NewSession(f PolicyFactory) (*Session, error) {
+	if f == nil {
+		return nil, merr.Errorf(merr.ErrUnknownPolicy, "merchandiser: nil policy factory")
+	}
+	pol, err := f.New()
+	if err != nil {
+		return nil, merr.Wrap(merr.ErrUnknownPolicy, "merchandiser: building policy "+f.Name(), err)
+	}
+	if pol == nil {
+		return nil, merr.Errorf(merr.ErrUnknownPolicy, "merchandiser: factory %s returned a nil policy", f.Name())
+	}
+	return &Session{sys: s, pol: pol}, nil
+}
+
+// Run executes the app under this session's policy on a fresh memory.
+// Cancel ctx to abort at the next engine tick; the returned error then
+// satisfies errors.Is(err, context.Canceled) and no goroutine is leaked.
+func (se *Session) Run(ctx context.Context, app App, opts Options) (*Result, error) {
+	return task.Run(ctx, app, se.sys.Spec, se.pol, opts)
+}
+
+// Policy returns the session's policy instance, e.g. to read per-run
+// reports off a Merchandiser after Run returns.
+func (se *Session) Policy() Policy { return se.pol }

@@ -11,6 +11,7 @@ import (
 	"merchandiser/internal/ml"
 	"merchandiser/internal/model"
 	"merchandiser/internal/pmc"
+	"merchandiser/internal/store"
 )
 
 // TrainConfig tunes System construction — the paper's offline training
@@ -40,7 +41,11 @@ func NewSystemConfig(ctx context.Context, spec SystemSpec, cfg TrainConfig) (*Sy
 	if cfg.Seed == 0 {
 		cfg.Seed = 1
 	}
-	s := &System{Spec: spec, Perf: &model.PerfModel{}}
+	s := &System{
+		Spec: spec,
+		Perf: &model.PerfModel{},
+		Meta: SystemMeta{Seed: cfg.Seed, Level: cfg.Level.String()},
+	}
 	if cfg.Level == TrainNone {
 		return s, nil
 	}
@@ -70,6 +75,9 @@ func NewSystemConfig(ctx context.Context, spec SystemSpec, cfg TrainConfig) (*Sy
 	}
 	s.Perf = &model.PerfModel{Corr: res.Corr}
 	s.TrainedR2 = res.TestR2
+	s.Meta.Samples = res.Samples
+	X, _ := corpus.Matrix(samples, pmc.SelectedEvents)
+	s.Meta.Stats = store.StatsFromMatrix(corpus.FeatureNames(pmc.SelectedEvents), X)
 	return s, nil
 }
 

@@ -9,6 +9,9 @@
 //	merchbench -exp all -json out.json   # machine-readable summary too
 //	merchbench -exp fig4 -metrics m.json # deterministic metrics dump
 //	merchbench -exp fig4 -trace t.json   # chrome-trace event log
+//	merchbench -save sys.artifact        # checkpoint the trained system
+//	merchbench -load sys.artifact        # serve from a checkpoint, no retraining
+//	merchbench -exp fig4 -out results/   # relative outputs land under results/
 //
 // Experiments: table1 table2 table3 table4 fig3 fig4 fig5 fig6 fig7 alpha
 // ablations.
@@ -20,13 +23,18 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime"
 	"strings"
 	"syscall"
 
+	"merchandiser"
+	"merchandiser/internal/corpus"
 	"merchandiser/internal/experiments"
 	"merchandiser/internal/obs"
+	"merchandiser/internal/pmc"
 	"merchandiser/internal/policyreg"
+	"merchandiser/internal/store"
 )
 
 func main() {
@@ -38,7 +46,27 @@ func main() {
 	metricsPath := flag.String("metrics", "", "write the deterministic metrics dump (per-cell registry snapshots) to this file")
 	tracePath := flag.String("trace", "", "write a chrome-trace event log of the evaluation to this file")
 	policies := flag.String("policy", "", "comma-separated policy names to evaluate (default: all registered; see -policy list)")
+	outDir := flag.String("out", "", "directory for output files; relative -json/-metrics/-trace/-save paths are placed under it instead of the CWD")
+	savePath := flag.String("save", "", "after training, checkpoint the system (spec + correlation function) to this artifact file")
+	loadPath := flag.String("load", "", "skip training and restore the system from this artifact file")
 	flag.Parse()
+
+	if *savePath != "" && *loadPath != "" {
+		fail(fmt.Errorf("-save and -load are mutually exclusive"))
+	}
+	outPath := func(p string) string {
+		if p == "" || *outDir == "" || filepath.IsAbs(p) {
+			return p
+		}
+		return filepath.Join(*outDir, p)
+	}
+	if *outDir != "" {
+		fail(os.MkdirAll(*outDir, 0o755))
+	}
+	*jsonPath = outPath(*jsonPath)
+	*metricsPath = outPath(*metricsPath)
+	*tracePath = outPath(*tracePath)
+	*savePath = outPath(*savePath)
 
 	// Ctrl-C / SIGTERM cancels the run: workers stop claiming cells,
 	// in-flight simulations abort at the next engine tick, and merchbench
@@ -79,14 +107,29 @@ func main() {
 	needsEval := all || want["table4"] || want["fig4"] || want["fig5"] ||
 		want["fig6"] || want["alpha"] || *jsonPath != "" || *metricsPath != "" || *tracePath != ""
 
+	if *loadPath != "" && (all || want["table3"] || want["fig7"] || want["ablations"] || want["cxl"]) {
+		fail(fmt.Errorf("a -load artifact carries the trained model but not the training corpus; table3, fig7, ablations and cxl retrain — run them without -load (use -exp like fig4,table4)"))
+	}
+
 	var art *experiments.Artifacts
 	var eval *experiments.Eval
 	var err error
-	if needsArtifacts || *jsonPath != "" || *metricsPath != "" || *tracePath != "" {
+	switch {
+	case *loadPath != "":
+		sys, err := merchandiser.RestoreFile(ctx, *loadPath)
+		fail(err)
+		art = &experiments.Artifacts{Spec: sys.Spec, Perf: sys.Perf, TestR2: sys.TrainedR2, SampleCount: sys.Meta.Samples}
+		fmt.Fprintf(w, "offline: restored from %s (level=%s, %d samples, held-out R²=%.3f) — no retraining\n\n",
+			*loadPath, sys.Meta.Level, sys.Meta.Samples, sys.TrainedR2)
+	case needsArtifacts || *savePath != "" || *jsonPath != "" || *metricsPath != "" || *tracePath != "":
 		art, err = experiments.Prepare(ctx, cfg)
 		fail(err)
 		fmt.Fprintf(w, "offline: correlation function trained on %d samples, held-out R²=%.3f (%.1fs)\n\n",
 			len(art.Samples), art.TestR2, reg.WallTimer("pipeline.train_seconds").Seconds())
+	}
+	if *savePath != "" {
+		fail(saveArtifacts(*savePath, art, cfg))
+		fmt.Fprintf(w, "checkpoint written to %s\n\n", *savePath)
 	}
 	if needsEval {
 		eval, err = experiments.RunEvaluation(ctx, art, cfg)
@@ -184,6 +227,28 @@ func main() {
 		fail(f.Close())
 		fmt.Fprintf(w, "summary written to %s\n", *jsonPath)
 	}
+}
+
+// saveArtifacts checkpoints the trained pipeline via the public snapshot
+// surface, with merchbench's training provenance attached.
+func saveArtifacts(path string, art *experiments.Artifacts, cfg experiments.Config) error {
+	level := "full"
+	if cfg.Quick {
+		level = "quick"
+	}
+	X, _ := corpus.Matrix(art.Samples, pmc.SelectedEvents)
+	sys := &merchandiser.System{
+		Spec:      art.Spec,
+		Perf:      art.Perf,
+		TrainedR2: art.TestR2,
+		Meta: merchandiser.SystemMeta{
+			Seed:    cfg.Seed,
+			Level:   level,
+			Samples: len(art.Samples),
+			Stats:   store.StatsFromMatrix(corpus.FeatureNames(pmc.SelectedEvents), X),
+		},
+	}
+	return sys.SaveFile(path)
 }
 
 func fail(err error) {

@@ -1,0 +1,131 @@
+// Command merchserved is the placement daemon: it loads a trained-system
+// artifact (written by merchbench -save or System.SaveFile) and serves
+// placement plans over HTTP — the production half of Merchandiser's
+// train-once/serve-many split.
+//
+//	merchbench -exp none -quick -save sys.artifact
+//	merchserved -artifact sys.artifact -addr localhost:8077
+//	curl localhost:8077/readyz
+//	curl -X POST localhost:8077/place -d '{"tasks":[{"name":"t0","t_pm_only":2,"t_dram_only":0.8,"total_accesses":4e6,"footprint_pages":300}]}'
+//
+// Endpoints: /healthz (liveness), /readyz (503 until the artifact is
+// loaded and during drain), /metricsz (obs registry snapshot), /place
+// (POST placement request). Concurrent requests are micro-batched into
+// single MinMakespanPlan evaluations. SIGTERM/SIGINT drains gracefully:
+// admitted requests are answered, new ones get 503, then the process
+// exits.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+	"time"
+
+	"merchandiser"
+	"merchandiser/internal/serve"
+	"merchandiser/internal/store"
+)
+
+func main() {
+	addr := flag.String("addr", "localhost:8077", "listen address (host:port; port 0 picks a free port)")
+	artifact := flag.String("artifact", "", "trained-system artifact to serve (required; see merchbench -save)")
+	queue := flag.Int("queue", 64, "bounded request queue depth; overflow answers 429")
+	batch := flag.Int("batch", 16, "max placement requests co-planned per MinMakespanPlan evaluation")
+	window := flag.Duration("window", 2*time.Millisecond, "micro-batching window after the first request of a batch")
+	timeout := flag.Duration("timeout", 10*time.Second, "per-request deadline (queue wait + evaluation); expired requests answer 504")
+	drain := flag.Duration("drain", 30*time.Second, "graceful-drain budget on SIGTERM before the process gives up waiting")
+	planlog := flag.String("planlog", "", "directory to write one plan artifact per batch (for audit/replay)")
+	addrfile := flag.String("addrfile", "", "write the bound listen address to this file once serving (for harnesses using port 0)")
+	flag.Parse()
+
+	if *artifact == "" {
+		log.Fatal("merchserved: -artifact is required (write one with merchbench -save)")
+	}
+
+	reg := merchandiser.NewObserver()
+	sys, err := merchandiser.RestoreFile(context.Background(), *artifact, merchandiser.WithObserver(reg))
+	if err != nil {
+		log.Fatalf("merchserved: %v", err)
+	}
+	log.Printf("artifact %s loaded: level=%s samples=%d heldout-R²=%.3f",
+		*artifact, sys.Meta.Level, sys.Meta.Samples, sys.TrainedR2)
+
+	cfg := serve.Config{
+		QueueDepth:  *queue,
+		MaxBatch:    *batch,
+		BatchWindow: *window,
+		Obs:         reg,
+	}
+	if *planlog != "" {
+		if err := os.MkdirAll(*planlog, 0o755); err != nil {
+			log.Fatalf("merchserved: %v", err)
+		}
+		cfg.PlanLog = planLogger(*planlog)
+	}
+	svc := serve.New(cfg)
+	svc.Load(sys)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("merchserved: %v", err)
+	}
+	if *addrfile != "" {
+		if err := os.WriteFile(*addrfile, []byte(ln.Addr().String()+"\n"), 0o644); err != nil {
+			log.Fatalf("merchserved: %v", err)
+		}
+	}
+	srv := &http.Server{Handler: svc.Handler(serve.HTTPConfig{RequestTimeout: *timeout})}
+	log.Printf("serving placement plans on %s", ln.Addr())
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-stop:
+		log.Printf("%v: draining (budget %s)", sig, *drain)
+	case err := <-errc:
+		log.Fatalf("merchserved: %v", err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	// Drain order: first the service (marks not-ready, answers every
+	// admitted request, stops the batcher), then the HTTP server (waits
+	// for in-flight handlers, which by now all have their answers).
+	if err := svc.Shutdown(ctx); err != nil {
+		log.Printf("merchserved: service drain: %v", err)
+	}
+	if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("merchserved: http drain: %v", err)
+	}
+	log.Print("drained")
+}
+
+// planLogger writes each batch's plan record as a single-section
+// artifact named by batch sequence number.
+func planLogger(dir string) func(*store.PlanRecord) {
+	seq := 0
+	return func(r *store.PlanRecord) {
+		seq++
+		a := &store.Artifact{Tool: "merchserved"}
+		if err := a.SetPlan(r); err != nil {
+			log.Printf("merchserved: plan log: %v", err)
+			return
+		}
+		path := filepath.Join(dir, fmt.Sprintf("plan-%06d.artifact", seq))
+		if err := store.WriteFile(path, a); err != nil {
+			log.Printf("merchserved: plan log: %v", err)
+		}
+	}
+}

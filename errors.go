@@ -26,4 +26,12 @@ var (
 	// ErrUnknownPolicy classifies lookups of unregistered policy names and
 	// invalid registrations.
 	ErrUnknownPolicy = merr.ErrUnknownPolicy
+	// ErrBadArtifact classifies saved artifacts that fail strict decoding:
+	// wrong magic, unsupported schema, truncation, checksum mismatch, or
+	// invalid section payloads (Restore and internal/store).
+	ErrBadArtifact = merr.ErrBadArtifact
+	// ErrNotReady classifies serving-path calls made before an artifact
+	// (trained system) has been loaded — e.g. a placement request to a
+	// daemon that is still warming up.
+	ErrNotReady = merr.ErrNotReady
 )

@@ -8,6 +8,11 @@
 //	go run ./examples/server &
 //	curl 'localhost:8080/run?policy=Merchandiser&instances=3'
 //	curl 'localhost:8080/policies'
+//
+// This example trains in-process and simulates whole runs per request.
+// For the production-shaped counterpart — load a trained checkpoint,
+// micro-batch placement requests, drain on SIGTERM — see
+// cmd/merchserved and internal/serve.
 package main
 
 import (

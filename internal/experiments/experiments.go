@@ -121,6 +121,11 @@ type Artifacts struct {
 	Perf    *model.PerfModel
 	Samples []corpus.Sample // the training corpus, reused by Table 3 / Fig 7
 	TestR2  float64
+
+	// SampleCount is the recorded training-corpus size for artifacts
+	// restored from a checkpoint, where Samples itself is absent; it is
+	// ignored whenever Samples is populated.
+	SampleCount int
 }
 
 // trainSpec is the compact platform used for corpus generation (f depends

@@ -85,11 +85,15 @@ type PolicySummary struct {
 
 // Summarize converts an evaluation into its machine-readable form.
 func Summarize(art *Artifacts, eval *Eval, cfg Config) *Summary {
+	samples := len(art.Samples)
+	if samples == 0 {
+		samples = art.SampleCount
+	}
 	s := &Summary{
 		Seed:           cfg.Seed,
 		Quick:          cfg.Quick,
 		CorrelationR2:  art.TestR2,
-		TrainingSample: len(art.Samples),
+		TrainingSample: samples,
 		MeanSpeedup:    map[string]float64{},
 	}
 	for _, p := range []string{"MemoryMode", "MemoryOptimizer", "Merchandiser"} {

@@ -36,6 +36,13 @@ var (
 	ErrBadApp = errors.New("merchandiser: invalid application")
 	// ErrUnknownPolicy marks a policy name absent from the registry.
 	ErrUnknownPolicy = errors.New("merchandiser: unknown policy")
+	// ErrBadArtifact marks a saved artifact that cannot be decoded: wrong
+	// magic, unsupported schema version, truncated sections, checksum
+	// mismatches, or payloads that fail strict validation.
+	ErrBadArtifact = errors.New("merchandiser: bad artifact")
+	// ErrNotReady marks a serving component asked to do work before its
+	// artifact (trained system) has been loaded.
+	ErrNotReady = errors.New("merchandiser: not ready")
 )
 
 // Error is a classified error: a taxonomy kind, the human-readable

@@ -48,6 +48,40 @@ func TestFromContextLiveAndNil(t *testing.T) {
 	}
 }
 
+func TestBadArtifactClassification(t *testing.T) {
+	cause := fmt.Errorf("unexpected EOF")
+	err := Wrap(ErrBadArtifact, "store: section truncated", cause)
+	if !errors.Is(err, ErrBadArtifact) {
+		t.Fatal("not classified as ErrBadArtifact")
+	}
+	if !errors.Is(err, cause) {
+		t.Fatal("cause not reachable through Unwrap")
+	}
+	if errors.Is(err, ErrNotReady) || errors.Is(err, ErrBadSpec) {
+		t.Fatal("misclassified under a sibling kind")
+	}
+	if got := err.Error(); got != "store: section truncated: unexpected EOF" {
+		t.Fatalf("message %q", got)
+	}
+}
+
+func TestNotReadyClassification(t *testing.T) {
+	err := Errorf(ErrNotReady, "serve: no artifact loaded")
+	if !errors.Is(err, ErrNotReady) {
+		t.Fatal("not classified as ErrNotReady")
+	}
+	if errors.Is(err, ErrBadArtifact) || errors.Is(err, ErrUntrained) {
+		t.Fatal("misclassified under a sibling kind")
+	}
+	var e *Error
+	if !errors.As(err, &e) || e.Kind != ErrNotReady {
+		t.Fatal("errors.As failed to recover *Error")
+	}
+	if got := err.Error(); got != "serve: no artifact loaded" {
+		t.Fatalf("message %q carries taxonomy noise", got)
+	}
+}
+
 func TestWrapPreservesCauseChain(t *testing.T) {
 	cause := fmt.Errorf("disk on fire")
 	err := Wrap(ErrUntrained, "model: fit failed", cause)

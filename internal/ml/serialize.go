@@ -1,0 +1,394 @@
+package ml
+
+import (
+	"fmt"
+	"math"
+
+	"merchandiser/internal/merr"
+	"merchandiser/internal/obs"
+)
+
+// This file is the serialization boundary of the model zoo: fitted trees
+// and ensembles dump to flat, JSON-friendly structures and load back
+// without any refitting, so a restored model predicts bit-for-bit what
+// the original did (tree walks replay the same float64 comparisons in
+// the same order). Runtime knobs that do not affect predictions —
+// worker counts, observability registries — are deliberately excluded
+// from the dumps and re-attached at load time via LoadOptions.
+//
+// Loading validates strictly: node indices must describe a well-formed
+// tree (every node reachable exactly once, children after parents),
+// every float must be finite, and ensemble shapes must be consistent.
+// Violations surface as merr.ErrBadArtifact so the artifact store's
+// callers classify a corrupt checkpoint without string matching.
+
+// NodeDump is one flattened tree node. Internal nodes carry the split
+// (Feature, Threshold) and child indices; leaves carry the prediction.
+type NodeDump struct {
+	Feature   int     `json:"f,omitempty"`
+	Threshold float64 `json:"t,omitempty"`
+	Left      int     `json:"l,omitempty"`
+	Right     int     `json:"r,omitempty"`
+	Value     float64 `json:"v,omitempty"`
+	Leaf      bool    `json:"leaf,omitempty"`
+}
+
+// TreeDump is a fitted DecisionTree in flat form: nodes in preorder
+// (index 0 is the root), plus the config and normalized importances.
+type TreeDump struct {
+	Config      TreeConfig `json:"config"`
+	Nodes       []NodeDump `json:"nodes"`
+	Importances []float64  `json:"importances,omitempty"`
+}
+
+// GBRParams are the GradientBoosted hyperparameters that shape the
+// fitted model (GBRConfig minus the runtime knobs Workers and Obs).
+type GBRParams struct {
+	NumStages      int     `json:"num_stages"`
+	LearningRate   float64 `json:"learning_rate"`
+	MaxDepth       int     `json:"max_depth"`
+	MinSamplesLeaf int     `json:"min_samples_leaf,omitempty"`
+	Subsample      float64 `json:"subsample"`
+	Seed           int64   `json:"seed"`
+}
+
+// GBRDump is a fitted GradientBoosted model.
+type GBRDump struct {
+	Params      GBRParams  `json:"params"`
+	Base        float64    `json:"base"`
+	Trees       []TreeDump `json:"trees"`
+	Importances []float64  `json:"importances,omitempty"`
+}
+
+// ForestParams are the RandomForest hyperparameters (ForestConfig minus
+// Workers).
+type ForestParams struct {
+	NumTrees       int   `json:"num_trees"`
+	MaxDepth       int   `json:"max_depth"`
+	MinSamplesLeaf int   `json:"min_samples_leaf,omitempty"`
+	MaxFeatures    int   `json:"max_features,omitempty"`
+	Seed           int64 `json:"seed"`
+}
+
+// ForestDump is a fitted RandomForest.
+type ForestDump struct {
+	Params      ForestParams `json:"params"`
+	Trees       []TreeDump   `json:"trees"`
+	Importances []float64    `json:"importances,omitempty"`
+}
+
+// ModelDump is the tagged union the artifact store persists: exactly one
+// of the model fields is set, and Kind names it (the Table 3
+// abbreviation the model's Name() returns).
+type ModelDump struct {
+	Kind   string      `json:"kind"`
+	GBR    *GBRDump    `json:"gbr,omitempty"`
+	Forest *ForestDump `json:"forest,omitempty"`
+	Tree   *TreeDump   `json:"tree,omitempty"`
+}
+
+// LoadOptions re-attaches the runtime knobs excluded from dumps.
+type LoadOptions struct {
+	// Workers bounds PredictAll concurrency of the loaded model (0 uses
+	// runtime.NumCPU()). Predictions are identical for any value.
+	Workers int
+	// Obs, when non-nil, receives the loaded model's predict counters and
+	// timers — fit counters stay untouched, which is how tests prove the
+	// restore path does zero training work.
+	Obs *obs.Registry
+}
+
+func badModel(format string, args ...any) error {
+	return merr.Errorf(merr.ErrBadArtifact, "ml: "+format, args...)
+}
+
+// dumpNode flattens the subtree rooted at n in preorder, returning the
+// node's index.
+func dumpNode(n *treeNode, nodes *[]NodeDump) int {
+	idx := len(*nodes)
+	*nodes = append(*nodes, NodeDump{})
+	if n.leaf {
+		(*nodes)[idx] = NodeDump{Value: n.value, Leaf: true}
+		return idx
+	}
+	l := dumpNode(n.left, nodes)
+	r := dumpNode(n.right, nodes)
+	(*nodes)[idx] = NodeDump{Feature: n.feature, Threshold: n.threshold, Left: l, Right: r}
+	return idx
+}
+
+// Dump flattens a fitted tree. Unfitted trees return ErrNotFitted.
+func (t *DecisionTree) Dump() (*TreeDump, error) {
+	if !t.fitted {
+		return nil, ErrNotFitted
+	}
+	d := &TreeDump{Config: t.Config, Importances: append([]float64(nil), t.importances...)}
+	dumpNode(t.root, &d.Nodes)
+	return d, nil
+}
+
+// buildNode reconstructs the node at index i, marking visits so a
+// malformed dump (cycle, shared subtree, dangling index) fails instead
+// of looping or aliasing.
+func buildNode(nodes []NodeDump, i int, visited []bool) (*treeNode, error) {
+	if i < 0 || i >= len(nodes) {
+		return nil, badModel("tree node index %d out of range [0,%d)", i, len(nodes))
+	}
+	if visited[i] {
+		return nil, badModel("tree node %d referenced twice", i)
+	}
+	visited[i] = true
+	nd := nodes[i]
+	if nd.Leaf {
+		if !isFinite(nd.Value) {
+			return nil, badModel("tree leaf %d has non-finite value", i)
+		}
+		return &treeNode{leaf: true, value: nd.Value}, nil
+	}
+	if nd.Feature < 0 {
+		return nil, badModel("tree node %d has negative feature index", i)
+	}
+	if !isFinite(nd.Threshold) {
+		return nil, badModel("tree node %d has non-finite threshold", i)
+	}
+	left, err := buildNode(nodes, nd.Left, visited)
+	if err != nil {
+		return nil, err
+	}
+	right, err := buildNode(nodes, nd.Right, visited)
+	if err != nil {
+		return nil, err
+	}
+	return &treeNode{feature: nd.Feature, threshold: nd.Threshold, left: left, right: right}, nil
+}
+
+// LoadTree reconstructs a fitted tree from its dump without refitting.
+func LoadTree(d *TreeDump) (*DecisionTree, error) {
+	if d == nil {
+		return nil, badModel("nil tree dump")
+	}
+	if len(d.Nodes) == 0 {
+		return nil, badModel("tree dump has no nodes")
+	}
+	if err := checkImportances(d.Importances); err != nil {
+		return nil, err
+	}
+	visited := make([]bool, len(d.Nodes))
+	root, err := buildNode(d.Nodes, 0, visited)
+	if err != nil {
+		return nil, err
+	}
+	for i, v := range visited {
+		if !v {
+			return nil, badModel("tree node %d unreachable from root", i)
+		}
+	}
+	t := NewDecisionTree(d.Config)
+	t.root = root
+	t.importances = append([]float64(nil), d.Importances...)
+	t.fitted = true
+	return t, nil
+}
+
+// Dump flattens a fitted GBR. Unfitted models return ErrNotFitted.
+func (g *GradientBoosted) Dump() (*GBRDump, error) {
+	if !g.fitted {
+		return nil, ErrNotFitted
+	}
+	d := &GBRDump{
+		Params: GBRParams{
+			NumStages:      g.Config.NumStages,
+			LearningRate:   g.Config.LearningRate,
+			MaxDepth:       g.Config.MaxDepth,
+			MinSamplesLeaf: g.Config.MinSamplesLeaf,
+			Subsample:      g.Config.Subsample,
+			Seed:           g.Config.Seed,
+		},
+		Base:        g.base,
+		Importances: append([]float64(nil), g.importances...),
+	}
+	for _, t := range g.trees {
+		td, err := t.Dump()
+		if err != nil {
+			return nil, err
+		}
+		d.Trees = append(d.Trees, *td)
+	}
+	return d, nil
+}
+
+// LoadGBR reconstructs a fitted GradientBoosted model. The result
+// predicts bit-for-bit what the dumped model did; no fitting happens
+// (and none is recorded on opt.Obs).
+func LoadGBR(d *GBRDump, opt LoadOptions) (*GradientBoosted, error) {
+	if d == nil {
+		return nil, badModel("nil GBR dump")
+	}
+	if len(d.Trees) == 0 {
+		return nil, badModel("GBR dump has no trees")
+	}
+	if !isFinite(d.Base) {
+		return nil, badModel("GBR base prediction is non-finite")
+	}
+	if !isFinite(d.Params.LearningRate) || d.Params.LearningRate <= 0 {
+		return nil, badModel("GBR learning rate %v out of range", d.Params.LearningRate)
+	}
+	if err := checkImportances(d.Importances); err != nil {
+		return nil, err
+	}
+	g := NewGradientBoosted(GBRConfig{
+		NumStages:      d.Params.NumStages,
+		LearningRate:   d.Params.LearningRate,
+		MaxDepth:       d.Params.MaxDepth,
+		MinSamplesLeaf: d.Params.MinSamplesLeaf,
+		Subsample:      d.Params.Subsample,
+		Seed:           d.Params.Seed,
+		Workers:        opt.Workers,
+		Obs:            opt.Obs,
+	})
+	g.base = d.Base
+	for i := range d.Trees {
+		t, err := LoadTree(&d.Trees[i])
+		if err != nil {
+			return nil, err
+		}
+		g.trees = append(g.trees, t)
+	}
+	g.importances = append([]float64(nil), d.Importances...)
+	g.fitted = true
+	return g, nil
+}
+
+// Dump flattens a fitted forest. Unfitted models return ErrNotFitted.
+func (f *RandomForest) Dump() (*ForestDump, error) {
+	if !f.fitted {
+		return nil, ErrNotFitted
+	}
+	d := &ForestDump{
+		Params: ForestParams{
+			NumTrees:       f.Config.NumTrees,
+			MaxDepth:       f.Config.MaxDepth,
+			MinSamplesLeaf: f.Config.MinSamplesLeaf,
+			MaxFeatures:    f.Config.MaxFeatures,
+			Seed:           f.Config.Seed,
+		},
+		Importances: append([]float64(nil), f.importances...),
+	}
+	for _, t := range f.trees {
+		td, err := t.Dump()
+		if err != nil {
+			return nil, err
+		}
+		d.Trees = append(d.Trees, *td)
+	}
+	return d, nil
+}
+
+// LoadForest reconstructs a fitted RandomForest without refitting.
+func LoadForest(d *ForestDump, opt LoadOptions) (*RandomForest, error) {
+	if d == nil {
+		return nil, badModel("nil forest dump")
+	}
+	if len(d.Trees) == 0 {
+		return nil, badModel("forest dump has no trees")
+	}
+	if err := checkImportances(d.Importances); err != nil {
+		return nil, err
+	}
+	f := NewRandomForest(ForestConfig{
+		NumTrees:       d.Params.NumTrees,
+		MaxDepth:       d.Params.MaxDepth,
+		MinSamplesLeaf: d.Params.MinSamplesLeaf,
+		MaxFeatures:    d.Params.MaxFeatures,
+		Seed:           d.Params.Seed,
+		Workers:        opt.Workers,
+	})
+	for i := range d.Trees {
+		t, err := LoadTree(&d.Trees[i])
+		if err != nil {
+			return nil, err
+		}
+		f.trees = append(f.trees, t)
+	}
+	f.importances = append([]float64(nil), d.Importances...)
+	f.fitted = true
+	return f, nil
+}
+
+// DumpModel flattens any serializable fitted regressor into the tagged
+// union. Models outside the persistable zoo (SVR, KNN, MLP — never
+// selected by the paper's pipeline) are rejected.
+func DumpModel(m Regressor) (*ModelDump, error) {
+	switch v := m.(type) {
+	case *GradientBoosted:
+		d, err := v.Dump()
+		if err != nil {
+			return nil, err
+		}
+		return &ModelDump{Kind: v.Name(), GBR: d}, nil
+	case *RandomForest:
+		d, err := v.Dump()
+		if err != nil {
+			return nil, err
+		}
+		return &ModelDump{Kind: v.Name(), Forest: d}, nil
+	case *DecisionTree:
+		d, err := v.Dump()
+		if err != nil {
+			return nil, err
+		}
+		return &ModelDump{Kind: v.Name(), Tree: d}, nil
+	default:
+		return nil, fmt.Errorf("ml: model %s is not serializable", m.Name())
+	}
+}
+
+// LoadModel reconstructs the regressor a ModelDump describes. Exactly
+// one payload must be set and must agree with Kind.
+func LoadModel(d *ModelDump, opt LoadOptions) (Regressor, error) {
+	if d == nil {
+		return nil, badModel("nil model dump")
+	}
+	set := 0
+	for _, p := range []bool{d.GBR != nil, d.Forest != nil, d.Tree != nil} {
+		if p {
+			set++
+		}
+	}
+	if set != 1 {
+		return nil, badModel("model dump kind %q has %d payloads, want exactly 1", d.Kind, set)
+	}
+	switch {
+	case d.GBR != nil:
+		if d.Kind != "GBR" {
+			return nil, badModel("model dump kind %q does not match GBR payload", d.Kind)
+		}
+		return LoadGBR(d.GBR, opt)
+	case d.Forest != nil:
+		if d.Kind != "RFR" {
+			return nil, badModel("model dump kind %q does not match forest payload", d.Kind)
+		}
+		return LoadForest(d.Forest, opt)
+	default:
+		if d.Kind != "DTR" {
+			return nil, badModel("model dump kind %q does not match tree payload", d.Kind)
+		}
+		return LoadTree(d.Tree)
+	}
+}
+
+func isFinite(v float64) bool {
+	return !math.IsNaN(v) && !math.IsInf(v, 0)
+}
+
+// checkImportances accepts an empty slice or a finite non-negative
+// weight vector (the fit paths normalize to sum 1, but a constant model
+// legitimately dumps all zeros).
+func checkImportances(im []float64) error {
+	for i, v := range im {
+		if !isFinite(v) || v < 0 {
+			return badModel("importance %d is %v, want finite non-negative", i, v)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,245 @@
+package ml
+
+import (
+	"encoding/json"
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+
+	"merchandiser/internal/merr"
+	"merchandiser/internal/obs"
+)
+
+// serializeTrainingSet builds a deterministic nonlinear regression set
+// large enough that fitted trees have real structure.
+func serializeTrainingSet(n, d int, seed int64) ([][]float64, []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	X := make([][]float64, n)
+	y := make([]float64, n)
+	for i := range X {
+		row := make([]float64, d)
+		for j := range row {
+			row[j] = rng.Float64() * 10
+		}
+		X[i] = row
+		y[i] = math.Sin(row[0]) + 0.5*row[1] + row[0]*row[2]/10 + rng.NormFloat64()*0.1
+	}
+	return X, y
+}
+
+// roundTripJSON pushes a dump through its JSON encoding, like the
+// artifact store does.
+func roundTripJSON[T any](t *testing.T, in *T) *T {
+	t.Helper()
+	raw, err := json.Marshal(in)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	out := new(T)
+	if err := json.Unmarshal(raw, out); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	return out
+}
+
+func assertBitEqualPredictions(t *testing.T, want, got Regressor, X [][]float64) {
+	t.Helper()
+	for i, x := range X {
+		w, g := want.Predict(x), got.Predict(x)
+		if math.Float64bits(w) != math.Float64bits(g) {
+			t.Fatalf("row %d: predictions differ: %v vs %v", i, w, g)
+		}
+	}
+	wb, _ := want.(BatchRegressor)
+	gb, _ := got.(BatchRegressor)
+	if wb == nil || gb == nil {
+		return
+	}
+	wAll, gAll := wb.PredictAll(X), gb.PredictAll(X)
+	for i := range wAll {
+		if math.Float64bits(wAll[i]) != math.Float64bits(gAll[i]) {
+			t.Fatalf("batch row %d: predictions differ: %v vs %v", i, wAll[i], gAll[i])
+		}
+	}
+}
+
+func TestTreeDumpRoundTrip(t *testing.T) {
+	X, y := serializeTrainingSet(200, 4, 1)
+	tree := NewDecisionTree(TreeConfig{MaxDepth: 6, Seed: 7})
+	if err := tree.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	d, err := tree.Dump()
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadTree(roundTripJSON(t, d))
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe, _ := serializeTrainingSet(100, 4, 2)
+	assertBitEqualPredictions(t, tree, loaded, probe)
+	wantImp, gotImp := tree.Importances(), loaded.Importances()
+	for i := range wantImp {
+		if wantImp[i] != gotImp[i] {
+			t.Fatalf("importance %d differs: %v vs %v", i, wantImp[i], gotImp[i])
+		}
+	}
+}
+
+func TestGBRDumpRoundTripNoRefit(t *testing.T) {
+	X, y := serializeTrainingSet(300, 5, 3)
+	g := NewGradientBoosted(GBRConfig{NumStages: 30, MaxDepth: 3, Subsample: 0.8, Seed: 11})
+	if err := g.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	d, err := g.Dump()
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.New()
+	loaded, err := LoadGBR(roundTripJSON(t, d), LoadOptions{Workers: 2, Obs: reg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe, _ := serializeTrainingSet(150, 5, 4)
+	assertBitEqualPredictions(t, g, loaded, probe)
+	if got := reg.Counter("ml.gbr.fits").Value(); got != 0 {
+		t.Fatalf("loading recorded %v fits, want 0", got)
+	}
+	if got := reg.Counter("ml.gbr.predictions").Value(); got == 0 {
+		t.Fatal("loaded model's predictions not observed through the attached registry")
+	}
+}
+
+func TestForestDumpRoundTrip(t *testing.T) {
+	X, y := serializeTrainingSet(250, 4, 5)
+	f := NewRandomForest(ForestConfig{NumTrees: 8, MaxDepth: 6, Seed: 13})
+	if err := f.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	d, err := f.Dump()
+	if err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadForest(roundTripJSON(t, d), LoadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe, _ := serializeTrainingSet(120, 4, 6)
+	assertBitEqualPredictions(t, f, loaded, probe)
+}
+
+func TestDumpModelTaggedUnion(t *testing.T) {
+	X, y := serializeTrainingSet(120, 3, 8)
+	g := NewGradientBoosted(GBRConfig{NumStages: 5, Seed: 1})
+	if err := g.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	d, err := DumpModel(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Kind != "GBR" || d.GBR == nil || d.Forest != nil || d.Tree != nil {
+		t.Fatalf("unexpected union shape: %+v", d)
+	}
+	m, err := LoadModel(roundTripJSON(t, d), LoadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Name() != "GBR" {
+		t.Fatalf("loaded model is %s, want GBR", m.Name())
+	}
+	probe, _ := serializeTrainingSet(50, 3, 9)
+	assertBitEqualPredictions(t, g, m, probe)
+}
+
+func TestDumpUnfittedFails(t *testing.T) {
+	if _, err := NewDecisionTree(TreeConfig{}).Dump(); !errors.Is(err, merr.ErrUntrained) {
+		t.Fatalf("tree dump: %v, want ErrUntrained", err)
+	}
+	if _, err := NewGradientBoosted(GBRConfig{}).Dump(); !errors.Is(err, merr.ErrUntrained) {
+		t.Fatalf("gbr dump: %v, want ErrUntrained", err)
+	}
+	if _, err := NewRandomForest(ForestConfig{}).Dump(); !errors.Is(err, merr.ErrUntrained) {
+		t.Fatalf("forest dump: %v, want ErrUntrained", err)
+	}
+}
+
+func TestDumpModelUnsupported(t *testing.T) {
+	if _, err := DumpModel(NewKNN(KNNConfig{})); err == nil {
+		t.Fatal("expected error dumping a non-serializable model")
+	}
+}
+
+func TestLoadTreeRejectsMalformedDumps(t *testing.T) {
+	valid := func() *TreeDump {
+		return &TreeDump{Nodes: []NodeDump{
+			{Feature: 0, Threshold: 1, Left: 1, Right: 2},
+			{Value: -1, Leaf: true},
+			{Value: 1, Leaf: true},
+		}}
+	}
+	cases := []struct {
+		name   string
+		mutate func(*TreeDump)
+	}{
+		{"empty", func(d *TreeDump) { d.Nodes = nil }},
+		{"out of range child", func(d *TreeDump) { d.Nodes[0].Right = 9 }},
+		{"negative child", func(d *TreeDump) { d.Nodes[0].Left = -1 }},
+		{"self cycle", func(d *TreeDump) { d.Nodes[0].Left = 0 }},
+		{"shared subtree", func(d *TreeDump) { d.Nodes[0].Right = 1 }},
+		{"unreachable node", func(d *TreeDump) {
+			d.Nodes = append(d.Nodes, NodeDump{Value: 3, Leaf: true})
+		}},
+		{"nan threshold", func(d *TreeDump) { d.Nodes[0].Threshold = math.NaN() }},
+		{"inf leaf", func(d *TreeDump) { d.Nodes[1].Value = math.Inf(1) }},
+		{"negative feature", func(d *TreeDump) { d.Nodes[0].Feature = -2 }},
+		{"bad importance", func(d *TreeDump) { d.Importances = []float64{math.NaN()} }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			d := valid()
+			tc.mutate(d)
+			if _, err := LoadTree(d); !errors.Is(err, merr.ErrBadArtifact) {
+				t.Fatalf("got %v, want ErrBadArtifact", err)
+			}
+		})
+	}
+	if _, err := LoadTree(valid()); err != nil {
+		t.Fatalf("baseline dump rejected: %v", err)
+	}
+}
+
+func TestLoadModelRejectsBadUnions(t *testing.T) {
+	tree := &TreeDump{Nodes: []NodeDump{{Value: 1, Leaf: true}}}
+	cases := []struct {
+		name string
+		dump *ModelDump
+	}{
+		{"nil", nil},
+		{"no payload", &ModelDump{Kind: "GBR"}},
+		{"two payloads", &ModelDump{Kind: "GBR", Tree: tree, GBR: &GBRDump{}}},
+		{"kind mismatch", &ModelDump{Kind: "GBR", Tree: tree}},
+		{"empty gbr", &ModelDump{Kind: "GBR", GBR: &GBRDump{}}},
+		{"empty forest", &ModelDump{Kind: "RFR", Forest: &ForestDump{}}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := LoadModel(tc.dump, LoadOptions{}); !errors.Is(err, merr.ErrBadArtifact) {
+				t.Fatalf("got %v, want ErrBadArtifact", err)
+			}
+		})
+	}
+}
+
+func TestLoadGBRRejectsBadLearningRate(t *testing.T) {
+	d := &GBRDump{
+		Params: GBRParams{LearningRate: 0},
+		Trees:  []TreeDump{{Nodes: []NodeDump{{Value: 1, Leaf: true}}}},
+	}
+	if _, err := LoadGBR(d, LoadOptions{}); !errors.Is(err, merr.ErrBadArtifact) {
+		t.Fatalf("got %v, want ErrBadArtifact", err)
+	}
+}

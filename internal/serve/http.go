@@ -1,0 +1,106 @@
+package serve
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"time"
+
+	"merchandiser/internal/merr"
+)
+
+// maxBodyBytes bounds a /place request body.
+const maxBodyBytes = 1 << 20
+
+// HTTPConfig tunes the HTTP front of the service.
+type HTTPConfig struct {
+	// RequestTimeout caps how long one /place request may wait for its
+	// batch (queue wait + evaluation). 0 disables the per-request
+	// deadline. Expired requests answer 504.
+	RequestTimeout time.Duration
+}
+
+// Handler exposes the service over HTTP:
+//
+//	GET  /healthz  — liveness: 200 while the process runs
+//	GET  /readyz   — readiness: 200 once an artifact is loaded (503
+//	                 before load and during drain)
+//	GET  /metricsz — the obs registry's deterministic JSON snapshot
+//	POST /place    — one PlacementRequest in, one PlacementResponse out
+func (s *Service) Handler(cfg HTTPConfig) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte("ok\n"))
+	})
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if !s.Ready() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			w.Write([]byte("not ready\n"))
+			return
+		}
+		w.Write([]byte("ready\n"))
+	})
+	mux.HandleFunc("/metricsz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if s.cfg.Obs == nil {
+			w.Write([]byte("{}\n"))
+			return
+		}
+		s.cfg.Obs.Snapshot(true).WriteJSON(w)
+	})
+	mux.HandleFunc("/place", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST a placement request", http.StatusMethodNotAllowed)
+			return
+		}
+		var req PlacementRequest
+		dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&req); err != nil {
+			http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		ctx := r.Context()
+		if cfg.RequestTimeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, cfg.RequestTimeout)
+			defer cancel()
+		}
+		out, err := s.Place(ctx, &req)
+		if err != nil {
+			status := httpStatus(err)
+			if status == 0 {
+				// The client is gone; there is no one to answer.
+				return
+			}
+			http.Error(w, err.Error(), status)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(out)
+	})
+	return mux
+}
+
+// httpStatus maps the service's error taxonomy onto HTTP status codes.
+// It returns 0 when the failure is the client's own disconnect (nothing
+// to write).
+func httpStatus(err error) int {
+	switch {
+	case errors.Is(err, merr.ErrBadApp):
+		return http.StatusBadRequest
+	case errors.Is(err, merr.ErrCapacity):
+		return http.StatusTooManyRequests
+	case errors.Is(err, merr.ErrNotReady):
+		return http.StatusServiceUnavailable
+	case errors.Is(err, context.DeadlineExceeded):
+		return http.StatusGatewayTimeout
+	case errors.Is(err, merr.ErrCanceled):
+		return 0
+	default:
+		return http.StatusInternalServerError
+	}
+}

@@ -1,0 +1,385 @@
+// Package serve is the placement service behind cmd/merchserved: a
+// long-lived daemon that loads a trained-system artifact once and then
+// answers placement requests — the production shape of the paper's
+// "train once, serve many" split (offline correlation-function training,
+// online Algorithm 1 planning).
+//
+// Requests flow through a bounded queue into a single batcher goroutine
+// that micro-batches concurrent requests into one MinMakespanPlan
+// evaluation: the tasks of every request in a batch are co-planned over
+// the system's DRAM capacity, exactly as tasks between two global
+// synchronization points are in the paper. Backpressure is explicit — a
+// full queue rejects with merr.ErrCapacity (HTTP 429) instead of
+// queueing unboundedly — and shutdown is graceful: draining stops new
+// admissions while every in-flight request still gets its answer.
+package serve
+
+import (
+	"context"
+	"math"
+	"sync"
+	"time"
+
+	"merchandiser"
+	"merchandiser/internal/hm"
+	"merchandiser/internal/merr"
+	"merchandiser/internal/obs"
+	"merchandiser/internal/placement"
+	"merchandiser/internal/pmc"
+	"merchandiser/internal/store"
+)
+
+// Request caps, defending the shared batcher against one oversized
+// client.
+const (
+	maxTasksPerRequest = 256
+)
+
+// TaskRequest is one task's model inputs in a placement request — the
+// JSON form of placement.TaskInput.
+type TaskRequest struct {
+	Name string `json:"name"`
+	// TPmOnly and TDramOnly are the predicted PM-only and DRAM-only
+	// execution times (Equation 2's bounds).
+	TPmOnly   float64 `json:"t_pm_only"`
+	TDramOnly float64 `json:"t_dram_only"`
+	// Events are the task's workload characteristics (PMC name → value).
+	Events map[string]float64 `json:"events,omitempty"`
+	// TotalAccesses is the estimated main-memory access count of the
+	// upcoming instance (Equation 1 output).
+	TotalAccesses float64 `json:"total_accesses"`
+	// FootprintPages is the page count of the task's data objects.
+	FootprintPages uint64 `json:"footprint_pages"`
+}
+
+// PlacementRequest asks the service to plan DRAM shares for a set of
+// tasks that will run concurrently.
+type PlacementRequest struct {
+	Tasks []TaskRequest `json:"tasks"`
+}
+
+// TaskPlacement is one task's share of a plan.
+type TaskPlacement struct {
+	Name         string  `json:"name"`
+	DRAMAccesses float64 `json:"dram_accesses"`
+	GoalRatio    float64 `json:"goal_ratio"`
+	DRAMPages    uint64  `json:"dram_pages"`
+	Predicted    float64 `json:"predicted_seconds"`
+}
+
+// PlacementResponse is the plan for one request. BatchSize reports how
+// many requests were co-planned in the same MinMakespanPlan evaluation —
+// the observable footprint of micro-batching.
+type PlacementResponse struct {
+	Tasks     []TaskPlacement `json:"tasks"`
+	Rounds    int             `json:"rounds"`
+	Makespan  float64         `json:"predicted_makespan_seconds"`
+	BatchSize int             `json:"batch_size"`
+}
+
+func validRequest(req *PlacementRequest) error {
+	if req == nil || len(req.Tasks) == 0 {
+		return merr.Errorf(merr.ErrBadApp, "serve: request has no tasks")
+	}
+	if len(req.Tasks) > maxTasksPerRequest {
+		return merr.Errorf(merr.ErrBadApp, "serve: %d tasks exceed the per-request limit %d", len(req.Tasks), maxTasksPerRequest)
+	}
+	for i, t := range req.Tasks {
+		if t.Name == "" {
+			return merr.Errorf(merr.ErrBadApp, "serve: task %d is unnamed", i)
+		}
+		if !finite(t.TPmOnly) || t.TPmOnly <= 0 {
+			return merr.Errorf(merr.ErrBadApp, "serve: task %q needs a positive PM-only time", t.Name)
+		}
+		if !finite(t.TDramOnly) || t.TDramOnly <= 0 || t.TDramOnly > t.TPmOnly {
+			return merr.Errorf(merr.ErrBadApp, "serve: task %q needs 0 < t_dram_only <= t_pm_only", t.Name)
+		}
+		if !finite(t.TotalAccesses) || t.TotalAccesses < 0 {
+			return merr.Errorf(merr.ErrBadApp, "serve: task %q has an invalid access count", t.Name)
+		}
+		for ev, v := range t.Events {
+			if !finite(v) {
+				return merr.Errorf(merr.ErrBadApp, "serve: task %q event %q is non-finite", t.Name, ev)
+			}
+		}
+	}
+	return nil
+}
+
+func finite(v float64) bool { return !math.IsNaN(v) && !math.IsInf(v, 0) }
+
+func (t *TaskRequest) toInput() placement.TaskInput {
+	values := make(map[string]float64, len(t.Events))
+	for k, v := range t.Events {
+		values[k] = v
+	}
+	return placement.TaskInput{
+		Name:           t.Name,
+		TPmOnly:        t.TPmOnly,
+		TDramOnly:      t.TDramOnly,
+		Events:         pmc.Counters{Task: t.Name, Values: values},
+		TotalAccesses:  t.TotalAccesses,
+		FootprintPages: t.FootprintPages,
+	}
+}
+
+// Config tunes the service.
+type Config struct {
+	// QueueDepth bounds how many requests may wait for the batcher; an
+	// overflowing queue rejects with merr.ErrCapacity. Default 64.
+	QueueDepth int
+	// MaxBatch caps how many requests one MinMakespanPlan evaluation
+	// co-plans. Default 16.
+	MaxBatch int
+	// BatchWindow is how long the batcher holds an open batch for more
+	// requests after the first arrives. Default 2ms.
+	BatchWindow time.Duration
+	// Tolerance is MinMakespanPlan's binary-search tolerance. Default 0.01.
+	Tolerance float64
+	// Obs, when non-nil, receives service metrics (request, rejection and
+	// batch counters, batch-size histogram). It is also what /metricsz
+	// serves.
+	Obs *obs.Registry
+	// PlanLog, when non-nil, receives every batch's plan record (the
+	// artifact-store form) after a successful evaluation. Called from the
+	// batcher goroutine; keep it fast.
+	PlanLog func(*store.PlanRecord)
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 16
+	}
+	if c.BatchWindow <= 0 {
+		c.BatchWindow = 2 * time.Millisecond
+	}
+	if c.Tolerance <= 0 {
+		c.Tolerance = 0.01
+	}
+	return c
+}
+
+// pending is one enqueued request. resp is buffered so the batcher never
+// blocks on a caller that already gave up.
+type pending struct {
+	ctx  context.Context
+	req  *PlacementRequest
+	resp chan result
+}
+
+type result struct {
+	out *PlacementResponse
+	err error
+}
+
+// Service is the placement daemon core: an optional loaded system, a
+// bounded queue, and one batcher goroutine. Create with New, feed it a
+// system via Load or LoadArtifact, stop it with Shutdown.
+type Service struct {
+	cfg Config
+
+	sysMu sync.RWMutex
+	sys   *merchandiser.System
+
+	// mu guards draining and queue sends, making close(queue) safe: once
+	// draining is set, no sender can race the close.
+	mu       sync.Mutex
+	draining bool
+	queue    chan *pending
+	done     chan struct{}
+}
+
+// New builds the service and starts its batcher.
+func New(cfg Config) *Service {
+	cfg = cfg.withDefaults()
+	s := &Service{
+		cfg:   cfg,
+		queue: make(chan *pending, cfg.QueueDepth),
+		done:  make(chan struct{}),
+	}
+	go s.batcher()
+	return s
+}
+
+// Load installs a restored (or freshly trained) system. The service
+// reports ready once a system is loaded.
+func (s *Service) Load(sys *merchandiser.System) {
+	s.sysMu.Lock()
+	s.sys = sys
+	s.sysMu.Unlock()
+}
+
+// Ready reports whether the service can answer placement requests: an
+// artifact is loaded and the service is not draining.
+func (s *Service) Ready() bool {
+	s.sysMu.RLock()
+	sys := s.sys
+	s.sysMu.RUnlock()
+	s.mu.Lock()
+	draining := s.draining
+	s.mu.Unlock()
+	return sys != nil && !draining
+}
+
+func (s *Service) system() *merchandiser.System {
+	s.sysMu.RLock()
+	defer s.sysMu.RUnlock()
+	return s.sys
+}
+
+// Place answers one placement request. It validates, enqueues (rejecting
+// with merr.ErrCapacity on overflow and merr.ErrNotReady before an
+// artifact is loaded or during drain), and waits for the batcher — or
+// for ctx, returning merr.ErrCanceled if the caller gives up first.
+func (s *Service) Place(ctx context.Context, req *PlacementRequest) (*PlacementResponse, error) {
+	if err := validRequest(req); err != nil {
+		s.cfg.Obs.Counter("serve.rejected_invalid").Inc()
+		return nil, err
+	}
+	if s.system() == nil {
+		s.cfg.Obs.Counter("serve.rejected_not_ready").Inc()
+		return nil, merr.Errorf(merr.ErrNotReady, "serve: no artifact loaded")
+	}
+	if err := merr.FromContext(ctx, "serve: request canceled"); err != nil {
+		return nil, err
+	}
+	p := &pending{ctx: ctx, req: req, resp: make(chan result, 1)}
+	if err := s.enqueue(p); err != nil {
+		return nil, err
+	}
+	s.cfg.Obs.Counter("serve.requests").Inc()
+	select {
+	case r := <-p.resp:
+		return r.out, r.err
+	case <-ctx.Done():
+		return nil, merr.FromContext(ctx, "serve: request canceled")
+	}
+}
+
+func (s *Service) enqueue(p *pending) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		s.cfg.Obs.Counter("serve.rejected_draining").Inc()
+		return merr.Errorf(merr.ErrNotReady, "serve: draining")
+	}
+	select {
+	case s.queue <- p:
+		return nil
+	default:
+		s.cfg.Obs.Counter("serve.rejected_queue_full").Inc()
+		return merr.Errorf(merr.ErrCapacity, "serve: request queue full (%d waiting)", s.cfg.QueueDepth)
+	}
+}
+
+// Shutdown drains the service: new requests are rejected immediately,
+// every request already admitted is answered, and the batcher goroutine
+// exits. It returns once the drain completes or ctx expires (the batcher
+// keeps draining in the background either way).
+func (s *Service) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.draining {
+		s.draining = true
+		close(s.queue)
+	}
+	s.mu.Unlock()
+	select {
+	case <-s.done:
+		return nil
+	case <-ctx.Done():
+		return merr.FromContext(ctx, "serve: shutdown interrupted")
+	}
+}
+
+// batcher is the single consumer: it collects up to MaxBatch requests
+// per BatchWindow and plans them together.
+func (s *Service) batcher() {
+	defer close(s.done)
+	for first := range s.queue {
+		batch := []*pending{first}
+		timer := time.NewTimer(s.cfg.BatchWindow)
+	collect:
+		for len(batch) < s.cfg.MaxBatch {
+			select {
+			case p, ok := <-s.queue:
+				if !ok {
+					break collect
+				}
+				batch = append(batch, p)
+			case <-timer.C:
+				break collect
+			}
+		}
+		timer.Stop()
+		s.runBatch(batch)
+	}
+}
+
+// runBatch co-plans every live request in the batch with one
+// MinMakespanPlan evaluation and splits the plan back per request.
+func (s *Service) runBatch(batch []*pending) {
+	// Callers that gave up while queued drop out of the batch; their
+	// Place already returned, and the buffered send below cannot block.
+	live := batch[:0]
+	for _, p := range batch {
+		if err := merr.FromContext(p.ctx, "serve: request canceled in queue"); err != nil {
+			p.resp <- result{err: err}
+			continue
+		}
+		live = append(live, p)
+	}
+	if len(live) == 0 {
+		return
+	}
+	sys := s.system()
+	if sys == nil {
+		for _, p := range live {
+			p.resp <- result{err: merr.Errorf(merr.ErrNotReady, "serve: no artifact loaded")}
+		}
+		return
+	}
+
+	var tasks []placement.TaskInput
+	offsets := make([]int, len(live)+1)
+	for i, p := range live {
+		for j := range p.req.Tasks {
+			tasks = append(tasks, p.req.Tasks[j].toInput())
+		}
+		offsets[i+1] = len(tasks)
+	}
+	dc := sys.Spec.CapacityPages(hm.DRAM)
+	plan, err := placement.MinMakespanPlan(tasks, dc, sys.Perf, s.cfg.Tolerance)
+	if err != nil {
+		for _, p := range live {
+			p.resp <- result{err: err}
+		}
+		return
+	}
+	s.cfg.Obs.Counter("serve.batches").Inc()
+	s.cfg.Obs.Histogram("serve.batch_size").Observe(float64(len(live)))
+	s.cfg.Obs.Counter("serve.planned_tasks").Add(float64(len(tasks)))
+	if s.cfg.PlanLog != nil {
+		s.cfg.PlanLog(store.PlanRecordFrom(tasks, plan))
+	}
+	for i, p := range live {
+		lo, hi := offsets[i], offsets[i+1]
+		out := &PlacementResponse{
+			Rounds:    plan.Rounds,
+			Makespan:  plan.PredictedMakespan(),
+			BatchSize: len(live),
+		}
+		for j := lo; j < hi; j++ {
+			out.Tasks = append(out.Tasks, TaskPlacement{
+				Name:         tasks[j].Name,
+				DRAMAccesses: plan.DRAMAccesses[j],
+				GoalRatio:    plan.GoalRatio[j],
+				DRAMPages:    plan.DRAMPages[j],
+				Predicted:    plan.Predicted[j],
+			})
+		}
+		p.resp <- result{out: out}
+	}
+}

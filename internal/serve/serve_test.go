@@ -1,0 +1,385 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"io"
+	"math"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"merchandiser"
+	"merchandiser/internal/hm"
+	"merchandiser/internal/merr"
+	"merchandiser/internal/obs"
+	"merchandiser/internal/placement"
+	"merchandiser/internal/pmc"
+	"merchandiser/internal/store"
+)
+
+func testSystem(t *testing.T) *merchandiser.System {
+	t.Helper()
+	spec := merchandiser.DefaultSpec()
+	spec.Tiers[hm.DRAM].CapacityBytes = 128 * 4096
+	spec.Tiers[hm.PM].CapacityBytes = 2048 * 4096
+	sys, err := merchandiser.NewSystem(spec, merchandiser.TrainNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return sys
+}
+
+func testRequest(name string, tasks int) *PlacementRequest {
+	req := &PlacementRequest{}
+	for i := 0; i < tasks; i++ {
+		req.Tasks = append(req.Tasks, TaskRequest{
+			Name:           name,
+			TPmOnly:        2.0 + float64(i)*0.3,
+			TDramOnly:      0.8,
+			Events:         map[string]float64{pmc.SelectedEvents[0]: 0.5},
+			TotalAccesses:  4e6,
+			FootprintPages: 300,
+		})
+	}
+	return req
+}
+
+// settleGoroutines waits for the goroutine count to drop back to target.
+func settleGoroutines(t *testing.T, target int) {
+	t.Helper()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if runtime.NumGoroutine() <= target {
+			return
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	t.Fatalf("goroutines did not settle: %d > %d", runtime.NumGoroutine(), target)
+}
+
+func shutdown(t *testing.T, s *Service) {
+	t.Helper()
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPlaceMatchesDirectPlanner(t *testing.T) {
+	sys := testSystem(t)
+	s := New(Config{})
+	defer shutdown(t, s)
+	s.Load(sys)
+
+	req := testRequest("solo", 3)
+	got, err := s.Place(context.Background(), req)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var tasks []placement.TaskInput
+	for i := range req.Tasks {
+		tasks = append(tasks, req.Tasks[i].toInput())
+	}
+	want, err := placement.MinMakespanPlan(tasks, sys.Spec.CapacityPages(hm.DRAM), sys.Perf, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Tasks) != 3 || got.Rounds != want.Rounds {
+		t.Fatalf("shape mismatch: %+v vs %+v", got, want)
+	}
+	if math.Float64bits(got.Makespan) != math.Float64bits(want.PredictedMakespan()) {
+		t.Fatalf("makespan differs: %v vs %v", got.Makespan, want.PredictedMakespan())
+	}
+	for i, tp := range got.Tasks {
+		if math.Float64bits(tp.Predicted) != math.Float64bits(want.Predicted[i]) ||
+			tp.DRAMPages != want.DRAMPages[i] ||
+			math.Float64bits(tp.GoalRatio) != math.Float64bits(want.GoalRatio[i]) {
+			t.Fatalf("task %d differs: %+v vs plan row %d", i, tp, i)
+		}
+	}
+}
+
+func TestPlaceNotReady(t *testing.T) {
+	s := New(Config{})
+	defer shutdown(t, s)
+	_, err := s.Place(context.Background(), testRequest("x", 1))
+	if !errors.Is(err, merr.ErrNotReady) {
+		t.Fatalf("got %v, want ErrNotReady", err)
+	}
+	if s.Ready() {
+		t.Fatal("service without an artifact reports ready")
+	}
+}
+
+func TestPlaceRejectsInvalidRequests(t *testing.T) {
+	s := New(Config{})
+	defer shutdown(t, s)
+	s.Load(testSystem(t))
+	cases := []*PlacementRequest{
+		nil,
+		{},
+		{Tasks: []TaskRequest{{Name: "", TPmOnly: 1, TDramOnly: 0.5}}},
+		{Tasks: []TaskRequest{{Name: "x", TPmOnly: 0, TDramOnly: 0.5}}},
+		{Tasks: []TaskRequest{{Name: "x", TPmOnly: 1, TDramOnly: 2}}},
+		{Tasks: []TaskRequest{{Name: "x", TPmOnly: 1, TDramOnly: 0.5, TotalAccesses: math.NaN()}}},
+		{Tasks: []TaskRequest{{Name: "x", TPmOnly: 1, TDramOnly: 0.5,
+			Events: map[string]float64{"e": math.Inf(1)}}}},
+		{Tasks: make([]TaskRequest, maxTasksPerRequest+1)},
+	}
+	for i, req := range cases {
+		if _, err := s.Place(context.Background(), req); !errors.Is(err, merr.ErrBadApp) {
+			t.Fatalf("case %d: got %v, want ErrBadApp", i, err)
+		}
+	}
+}
+
+func TestPreCanceledContext(t *testing.T) {
+	s := New(Config{})
+	defer shutdown(t, s)
+	s.Load(testSystem(t))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := s.Place(ctx, testRequest("x", 1))
+	if !errors.Is(err, merr.ErrCanceled) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want ErrCanceled matching context.Canceled", err)
+	}
+}
+
+func TestQueueOverflowRejectsWithCapacity(t *testing.T) {
+	// A service whose batcher is not running cannot drain its queue, so
+	// fills deterministically.
+	s := &Service{
+		cfg:   Config{QueueDepth: 2, MaxBatch: 4, BatchWindow: time.Millisecond, Tolerance: 0.01}.withDefaults(),
+		queue: make(chan *pending, 2),
+		done:  make(chan struct{}),
+	}
+	s.Load(testSystem(t))
+	for i := 0; i < 2; i++ {
+		if err := s.enqueue(&pending{ctx: context.Background(), req: testRequest("x", 1), resp: make(chan result, 1)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	_, err := s.Place(context.Background(), testRequest("x", 1))
+	if !errors.Is(err, merr.ErrCapacity) {
+		t.Fatalf("got %v, want ErrCapacity", err)
+	}
+	// Drain manually so a late batcher start cannot leak.
+	close(s.queue)
+	close(s.done)
+}
+
+func TestMicroBatchingCoalescesRequests(t *testing.T) {
+	reg := obs.New()
+	var mu sync.Mutex
+	var logged []*store.PlanRecord
+	s := New(Config{
+		MaxBatch:    8,
+		BatchWindow: 200 * time.Millisecond,
+		Obs:         reg,
+		PlanLog: func(r *store.PlanRecord) {
+			mu.Lock()
+			logged = append(logged, r)
+			mu.Unlock()
+		},
+	})
+	defer shutdown(t, s)
+	s.Load(testSystem(t))
+
+	// Occupy the batcher with one slow-windowed batch start, then land
+	// more requests inside the window.
+	const n = 4
+	var wg sync.WaitGroup
+	outs := make([]*PlacementResponse, n)
+	errs := make([]error, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			outs[i], errs[i] = s.Place(context.Background(), testRequest("batch", 1))
+		}(i)
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("request %d: %v", i, errs[i])
+		}
+		if len(outs[i].Tasks) != 1 {
+			t.Fatalf("request %d: got %d tasks back", i, len(outs[i].Tasks))
+		}
+	}
+	maxBatch := 0
+	for _, o := range outs {
+		if o.BatchSize > maxBatch {
+			maxBatch = o.BatchSize
+		}
+	}
+	if maxBatch < 2 {
+		t.Fatalf("no micro-batching observed: max batch size %d", maxBatch)
+	}
+	if got := reg.Counter("serve.requests").Value(); got != n {
+		t.Fatalf("request counter %v, want %v", got, n)
+	}
+	if got := reg.Counter("serve.batches").Value(); got >= n {
+		t.Fatalf("batch counter %v means no coalescing happened", got)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(logged) == 0 {
+		t.Fatal("plan log received nothing")
+	}
+	total := 0
+	for _, r := range logged {
+		total += len(r.Tasks)
+	}
+	if total != n {
+		t.Fatalf("plan log covers %d tasks, want %d", total, n)
+	}
+}
+
+func TestGracefulDrainCompletesInFlight(t *testing.T) {
+	before := runtime.NumGoroutine()
+	s := New(Config{BatchWindow: 50 * time.Millisecond})
+	s.Load(testSystem(t))
+
+	const n = 3
+	var wg sync.WaitGroup
+	errs := make([]error, n)
+	outs := make([]*PlacementResponse, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			outs[i], errs[i] = s.Place(context.Background(), testRequest("drain", 1))
+		}(i)
+	}
+	// Give the requests time to enqueue, then drain.
+	time.Sleep(10 * time.Millisecond)
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := s.Shutdown(ctx); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		if errs[i] != nil {
+			t.Fatalf("in-flight request %d lost during drain: %v", i, errs[i])
+		}
+		if outs[i] == nil || len(outs[i].Tasks) != 1 {
+			t.Fatalf("in-flight request %d got no plan", i)
+		}
+	}
+
+	// After drain: new requests rejected, readiness down, no goroutines
+	// leaked, and a second Shutdown is a no-op.
+	if _, err := s.Place(context.Background(), testRequest("late", 1)); !errors.Is(err, merr.ErrNotReady) {
+		t.Fatalf("post-drain request: got %v, want ErrNotReady", err)
+	}
+	if s.Ready() {
+		t.Fatal("draining service reports ready")
+	}
+	if err := s.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	settleGoroutines(t, before)
+}
+
+func TestHTTPEndpoints(t *testing.T) {
+	reg := obs.New()
+	s := New(Config{Obs: reg})
+	srv := httptest.NewServer(s.Handler(HTTPConfig{RequestTimeout: 2 * time.Second}))
+	defer srv.Close()
+	defer shutdown(t, s)
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	if code, body := get("/healthz"); code != 200 || !strings.Contains(body, "ok") {
+		t.Fatalf("healthz: %d %q", code, body)
+	}
+	if code, _ := get("/readyz"); code != http.StatusServiceUnavailable {
+		t.Fatalf("readyz before load: %d, want 503", code)
+	}
+	// A placement request before load answers 503 too.
+	raw, _ := json.Marshal(testRequest("x", 1))
+	resp, err := http.Post(srv.URL+"/place", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("place before load: %d, want 503", resp.StatusCode)
+	}
+
+	s.Load(testSystem(t))
+	if code, _ := get("/readyz"); code != 200 {
+		t.Fatalf("readyz after load: %d, want 200", code)
+	}
+
+	resp, err = http.Post(srv.URL+"/place", "application/json", bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out PlacementResponse
+	if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 200 || len(out.Tasks) != 1 || out.Tasks[0].Name != "x" {
+		t.Fatalf("place: %d %+v", resp.StatusCode, out)
+	}
+
+	// Malformed body → 400; GET → 405.
+	resp, err = http.Post(srv.URL+"/place", "application/json", strings.NewReader("{"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("malformed place: %d, want 400", resp.StatusCode)
+	}
+	if code, _ := get("/place"); code != http.StatusMethodNotAllowed {
+		t.Fatalf("GET place: %d, want 405", code)
+	}
+
+	// Metrics endpoint serves the registry snapshot.
+	code, body := get("/metricsz")
+	if code != 200 || !strings.Contains(body, "serve.requests") {
+		t.Fatalf("metricsz: %d %q", code, body)
+	}
+}
+
+func TestHTTPStatusMapping(t *testing.T) {
+	cases := []struct {
+		err  error
+		want int
+	}{
+		{merr.Errorf(merr.ErrBadApp, "x"), 400},
+		{merr.Errorf(merr.ErrCapacity, "x"), 429},
+		{merr.Errorf(merr.ErrNotReady, "x"), 503},
+		{merr.Canceled("x", context.DeadlineExceeded), 504},
+		{merr.Canceled("x", context.Canceled), 0},
+		{errors.New("boom"), 500},
+	}
+	for i, tc := range cases {
+		if got := httpStatus(tc.err); got != tc.want {
+			t.Fatalf("case %d: %d, want %d", i, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,58 @@
+package store
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite the golden artifact fixture")
+
+const goldenPath = "testdata/golden.artifact"
+
+// TestGoldenArtifact pins the on-disk format: the committed fixture must
+// decode, validate, and re-encode to its exact committed bytes, and
+// regenerating it from source must also reproduce those bytes. Any
+// accidental change to the container layout, the canonical JSON, or a
+// section schema flips one of these comparisons — bump Version and
+// regenerate with -update only for deliberate format changes.
+func TestGoldenArtifact(t *testing.T) {
+	fresh := encode(t, testArtifact(t))
+
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(goldenPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenPath, fresh, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden fixture rewritten (%d bytes)", len(fresh))
+	}
+
+	want, err := os.ReadFile(goldenPath)
+	if err != nil {
+		t.Fatalf("golden fixture unreadable (regenerate with -update): %v", err)
+	}
+	if !bytes.Equal(fresh, want) {
+		t.Fatal("freshly encoded artifact differs from the golden fixture: the schema drifted without a Version bump")
+	}
+
+	a, err := Decode(bytes.NewReader(want))
+	if err != nil {
+		t.Fatalf("golden fixture no longer decodes: %v", err)
+	}
+	if _, err := a.System(); err != nil {
+		t.Fatalf("golden system section no longer validates: %v", err)
+	}
+	if _, err := a.Alpha(); err != nil {
+		t.Fatalf("golden alpha section no longer validates: %v", err)
+	}
+	if _, err := a.Plan(); err != nil {
+		t.Fatalf("golden plan section no longer validates: %v", err)
+	}
+	if !bytes.Equal(encode(t, a), want) {
+		t.Fatal("golden fixture round trip is not byte-identical")
+	}
+}

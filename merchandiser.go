@@ -115,6 +115,20 @@ const (
 	TrainNone
 )
 
+// String names the level as it appears in artifact provenance metadata.
+func (l TrainLevel) String() string {
+	switch l {
+	case TrainQuick:
+		return "quick"
+	case TrainFull:
+		return "full"
+	case TrainNone:
+		return "none"
+	default:
+		return "unknown"
+	}
+}
+
 // System bundles a platform spec with the offline artifacts Merchandiser
 // needs (the trained correlation function). Construct once, run many apps
 // — concurrently if desired: the artifacts are read-only after
@@ -125,6 +139,10 @@ type System struct {
 	// TrainedR2 is the held-out R² of the correlation function (0 for
 	// TrainNone).
 	TrainedR2 float64
+	// Meta is the training provenance carried into snapshots: seed, level,
+	// sample count and training-feature statistics. Restore preserves it
+	// verbatim.
+	Meta SystemMeta
 }
 
 // NewSystem builds a System for the spec, training the correlation

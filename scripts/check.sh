@@ -1,14 +1,24 @@
 #!/bin/sh
-# Repo health check: vet everything, then run the concurrency-bearing
-# packages (root session pipeline, corpus worker pool, parallel ml
-# fitting, memoized placement, pooled evaluation matrix, observability
-# registries shared across workers) under the race detector, smoke the
-# event-encoder fuzz target on its seed corpus plus 10s of new inputs,
-# and hold internal/obs to a coverage floor. Every test invocation gets a
-# per-package timeout (60s plain, 600s for the ~10x-slower race tier) so
-# a hung run fails instead of wedging CI.
+# Repo health check: gate on formatting, vet everything, then run the
+# concurrency-bearing packages (root session pipeline, corpus worker
+# pool, parallel ml fitting, memoized placement, pooled evaluation
+# matrix, observability registries shared across workers, the serving
+# daemon's batcher) under the race detector, smoke the event-encoder and
+# artifact-decoder fuzz targets on their seed corpora plus 10s of new
+# inputs each, run the end-to-end save/load/serve smoke against a real
+# merchserved process, and hold internal/obs to a coverage floor. Every
+# test invocation gets a per-package timeout (60s plain, 600s for the
+# ~10x-slower race tier) so a hung run fails instead of wedging CI.
 set -eu
 cd "$(dirname "$0")/.."
+
+echo "== gofmt -l"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+	echo "gofmt needed on:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
 
 echo "== go vet ./..."
 go vet ./...
@@ -30,10 +40,18 @@ echo "== go test -race (root session pipeline + corpus, ml, placement, experimen
 # The race detector slows the evaluation matrix ~10x, so this tier gets a
 # scaled bound; it still fails fast on a genuine hang.
 go test -race -timeout 600s . ./internal/corpus ./internal/ml ./internal/placement \
-	./internal/experiments ./internal/obs ./internal/hm ./internal/task
+	./internal/experiments ./internal/obs ./internal/hm ./internal/task \
+	./internal/store ./internal/serve
 
 echo "== fuzz smoke (FuzzEventEncode, 10s)"
 go test -timeout 60s ./internal/obs -run '^$' -fuzz '^FuzzEventEncode$' -fuzztime 10s
+
+echo "== fuzz smoke (FuzzRestoreArtifact, 10s)"
+go test -timeout 60s ./internal/store -run '^$' -fuzz '^FuzzRestoreArtifact$' -fuzztime 10s
+
+echo "== e2e save/load/serve smoke (merchserved)"
+go build -o bin/merchserved ./cmd/merchserved
+go run ./scripts/servesmoke -daemon bin/merchserved
 
 echo "== coverage floor (internal/obs >= 70%)"
 cov=$(go test -timeout 60s -cover ./internal/obs | awk '{for (i=1;i<=NF;i++) if ($i ~ /^[0-9.]+%$/) {sub(/%/,"",$i); print $i}}')

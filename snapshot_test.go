@@ -1,0 +1,200 @@
+package merchandiser
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"math"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"merchandiser/internal/placement"
+	"merchandiser/internal/pmc"
+)
+
+// TestSnapshotRestoreServesIdentically is the acceptance test for the
+// artifact store: a restored System must produce byte-identical Compare
+// and MinMakespanPlan output to the System that wrote the snapshot, with
+// zero training work on the restore path.
+func TestSnapshotRestoreServesIdentically(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a quick corpus")
+	}
+	sys, err := NewSystem(testSpec(), TrainQuick)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := sys.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var again bytes.Buffer
+	if err := sys.Snapshot(&again); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), again.Bytes()) {
+		t.Fatal("snapshotting the same system twice is not deterministic")
+	}
+
+	reg := NewObserver()
+	restored, err := Restore(context.Background(), bytes.NewReader(buf.Bytes()), WithObserver(reg), WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.TrainedR2 != sys.TrainedR2 {
+		t.Fatalf("R² changed through the store: %v vs %v", restored.TrainedR2, sys.TrainedR2)
+	}
+	if !reflect.DeepEqual(restored.Meta, sys.Meta) {
+		t.Fatalf("meta changed through the store:\n%+v\nvs\n%+v", restored.Meta, sys.Meta)
+	}
+	if restored.Meta.Level != "quick" || restored.Meta.Samples == 0 || restored.Meta.Stats == nil {
+		t.Fatalf("training provenance incomplete: %+v", restored.Meta)
+	}
+
+	// Zero training work on the restore path: the observed fit counter
+	// stays at zero while predictions ARE observed (proving the registry
+	// really is attached to the loaded model).
+	if got := reg.Counter("ml.gbr.fits").Value(); got != 0 {
+		t.Fatalf("restore recorded %v fits, want 0", got)
+	}
+
+	// Compare output must match exactly, field for field.
+	app := buildTestApp(t, 3)
+	opts := Options{StepSec: 0.001, IntervalSec: 0.02}
+	want, err := sys.Compare(context.Background(), app, opts, sys.PMOnly(), sys.Merchandiser())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := restored.Compare(context.Background(), buildTestApp(t, 3), opts, restored.PMOnly(), restored.Merchandiser())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatalf("Compare output differs through the store:\n%+v\nvs\n%+v", want, got)
+	}
+	if reg.Counter("ml.gbr.predictions").Value() == 0 {
+		t.Fatal("restored model predictions not observed")
+	}
+	if reg.Counter("ml.gbr.fits").Value() != 0 {
+		t.Fatal("serving from the restored system triggered training")
+	}
+
+	// MinMakespanPlan output must match bit for bit.
+	tasks := planProbe()
+	dc := sys.Spec.CapacityPages(DRAM)
+	wantPlan, err := placement.MinMakespanPlan(tasks, dc, sys.Perf, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotPlan, err := placement.MinMakespanPlan(planProbe(), dc, restored.Perf, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(wantPlan, gotPlan) {
+		t.Fatalf("MinMakespanPlan differs through the store:\n%+v\nvs\n%+v", wantPlan, gotPlan)
+	}
+	for i := range wantPlan.Predicted {
+		if math.Float64bits(wantPlan.Predicted[i]) != math.Float64bits(gotPlan.Predicted[i]) {
+			t.Fatalf("predicted time %d not bit-identical", i)
+		}
+	}
+
+	// Re-snapshotting the restored system reproduces the artifact bytes.
+	var resnap bytes.Buffer
+	if err := restored.Snapshot(&resnap); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), resnap.Bytes()) {
+		t.Fatal("snapshot(restore(snapshot(sys))) is not byte-identical")
+	}
+}
+
+// planProbe builds a deterministic MinMakespanPlan input exercising the
+// correlation function (non-trivial events and bounds).
+func planProbe() []placement.TaskInput {
+	mkEvents := func(task string, scale float64) pmc.Counters {
+		c := pmc.Counters{Task: task, Values: map[string]float64{}}
+		for i, ev := range pmc.SelectedEvents {
+			c.Values[ev] = scale * float64(i+1) * 0.13
+		}
+		return c
+	}
+	return []placement.TaskInput{
+		{Name: "t0", TPmOnly: 2.0, TDramOnly: 0.8, Events: mkEvents("t0", 1),
+			TotalAccesses: 4e6, FootprintPages: 600},
+		{Name: "t1", TPmOnly: 1.5, TDramOnly: 0.9, Events: mkEvents("t1", 2),
+			TotalAccesses: 2e6, FootprintPages: 400},
+		{Name: "t2", TPmOnly: 3.0, TDramOnly: 1.1, Events: mkEvents("t2", 0.5),
+			TotalAccesses: 6e6, FootprintPages: 900},
+	}
+}
+
+func TestSnapshotRestoreUntrainedSystem(t *testing.T) {
+	sys, err := NewSystem(testSpec(), TrainNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := sys.Snapshot(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Restore(context.Background(), &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Perf == nil || restored.Perf.Corr != nil {
+		t.Fatal("untrained system should restore with no correlation function")
+	}
+	if restored.Meta.Level != "none" {
+		t.Fatalf("level %q, want none", restored.Meta.Level)
+	}
+	if restored.Spec != sys.Spec {
+		t.Fatal("spec changed through the store")
+	}
+	res, err := restored.Run(context.Background(), buildTestApp(t, 2), restored.Merchandiser(), Options{StepSec: 0.001})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TotalTime <= 0 {
+		t.Fatal("restored system cannot run")
+	}
+}
+
+func TestSaveFileRestoreFile(t *testing.T) {
+	sys, err := NewSystem(testSpec(), TrainNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join(t.TempDir(), "sys.artifact")
+	if err := sys.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := RestoreFile(context.Background(), path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Spec != sys.Spec {
+		t.Fatal("spec changed through the file round trip")
+	}
+}
+
+func TestRestoreRejectsGarbage(t *testing.T) {
+	_, err := Restore(context.Background(), bytes.NewReader([]byte("not an artifact")))
+	if !errors.Is(err, ErrBadArtifact) {
+		t.Fatalf("got %v, want ErrBadArtifact", err)
+	}
+	if _, err := RestoreFile(context.Background(), filepath.Join(t.TempDir(), "missing")); err == nil {
+		t.Fatal("missing file restored")
+	}
+}
+
+func TestRestoreCanceledContext(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := Restore(ctx, bytes.NewReader(nil))
+	if !errors.Is(err, ErrCanceled) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want ErrCanceled matching context.Canceled", err)
+	}
+}

@@ -12,6 +12,8 @@
 //	merchbench -save sys.artifact        # checkpoint the trained system
 //	merchbench -load sys.artifact        # serve from a checkpoint, no retraining
 //	merchbench -exp fig4 -out results/   # relative outputs land under results/
+//	merchbench -exp fig4 -cpuprofile cpu.pb.gz   # CPU profile of the run
+//	merchbench -exp fig4 -memprofile mem.pb.gz   # post-run heap profile
 //
 // Experiments: table1 table2 table3 table4 fig3 fig4 fig5 fig6 fig7 alpha
 // ablations.
@@ -25,6 +27,7 @@ import (
 	"os/signal"
 	"path/filepath"
 	"runtime"
+	"runtime/pprof"
 	"strings"
 	"syscall"
 
@@ -49,6 +52,8 @@ func main() {
 	outDir := flag.String("out", "", "directory for output files; relative -json/-metrics/-trace/-save paths are placed under it instead of the CWD")
 	savePath := flag.String("save", "", "after training, checkpoint the system (spec + correlation function) to this artifact file")
 	loadPath := flag.String("load", "", "skip training and restore the system from this artifact file")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile (taken after the run, post-GC) to this file")
 	flag.Parse()
 
 	if *savePath != "" && *loadPath != "" {
@@ -67,6 +72,27 @@ func main() {
 	*metricsPath = outPath(*metricsPath)
 	*tracePath = outPath(*tracePath)
 	*savePath = outPath(*savePath)
+	*cpuProfile = outPath(*cpuProfile)
+	*memProfile = outPath(*memProfile)
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		fail(err)
+		fail(pprof.StartCPUProfile(f))
+		defer func() {
+			pprof.StopCPUProfile()
+			fail(f.Close())
+		}()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			fail(err)
+			runtime.GC() // settle the heap so the profile reflects live objects
+			fail(pprof.WriteHeapProfile(f))
+			fail(f.Close())
+		}()
+	}
 
 	// Ctrl-C / SIGTERM cancels the run: workers stop claiming cells,
 	// in-flight simulations abort at the next engine tick, and merchbench

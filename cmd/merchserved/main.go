@@ -13,7 +13,8 @@
 // (POST placement request). Concurrent requests are micro-batched into
 // single MinMakespanPlan evaluations. SIGTERM/SIGINT drains gracefully:
 // admitted requests are answered, new ones get 503, then the process
-// exits.
+// exits. -pprof localhost:6060 additionally serves net/http/pprof on
+// that separate address (off by default, never on the serving address).
 package main
 
 import (
@@ -24,6 +25,7 @@ import (
 	"log"
 	"net"
 	"net/http"
+	_ "net/http/pprof" // registers debug handlers on DefaultServeMux, served only via -pprof
 	"os"
 	"os/signal"
 	"path/filepath"
@@ -45,6 +47,7 @@ func main() {
 	drain := flag.Duration("drain", 30*time.Second, "graceful-drain budget on SIGTERM before the process gives up waiting")
 	planlog := flag.String("planlog", "", "directory to write one plan artifact per batch (for audit/replay)")
 	addrfile := flag.String("addrfile", "", "write the bound listen address to this file once serving (for harnesses using port 0)")
+	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this separate address (e.g. localhost:6060); off by default")
 	flag.Parse()
 
 	if *artifact == "" {
@@ -85,6 +88,22 @@ func main() {
 	}
 	srv := &http.Server{Handler: svc.Handler(serve.HTTPConfig{RequestTimeout: *timeout})}
 	log.Printf("serving placement plans on %s", ln.Addr())
+
+	// The placement handler uses its own mux, so the pprof handlers on
+	// DefaultServeMux are reachable only through this opt-in listener —
+	// never on the serving address.
+	if *pprofAddr != "" {
+		pln, err := net.Listen("tcp", *pprofAddr)
+		if err != nil {
+			log.Fatalf("merchserved: pprof: %v", err)
+		}
+		log.Printf("pprof on http://%s/debug/pprof/", pln.Addr())
+		go func() {
+			if err := http.Serve(pln, nil); err != nil {
+				log.Printf("merchserved: pprof: %v", err)
+			}
+		}()
+	}
 
 	errc := make(chan error, 1)
 	go func() { errc <- srv.Serve(ln) }()

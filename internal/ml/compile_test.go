@@ -1,0 +1,220 @@
+package ml
+
+import (
+	"encoding/json"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// assertBitEqual compares a compiled prediction path against the
+// pointer-walk reference, row by row and in batch.
+func assertBitEqual(t *testing.T, name string, X [][]float64, pointer func([]float64) float64, single func([]float64) float64, batch func([][]float64) []float64) {
+	t.Helper()
+	all := batch(X)
+	for i, x := range X {
+		want := pointer(x)
+		got := single(x)
+		if math.Float64bits(want) != math.Float64bits(got) {
+			t.Fatalf("%s: row %d single prediction differs: %v vs %v", name, i, want, got)
+		}
+		if math.Float64bits(want) != math.Float64bits(all[i]) {
+			t.Fatalf("%s: row %d batch prediction differs: %v vs %v", name, i, want, all[i])
+		}
+	}
+}
+
+// TestCompiledMatchesPointer is the differential acceptance test for
+// the compiled engine: across a spread of randomly fitted models —
+// deep and shallow trees, forests, GBRs at several worker counts — and
+// across their restored-from-artifact forms, every compiled prediction
+// must be bit-identical to the pointer walk the model was fitted as.
+func TestCompiledMatchesPointer(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3, 4, 5} {
+		X, y := serializeTrainingSet(200+10*int(seed), 5, seed)
+		probe, _ := serializeTrainingSet(333, 5, seed+100)
+
+		tree := NewDecisionTree(TreeConfig{MaxDepth: 3 + int(seed), Seed: seed})
+		if err := tree.Fit(X, y); err != nil {
+			t.Fatal(err)
+		}
+		assertBitEqual(t, "tree", probe, tree.root.predict, tree.Predict, tree.PredictAll)
+
+		forest := NewRandomForest(ForestConfig{NumTrees: 5 + int(seed), MaxDepth: 6, Seed: seed, Workers: int(seed % 3)})
+		if err := forest.Fit(X, y); err != nil {
+			t.Fatal(err)
+		}
+		assertBitEqual(t, "forest", probe, forest.predictPointer, forest.Predict, forest.PredictAll)
+
+		gbr := NewGradientBoosted(GBRConfig{NumStages: 20 + 5*int(seed), MaxDepth: 3, Subsample: 0.9, Seed: seed, Workers: int(seed % 4)})
+		if err := gbr.Fit(X, y); err != nil {
+			t.Fatal(err)
+		}
+		assertBitEqual(t, "gbr", probe, gbr.predictPointer, gbr.Predict, gbr.PredictAll)
+
+		// Restored models never rebuild pointer trees, so compare them
+		// against the original fitted model's pointer walk.
+		gd, err := gbr.Dump()
+		if err != nil {
+			t.Fatal(err)
+		}
+		restored, err := LoadGBR(roundTripJSON(t, gd), LoadOptions{Workers: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if restored.trees[0].root != nil {
+			t.Fatal("restored tree rebuilt a pointer tree; the load path should compile straight from the dump")
+		}
+		assertBitEqual(t, "restored gbr", probe, gbr.predictPointer, restored.Predict, restored.PredictAll)
+
+		fd, err := forest.Dump()
+		if err != nil {
+			t.Fatal(err)
+		}
+		restoredF, err := LoadForest(roundTripJSON(t, fd), LoadOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		assertBitEqual(t, "restored forest", probe, forest.predictPointer, restoredF.Predict, restoredF.PredictAll)
+	}
+}
+
+// TestCompileExposesEngines covers the public Compile accessors.
+func TestCompileExposesEngines(t *testing.T) {
+	if _, err := NewDecisionTree(TreeConfig{}).Compile(); err == nil {
+		t.Fatal("unfitted tree compiled")
+	}
+	if _, err := NewRandomForest(ForestConfig{}).Compile(); err == nil {
+		t.Fatal("unfitted forest compiled")
+	}
+	if _, err := NewGradientBoosted(GBRConfig{}).Compile(); err == nil {
+		t.Fatal("unfitted gbr compiled")
+	}
+	X, y := serializeTrainingSet(150, 4, 9)
+	g := NewGradientBoosted(GBRConfig{NumStages: 10, MaxDepth: 3, Seed: 9})
+	if err := g.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	c, err := g.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumTrees() != 10 {
+		t.Fatalf("compiled GBR has %d trees, want 10", c.NumTrees())
+	}
+	for _, x := range X[:20] {
+		if math.Float64bits(c.Predict(x)) != math.Float64bits(g.Predict(x)) {
+			t.Fatal("standalone compiled engine disagrees with the model")
+		}
+	}
+}
+
+// TestCompiledDumpRoundTrip asserts compile∘dump is the identity on
+// node tables — the invariant that keeps re-snapshotting a restored
+// model byte-identical.
+func TestCompiledDumpRoundTrip(t *testing.T) {
+	X, y := serializeTrainingSet(200, 4, 11)
+	tree := NewDecisionTree(TreeConfig{MaxDepth: 7, Seed: 11})
+	if err := tree.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	nodes := tree.flat.dump()
+	again, err := compileDump(nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw1, _ := json.Marshal(nodes)
+	raw2, _ := json.Marshal(again.dump())
+	if string(raw1) != string(raw2) {
+		t.Fatal("compile∘dump is not the identity")
+	}
+}
+
+// TestCompiledPredictZeroAllocs is the allocation regression gate for
+// the serve hot path: one compiled single-point prediction — raw
+// engine and through the model wrapper — must not allocate.
+func TestCompiledPredictZeroAllocs(t *testing.T) {
+	X, y := serializeTrainingSet(300, 5, 13)
+	g := NewGradientBoosted(GBRConfig{NumStages: 50, MaxDepth: 4, Seed: 13})
+	if err := g.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	c, err := g.Compile()
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := X[0]
+	var sink float64
+	if allocs := testing.AllocsPerRun(200, func() { sink += c.Predict(x) }); allocs != 0 {
+		t.Fatalf("compiled engine Predict allocates %.1f/op, want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(200, func() { sink += g.Predict(x) }); allocs != 0 {
+		t.Fatalf("GradientBoosted.Predict allocates %.1f/op, want 0", allocs)
+	}
+	f := NewRandomForest(ForestConfig{NumTrees: 8, MaxDepth: 5, Seed: 13})
+	if err := f.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	if allocs := testing.AllocsPerRun(200, func() { sink += f.Predict(x) }); allocs != 0 {
+		t.Fatalf("RandomForest.Predict allocates %.1f/op, want 0", allocs)
+	}
+	_ = sink
+}
+
+// FuzzCompileTree feeds arbitrary node tables to the compiler: it must
+// reject every malformed table (out-of-range or negative child
+// indices, cycles, shared subtrees, unreachable nodes, non-finite
+// floats) and produce a terminating, finite, round-trippable engine
+// for every table it accepts.
+func FuzzCompileTree(f *testing.F) {
+	seed := func(nodes []NodeDump) {
+		raw, err := json.Marshal(nodes)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(raw)
+	}
+	seed([]NodeDump{{Value: 1, Leaf: true}})
+	seed([]NodeDump{
+		{Feature: 0, Threshold: 1, Left: 1, Right: 2},
+		{Value: -1, Leaf: true},
+		{Value: 1, Leaf: true},
+	})
+	seed([]NodeDump{{Feature: 0, Threshold: 1, Left: 0, Right: 9}})
+	seed([]NodeDump{{Feature: 1, Threshold: 0.5, Left: 1, Right: 1}, {Value: 2, Leaf: true}})
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		var nodes []NodeDump
+		if err := json.Unmarshal(raw, &nodes); err != nil {
+			t.Skip()
+		}
+		c, err := compileDump(nodes)
+		if err != nil {
+			return // rejected; nothing to check
+		}
+		// Accepted tables must be well-formed: every walk terminates at a
+		// finite leaf, and the table round-trips through its dump.
+		maxFeature := 0
+		for _, f := range c.feature {
+			if int(f) > maxFeature {
+				maxFeature = int(f)
+			}
+		}
+		x := make([]float64, maxFeature+1)
+		rng := rand.New(rand.NewSource(42))
+		for trial := 0; trial < 8; trial++ {
+			for j := range x {
+				x[j] = rng.NormFloat64() * 100
+			}
+			if v := c.Predict(x); math.IsNaN(v) || math.IsInf(v, 0) {
+				t.Fatalf("accepted table predicts non-finite %v", v)
+			}
+		}
+		again, err := compileDump(c.dump())
+		if err != nil {
+			t.Fatalf("dump of accepted table rejected on recompile: %v", err)
+		}
+		if again.NumNodes() != c.NumNodes() {
+			t.Fatalf("recompiled table has %d nodes, want %d", again.NumNodes(), c.NumNodes())
+		}
+	})
+}

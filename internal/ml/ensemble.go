@@ -40,6 +40,7 @@ type RandomForest struct {
 	Config ForestConfig
 
 	trees       []*DecisionTree
+	compiled    *CompiledForest
 	importances []float64
 	fitted      bool
 }
@@ -134,39 +135,45 @@ func (f *RandomForest) FitContext(ctx context.Context, X [][]float64, y []float6
 		}
 	}
 	f.fitted = true
+	compiled, err := compileForest(f.trees, f.Config.Workers)
+	if err != nil {
+		f.fitted = false
+		return err
+	}
+	f.compiled = compiled
 	return nil
 }
 
-// Predict implements Regressor (mean of tree predictions).
+// Predict implements Regressor (mean of tree predictions) on the
+// compiled node table; allocation-free.
 func (f *RandomForest) Predict(x []float64) float64 {
 	if !f.fitted {
 		return 0
 	}
-	var s float64
-	for _, t := range f.trees {
-		s += t.Predict(x)
-	}
-	return s / float64(len(f.trees))
+	return f.compiled.Predict(x)
 }
 
-// PredictAll implements BatchRegressor: rows are split into chunks
-// evaluated concurrently, and within a chunk each row walks the trees in
-// fit order, so PredictAll(X)[i] == Predict(X[i]) bit-for-bit.
+// PredictAll implements BatchRegressor through the compiled batch
+// kernel: row chunks run concurrently, each chunk iterates trees in fit
+// order over row blocks, so PredictAll(X)[i] == Predict(X[i])
+// bit-for-bit while one tree's node table stays cache-hot per block.
 func (f *RandomForest) PredictAll(X [][]float64) []float64 {
 	out := make([]float64, len(X))
 	if !f.fitted {
 		return out
 	}
-	parallelChunks(len(X), f.Config.Workers, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			var s float64
-			for _, t := range f.trees {
-				s += t.root.predict(X[i])
-			}
-			out[i] = s / float64(len(f.trees))
-		}
-	})
+	f.compiled.predictAllInto(X, out, f.Config.Workers)
 	return out
+}
+
+// predictPointer is the original pointer-walk accumulation, kept as the
+// bit-identity reference for the compiled engine.
+func (f *RandomForest) predictPointer(x []float64) float64 {
+	var s float64
+	for _, t := range f.trees {
+		s += t.root.predict(x)
+	}
+	return s / float64(len(f.trees))
 }
 
 // Importances implements Importancer.
@@ -219,6 +226,7 @@ type GradientBoosted struct {
 
 	base        float64
 	trees       []*DecisionTree
+	compiled    *CompiledGBR
 	importances []float64
 	fitted      bool
 	// predictions is resolved once at construction so the per-call cost of
@@ -302,11 +310,12 @@ func (g *GradientBoosted) FitContext(ctx context.Context, X [][]float64, y []flo
 		for j, v := range tree.Importances() {
 			g.importances[j] += v
 		}
-		// The residual update walks the new tree once per row; rows are
-		// independent, so chunk them across workers.
+		// The residual update walks the new tree once per row through its
+		// just-compiled table; rows are independent, so chunk them across
+		// workers.
 		parallelChunks(n, g.Config.Workers, func(lo, hi int) {
 			for i := lo; i < hi; i++ {
-				pred[i] += g.Config.LearningRate * tree.root.predict(X[i])
+				pred[i] += g.Config.LearningRate * tree.flat.Predict(X[i])
 			}
 		})
 	}
@@ -320,25 +329,30 @@ func (g *GradientBoosted) FitContext(ctx context.Context, X [][]float64, y []flo
 		}
 	}
 	g.fitted = true
+	compiled, err := compileGBR(g.base, g.Config.LearningRate, g.trees, g.Config.Workers)
+	if err != nil {
+		g.fitted = false
+		return err
+	}
+	g.compiled = compiled
 	return nil
 }
 
-// Predict implements Regressor.
+// Predict implements Regressor on the compiled node table; aside from
+// the observability counter it allocates nothing.
 func (g *GradientBoosted) Predict(x []float64) float64 {
 	if !g.fitted {
 		return 0
 	}
 	g.predictions.Inc()
-	out := g.base
-	for _, t := range g.trees {
-		out += g.Config.LearningRate * t.Predict(x)
-	}
-	return out
+	return g.compiled.Predict(x)
 }
 
-// PredictAll implements BatchRegressor: row chunks are evaluated
-// concurrently and each row accumulates the stages in fit order, so
-// PredictAll(X)[i] == Predict(X[i]) bit-for-bit.
+// PredictAll implements BatchRegressor through the compiled batch
+// kernel: row chunks run concurrently, each chunk accumulates the
+// stages in fit order over row blocks, so PredictAll(X)[i] ==
+// Predict(X[i]) bit-for-bit while one stage's node table stays
+// cache-hot per block.
 func (g *GradientBoosted) PredictAll(X [][]float64) []float64 {
 	out := make([]float64, len(X))
 	if !g.fitted {
@@ -346,15 +360,17 @@ func (g *GradientBoosted) PredictAll(X [][]float64) []float64 {
 	}
 	defer g.Config.Obs.WallTimer("ml.gbr.predict_seconds").Start()()
 	g.predictions.Add(float64(len(X)))
-	parallelChunks(len(X), g.Config.Workers, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			s := g.base
-			for _, t := range g.trees {
-				s += g.Config.LearningRate * t.root.predict(X[i])
-			}
-			out[i] = s
-		}
-	})
+	g.compiled.predictAllInto(X, out, g.Config.Workers)
+	return out
+}
+
+// predictPointer is the original pointer-walk accumulation, kept as the
+// bit-identity reference for the compiled engine.
+func (g *GradientBoosted) predictPointer(x []float64) float64 {
+	out := g.base
+	for _, t := range g.trees {
+		out += g.Config.LearningRate * t.root.predict(x)
+	}
 	return out
 }
 

@@ -215,18 +215,29 @@ func fitScaler(X [][]float64) *scaler {
 	return s
 }
 
-func (s *scaler) transform(x []float64) []float64 {
-	out := make([]float64, len(x))
+// transformInto standardizes x appending onto dst and returns the
+// extended slice — the allocation-free form for hot paths that reuse a
+// scratch buffer (pass dst[:0] to overwrite it).
+func (s *scaler) transformInto(dst, x []float64) []float64 {
 	for j, v := range x {
-		out[j] = (v - s.mean[j]) / s.std[j]
+		dst = append(dst, (v-s.mean[j])/s.std[j])
 	}
-	return out
+	return dst
 }
 
+func (s *scaler) transform(x []float64) []float64 {
+	return s.transformInto(make([]float64, 0, len(x)), x)
+}
+
+// transformAll standardizes a whole matrix into one backing array: a
+// single n·d allocation instead of one per row.
 func (s *scaler) transformAll(X [][]float64) [][]float64 {
 	out := make([][]float64, len(X))
+	flat := make([]float64, 0, len(X)*len(s.mean))
 	for i, r := range X {
-		out[i] = s.transform(r)
+		start := len(flat)
+		flat = s.transformInto(flat, r)
+		out[i] = flat[start:len(flat):len(flat)]
 	}
 	return out
 }

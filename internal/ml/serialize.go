@@ -118,48 +118,33 @@ func dumpNode(n *treeNode, nodes *[]NodeDump) int {
 }
 
 // Dump flattens a fitted tree. Unfitted trees return ErrNotFitted.
+// The nodes are re-emitted from the compiled table, which preserves the
+// preorder flattening exactly: dumping a restored tree reproduces the
+// bytes it was loaded from.
 func (t *DecisionTree) Dump() (*TreeDump, error) {
 	if !t.fitted {
 		return nil, ErrNotFitted
 	}
-	d := &TreeDump{Config: t.Config, Importances: append([]float64(nil), t.importances...)}
-	dumpNode(t.root, &d.Nodes)
-	return d, nil
+	return &TreeDump{
+		Config:      t.Config,
+		Nodes:       t.flat.dump(),
+		Importances: append([]float64(nil), t.importances...),
+	}, nil
 }
 
-// buildNode reconstructs the node at index i, marking visits so a
-// malformed dump (cycle, shared subtree, dangling index) fails instead
-// of looping or aliasing.
-func buildNode(nodes []NodeDump, i int, visited []bool) (*treeNode, error) {
-	if i < 0 || i >= len(nodes) {
-		return nil, badModel("tree node index %d out of range [0,%d)", i, len(nodes))
-	}
-	if visited[i] {
-		return nil, badModel("tree node %d referenced twice", i)
-	}
-	visited[i] = true
-	nd := nodes[i]
-	if nd.Leaf {
-		if !isFinite(nd.Value) {
-			return nil, badModel("tree leaf %d has non-finite value", i)
-		}
-		return &treeNode{leaf: true, value: nd.Value}, nil
-	}
-	if nd.Feature < 0 {
-		return nil, badModel("tree node %d has negative feature index", i)
-	}
-	if !isFinite(nd.Threshold) {
-		return nil, badModel("tree node %d has non-finite threshold", i)
-	}
-	left, err := buildNode(nodes, nd.Left, visited)
+// loadFrom compiles the dump straight into the flat inference table —
+// no pointer tree is rebuilt — with the compiler enforcing
+// well-formedness (every node reachable exactly once, in-range
+// children, finite floats).
+func (t *DecisionTree) loadFrom(d *TreeDump) error {
+	flat, err := compileDump(d.Nodes)
 	if err != nil {
-		return nil, err
+		return err
 	}
-	right, err := buildNode(nodes, nd.Right, visited)
-	if err != nil {
-		return nil, err
-	}
-	return &treeNode{feature: nd.Feature, threshold: nd.Threshold, left: left, right: right}, nil
+	t.flat = flat
+	t.importances = append([]float64(nil), d.Importances...)
+	t.fitted = true
+	return nil
 }
 
 // LoadTree reconstructs a fitted tree from its dump without refitting.
@@ -167,26 +152,13 @@ func LoadTree(d *TreeDump) (*DecisionTree, error) {
 	if d == nil {
 		return nil, badModel("nil tree dump")
 	}
-	if len(d.Nodes) == 0 {
-		return nil, badModel("tree dump has no nodes")
-	}
 	if err := checkImportances(d.Importances); err != nil {
 		return nil, err
 	}
-	visited := make([]bool, len(d.Nodes))
-	root, err := buildNode(d.Nodes, 0, visited)
-	if err != nil {
+	t := NewDecisionTree(d.Config)
+	if err := t.loadFrom(d); err != nil {
 		return nil, err
 	}
-	for i, v := range visited {
-		if !v {
-			return nil, badModel("tree node %d unreachable from root", i)
-		}
-	}
-	t := NewDecisionTree(d.Config)
-	t.root = root
-	t.importances = append([]float64(nil), d.Importances...)
-	t.fitted = true
 	return t, nil
 }
 
@@ -256,6 +228,13 @@ func LoadGBR(d *GBRDump, opt LoadOptions) (*GradientBoosted, error) {
 	}
 	g.importances = append([]float64(nil), d.Importances...)
 	g.fitted = true
+	// The loaded model is born compiled: its stage tables concatenate
+	// into the flat ensemble the predict paths walk.
+	compiled, err := compileGBR(g.base, g.Config.LearningRate, g.trees, opt.Workers)
+	if err != nil {
+		return nil, err
+	}
+	g.compiled = compiled
 	return g, nil
 }
 
@@ -312,6 +291,11 @@ func LoadForest(d *ForestDump, opt LoadOptions) (*RandomForest, error) {
 	}
 	f.importances = append([]float64(nil), d.Importances...)
 	f.fitted = true
+	compiled, err := compileForest(f.trees, opt.Workers)
+	if err != nil {
+		return nil, err
+	}
+	f.compiled = compiled
 	return f, nil
 }
 

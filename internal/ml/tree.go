@@ -42,7 +42,12 @@ type treeNode struct {
 type DecisionTree struct {
 	Config TreeConfig
 
-	root        *treeNode
+	// root is the pointer tree built by Fit; it is the construction-time
+	// and reference representation (nil for trees restored from a dump).
+	root *treeNode
+	// flat is the compiled node table every prediction goes through; it
+	// exists for every fitted tree, whether fitted in-process or loaded.
+	flat        *CompiledTree
 	importances []float64
 	rng         *rand.Rand
 	fitted      bool
@@ -78,6 +83,17 @@ func (t *DecisionTree) Fit(X [][]float64, y []float64) error {
 			t.importances[i] /= sum
 		}
 	}
+	// Lower the pointer tree into the flat node table through the same
+	// preorder flattening the serializer uses; from here on every
+	// prediction walks the compiled layout (bit-identical by
+	// construction — same comparisons, same order).
+	var nodes []NodeDump
+	dumpNode(t.root, &nodes)
+	flat, err := compileDump(nodes)
+	if err != nil {
+		return err
+	}
+	t.flat = flat
 	t.fitted = true
 	return nil
 }
@@ -87,7 +103,7 @@ func (t *DecisionTree) Predict(x []float64) float64 {
 	if !t.fitted {
 		return 0
 	}
-	return t.root.predict(x)
+	return t.flat.Predict(x)
 }
 
 // PredictAll implements BatchRegressor. A single tree walk is already
@@ -99,11 +115,15 @@ func (t *DecisionTree) PredictAll(X [][]float64) []float64 {
 		return out
 	}
 	for i, x := range X {
-		out[i] = t.root.predict(x)
+		out[i] = t.flat.Predict(x)
 	}
 	return out
 }
 
+// predict is the pointer walk the compiled engine replaced. It is kept
+// as the bit-identity reference: the differential tests and the
+// BenchmarkPredictPointer baselines compare every compiled prediction
+// against this walk.
 func (n *treeNode) predict(x []float64) float64 {
 	for !n.leaf {
 		if x[n.feature] <= n.threshold {

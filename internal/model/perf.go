@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"sync"
 
 	"merchandiser/internal/corpus"
 	"merchandiser/internal/merr"
@@ -19,15 +20,28 @@ type CorrelationFunc struct {
 	Events []string // hardware events used as workload characteristics
 }
 
+// vecPool recycles the feature vectors Eval assembles. The serve path
+// evaluates Eval thousands of times per plan (every bisection probe
+// bottoms out here), and the compiled model predicts allocation-free,
+// so the vector build must not allocate per call either.
+var vecPool = sync.Pool{New: func() any { return new([]float64) }}
+
 // Eval returns f for one task's workload characteristics and a DRAM
 // access ratio.
 func (c *CorrelationFunc) Eval(ev pmc.Counters, rdram float64) float64 {
-	x := ev.Vector(c.Events)
+	buf := vecPool.Get().(*[]float64)
+	x := ev.VectorInto((*buf)[:0], c.Events)
 	x = append(x, rdram)
 	f := c.Model.Predict(x)
-	// f scales the PM-side term of Equation 2; keep it in a physically
-	// meaningful band (0 would mean PM accesses are free, large values
-	// would break the bound rationale).
+	*buf = x
+	vecPool.Put(buf)
+	return clampF(f)
+}
+
+// clampF keeps f in a physically meaningful band (0 would mean PM
+// accesses are free, large values would break the bound rationale of
+// Equation 2).
+func clampF(f float64) float64 {
 	if f < 0.05 {
 		f = 0.05
 	}
@@ -35,6 +49,27 @@ func (c *CorrelationFunc) Eval(ev pmc.Counters, rdram float64) float64 {
 		f = 2
 	}
 	return f
+}
+
+// EvalBatch returns f for many (counters, ratio) pairs in one pass
+// through the model's compiled batch kernel. Batch predictions are
+// bit-identical to per-point Predict calls, so EvalBatch(evs, rs)[i]
+// equals Eval(evs[i], rs[i]) exactly.
+func (c *CorrelationFunc) EvalBatch(evs []pmc.Counters, rdram []float64) []float64 {
+	d := len(c.Events) + 1
+	flat := make([]float64, 0, len(evs)*d)
+	X := make([][]float64, len(evs))
+	for i := range evs {
+		start := len(flat)
+		flat = evs[i].VectorInto(flat, c.Events)
+		flat = append(flat, rdram[i])
+		X[i] = flat[start:len(flat):len(flat)]
+	}
+	out := ml.PredictBatch(c.Model, X)
+	for i, f := range out {
+		out[i] = clampF(f)
+	}
+	return out
 }
 
 // TrainResult reports a correlation-function training run.
@@ -117,6 +152,25 @@ func (m *PerfModel) Predict(tPm, tDram float64, ev pmc.Counters, rdram float64) 
 		f = m.Corr.Eval(ev, rdram)
 	}
 	return PredictHybrid(tPm, tDram, rdram, f)
+}
+
+// PredictBatch evaluates Equation 2 for many (task, ratio) tuples in
+// one pass through the correlation function's compiled batch kernel.
+// PredictBatch(...)[i] is bit-identical to the corresponding pairwise
+// Predict call — planners may seed their memo caches from it.
+func (m *PerfModel) PredictBatch(tPm, tDram []float64, evs []pmc.Counters, rdram []float64) []float64 {
+	out := make([]float64, len(rdram))
+	if m.Corr == nil {
+		for i := range out {
+			out[i] = PredictHybrid(tPm[i], tDram[i], rdram[i], 1)
+		}
+		return out
+	}
+	fs := m.Corr.EvalBatch(evs, rdram)
+	for i := range out {
+		out[i] = PredictHybrid(tPm[i], tDram[i], rdram[i], fs[i])
+	}
+	return out
 }
 
 // BasicBlock is one input-independent basic block with its per-execution

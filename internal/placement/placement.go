@@ -216,6 +216,35 @@ func (m *predictMemo) predictRatio(i int, r float64) float64 {
 	return v
 }
 
+// warmEndpoints seeds the memo with every task's r=0 and r=1
+// predictions from one PredictBatch call: the bisection planner probes
+// both endpoints for every candidate makespan, and the batch form runs
+// the compiled model's block kernel — each tree's node table is walked
+// for a whole block of rows at a time instead of once per task. Batch
+// predictions are bit-identical to pointwise ones, so seeded entries
+// change nothing but the walk count.
+func (m *predictMemo) warmEndpoints() {
+	n := len(m.tasks)
+	tPm := make([]float64, 0, 2*n)
+	tDram := make([]float64, 0, 2*n)
+	evs := make([]pmc.Counters, 0, 2*n)
+	ratios := make([]float64, 0, 2*n)
+	for _, r := range []float64{0, 1} {
+		for i := range m.tasks {
+			t := &m.tasks[i]
+			tPm = append(tPm, t.TPmOnly)
+			tDram = append(tDram, t.TDramOnly)
+			evs = append(evs, t.Events)
+			ratios = append(ratios, r)
+		}
+	}
+	preds := m.perf.PredictBatch(tPm, tDram, evs, ratios)
+	for k, v := range preds {
+		i := k % n
+		m.cache[predictKey{task: i, rbits: math.Float64bits(ratios[k])}] = v
+	}
+}
+
 // GreedyLoadBalance is Algorithm 1. It returns the per-task DRAM access
 // goals that (predictedly) minimize the makespan within the DRAM capacity
 // dc (in pages), using the performance model for Line 15's prediction.
@@ -441,8 +470,12 @@ func MinMakespanPlan(tasks []TaskInput, dc uint64, perf *model.PerfModel, tol fl
 	}
 	// The bisections revisit the endpoints and nearby ratios for every
 	// candidate T; the same per-plan memo that serves Algorithm 1 removes
-	// those repeated model walks.
-	predict := newPredictMemo(tasks, perf, nil).predictRatio
+	// those repeated model walks, and the endpoint predictions every
+	// feasibility probe starts from are precomputed in one pass through
+	// the compiled model's batch kernel.
+	memo := newPredictMemo(tasks, perf, nil)
+	memo.warmEndpoints()
+	predict := memo.predictRatio
 	// Minimum DRAM ratio for task i to be predicted at or under T
 	// (+inf pages when even r = 1 cannot reach T).
 	minRatioFor := func(i int, T float64) (float64, bool) {

@@ -68,11 +68,17 @@ type Counters struct {
 // Vector projects the counters onto the given event ordering; missing
 // events read 0.
 func (c Counters) Vector(events []string) []float64 {
-	out := make([]float64, len(events))
-	for i, e := range events {
-		out[i] = c.Values[e]
+	return c.VectorInto(make([]float64, 0, len(events)), events)
+}
+
+// VectorInto appends the projection onto dst and returns the extended
+// slice — the allocation-free form for hot paths that reuse a scratch
+// buffer across calls (pass dst[:0] to overwrite it).
+func (c Counters) VectorInto(dst []float64, events []string) []float64 {
+	for _, e := range events {
+		dst = append(dst, c.Values[e])
 	}
-	return out
+	return dst
 }
 
 // Collect synthesizes the full event set from one task's simulation

@@ -3,9 +3,12 @@
 # concurrency-bearing packages (root session pipeline, corpus worker
 # pool, parallel ml fitting, memoized placement, pooled evaluation
 # matrix, observability registries shared across workers, the serving
-# daemon's batcher) under the race detector, smoke the event-encoder and
-# artifact-decoder fuzz targets on their seed corpora plus 10s of new
-# inputs each, run the end-to-end save/load/serve smoke against a real
+# daemon's batcher) under the race detector, hold the compiled
+# inference engine to zero allocations per single-point predict and
+# smoke its pointer-vs-compiled benchmarks, smoke the compile-tree,
+# event-encoder and artifact-decoder fuzz targets on their seed corpora
+# plus 10s of new inputs each, run the end-to-end save/load/serve smoke
+# against a real
 # merchserved process, and hold internal/obs to a coverage floor. Every
 # test invocation gets a per-package timeout (60s plain, 600s for the
 # ~10x-slower race tier) so a hung run fails instead of wedging CI.
@@ -42,6 +45,19 @@ echo "== go test -race (root session pipeline + corpus, ml, placement, experimen
 go test -race -timeout 600s . ./internal/corpus ./internal/ml ./internal/placement \
 	./internal/experiments ./internal/obs ./internal/hm ./internal/task \
 	./internal/store ./internal/serve
+
+echo "== allocation gate (compiled single-point predict must not allocate)"
+# Deliberately outside the -race tier: the assertion is exact (0
+# allocs/op via testing.AllocsPerRun) and instrumented builds allocate.
+go test -timeout 60s ./internal/ml -run '^TestCompiledPredictZeroAllocs$' -count=1 -v | grep -E '^(=== RUN|--- (PASS|FAIL)|ok)' || exit 1
+
+echo "== bench smoke (pointer vs compiled inference, 100 iterations)"
+# Not a perf gate (CI machines vary) — this just proves the benchmarks
+# run and keeps the pointer-walk baseline compiling.
+go test -timeout 120s ./internal/ml -run '^$' -bench 'Predict(Pointer|Compiled)' -benchtime 100x
+
+echo "== fuzz smoke (FuzzCompileTree, 10s)"
+go test -timeout 60s ./internal/ml -run '^$' -fuzz '^FuzzCompileTree$' -fuzztime 10s
 
 echo "== fuzz smoke (FuzzEventEncode, 10s)"
 go test -timeout 60s ./internal/obs -run '^$' -fuzz '^FuzzEventEncode$' -fuzztime 10s

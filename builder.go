@@ -3,6 +3,7 @@ package merchandiser
 import (
 	"context"
 	"fmt"
+	"runtime"
 
 	"merchandiser/internal/access"
 	"merchandiser/internal/corpus"
@@ -60,16 +61,33 @@ func NewSystemConfig(ctx context.Context, spec SystemSpec, cfg TrainConfig) (*Sy
 	trainSpec.Tiers[hm.PM].CapacityBytes = 512 << 20
 	trainSpec.LLCBytes = 1 << 20
 	regions := corpus.StandardCorpus(nRegions, cfg.Seed)
-	samples, err := corpus.Build(ctx, regions, trainSpec, corpus.BuildConfig{
-		Placements: placements, StepSec: 0.001, Seed: cfg.Seed, Workers: cfg.Workers,
-	})
-	if err != nil {
-		return nil, fmt.Errorf("merchandiser: training corpus: %w", err)
+	// Training runs pipelined: corpus simulation streams per-region
+	// batches into the boosting fitter, with one slot pool of Workers
+	// permits bounding both stages together. Outputs are byte-identical
+	// for any worker count — region seeds, the per-region split and the
+	// pace schedule all derive from Seed and data layout, never timing.
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
 	}
-	res, err := model.TrainCorrelation(ctx, samples, pmc.SelectedEvents,
-		func() ml.Regressor {
-			return ml.NewGradientBoosted(ml.GBRConfig{Seed: cfg.Seed, Workers: cfg.Workers})
-		}, cfg.Seed)
+	slots := make(chan struct{}, workers)
+	for i := 0; i < workers; i++ {
+		slots <- struct{}{}
+	}
+	gate := func(ctx context.Context) (func(), error) {
+		select {
+		case <-slots:
+			return func() { slots <- struct{}{} }, nil
+		case <-ctx.Done():
+			return nil, merr.FromContext(ctx, "merchandiser: training canceled")
+		}
+	}
+	stream := corpus.BuildStream(ctx, regions, trainSpec, corpus.BuildConfig{
+		Placements: placements, StepSec: 0.001, Seed: cfg.Seed, Workers: workers, Gate: gate,
+	})
+	gbr := ml.NewGradientBoosted(ml.GBRConfig{Seed: cfg.Seed, Workers: workers})
+	res, samples, err := model.TrainCorrelationStream(ctx, stream.C, stream.Wait, pmc.SelectedEvents, gbr,
+		ml.PaceConfig{Groups: len(regions), Gate: gate}, cfg.Seed)
 	if err != nil {
 		return nil, fmt.Errorf("merchandiser: training f(·): %w", err)
 	}

@@ -122,6 +122,37 @@ func settleGoroutines(t *testing.T, target int) {
 	}
 }
 
+// TestNoGoroutineLeakStreamedTraining: the pipelined trainer runs a
+// corpus worker pool, a batch sequencer and a concurrent boosting
+// fitter; none of them may outlive NewSystemConfig — whether training
+// completes or is canceled at any point along the stream.
+func TestNoGoroutineLeakStreamedTraining(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	// Success path: producers, sequencer and fitter all drain cleanly.
+	if _, err := NewSystemConfig(context.Background(), testSpec(),
+		TrainConfig{Level: TrainQuick, Workers: 4}); err != nil {
+		t.Fatal(err)
+	}
+	settleGoroutines(t, before)
+
+	// Cancellation at increasing depths into the stream: early hits the
+	// corpus workers, later delays land while the fitter is mid-boost.
+	for _, delay := range []time.Duration{time.Millisecond, 10 * time.Millisecond, 40 * time.Millisecond} {
+		ctx, cancel := context.WithCancel(context.Background())
+		timer := time.AfterFunc(delay, cancel)
+		_, err := NewSystemConfig(ctx, testSpec(), TrainConfig{Level: TrainQuick, Workers: 4})
+		timer.Stop()
+		cancel()
+		// A long delay may lose the race and let training finish: both
+		// outcomes are fine, leaked goroutines are not.
+		if err != nil && !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancel after %v: %v", delay, err)
+		}
+		settleGoroutines(t, before)
+	}
+}
+
 func TestNoGoroutineLeakAfterCancellation(t *testing.T) {
 	before := runtime.NumGoroutine()
 

@@ -49,6 +49,9 @@ func main() {
 	metricsPath := flag.String("metrics", "", "write the deterministic metrics dump (per-cell registry snapshots) to this file")
 	tracePath := flag.String("trace", "", "write a chrome-trace event log of the evaluation to this file")
 	policies := flag.String("policy", "", "comma-separated policy names to evaluate (default: all registered; see -policy list)")
+	barrier := flag.Bool("barrier", false, "run training and evaluation as phase-barriered steps instead of the pace-car pipeline (for A/B timing)")
+	benchOut := flag.String("bench-out", "", "write the stable timing/benchmark report (schema "+experiments.BenchSchema+") to this file")
+	cvFlag := flag.Bool("cv", false, "also run the k-fold feature-subset search (pipelined runs overlap it with evaluation)")
 	outDir := flag.String("out", "", "directory for output files; relative -json/-metrics/-trace/-save paths are placed under it instead of the CWD")
 	savePath := flag.String("save", "", "after training, checkpoint the system (spec + correlation function) to this artifact file")
 	loadPath := flag.String("load", "", "skip training and restore the system from this artifact file")
@@ -71,6 +74,7 @@ func main() {
 	*jsonPath = outPath(*jsonPath)
 	*metricsPath = outPath(*metricsPath)
 	*tracePath = outPath(*tracePath)
+	*benchOut = outPath(*benchOut)
 	*savePath = outPath(*savePath)
 	*cpuProfile = outPath(*cpuProfile)
 	*memProfile = outPath(*memProfile)
@@ -137,8 +141,16 @@ func main() {
 		fail(fmt.Errorf("a -load artifact carries the trained model but not the training corpus; table3, fig7, ablations and cxl retrain — run them without -load (use -exp like fig4,table4)"))
 	}
 
+	// Training + evaluation run pace-car pipelined by default: corpus
+	// simulation streams into model fitting, and evaluation cells launch
+	// as their model dependency resolves. -barrier restores the
+	// phase-barriered schedule for A/B timing; both produce byte-identical
+	// results.
+	pipelined := !*barrier && *loadPath == "" && needsEval
+
 	var art *experiments.Artifacts
 	var eval *experiments.Eval
+	var cvResults []experiments.CVResult
 	var err error
 	switch {
 	case *loadPath != "":
@@ -147,6 +159,22 @@ func main() {
 		art = &experiments.Artifacts{Spec: sys.Spec, Perf: sys.Perf, TestR2: sys.TrainedR2, SampleCount: sys.Meta.Samples}
 		fmt.Fprintf(w, "offline: restored from %s (level=%s, %d samples, held-out R²=%.3f) — no retraining\n\n",
 			*loadPath, sys.Meta.Level, sys.Meta.Samples, sys.TrainedR2)
+	case pipelined:
+		res, perr := experiments.RunPipeline(ctx, cfg, experiments.PipelineOptions{CV: *cvFlag})
+		fail(perr)
+		art, eval, cvResults = res.Artifacts, res.Eval, res.CV
+		fmt.Fprintf(w, "offline: correlation function trained on %d samples, held-out R²=%.3f (%.1fs)\n",
+			len(art.Samples), art.TestR2, reg.WallTimer("pipeline.train_seconds").Seconds())
+		train := reg.WallTimer("pipeline.train_seconds").Seconds()
+		evalS := reg.WallTimer("pipeline.eval_seconds").Seconds()
+		e2e := reg.WallTimer("pipeline.e2e_seconds").Seconds()
+		overlap := 0.0
+		if e2e > 0 {
+			overlap = (train + evalS) / e2e
+		}
+		fmt.Fprintf(w, "evaluation: 5 applications x policies executed (%.1fs)\n", evalS)
+		fmt.Fprintf(w, "pipeline: end-to-end %.1fs, overlap ratio %.2fx (train %.1fs + eval %.1fs)\n\n",
+			e2e, overlap, train, evalS)
 	case needsArtifacts || *savePath != "" || *jsonPath != "" || *metricsPath != "" || *tracePath != "":
 		art, err = experiments.Prepare(ctx, cfg)
 		fail(err)
@@ -157,11 +185,22 @@ func main() {
 		fail(saveArtifacts(*savePath, art, cfg))
 		fmt.Fprintf(w, "checkpoint written to %s\n\n", *savePath)
 	}
-	if needsEval {
+	if needsEval && eval == nil {
 		eval, err = experiments.RunEvaluation(ctx, art, cfg)
 		fail(err)
 		fmt.Fprintf(w, "evaluation: 5 applications x policies executed (%.1fs)\n\n",
 			reg.WallTimer("pipeline.eval_seconds").Seconds())
+	}
+	if *cvFlag && !pipelined && art != nil && len(art.Samples) > 0 {
+		cvResults, err = experiments.CVFeatureSearch(ctx, art, cfg, nil)
+		fail(err)
+	}
+	if len(cvResults) > 0 {
+		fmt.Fprintf(w, "CV feature-subset search (%d-fold):\n", 3)
+		for _, r := range cvResults {
+			fmt.Fprintf(w, "  %d events: mean R²=%.3f\n", r.Events, r.MeanR2)
+		}
+		fmt.Fprintln(w)
 	}
 
 	var fig3Rows []experiments.Fig3Row
@@ -230,6 +269,10 @@ func main() {
 		fmt.Fprintf(w, "trace written to %s\n", *tracePath)
 	}
 
+	resolved := *workers
+	if resolved <= 0 {
+		resolved = runtime.NumCPU()
+	}
 	if *jsonPath != "" {
 		sum := experiments.Summarize(art, eval, cfg)
 		sum.Fig3 = fig3Rows
@@ -237,21 +280,21 @@ func main() {
 		sum.Table4 = table4Rows
 		sum.Fig7 = fig7Points
 		sum.Ablations = ablationRows
-		resolved := *workers
-		if resolved <= 0 {
-			resolved = runtime.NumCPU()
-		}
-		sum.Timing = &experiments.Timing{
-			Workers:         resolved,
-			TrainSeconds:    reg.WallTimer("pipeline.train_seconds").Seconds(),
-			EvalSeconds:     reg.WallTimer("pipeline.eval_seconds").Seconds(),
-			PlacementMicros: experiments.TimePlacement(art),
-		}
+		sum.Timing = experiments.TimingFromRegistry(reg, resolved, pipelined, art)
 		f, err := os.Create(*jsonPath)
 		fail(err)
 		fail(sum.WriteJSON(f))
 		fail(f.Close())
 		fmt.Fprintf(w, "summary written to %s\n", *jsonPath)
+	}
+	if *benchOut != "" {
+		timing := experiments.TimingFromRegistry(reg, resolved, pipelined, art)
+		rep := experiments.NewBenchReport(art, cfg, resolved, timing)
+		f, err := os.Create(*benchOut)
+		fail(err)
+		fail(rep.WriteJSON(f))
+		fail(f.Close())
+		fmt.Fprintf(w, "bench report written to %s\n", *benchOut)
 	}
 }
 

@@ -27,6 +27,7 @@ import (
 	"merchandiser/internal/access"
 	"merchandiser/internal/hm"
 	"merchandiser/internal/merr"
+	"merchandiser/internal/obs"
 	"merchandiser/internal/pmc"
 )
 
@@ -290,6 +291,23 @@ type BuildConfig struct {
 	// runtime.NumCPU(). Every region derives its seeds from its index, so
 	// Build's output is identical for any worker count.
 	Workers int
+	// PaceBound caps how many regions simulation may run ahead of the
+	// stream's consumer: at most PaceBound regions are claimed but not yet
+	// consumed at any instant (the pace-car bound of the streaming
+	// pipeline). 0 uses max(2×Workers, 8). Pacing affects scheduling only,
+	// never the emitted samples.
+	PaceBound int
+	// Gate, when non-nil, is acquired around each region simulation. The
+	// pipelined trainer uses it to share one worker-slot pool across
+	// overlapping pipeline stages, so "Workers" bounds the whole pipeline
+	// rather than each stage separately. Gate must return a release
+	// function on success; an error (the gate observed cancellation)
+	// stops the claiming worker.
+	Gate func(ctx context.Context) (release func(), err error)
+	// Obs, when non-nil, receives the volatile corpus wall timer
+	// (corpus.stream_seconds: first claim to last emitted batch) used by
+	// the stage-overlap report.
+	Obs *obs.Registry
 }
 
 func (c BuildConfig) withDefaults() BuildConfig {
@@ -324,6 +342,67 @@ func (c BuildConfig) withDefaults() BuildConfig {
 // error satisfying errors.Is(err, context.Canceled) with no goroutine
 // left behind. A nil ctx behaves like context.Background().
 func Build(ctx context.Context, regions []Region, spec hm.SystemSpec, cfg BuildConfig) ([]Sample, error) {
+	stream := BuildStream(ctx, regions, spec, cfg)
+	var out []Sample
+	for batch := range stream.C {
+		out = append(out, batch.Samples...)
+	}
+	if err := stream.Wait(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// RegionBatch is the ordered output unit of BuildStream: every sample the
+// named region contributed to the corpus (possibly none — regions whose
+// placement sensitivity is below the simulation's quantization are
+// skipped, but their index still appears so consumers see a gapless
+// sequence).
+type RegionBatch struct {
+	// Index is the region's position; batches arrive strictly in index
+	// order, 0, 1, 2, ... with no gaps.
+	Index   int
+	Region  string
+	Samples []Sample
+}
+
+// Stream is a streaming corpus build in flight. Receive batches from C
+// until it closes, then call Wait for the joined error. Abandoning C
+// without cancelling the build's context would block the producers; to
+// stop early, cancel the context and then drain C (it closes promptly).
+type Stream struct {
+	// C delivers per-region sample batches strictly in region-index
+	// order. It is unbuffered beyond the pace bound: producers stall
+	// rather than run more than PaceBound regions ahead of the receiver.
+	C    <-chan RegionBatch
+	wait func() error
+}
+
+// Wait blocks until every producer goroutine has exited and returns the
+// build's outcome: nil, the per-region errors joined in region order, or
+// a cancellation error satisfying errors.Is(err, context.Canceled). It
+// must be called after C closes (or after cancelling the context).
+func (s *Stream) Wait() error { return s.wait() }
+
+// BuildStream is the streaming form of Build: regions are simulated by a
+// pool of cfg.Workers goroutines and completed per-region batches are
+// emitted in region-index order as they become available, instead of
+// after a global barrier. Each region keeps its index-derived seed, so
+// the concatenated batches are byte-identical to Build's output for any
+// worker count and any consumer pace.
+//
+// The pace-car discipline: a token pool of cfg.PaceBound permits bounds
+// how far simulation may run ahead of the consumer. A worker takes a
+// token before claiming a region; the token returns only after the
+// region's batch has been received from C. Claimed-but-unconsumed
+// regions therefore never exceed PaceBound, keeping memory bounded and
+// the producers paced to the downstream stage.
+//
+// Cancellation: once ctx is done, workers stop claiming regions,
+// in-flight regions abort at the next engine tick, C closes promptly
+// (possibly mid-sequence), and Wait reports the cancellation with no
+// goroutine left behind.
+func BuildStream(ctx context.Context, regions []Region, spec hm.SystemSpec, cfg BuildConfig) *Stream {
 	if ctx == nil {
 		ctx = context.Background()
 	}
@@ -335,52 +414,111 @@ func Build(ctx context.Context, regions []Region, spec hm.SystemSpec, cfg BuildC
 	if workers > len(regions) {
 		workers = len(regions)
 	}
-	perRegion := make([][]Sample, len(regions))
-	errs := make([]error, len(regions))
-	build := func(ri int) {
-		samples, err := buildRegion(ctx, regions[ri], spec, cfg, int64(ri))
-		if err != nil {
-			errs[ri] = fmt.Errorf("corpus: region %s: %w", regions[ri].Name, err)
-			return
-		}
-		perRegion[ri] = samples
+	if workers < 1 {
+		workers = 1
 	}
-	if workers <= 1 {
-		for ri := range regions {
-			if ctx.Err() != nil {
-				break
-			}
-			build(ri)
+	pace := cfg.PaceBound
+	if pace <= 0 {
+		pace = 2 * workers
+		if pace < 8 {
+			pace = 8
 		}
-	} else {
-		var next atomic.Int64
-		var wg sync.WaitGroup
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for ctx.Err() == nil {
-					ri := int(next.Add(1)) - 1
-					if ri >= len(regions) {
+	}
+	if workers > pace {
+		workers = pace // extra workers could never hold a permit anyway
+	}
+
+	n := len(regions)
+	perRegion := make([][]Sample, n)
+	errs := make([]error, n)
+	ready := make([]chan struct{}, n)
+	for i := range ready {
+		ready[i] = make(chan struct{})
+	}
+	tokens := make(chan struct{}, pace)
+	for i := 0; i < pace; i++ {
+		tokens <- struct{}{}
+	}
+	out := make(chan RegionBatch)
+	var wg sync.WaitGroup
+	var next atomic.Int64
+
+	stopWall := func() {}
+	if cfg.Obs != nil {
+		stopWall = cfg.Obs.WallTimer("corpus.stream_seconds").Start()
+	}
+
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-tokens:
+				}
+				ri := int(next.Add(1)) - 1
+				if ri >= n {
+					tokens <- struct{}{} // hand the permit to a sibling so it can exit too
+					return
+				}
+				if cfg.Gate != nil {
+					release, err := cfg.Gate(ctx)
+					if err != nil {
 						return
 					}
-					build(ri)
+					buildInto(ctx, regions, spec, cfg, ri, perRegion, errs)
+					release()
+				} else {
+					buildInto(ctx, regions, spec, cfg, ri, perRegion, errs)
 				}
-			}()
+				close(ready[ri])
+			}
+		}()
+	}
+
+	// The sequencer restores region order: it forwards batch i only after
+	// batches 0..i-1 have been received, and returns each pace token as
+	// its batch is consumed.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer close(out)
+		defer stopWall()
+		for i := 0; i < n; i++ {
+			select {
+			case <-ctx.Done():
+				return
+			case <-ready[i]:
+			}
+			select {
+			case <-ctx.Done():
+				return
+			case out <- RegionBatch{Index: i, Region: regions[i].Name, Samples: perRegion[i]}:
+				tokens <- struct{}{}
+			}
 		}
+	}()
+
+	wait := func() error {
 		wg.Wait()
+		if err := merr.FromContext(ctx, "corpus: build canceled"); err != nil {
+			return err
+		}
+		return errors.Join(errs...)
 	}
-	if err := merr.FromContext(ctx, "corpus: build canceled"); err != nil {
-		return nil, err
+	return &Stream{C: out, wait: wait}
+}
+
+// buildInto simulates one region and records its samples or error.
+func buildInto(ctx context.Context, regions []Region, spec hm.SystemSpec, cfg BuildConfig, ri int, perRegion [][]Sample, errs []error) {
+	samples, err := buildRegion(ctx, regions[ri], spec, cfg, int64(ri))
+	if err != nil {
+		errs[ri] = fmt.Errorf("corpus: region %s: %w", regions[ri].Name, err)
+		return
 	}
-	if err := errors.Join(errs...); err != nil {
-		return nil, err
-	}
-	var out []Sample
-	for _, s := range perRegion {
-		out = append(out, s...)
-	}
-	return out, nil
+	perRegion[ri] = samples
 }
 
 // runHomogeneous runs the region alone on a tier-homogeneous system and

@@ -1,0 +1,78 @@
+package experiments
+
+import (
+	"encoding/json"
+	"io"
+	"time"
+
+	"merchandiser/internal/pmc"
+)
+
+// BenchSchema versions the -bench-out JSON layout. Bump it only when a
+// field changes meaning or disappears; additive fields keep the version.
+const BenchSchema = "merchbench/bench/v1"
+
+// BenchReport is the stable machine-readable record one merchbench run
+// leaves behind (BENCH_*.json): the phase walls and overlap ratio of
+// the training/evaluation pipeline plus microbenchmarks of the key
+// online operations. It exists so the repo can track its performance
+// trajectory across PRs without re-parsing human-oriented output.
+type BenchReport struct {
+	Schema  string `json:"schema"`
+	Quick   bool   `json:"quick"`
+	Seed    int64  `json:"seed"`
+	Workers int    `json:"workers"`
+	// Timing is the same block the -json summary carries.
+	Timing *Timing `json:"timing"`
+	// Ops are single-operation microbenchmarks, in microseconds.
+	Ops map[string]float64 `json:"ops"`
+}
+
+// NewBenchReport assembles the report for one finished run. workers is
+// the resolved concurrency (after the NumCPU default).
+func NewBenchReport(art *Artifacts, cfg Config, workers int, timing *Timing) *BenchReport {
+	return &BenchReport{
+		Schema:  BenchSchema,
+		Quick:   cfg.Quick,
+		Seed:    cfg.Seed,
+		Workers: workers,
+		Timing:  timing,
+		Ops: map[string]float64{
+			"placement_24task_micros":  TimePlacement(art),
+			"predict_batch_1k_micros":  TimePredictBatch(art, 1000),
+			"predict_single_micros_x8": TimePredictBatch(art, 8),
+		},
+	}
+}
+
+// WriteJSON marshals the report with indentation.
+func (b *BenchReport) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(b)
+}
+
+// TimePredictBatch measures one PerfModel.PredictBatch call over n
+// synthetic (task, ratio) tuples and returns the wall-clock cost in
+// microseconds (averaged over a few repetitions).
+func TimePredictBatch(art *Artifacts, n int) float64 {
+	if art == nil || art.Perf == nil || n <= 0 {
+		return 0
+	}
+	tPm := make([]float64, n)
+	tDram := make([]float64, n)
+	evs := make([]pmc.Counters, n)
+	rdram := make([]float64, n)
+	for i := 0; i < n; i++ {
+		tPm[i] = 2 + float64(i%7)
+		tDram[i] = 1
+		evs[i] = pmc.Counters{Values: map[string]float64{}}
+		rdram[i] = float64(i%11) / 10
+	}
+	const reps = 10
+	start := time.Now()
+	for r := 0; r < reps; r++ {
+		art.Perf.PredictBatch(tPm, tDram, evs, rdram)
+	}
+	return float64(time.Since(start).Microseconds()) / reps
+}

@@ -21,7 +21,6 @@ import (
 	"runtime"
 	"sort"
 	"sync"
-	"sync/atomic"
 
 	"merchandiser/internal/apps"
 	"merchandiser/internal/baseline"
@@ -139,9 +138,13 @@ func trainSpec(spec hm.SystemSpec) hm.SystemSpec {
 }
 
 // Prepare trains the correlation function (offline step 1) and returns
-// the shared artifacts. Cancellation via ctx unwinds through the corpus
-// worker pool and the boosting stages, returning an error satisfying
-// errors.Is(err, context.Canceled).
+// the shared artifacts. This is the phase-barriered schedule: the whole
+// corpus simulates first, then the fitter replays the collected region
+// batches. Because the split and the pace schedule depend only on data
+// layout, Prepare's model is byte-identical to the one RunPipeline
+// trains with the phases overlapped. Cancellation via ctx unwinds
+// through the corpus worker pool and the boosting stages, returning an
+// error satisfying errors.Is(err, context.Canceled).
 func Prepare(ctx context.Context, cfg Config) (*Artifacts, error) {
 	if ctx == nil {
 		ctx = context.Background()
@@ -156,16 +159,26 @@ func Prepare(ctx context.Context, cfg Config) (*Artifacts, error) {
 		nRegions, placements = 70, 6
 	}
 	regions := corpus.StandardCorpus(nRegions, cfg.Seed+1)
-	samples, err := corpus.Build(ctx, regions, trainSpec(spec), corpus.BuildConfig{
+	stream := corpus.BuildStream(ctx, regions, trainSpec(spec), corpus.BuildConfig{
 		Placements: placements, StepSec: 0.001, Seed: cfg.Seed + 2, Workers: cfg.workers(),
+		Obs: cfg.Obs,
 	})
-	if err != nil {
+	// The barrier: collect every batch before fitting starts.
+	var batches []corpus.RegionBatch
+	for b := range stream.C {
+		batches = append(batches, b)
+	}
+	if err := stream.Wait(); err != nil {
 		return nil, fmt.Errorf("experiments: corpus: %w", err)
 	}
-	res, err := model.TrainCorrelation(ctx, samples, pmc.SelectedEvents,
-		func() ml.Regressor {
-			return ml.NewGradientBoosted(ml.GBRConfig{Seed: cfg.Seed + 3, Workers: cfg.workers(), Obs: cfg.Obs})
-		}, cfg.Seed+4)
+	replay := make(chan corpus.RegionBatch, len(batches))
+	for _, b := range batches {
+		replay <- b
+	}
+	close(replay)
+	gbr := ml.NewGradientBoosted(ml.GBRConfig{Seed: cfg.Seed + 3, Workers: cfg.workers(), Obs: cfg.Obs})
+	res, samples, err := model.TrainCorrelationStream(ctx, replay, func() error { return nil },
+		pmc.SelectedEvents, gbr, ml.PaceConfig{Groups: len(regions)}, cfg.Seed+4)
 	if err != nil {
 		return nil, fmt.Errorf("experiments: training: %w", err)
 	}
@@ -299,101 +312,137 @@ func extraPolicies(app string) []string {
 	}
 }
 
-// RunEvaluation executes every application under every policy. Every
-// (application, policy) pair is an independent run: a worker pool of
-// cfg.Workers goroutines drains the full matrix, each run building its own
-// seeded application instance (app state is not shareable across
-// simultaneous runs). Results are deterministic regardless of scheduling
-// because every run is seeded and isolated. With a single worker, one
-// application instance is reused across its policies (the cheaper
-// sequential schedule). All per-run errors are surfaced, joined in matrix
-// order — one failing run does not mask another's error.
-// Cancellation: once ctx is done, workers stop claiming cells and
+// RunEvaluation executes every application under every policy. The
+// matrix runs as one lane per application: each lane builds its seeded
+// application instance once (BuildApp re-runs the app's real
+// computation, historically the dominant cost of a pooled per-cell
+// schedule) and then runs that app's policy cells sequentially — app
+// state is not shareable across simultaneous runs, but reuse across
+// sequential runs has always been safe. Lanes share a slot pool of
+// cfg.Workers permits, so up to Workers applications evaluate
+// concurrently. Results are deterministic regardless of scheduling
+// because every run is seeded and isolated. All per-run errors are
+// surfaced, joined in matrix order — one failing run does not mask
+// another's error.
+// Cancellation: once ctx is done, lanes stop claiming slots and
 // in-flight runs abort at the next engine tick; RunEvaluation then
 // returns an error satisfying errors.Is(err, context.Canceled) with no
 // goroutine left behind.
 func RunEvaluation(ctx context.Context, art *Artifacts, cfg Config) (*Eval, error) {
+	workers := cfg.workers()
+	slots := make(chan struct{}, workers)
+	for i := 0; i < workers; i++ {
+		slots <- struct{}{}
+	}
+	return runEvaluationGated(ctx, art, cfg, slots, nil)
+}
+
+// runEvaluationGated is the lane scheduler behind RunEvaluation and
+// RunPipeline. slots is the shared worker-slot pool (a lane holds one
+// permit while building or running, never while waiting). modelReady,
+// when non-nil, gates model-consuming policies (policyreg.UsesModel):
+// their cells wait for the channel to close, while pure-baseline cells
+// launch immediately — the "eval cells start as their dependency
+// resolves" half of the pace-car pipeline.
+func runEvaluationGated(ctx context.Context, art *Artifacts, cfg Config, slots chan struct{}, modelReady <-chan struct{}) (*Eval, error) {
 	if ctx == nil {
 		ctx = context.Background()
 	}
 	defer cfg.Obs.WallTimer("pipeline.eval_seconds").Start()()
-	type cell struct {
-		app, policy string
-	}
-	var cells []cell
-	for _, appName := range cfg.evalApps() {
-		for _, polName := range cfg.evalPolicies(appName) {
-			cells = append(cells, cell{appName, polName})
-		}
-	}
-
+	apps := cfg.evalApps()
 	eval := &Eval{Runs: map[string]map[string]*AppRun{}}
-	for _, appName := range cfg.evalApps() {
+	for _, appName := range apps {
 		eval.Runs[appName] = map[string]*AppRun{}
 	}
-	errs := make([]error, len(cells))
-	workers := cfg.workers()
-	if workers > len(cells) {
-		workers = len(cells)
-	}
 
-	if workers <= 1 {
-		// Sequential schedule: build each application once and reuse it
-		// across its policies (BuildApp re-runs the app's computation).
-		built := map[string]task.App{}
-		for ci, c := range cells {
-			if ctx.Err() != nil {
-				break
-			}
-			app, ok := built[c.app]
-			if !ok {
-				var err error
-				app, err = BuildApp(c.app, cfg)
-				if err != nil {
-					errs[ci] = err
-					continue
-				}
-				built[c.app] = app
-			}
-			run, err := runOne(ctx, app, c.app, c.policy, art, cfg)
-			if err != nil {
-				errs[ci] = err
-				continue
-			}
-			eval.Runs[c.app][c.policy] = run
+	// Cells keep their canonical matrix indices so the joined error order
+	// is independent of lane scheduling.
+	type laneCell struct {
+		policy string
+		idx    int
+	}
+	lanes := make([][]laneCell, len(apps))
+	total := 0
+	for ai, appName := range apps {
+		for _, polName := range cfg.evalPolicies(appName) {
+			lanes[ai] = append(lanes[ai], laneCell{polName, total})
+			total++
 		}
-	} else {
-		var mu sync.Mutex
-		var wg sync.WaitGroup
-		var next atomic.Int64
-		for w := 0; w < workers; w++ {
-			wg.Add(1)
-			go func() {
-				defer wg.Done()
-				for ctx.Err() == nil {
-					ci := int(next.Add(1)) - 1
-					if ci >= len(cells) {
-						return
-					}
-					c := cells[ci]
-					app, err := BuildApp(c.app, cfg)
-					if err != nil {
-						errs[ci] = err
-						continue
-					}
-					run, err := runOne(ctx, app, c.app, c.policy, art, cfg)
-					if err != nil {
-						errs[ci] = err
-						continue
-					}
-					mu.Lock()
-					eval.Runs[c.app][c.policy] = run
-					mu.Unlock()
+	}
+	errs := make([]error, total)
+
+	acquire := func() bool {
+		select {
+		case <-slots:
+			return true
+		case <-ctx.Done():
+			return false
+		}
+	}
+	var wg sync.WaitGroup
+	for ai, appName := range apps {
+		if len(lanes[ai]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(appName string, cells []laneCell) {
+			defer wg.Done()
+			if !acquire() {
+				return
+			}
+			held := true
+			defer func() {
+				if held {
+					slots <- struct{}{}
 				}
 			}()
-		}
-		wg.Wait()
+			app, err := BuildApp(appName, cfg)
+			if err != nil {
+				for _, c := range cells {
+					errs[c.idx] = err
+				}
+				return
+			}
+			ordered := cells
+			if modelReady != nil {
+				// Model-free cells first: they have no dependency to wait
+				// on, so they overlap with corpus building and fitting.
+				ordered = append([]laneCell(nil), cells...)
+				sort.SliceStable(ordered, func(i, j int) bool {
+					return !policyreg.UsesModel(ordered[i].policy) && policyreg.UsesModel(ordered[j].policy)
+				})
+			}
+			waited := false
+			for _, c := range ordered {
+				if ctx.Err() != nil {
+					return
+				}
+				if modelReady != nil && !waited && policyreg.UsesModel(c.policy) {
+					// Hand the slot back while waiting: the fitter needs it
+					// to finish the very model this cell is blocked on.
+					slots <- struct{}{}
+					held = false
+					select {
+					case <-modelReady:
+					case <-ctx.Done():
+						return
+					}
+					if !acquire() {
+						return
+					}
+					held = true
+					waited = true
+				}
+				run, err := runOne(ctx, app, appName, c.policy, art, cfg)
+				if err != nil {
+					errs[c.idx] = err
+					continue
+				}
+				eval.Runs[appName][c.policy] = run
+			}
+		}(appName, lanes[ai])
 	}
+	wg.Wait()
 	if err := merr.FromContext(ctx, "experiments: evaluation canceled"); err != nil {
 		return nil, err
 	}

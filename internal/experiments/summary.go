@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"merchandiser/internal/hm"
+	"merchandiser/internal/obs"
 	"merchandiser/internal/placement"
 	"merchandiser/internal/pmc"
 	"merchandiser/internal/stats"
@@ -33,13 +34,48 @@ type Summary struct {
 type Timing struct {
 	// Workers is the concurrency the run used (0 was resolved to NumCPU).
 	Workers int `json:"workers"`
+	// Pipelined records whether the phases overlapped (RunPipeline) or
+	// ran barriered (Prepare then RunEvaluation).
+	Pipelined bool `json:"pipelined"`
 	// TrainSeconds is corpus generation + correlation-function fitting.
 	TrainSeconds float64 `json:"train_seconds"`
 	// EvalSeconds is the full (application × policy) evaluation matrix.
 	EvalSeconds float64 `json:"eval_seconds"`
+	// CorpusSeconds is the corpus stream wall (first region claimed to
+	// last batch emitted); FitSeconds is the boosting fitter's wall. In a
+	// pipelined run both overlap TrainSeconds rather than summing to it.
+	CorpusSeconds float64 `json:"corpus_seconds,omitempty"`
+	FitSeconds    float64 `json:"fit_seconds,omitempty"`
+	// E2ESeconds is the whole pipeline wall (pipelined runs only).
+	E2ESeconds float64 `json:"e2e_seconds,omitempty"`
+	// OverlapRatio is (TrainSeconds+EvalSeconds)/E2ESeconds. Values
+	// above 1 prove the phases overlapped instead of serializing; 1
+	// means a barriered schedule.
+	OverlapRatio float64 `json:"overlap_ratio,omitempty"`
 	// PlacementMicros is one Algorithm 1 partitioning of a 24-task
 	// instance with the trained model (the §7.2 overhead claim).
 	PlacementMicros float64 `json:"placement_micros"`
+}
+
+// TimingFromRegistry assembles the timing block from the pipeline
+// registry's volatile wall timers. The overlap ratio lives here — not
+// in the registry — so deterministic metrics dumps stay byte-identical
+// across machines and schedules.
+func TimingFromRegistry(reg *obs.Registry, workers int, pipelined bool, art *Artifacts) *Timing {
+	t := &Timing{
+		Workers:         workers,
+		Pipelined:       pipelined,
+		TrainSeconds:    reg.WallTimer("pipeline.train_seconds").Seconds(),
+		EvalSeconds:     reg.WallTimer("pipeline.eval_seconds").Seconds(),
+		CorpusSeconds:   reg.WallTimer("corpus.stream_seconds").Seconds(),
+		FitSeconds:      reg.WallTimer("ml.gbr.fit_seconds").Seconds(),
+		E2ESeconds:      reg.WallTimer("pipeline.e2e_seconds").Seconds(),
+		PlacementMicros: TimePlacement(art),
+	}
+	if t.E2ESeconds > 0 {
+		t.OverlapRatio = (t.TrainSeconds + t.EvalSeconds) / t.E2ESeconds
+	}
+	return t
 }
 
 // TimePlacement measures one GreedyLoadBalance call on a representative

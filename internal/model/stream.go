@@ -1,0 +1,106 @@
+package model
+
+import (
+	"context"
+	"math/rand"
+
+	"merchandiser/internal/corpus"
+	"merchandiser/internal/merr"
+	"merchandiser/internal/ml"
+)
+
+// TrainCorrelationStream fits the correlation function directly off a
+// streaming corpus build: region batches are split 70/30 as they
+// arrive, train rows are pushed into a paced feed the boosting fitter
+// consumes concurrently, and the fitter's pace schedule bounds how far
+// either side runs ahead. The train/test split is drawn per region from
+// a seed derived from the region index, so the split — like the corpus
+// itself — is byte-identical for any worker count or arrival timing. A
+// barriered caller may replay pre-collected batches through a closed
+// channel (with a trivial wait) and obtains the exact same model: the
+// pace schedule depends on data layout, never on arrival times.
+//
+// batches must deliver RegionBatch values in region-index order (as
+// corpus.BuildStream's C does) and wait must report the build's outcome
+// after the channel closes. pace.Groups must be the region count. The
+// returned samples slice is the full corpus in region order, exactly
+// what the barriered corpus.Build path would have seen.
+func TrainCorrelationStream(ctx context.Context, batches <-chan corpus.RegionBatch, wait func() error, events []string, m ml.PacedFitter, pace ml.PaceConfig, seed int64) (*TrainResult, []corpus.Sample, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	feed := ml.NewFeed()
+	fitDone := make(chan error, 1)
+	go func() {
+		fitDone <- m.FitPaced(ctx, feed, pace)
+	}()
+
+	var (
+		samples     []corpus.Sample
+		testSamples []corpus.Sample
+		nTrain      int
+	)
+	for batch := range batches {
+		samples = append(samples, batch.Samples...)
+		// Per-region Bernoulli 70/30 split: the rng depends only on the
+		// region index, never on arrival order.
+		rng := rand.New(rand.NewSource(seed*31 + int64(batch.Index) + 1))
+		var train []corpus.Sample
+		for _, s := range batch.Samples {
+			if rng.Float64() < 0.7 {
+				train = append(train, s)
+			} else {
+				testSamples = append(testSamples, s)
+			}
+		}
+		nTrain += len(train)
+		X, y := corpus.Matrix(train, events)
+		if err := feed.Push(X, y); err != nil {
+			feed.Close(err)
+			// Keep draining so the producers can finish and wait below
+			// reports their verdict too.
+			for range batches {
+			}
+			break
+		}
+	}
+	buildErr := wait()
+	feed.Close(buildErr)
+	fitErr := <-fitDone
+
+	if err := merr.FromContext(ctx, "model: streamed training canceled"); err != nil {
+		return nil, nil, err
+	}
+	if buildErr != nil {
+		return nil, nil, buildErr
+	}
+	if len(samples) < 10 {
+		return nil, nil, merr.Errorf(merr.ErrUntrained, "model: only %d samples; need at least 10", len(samples))
+	}
+	if nTrain == 0 || len(testSamples) == 0 {
+		return nil, nil, merr.Errorf(merr.ErrUntrained, "model: degenerate 70/30 split (%d train, %d test)", nTrain, len(testSamples))
+	}
+	if fitErr != nil {
+		return nil, nil, fitErr
+	}
+
+	Xtr, ytr, _, err := feed.Rows(ctx, pace.Groups)
+	if err != nil {
+		return nil, nil, err
+	}
+	trainR2, err := ml.R2Score(m, Xtr, ytr)
+	if err != nil {
+		return nil, nil, err
+	}
+	Xte, yte := corpus.Matrix(testSamples, events)
+	testR2, err := ml.R2Score(m, Xte, yte)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &TrainResult{
+		Corr:    &CorrelationFunc{Model: m, Events: events},
+		TrainR2: trainR2,
+		TestR2:  testR2,
+		Samples: len(samples),
+	}, samples, nil
+}

@@ -9,15 +9,17 @@ import (
 // The built-in catalogue: the four comparison policies of Figure 4 plus
 // the two application-specific baselines of §7.1. Constructions and seed
 // offsets replicate the evaluation's historical hard-coded switch
-// byte-for-byte, so golden outputs are unchanged.
+// byte-for-byte, so golden outputs are unchanged. Every baseline is
+// registered pure (none reads Params.Perf); only Merchandiser's cells
+// must wait for model fitting in the pipelined evaluation.
 func init() {
-	must(Register("PM-only", func(p Params) (task.Policy, error) {
+	must(RegisterPure("PM-only", func(p Params) (task.Policy, error) {
 		return baseline.PMOnly{}, nil
 	}))
-	must(Register("MemoryMode", func(p Params) (task.Policy, error) {
+	must(RegisterPure("MemoryMode", func(p Params) (task.Policy, error) {
 		return baseline.MemoryMode{}, nil
 	}))
-	must(Register("MemoryOptimizer", func(p Params) (task.Policy, error) {
+	must(RegisterPure("MemoryOptimizer", func(p Params) (task.Policy, error) {
 		return baseline.NewMemoryOptimizer(baseline.DaemonConfig{Seed: p.Seed + 20}), nil
 	}))
 	must(Register("Merchandiser", func(p Params) (task.Policy, error) {
@@ -29,10 +31,10 @@ func init() {
 			Obs:    p.Obs,
 		}), nil
 	}))
-	must(Register("Sparta", func(p Params) (task.Policy, error) {
+	must(RegisterPure("Sparta", func(p Params) (task.Policy, error) {
 		return &baseline.Sparta{Priority: []string{"spgemm/B"}}, nil
 	}))
-	must(Register("WarpX-PM", func(p Params) (task.Policy, error) {
+	must(RegisterPure("WarpX-PM", func(p Params) (task.Policy, error) {
 		return baseline.NewWarpXPM(p.Spec.LLCBytes, p.Seed+22), nil
 	}))
 }

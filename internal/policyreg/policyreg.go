@@ -40,6 +40,7 @@ type Factory func(p Params) (task.Policy, error)
 var (
 	mu        sync.RWMutex
 	factories = map[string]Factory{}
+	pure      = map[string]bool{}
 )
 
 // Register adds a named factory to the registry. Registering an empty
@@ -59,6 +60,30 @@ func Register(name string, f Factory) error {
 	}
 	factories[name] = f
 	return nil
+}
+
+// RegisterPure is Register for policies that never consume Params.Perf
+// (the trained performance model). The pipelined evaluation uses this
+// declaration to launch such policies' cells before model fitting
+// finishes; a policy wrongly declared pure would race an untrained
+// model, so only declare it when the factory and the policy it builds
+// ignore Perf entirely.
+func RegisterPure(name string, f Factory) error {
+	if err := Register(name, f); err != nil {
+		return err
+	}
+	mu.Lock()
+	pure[name] = true
+	mu.Unlock()
+	return nil
+}
+
+// UsesModel reports whether the named policy may consume the trained
+// performance model. Unknown names conservatively report true.
+func UsesModel(name string) bool {
+	mu.RLock()
+	defer mu.RUnlock()
+	return !pure[name]
 }
 
 // Lookup returns the factory registered under name, or an error

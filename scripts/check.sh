@@ -44,7 +44,24 @@ echo "== go test -race (root session pipeline + corpus, ml, placement, experimen
 # scaled bound; it still fails fast on a genuine hang.
 go test -race -timeout 600s . ./internal/corpus ./internal/ml ./internal/placement \
 	./internal/experiments ./internal/obs ./internal/hm ./internal/task \
-	./internal/store ./internal/serve
+	./internal/store ./internal/serve ./internal/model
+
+echo "== pipeline race tier (streaming corpus -> paced fit -> pipelined eval)"
+# The pace-car pipeline is the repo's densest channel topology: corpus
+# producers, the batch sequencer, the streaming Feed, the paced fitter
+# and the gated evaluation lanes all share one slot pool. Run exactly
+# those paths under the race detector, including the mid-stream
+# cancellation tests.
+go test -race -timeout 600s -count=1 \
+	-run 'Stream|Paced|Feed|PaceSchedule|RunPipeline|Leak' \
+	./internal/corpus ./internal/ml ./internal/model ./internal/experiments .
+
+echo "== pipeline identity smoke (Workers=1 vs Workers=8 byte-identical)"
+# The tentpole invariant: overlap must change scheduling only, never
+# results. TestRunPipelineIdentity runs the quick pipeline at both
+# worker counts plus the barriered Prepare->RunEvaluation reference and
+# requires identical models, corpora and evaluation matrices.
+go test -timeout 300s -count=1 -run '^TestRunPipelineIdentity$' ./internal/experiments
 
 echo "== allocation gate (compiled single-point predict must not allocate)"
 # Deliberately outside the -race tier: the assertion is exact (0

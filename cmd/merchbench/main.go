@@ -10,7 +10,10 @@
 //	merchbench -exp fig4 -metrics m.json # deterministic metrics dump
 //	merchbench -exp fig4 -trace t.json   # chrome-trace event log
 //	merchbench -save sys.artifact        # checkpoint the trained system
+//	merchbench -save sys.artifact -save-format binary   # slot-format checkpoint (fast restore)
 //	merchbench -load sys.artifact        # serve from a checkpoint, no retraining
+//	merchbench -load a.artifact -convert b.artifact -save-format binary  # re-encode an artifact
+//	merchbench -bench-restore BENCH.json # cold-start microbenchmark, json vs binary
 //	merchbench -exp fig4 -out results/   # relative outputs land under results/
 //	merchbench -exp fig4 -cpuprofile cpu.pb.gz   # CPU profile of the run
 //	merchbench -exp fig4 -memprofile mem.pb.gz   # post-run heap profile
@@ -54,7 +57,10 @@ func main() {
 	cvFlag := flag.Bool("cv", false, "also run the k-fold feature-subset search (pipelined runs overlap it with evaluation)")
 	outDir := flag.String("out", "", "directory for output files; relative -json/-metrics/-trace/-save paths are placed under it instead of the CWD")
 	savePath := flag.String("save", "", "after training, checkpoint the system (spec + correlation function) to this artifact file")
+	saveFormat := flag.String("save-format", "json", "artifact encoding for -save and -convert: json, binary or both (binary restores straight into the inference tables, no re-compile)")
 	loadPath := flag.String("load", "", "skip training and restore the system from this artifact file")
+	convertPath := flag.String("convert", "", "with -load: rewrite the loaded artifact container to this path in the -save-format encoding and exit (no restore, no retraining)")
+	benchRestore := flag.String("bench-restore", "", "measure artifact restore cold-start (json vs binary, three ensemble sizes) and write the report (schema "+experiments.BenchSchema+") to this file, then exit")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile (taken after the run, post-GC) to this file")
 	flag.Parse()
@@ -62,6 +68,8 @@ func main() {
 	if *savePath != "" && *loadPath != "" {
 		fail(fmt.Errorf("-save and -load are mutually exclusive"))
 	}
+	format, err := merchandiser.ParseSaveFormat(*saveFormat)
+	fail(err)
 	outPath := func(p string) string {
 		if p == "" || *outDir == "" || filepath.IsAbs(p) {
 			return p
@@ -76,6 +84,8 @@ func main() {
 	*tracePath = outPath(*tracePath)
 	*benchOut = outPath(*benchOut)
 	*savePath = outPath(*savePath)
+	*convertPath = outPath(*convertPath)
+	*benchRestore = outPath(*benchRestore)
 	*cpuProfile = outPath(*cpuProfile)
 	*memProfile = outPath(*memProfile)
 
@@ -111,6 +121,29 @@ func main() {
 	cfg := experiments.Config{
 		Quick: *quick, Seed: *seed, Workers: *workers,
 		Obs: reg, Trace: *tracePath != "",
+	}
+
+	// Container-level format conversion: decode, re-section, write. The
+	// model crosses formats without a restore, so this is cheap enough
+	// for deploy scripts to run inline.
+	if *convertPath != "" {
+		if *loadPath == "" {
+			fail(fmt.Errorf("-convert needs -load (the artifact to convert)"))
+		}
+		a, err := store.ReadFile(*loadPath)
+		fail(err)
+		conv, err := store.ConvertSystemFormat(a, format)
+		fail(err)
+		fail(store.WriteFile(*convertPath, conv))
+		fmt.Fprintf(os.Stdout, "converted %s -> %s (%s)\n", *loadPath, *convertPath, format)
+		return
+	}
+
+	// Standalone cold-start benchmark: no corpus, no evaluation matrix —
+	// just the restore path, both formats, three ensemble sizes.
+	if *benchRestore != "" {
+		fail(runRestoreBench(ctx, os.Stdout, *benchRestore, cfg))
+		return
 	}
 	if *policies != "" {
 		if *policies == "list" {
@@ -151,7 +184,6 @@ func main() {
 	var art *experiments.Artifacts
 	var eval *experiments.Eval
 	var cvResults []experiments.CVResult
-	var err error
 	switch {
 	case *loadPath != "":
 		sys, err := merchandiser.RestoreFile(ctx, *loadPath)
@@ -182,8 +214,8 @@ func main() {
 			len(art.Samples), art.TestR2, reg.WallTimer("pipeline.train_seconds").Seconds())
 	}
 	if *savePath != "" {
-		fail(saveArtifacts(*savePath, art, cfg))
-		fmt.Fprintf(w, "checkpoint written to %s\n\n", *savePath)
+		fail(saveArtifacts(*savePath, format, art, cfg))
+		fmt.Fprintf(w, "checkpoint written to %s (%s)\n\n", *savePath, format)
 	}
 	if needsEval && eval == nil {
 		eval, err = experiments.RunEvaluation(ctx, art, cfg)
@@ -300,7 +332,7 @@ func main() {
 
 // saveArtifacts checkpoints the trained pipeline via the public snapshot
 // surface, with merchbench's training provenance attached.
-func saveArtifacts(path string, art *experiments.Artifacts, cfg experiments.Config) error {
+func saveArtifacts(path string, format merchandiser.SaveFormat, art *experiments.Artifacts, cfg experiments.Config) error {
 	level := "full"
 	if cfg.Quick {
 		level = "quick"
@@ -317,7 +349,7 @@ func saveArtifacts(path string, art *experiments.Artifacts, cfg experiments.Conf
 			Stats:   store.StatsFromMatrix(corpus.FeatureNames(pmc.SelectedEvents), X),
 		},
 	}
-	return sys.SaveFile(path)
+	return sys.SaveFileFormat(path, format)
 }
 
 func fail(err error) {

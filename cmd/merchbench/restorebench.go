@@ -1,0 +1,163 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"runtime"
+	"time"
+
+	"merchandiser"
+	"merchandiser/internal/experiments"
+	"merchandiser/internal/ml"
+	"merchandiser/internal/model"
+	"merchandiser/internal/pmc"
+)
+
+// restoreBenchSizes mirrors the restore benchmarks in the root package:
+// small is merchbench's quick training profile, large is ~20x the
+// paper's Table 3 ensemble — the regime where JSON restore visibly
+// stalls a daemon boot.
+var restoreBenchSizes = []struct {
+	name          string
+	stages, depth int
+	rows          int
+	reps          int
+}{
+	{"small", 16, 4, 400, 40},
+	{"medium", 64, 6, 800, 15},
+	{"large", 256, 8, 1600, 5},
+}
+
+// runRestoreBench fits one synthetic GBR system per size, checkpoints
+// it in both encodings, and times RestoreFile from disk — the daemon
+// cold-start path. It writes a merchbench bench report whose ops block
+// carries restore walls (minimum over reps, in microseconds), artifact
+// sizes, and the large-ensemble speedup ratio.
+func runRestoreBench(ctx context.Context, w io.Writer, out string, cfg experiments.Config) error {
+	dir, err := os.MkdirTemp("", "merchbench-restore-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	ops := map[string]float64{}
+	fmt.Fprintf(w, "restore cold-start (min over reps):\n")
+	fmt.Fprintf(w, "  %-8s %12s %12s %9s %14s %14s\n", "size", "json", "binary", "speedup", "json bytes", "binary bytes")
+	for _, s := range restoreBenchSizes {
+		sys := syntheticSystem(s.stages, s.depth, s.rows)
+		jsonPath := filepath.Join(dir, s.name+".json.artifact")
+		binPath := filepath.Join(dir, s.name+".binary.artifact")
+		if err := sys.SaveFileFormat(jsonPath, merchandiser.SaveJSON); err != nil {
+			return err
+		}
+		if err := sys.SaveFileFormat(binPath, merchandiser.SaveBinary); err != nil {
+			return err
+		}
+		jsonMicros, jsonBytes, err := timeRestore(ctx, jsonPath, s.reps)
+		if err != nil {
+			return err
+		}
+		binMicros, binBytes, err := timeRestore(ctx, binPath, s.reps)
+		if err != nil {
+			return err
+		}
+		speedup := 0.0
+		if binMicros > 0 {
+			speedup = jsonMicros / binMicros
+		}
+		ops["restore_json_"+s.name+"_micros"] = jsonMicros
+		ops["restore_binary_"+s.name+"_micros"] = binMicros
+		ops["artifact_json_"+s.name+"_bytes"] = float64(jsonBytes)
+		ops["artifact_binary_"+s.name+"_bytes"] = float64(binBytes)
+		if s.name == "large" {
+			ops["restore_speedup_large_x"] = speedup
+		}
+		fmt.Fprintf(w, "  %-8s %10.0fus %10.0fus %8.1fx %14d %14d\n",
+			s.name, jsonMicros, binMicros, speedup, jsonBytes, binBytes)
+	}
+	fmt.Fprintln(w)
+
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	rep := &experiments.BenchReport{
+		Schema:  experiments.BenchSchema,
+		Quick:   cfg.Quick,
+		Seed:    cfg.Seed,
+		Workers: workers,
+		Ops:     ops,
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	if err := rep.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "restore bench report written to %s\n", out)
+	return nil
+}
+
+// syntheticSystem fits a GBR of the requested shape on deterministic
+// synthetic rows and wraps it in a servable System. Shapes and seeds
+// match restore_bench_test.go so the CLI and `go test -bench` measure
+// the same artifacts.
+func syntheticSystem(stages, depth, rows int) *merchandiser.System {
+	rng := rand.New(rand.NewSource(int64(stages)))
+	d := len(pmc.SelectedEvents) + 1
+	X := make([][]float64, rows)
+	y := make([]float64, rows)
+	for i := range X {
+		row := make([]float64, d)
+		for j := range row {
+			row[j] = rng.Float64() * 10
+		}
+		X[i] = row
+		y[i] = row[0]*0.4 + row[1]*row[2]*0.05 + rng.NormFloat64()*0.1
+	}
+	g := ml.NewGradientBoosted(ml.GBRConfig{NumStages: stages, MaxDepth: depth, Seed: 7})
+	if err := g.Fit(X, y); err != nil {
+		// Synthetic fit on well-formed rows cannot fail; treat it as the
+		// program bug it would be.
+		panic(err)
+	}
+	return &merchandiser.System{
+		Spec:      merchandiser.DefaultSpec(),
+		Perf:      &model.PerfModel{Corr: &model.CorrelationFunc{Model: g, Events: append([]string(nil), pmc.SelectedEvents...)}},
+		TrainedR2: 0.9,
+	}
+}
+
+// timeRestore runs RestoreFile reps times and returns the minimum wall
+// in microseconds plus the artifact size. Minimum, not mean: restore is
+// deterministic work, so the fastest rep is the least-noisy estimate.
+func timeRestore(ctx context.Context, path string, reps int) (micros float64, size int64, err error) {
+	info, err := os.Stat(path)
+	if err != nil {
+		return 0, 0, err
+	}
+	best := time.Duration(1<<63 - 1)
+	for i := 0; i < reps; i++ {
+		start := time.Now()
+		sys, err := merchandiser.RestoreFile(ctx, path)
+		if err != nil {
+			return 0, 0, err
+		}
+		if elapsed := time.Since(start); elapsed < best {
+			best = elapsed
+		}
+		if sys.Perf == nil || sys.Perf.Corr == nil {
+			return 0, 0, fmt.Errorf("restore bench: %s restored without a model", path)
+		}
+	}
+	return float64(best.Nanoseconds()) / 1e3, info.Size(), nil
+}

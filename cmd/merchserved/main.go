@@ -55,13 +55,6 @@ func main() {
 	}
 
 	reg := merchandiser.NewObserver()
-	sys, err := merchandiser.RestoreFile(context.Background(), *artifact, merchandiser.WithObserver(reg))
-	if err != nil {
-		log.Fatalf("merchserved: %v", err)
-	}
-	log.Printf("artifact %s loaded: level=%s samples=%d heldout-R²=%.3f",
-		*artifact, sys.Meta.Level, sys.Meta.Samples, sys.TrainedR2)
-
 	cfg := serve.Config{
 		QueueDepth:  *queue,
 		MaxBatch:    *batch,
@@ -75,7 +68,17 @@ func main() {
 		cfg.PlanLog = planLogger(*planlog)
 	}
 	svc := serve.New(cfg)
-	svc.Load(sys)
+
+	// LoadArtifact times the restore into serve.restore_seconds, so
+	// /metricsz exposes the daemon's cold-start cost (binary-format
+	// artifacts make it near-constant in model size).
+	start := time.Now()
+	sys, err := svc.LoadArtifact(context.Background(), *artifact, merchandiser.WithObserver(reg))
+	if err != nil {
+		log.Fatalf("merchserved: %v", err)
+	}
+	log.Printf("artifact %s loaded in %s: level=%s samples=%d heldout-R²=%.3f",
+		*artifact, time.Since(start).Round(time.Microsecond), sys.Meta.Level, sys.Meta.Samples, sys.TrainedR2)
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

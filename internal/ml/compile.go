@@ -9,7 +9,7 @@ package ml
 // node, laid out breadth-first so a walk advances by integer
 // arithmetic with no data-dependent branch, and runs several
 // independent walks in lockstep so their load chains overlap (see
-// flatNode). The batch kernel additionally iterates rows over one
+// NodeRec). The batch kernel additionally iterates rows over one
 // tree at a time in fixed row blocks so the tree's nodes stay cache-
 // hot across the whole block.
 //
@@ -166,23 +166,29 @@ func (t *DecisionTree) Compile() (*CompiledTree, error) {
 	return t.flat, nil
 }
 
-// flatNode is one node of the ensemble kernel's table. The per-tree
+// NodeRec is one node of the ensemble kernel's table. The per-tree
 // CompiledTree keeps struct-of-arrays columns (that is the dump-facing
 // layout), but the walk loop touches every field of exactly one node
 // per step, so the kernel interleaves the columns back into one
 // 24-byte record: one bounds check and at most one cache-line fill per
 // step instead of four of each across parallel slices. The table is
 // laid out breadth-first with sibling nodes adjacent, so there is no
-// right-child pointer: the right child lives at left+1, and the walk
-// advances with pure integer arithmetic (left plus a materialized
+// right-child pointer: the right child lives at Left+1, and the walk
+// advances with pure integer arithmetic (Left plus a materialized
 // compare bit) instead of a data-dependent branch or conditional move.
-// Leaves carry a +Inf threshold and point left at themselves, so a
+// Leaves carry a +Inf threshold and point Left at themselves, so a
 // walk that has reached its leaf parks there under further steps.
-type flatNode struct {
-	thresh  float64 // split threshold; +Inf marks a leaf
-	pred    float64 // leaf prediction (unused on internal nodes)
-	feature int32   // split feature; 0 on leaves (a safe x index)
-	left    int32   // left child; right child is left+1; leaves: self
+//
+// NodeRec is also the serialization ABI of the compiled engine: the
+// binary artifact format of internal/store persists exactly these
+// records, 24 bytes each, little-endian, in table order (see flat.go),
+// so a restored model's kernel table is a single contiguous read of
+// the section payload.
+type NodeRec struct {
+	Thresh  float64 // split threshold; +Inf marks a leaf
+	Pred    float64 // leaf prediction (0 on internal nodes)
+	Feature int32   // split feature; 0 on leaves (a safe x index)
+	Left    int32   // left child; right child is Left+1; leaves: self
 }
 
 // nodeTable is an ensemble's trees concatenated into one contiguous
@@ -192,7 +198,7 @@ type flatNode struct {
 // (parked lanes self-loop), which lets it run several rows in lockstep
 // with no per-step termination branch.
 type nodeTable struct {
-	nodes []flatNode
+	nodes []NodeRec
 	roots []int32
 	depth []int32
 }
@@ -221,9 +227,9 @@ func (nt *nodeTable) appendTree(c *CompiledTree) {
 	inf := math.Inf(1)
 	for j, old := range order {
 		if c.feature[old] == leafNode {
-			nt.nodes = append(nt.nodes, flatNode{thresh: inf, pred: c.val[old], left: off + int32(j)})
+			nt.nodes = append(nt.nodes, NodeRec{Thresh: inf, Pred: c.val[old], Left: off + int32(j)})
 		} else {
-			nt.nodes = append(nt.nodes, flatNode{thresh: c.val[old], feature: c.feature[old], left: off + newIdx[c.left[old]]})
+			nt.nodes = append(nt.nodes, NodeRec{Thresh: c.val[old], Feature: c.feature[old], Left: off + newIdx[c.left[old]]})
 		}
 	}
 }
@@ -257,12 +263,12 @@ func (nt *nodeTable) walk(root, d int32, x []float64) float64 {
 	for s := int32(0); s < d; s++ {
 		nd := nodes[i]
 		b := int32(1)
-		if x[nd.feature] <= nd.thresh {
+		if x[nd.Feature] <= nd.Thresh {
 			b = 0
 		}
-		i = nd.left + b
+		i = nd.Left + b
 	}
-	return nodes[i].pred
+	return nodes[i].Pred
 }
 
 // accumulate returns init + Σ_t scale·tree_t(x), walking four trees in
@@ -288,61 +294,61 @@ func (nt *nodeTable) accumulate(init, scale float64, x []float64) float64 {
 		for s := int32(0); s < d; s++ {
 			n0 := nodes[i0]
 			b0 := int32(1)
-			if x[n0.feature] <= n0.thresh {
+			if x[n0.Feature] <= n0.Thresh {
 				b0 = 0
 			}
-			i0 = n0.left + b0
+			i0 = n0.Left + b0
 			n1 := nodes[i1]
 			b1 := int32(1)
-			if x[n1.feature] <= n1.thresh {
+			if x[n1.Feature] <= n1.Thresh {
 				b1 = 0
 			}
-			i1 = n1.left + b1
+			i1 = n1.Left + b1
 			n2 := nodes[i2]
 			b2 := int32(1)
-			if x[n2.feature] <= n2.thresh {
+			if x[n2.Feature] <= n2.Thresh {
 				b2 = 0
 			}
-			i2 = n2.left + b2
+			i2 = n2.Left + b2
 			n3 := nodes[i3]
 			b3 := int32(1)
-			if x[n3.feature] <= n3.thresh {
+			if x[n3.Feature] <= n3.Thresh {
 				b3 = 0
 			}
-			i3 = n3.left + b3
+			i3 = n3.Left + b3
 			n4 := nodes[i4]
 			b4 := int32(1)
-			if x[n4.feature] <= n4.thresh {
+			if x[n4.Feature] <= n4.Thresh {
 				b4 = 0
 			}
-			i4 = n4.left + b4
+			i4 = n4.Left + b4
 			n5 := nodes[i5]
 			b5 := int32(1)
-			if x[n5.feature] <= n5.thresh {
+			if x[n5.Feature] <= n5.Thresh {
 				b5 = 0
 			}
-			i5 = n5.left + b5
+			i5 = n5.Left + b5
 			n6 := nodes[i6]
 			b6 := int32(1)
-			if x[n6.feature] <= n6.thresh {
+			if x[n6.Feature] <= n6.Thresh {
 				b6 = 0
 			}
-			i6 = n6.left + b6
+			i6 = n6.Left + b6
 			n7 := nodes[i7]
 			b7 := int32(1)
-			if x[n7.feature] <= n7.thresh {
+			if x[n7.Feature] <= n7.Thresh {
 				b7 = 0
 			}
-			i7 = n7.left + b7
+			i7 = n7.Left + b7
 		}
-		out += scale * nodes[i0].pred
-		out += scale * nodes[i1].pred
-		out += scale * nodes[i2].pred
-		out += scale * nodes[i3].pred
-		out += scale * nodes[i4].pred
-		out += scale * nodes[i5].pred
-		out += scale * nodes[i6].pred
-		out += scale * nodes[i7].pred
+		out += scale * nodes[i0].Pred
+		out += scale * nodes[i1].Pred
+		out += scale * nodes[i2].Pred
+		out += scale * nodes[i3].Pred
+		out += scale * nodes[i4].Pred
+		out += scale * nodes[i5].Pred
+		out += scale * nodes[i6].Pred
+		out += scale * nodes[i7].Pred
 	}
 	for ; k < len(roots); k++ {
 		out += scale * nt.walk(roots[k], depth[k], x)
@@ -385,61 +391,61 @@ func (nt *nodeTable) batchSum(X [][]float64, out []float64, lo, hi int, init, sc
 				for s := int32(0); s < d; s++ {
 					n0 := nodes[i0]
 					b0 := int32(1)
-					if x0[n0.feature] <= n0.thresh {
+					if x0[n0.Feature] <= n0.Thresh {
 						b0 = 0
 					}
-					i0 = n0.left + b0
+					i0 = n0.Left + b0
 					n1 := nodes[i1]
 					b1 := int32(1)
-					if x1[n1.feature] <= n1.thresh {
+					if x1[n1.Feature] <= n1.Thresh {
 						b1 = 0
 					}
-					i1 = n1.left + b1
+					i1 = n1.Left + b1
 					n2 := nodes[i2]
 					b2 := int32(1)
-					if x2[n2.feature] <= n2.thresh {
+					if x2[n2.Feature] <= n2.Thresh {
 						b2 = 0
 					}
-					i2 = n2.left + b2
+					i2 = n2.Left + b2
 					n3 := nodes[i3]
 					b3 := int32(1)
-					if x3[n3.feature] <= n3.thresh {
+					if x3[n3.Feature] <= n3.Thresh {
 						b3 = 0
 					}
-					i3 = n3.left + b3
+					i3 = n3.Left + b3
 					n4 := nodes[i4]
 					b4 := int32(1)
-					if x4[n4.feature] <= n4.thresh {
+					if x4[n4.Feature] <= n4.Thresh {
 						b4 = 0
 					}
-					i4 = n4.left + b4
+					i4 = n4.Left + b4
 					n5 := nodes[i5]
 					b5 := int32(1)
-					if x5[n5.feature] <= n5.thresh {
+					if x5[n5.Feature] <= n5.Thresh {
 						b5 = 0
 					}
-					i5 = n5.left + b5
+					i5 = n5.Left + b5
 					n6 := nodes[i6]
 					b6 := int32(1)
-					if x6[n6.feature] <= n6.thresh {
+					if x6[n6.Feature] <= n6.Thresh {
 						b6 = 0
 					}
-					i6 = n6.left + b6
+					i6 = n6.Left + b6
 					n7 := nodes[i7]
 					b7 := int32(1)
-					if x7[n7.feature] <= n7.thresh {
+					if x7[n7.Feature] <= n7.Thresh {
 						b7 = 0
 					}
-					i7 = n7.left + b7
+					i7 = n7.Left + b7
 				}
-				out[i] += scale * nodes[i0].pred
-				out[i+1] += scale * nodes[i1].pred
-				out[i+2] += scale * nodes[i2].pred
-				out[i+3] += scale * nodes[i3].pred
-				out[i+4] += scale * nodes[i4].pred
-				out[i+5] += scale * nodes[i5].pred
-				out[i+6] += scale * nodes[i6].pred
-				out[i+7] += scale * nodes[i7].pred
+				out[i] += scale * nodes[i0].Pred
+				out[i+1] += scale * nodes[i1].Pred
+				out[i+2] += scale * nodes[i2].Pred
+				out[i+3] += scale * nodes[i3].Pred
+				out[i+4] += scale * nodes[i4].Pred
+				out[i+5] += scale * nodes[i5].Pred
+				out[i+6] += scale * nodes[i6].Pred
+				out[i+7] += scale * nodes[i7].Pred
 			}
 			for ; i < be; i++ {
 				out[i] += scale * nt.walk(root, d, X[i])

@@ -1,0 +1,525 @@
+package ml
+
+// This file is the flat serialization boundary of the compiled
+// inference engine: the kernel's interleaved NodeRec table IS the wire
+// format. DumpFlat exposes a fitted ensemble's node table, tree index
+// and metadata without copying the hot arrays; LoadFlat ingests them
+// straight back into a servable model — no JSON decode of node arrays,
+// no pointer tree, no re-compile. The binary artifact sections of
+// internal/store persist exactly these slices (24-byte little-endian
+// records), so restoring a model of any size is one contiguous read
+// plus an O(n) structural validation pass over flat memory.
+//
+// Validation is strict and bounded: a hostile table is rejected by
+// replaying the exact breadth-first allocation discipline appendTree
+// uses (each internal node's left child must be the next unallocated
+// slot, leaves must self-loop on a +Inf threshold), re-deriving every
+// tree's height, and bounding depth, feature indices and float
+// finiteness — so the branch-free walk kernels can never index out of
+// range, loop forever, or compare NaNs. Every violation classifies as
+// merr.ErrBadArtifact.
+//
+// Models loaded through LoadFlat have no pointer trees (trees == nil);
+// their Dump path decompiles the BFS table back to the canonical
+// preorder node list (decompileRange), which reproduces the original
+// JSON dump byte-for-byte — that is what keeps the json and binary
+// artifact formats freely convertible in both directions.
+
+import (
+	"encoding/binary"
+	"math"
+	"unsafe"
+)
+
+// NodeRecBytes is the wire size of one NodeRec: two float64s and two
+// int32s, no padding.
+const NodeRecBytes = 24
+
+// maxTreeDepth bounds the per-tree height a flat table may declare.
+// Real trees are depth <= ~10 (TreeConfig.MaxDepth); the bound keeps a
+// hostile table from making every walk take millions of steps and
+// keeps the decompiler's recursion shallow.
+const maxTreeDepth = 512
+
+// Compile-time guards: the serialization below assumes this exact
+// record layout. If NodeRec ever grows or reorders, these fail to
+// compile and the store's SlotVersion must be bumped.
+var (
+	_ = [1]struct{}{}[unsafe.Sizeof(NodeRec{})-NodeRecBytes]
+	_ = [1]struct{}{}[unsafe.Offsetof(NodeRec{}.Thresh)-0]
+	_ = [1]struct{}{}[unsafe.Offsetof(NodeRec{}.Pred)-8]
+	_ = [1]struct{}{}[unsafe.Offsetof(NodeRec{}.Feature)-16]
+	_ = [1]struct{}{}[unsafe.Offsetof(NodeRec{}.Left)-20]
+)
+
+// hostLE reports whether the host stores multi-byte values
+// little-endian — the wire order. When true, NodeRec slices can be
+// copied to and from their wire form with a single memmove; otherwise
+// the portable per-field codec runs.
+var hostLE = func() bool {
+	x := uint16(0x0102)
+	return *(*byte)(unsafe.Pointer(&x)) == 0x02
+}()
+
+// AppendNodeRecs appends the little-endian wire form of recs to dst.
+// On little-endian hosts this is one bulk copy of the records' memory.
+func AppendNodeRecs(dst []byte, recs []NodeRec) []byte {
+	if len(recs) == 0 {
+		return dst
+	}
+	if hostLE {
+		src := unsafe.Slice((*byte)(unsafe.Pointer(&recs[0])), len(recs)*NodeRecBytes)
+		return append(dst, src...)
+	}
+	var buf [NodeRecBytes]byte
+	for i := range recs {
+		putNodeRec(buf[:], &recs[i])
+		dst = append(dst, buf[:]...)
+	}
+	return dst
+}
+
+// NodeRecsFromBytes decodes a wire-form record array into a fresh
+// NodeRec slice. On little-endian hosts the payload lands in the
+// kernel table with a single bulk copy. The only accepted length is an
+// exact multiple of NodeRecBytes, and the allocation is proportional
+// to len(data) — never to anything a corrupted header claims.
+func NodeRecsFromBytes(data []byte) ([]NodeRec, error) {
+	if len(data)%NodeRecBytes != 0 {
+		return nil, badModel("node record payload of %d bytes is not a multiple of %d", len(data), NodeRecBytes)
+	}
+	n := len(data) / NodeRecBytes
+	recs := make([]NodeRec, n)
+	if n == 0 {
+		return recs, nil
+	}
+	if hostLE {
+		dst := unsafe.Slice((*byte)(unsafe.Pointer(&recs[0])), len(data))
+		copy(dst, data)
+		return recs, nil
+	}
+	for i := range recs {
+		getNodeRec(data[i*NodeRecBytes:], &recs[i])
+	}
+	return recs, nil
+}
+
+func putNodeRec(b []byte, r *NodeRec) {
+	binary.LittleEndian.PutUint64(b[0:], math.Float64bits(r.Thresh))
+	binary.LittleEndian.PutUint64(b[8:], math.Float64bits(r.Pred))
+	binary.LittleEndian.PutUint32(b[16:], uint32(r.Feature))
+	binary.LittleEndian.PutUint32(b[20:], uint32(r.Left))
+}
+
+func getNodeRec(b []byte, r *NodeRec) {
+	r.Thresh = math.Float64frombits(binary.LittleEndian.Uint64(b[0:]))
+	r.Pred = math.Float64frombits(binary.LittleEndian.Uint64(b[8:]))
+	r.Feature = int32(binary.LittleEndian.Uint32(b[16:]))
+	r.Left = int32(binary.LittleEndian.Uint32(b[20:]))
+}
+
+// FlatMeta is the part of a model dump that is not the kernel table:
+// the model kind, its hyperparameters, and the importance vectors and
+// per-tree configs the JSON dump form carries. It is O(trees·features)
+// — negligible next to the node records — and travels as a small
+// canonical-JSON trailer of the binary section.
+type FlatMeta struct {
+	// Kind is the model's Name(): "GBR", "RFR" or "DTR".
+	Kind string `json:"kind"`
+	// Base is the GBR base prediction (0 for other kinds).
+	Base float64 `json:"base,omitempty"`
+	// GBR / Forest carry the ensemble hyperparameters; exactly the one
+	// matching Kind is set (neither for DTR).
+	GBR    *GBRParams    `json:"gbr,omitempty"`
+	Forest *ForestParams `json:"forest,omitempty"`
+	// Importances is the ensemble-level importance vector.
+	Importances []float64 `json:"importances,omitempty"`
+	// TreeConfigs and TreeImportances hold each tree's config and
+	// importance vector, in table order — what TreeDump carries in the
+	// JSON form.
+	TreeConfigs     []TreeConfig `json:"tree_configs"`
+	TreeImportances [][]float64  `json:"tree_importances,omitempty"`
+}
+
+// FlatModel is a compiled ensemble in serialization form: the kernel's
+// node table, the per-tree roots and heights, and the metadata needed
+// to reproduce the JSON dump exactly. DumpFlat shares the live model's
+// slices (callers must not mutate them); LoadFlat takes ownership of
+// the slices it is given.
+type FlatModel struct {
+	Nodes []NodeRec
+	Roots []int32
+	Depth []int32
+	Meta  FlatMeta
+}
+
+// NumTrees returns the tree count of the flat table.
+func (f *FlatModel) NumTrees() int { return len(f.Roots) }
+
+// DumpFlat exposes a fitted model's compiled table for serialization.
+// The returned slices alias the model's own kernel table — no node is
+// copied — so the caller must treat them as read-only.
+func DumpFlat(m Regressor) (*FlatModel, error) {
+	switch v := m.(type) {
+	case *GradientBoosted:
+		if !v.fitted || v.compiled == nil {
+			return nil, ErrNotFitted
+		}
+		meta, err := v.flatMetaNow()
+		if err != nil {
+			return nil, err
+		}
+		tab := &v.compiled.tab
+		return &FlatModel{Nodes: tab.nodes, Roots: tab.roots, Depth: tab.depth, Meta: *meta}, nil
+	case *RandomForest:
+		if !v.fitted || v.compiled == nil {
+			return nil, ErrNotFitted
+		}
+		meta, err := v.flatMetaNow()
+		if err != nil {
+			return nil, err
+		}
+		tab := &v.compiled.tab
+		return &FlatModel{Nodes: tab.nodes, Roots: tab.roots, Depth: tab.depth, Meta: *meta}, nil
+	case *DecisionTree:
+		if !v.fitted || v.flat == nil {
+			return nil, ErrNotFitted
+		}
+		var nt nodeTable
+		nt.appendTree(v.flat)
+		meta := FlatMeta{
+			Kind:            v.Name(),
+			TreeConfigs:     []TreeConfig{v.Config},
+			TreeImportances: [][]float64{append([]float64(nil), v.importances...)},
+		}
+		return &FlatModel{Nodes: nt.nodes, Roots: nt.roots, Depth: nt.depth, Meta: meta}, nil
+	default:
+		return nil, badModel("model %s has no flat serialization", m.Name())
+	}
+}
+
+// flatMetaNow assembles the GBR's FlatMeta: from the retained restore
+// metadata when the model was loaded flat, otherwise from the fitted
+// trees.
+func (g *GradientBoosted) flatMetaNow() (*FlatMeta, error) {
+	if g.flatMeta != nil {
+		return g.flatMeta, nil
+	}
+	m := &FlatMeta{
+		Kind: g.Name(),
+		Base: g.base,
+		GBR: &GBRParams{
+			NumStages:      g.Config.NumStages,
+			LearningRate:   g.Config.LearningRate,
+			MaxDepth:       g.Config.MaxDepth,
+			MinSamplesLeaf: g.Config.MinSamplesLeaf,
+			Subsample:      g.Config.Subsample,
+			Seed:           g.Config.Seed,
+		},
+		Importances: append([]float64(nil), g.importances...),
+	}
+	for _, t := range g.trees {
+		m.TreeConfigs = append(m.TreeConfigs, t.Config)
+		m.TreeImportances = append(m.TreeImportances, append([]float64(nil), t.importances...))
+	}
+	return m, nil
+}
+
+// flatMetaNow assembles the forest's FlatMeta (see the GBR variant).
+func (f *RandomForest) flatMetaNow() (*FlatMeta, error) {
+	if f.flatMeta != nil {
+		return f.flatMeta, nil
+	}
+	m := &FlatMeta{
+		Kind: f.Name(),
+		Forest: &ForestParams{
+			NumTrees:       f.Config.NumTrees,
+			MaxDepth:       f.Config.MaxDepth,
+			MinSamplesLeaf: f.Config.MinSamplesLeaf,
+			MaxFeatures:    f.Config.MaxFeatures,
+			Seed:           f.Config.Seed,
+		},
+		Importances: append([]float64(nil), f.importances...),
+	}
+	for _, t := range f.trees {
+		m.TreeConfigs = append(m.TreeConfigs, t.Config)
+		m.TreeImportances = append(m.TreeImportances, append([]float64(nil), t.importances...))
+	}
+	return m, nil
+}
+
+// LoadFlat reconstructs a servable model from its flat form without
+// building pointer trees and — for ensembles — without re-compiling:
+// the given node table becomes the model's kernel table as-is, after a
+// strict structural validation. The model predicts bit-for-bit what
+// the dumped model did, and its Dump output reproduces the JSON form
+// the model would have dumped before flattening.
+func LoadFlat(f *FlatModel, opt LoadOptions) (Regressor, error) {
+	if f == nil {
+		return nil, badModel("nil flat model")
+	}
+	if err := validateFlatMeta(&f.Meta, len(f.Roots)); err != nil {
+		return nil, err
+	}
+	if err := validateNodeTable(f.Nodes, f.Roots, f.Depth); err != nil {
+		return nil, err
+	}
+	meta := f.Meta
+	switch meta.Kind {
+	case "GBR":
+		p := meta.GBR
+		g := NewGradientBoosted(GBRConfig{
+			NumStages:      p.NumStages,
+			LearningRate:   p.LearningRate,
+			MaxDepth:       p.MaxDepth,
+			MinSamplesLeaf: p.MinSamplesLeaf,
+			Subsample:      p.Subsample,
+			Seed:           p.Seed,
+			Workers:        opt.Workers,
+			Obs:            opt.Obs,
+		})
+		g.base = meta.Base
+		g.importances = append([]float64(nil), meta.Importances...)
+		g.flatMeta = &meta
+		g.fitted = true
+		g.compiled = &CompiledGBR{
+			tab:     nodeTable{nodes: f.Nodes, roots: f.Roots, depth: f.Depth},
+			base:    meta.Base,
+			lr:      p.LearningRate,
+			Workers: opt.Workers,
+		}
+		return g, nil
+	case "RFR":
+		p := meta.Forest
+		rf := NewRandomForest(ForestConfig{
+			NumTrees:       p.NumTrees,
+			MaxDepth:       p.MaxDepth,
+			MinSamplesLeaf: p.MinSamplesLeaf,
+			MaxFeatures:    p.MaxFeatures,
+			Seed:           p.Seed,
+			Workers:        opt.Workers,
+		})
+		rf.importances = append([]float64(nil), meta.Importances...)
+		rf.flatMeta = &meta
+		rf.fitted = true
+		rf.compiled = &CompiledForest{
+			tab:     nodeTable{nodes: f.Nodes, roots: f.Roots, depth: f.Depth},
+			Workers: opt.Workers,
+		}
+		return rf, nil
+	default: // "DTR", enforced by validateFlatMeta
+		// A single tree reuses the JSON loader: decompile the (single)
+		// table range to the canonical preorder dump and load that. Trees
+		// are tiny and never the pipeline's selected model, so the extra
+		// O(n) compile is irrelevant.
+		nodes, err := decompileRange(f.Nodes, 0, int32(len(f.Nodes)))
+		if err != nil {
+			return nil, err
+		}
+		return LoadTree(&TreeDump{
+			Config:      meta.TreeConfigs[0],
+			Nodes:       nodes,
+			Importances: append([]float64(nil), meta.TreeImportances[0]...),
+		})
+	}
+}
+
+// validateFlatMeta checks the metadata's internal consistency for a
+// table of treeCount trees.
+func validateFlatMeta(m *FlatMeta, treeCount int) error {
+	switch m.Kind {
+	case "GBR":
+		if m.GBR == nil || m.Forest != nil {
+			return badModel("flat GBR metadata needs exactly the gbr params")
+		}
+		if !isFinite(m.GBR.LearningRate) || m.GBR.LearningRate <= 0 {
+			return badModel("flat GBR learning rate %v out of range", m.GBR.LearningRate)
+		}
+		if !isFinite(m.Base) {
+			return badModel("flat GBR base prediction is non-finite")
+		}
+	case "RFR":
+		if m.Forest == nil || m.GBR != nil {
+			return badModel("flat forest metadata needs exactly the forest params")
+		}
+		if m.Base != 0 {
+			return badModel("flat forest carries a base prediction")
+		}
+	case "DTR":
+		if m.GBR != nil || m.Forest != nil {
+			return badModel("flat tree metadata carries ensemble params")
+		}
+		if m.Base != 0 {
+			return badModel("flat tree carries a base prediction")
+		}
+	default:
+		return badModel("flat model kind %q unknown", m.Kind)
+	}
+	if treeCount == 0 {
+		return badModel("flat model has no trees")
+	}
+	if len(m.TreeConfigs) != treeCount {
+		return badModel("flat model has %d tree configs for %d trees", len(m.TreeConfigs), treeCount)
+	}
+	if len(m.TreeImportances) != 0 && len(m.TreeImportances) != treeCount {
+		return badModel("flat model has %d tree importance vectors for %d trees", len(m.TreeImportances), treeCount)
+	}
+	if m.Kind == "DTR" && (treeCount != 1 || len(m.TreeImportances) != 1) {
+		return badModel("flat tree must carry exactly one tree")
+	}
+	if err := checkImportances(m.Importances); err != nil {
+		return err
+	}
+	for _, im := range m.TreeImportances {
+		if err := checkImportances(im); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// validateNodeTable proves a flat table safe for the walk kernels by
+// replaying appendTree's breadth-first allocation discipline over every
+// tree range: the root is the range's first slot, each internal node's
+// left child is the next unallocated slot (its right sibling follows
+// immediately), leaves self-loop on a +Inf threshold, every slot is
+// allocated exactly once, and the declared per-tree height matches the
+// one re-derived from the structure. A table that passes can never
+// index out of range or run a lane past its leaf.
+func validateNodeTable(nodes []NodeRec, roots, depth []int32) error {
+	n := int32(len(nodes))
+	if len(roots) == 0 {
+		return badModel("flat table has no trees")
+	}
+	if len(depth) != len(roots) {
+		return badModel("flat table has %d depths for %d roots", len(depth), len(roots))
+	}
+	if roots[0] != 0 {
+		return badModel("flat table's first root is %d, want 0", roots[0])
+	}
+	heights := make([]int32, 0, 64)
+	for k := range roots {
+		lo := roots[k]
+		hi := n
+		if k+1 < len(roots) {
+			hi = roots[k+1]
+		}
+		if lo >= hi {
+			return badModel("flat tree %d has an empty or inverted range [%d,%d)", k, lo, hi)
+		}
+		if depth[k] < 0 || depth[k] > maxTreeDepth {
+			return badModel("flat tree %d declares height %d, limit %d", k, depth[k], maxTreeDepth)
+		}
+		// Breadth-first allocation replay.
+		next := lo + 1
+		for j := lo; j < hi; j++ {
+			nd := nodes[j]
+			if math.IsInf(nd.Thresh, 1) { // leaf
+				if nd.Feature != 0 || nd.Left != j {
+					return badModel("flat leaf %d does not self-loop", j)
+				}
+				if !isFinite(nd.Pred) {
+					return badModel("flat leaf %d has non-finite prediction", j)
+				}
+				continue
+			}
+			if !isFinite(nd.Thresh) {
+				return badModel("flat node %d has non-finite threshold", j)
+			}
+			if nd.Feature < 0 || nd.Feature > maxFeatureIndex {
+				return badModel("flat node %d has feature index %d out of range", j, nd.Feature)
+			}
+			if nd.Pred != 0 {
+				return badModel("flat internal node %d carries a leaf prediction", j)
+			}
+			if nd.Left != next || next+2 > hi {
+				return badModel("flat node %d breaks the breadth-first child layout", j)
+			}
+			next += 2
+		}
+		if next != hi {
+			return badModel("flat tree %d allocates %d of %d slots", k, next-lo, hi-lo)
+		}
+		// Height replay: children always follow parents in BFS order, so
+		// one reverse scan derives every subtree height.
+		heights = append(heights[:0], make([]int32, hi-lo)...)
+		for j := hi - 1; j >= lo; j-- {
+			nd := nodes[j]
+			if math.IsInf(nd.Thresh, 1) {
+				continue // leaf height 0, already zeroed
+			}
+			l, r := heights[nd.Left-lo], heights[nd.Left+1-lo]
+			if r > l {
+				l = r
+			}
+			heights[j-lo] = 1 + l
+		}
+		if heights[0] != depth[k] {
+			return badModel("flat tree %d declares height %d, structure says %d", k, depth[k], heights[0])
+		}
+	}
+	return nil
+}
+
+// decompileRange re-emits the canonical preorder node list for the
+// tree occupying table slots [lo, hi). Because fitted trees are dumped
+// in preorder and compiled tables preserve dump indices, this
+// reproduces the exact node list the tree was flattened from — which
+// is what keeps binary→json conversion byte-identical. The range must
+// have passed validateNodeTable (the recursion is bounded by the
+// validated tree height).
+func decompileRange(nodes []NodeRec, lo, hi int32) ([]NodeDump, error) {
+	if lo < 0 || hi > int32(len(nodes)) || lo >= hi {
+		return nil, badModel("decompile range [%d,%d) out of bounds", lo, hi)
+	}
+	out := make([]NodeDump, 0, hi-lo)
+	var rec func(abs int32) int
+	rec = func(abs int32) int {
+		idx := len(out)
+		out = append(out, NodeDump{})
+		nd := nodes[abs]
+		if math.IsInf(nd.Thresh, 1) {
+			out[idx] = NodeDump{Value: nd.Pred, Leaf: true}
+			return idx
+		}
+		l := rec(nd.Left)
+		r := rec(nd.Left + 1)
+		out[idx] = NodeDump{Feature: int(nd.Feature), Threshold: nd.Thresh, Left: l, Right: r}
+		return idx
+	}
+	rec(lo)
+	if int32(len(out)) != hi-lo {
+		return nil, badModel("decompile visited %d of %d nodes", len(out), hi-lo)
+	}
+	return out, nil
+}
+
+// treeDumpsFromTable decompiles every tree of a kernel table back to
+// its TreeDump, re-attaching the per-tree configs and importances the
+// flat metadata retained. This is the Dump path of flat-restored
+// ensembles (trees == nil).
+func treeDumpsFromTable(tab *nodeTable, meta *FlatMeta) ([]TreeDump, error) {
+	if meta == nil {
+		return nil, badModel("flat-restored model lost its metadata")
+	}
+	if len(meta.TreeConfigs) != len(tab.roots) {
+		return nil, badModel("flat metadata has %d tree configs for %d trees", len(meta.TreeConfigs), len(tab.roots))
+	}
+	dumps := make([]TreeDump, len(tab.roots))
+	for k := range tab.roots {
+		lo := tab.roots[k]
+		hi := int32(len(tab.nodes))
+		if k+1 < len(tab.roots) {
+			hi = tab.roots[k+1]
+		}
+		nodes, err := decompileRange(tab.nodes, lo, hi)
+		if err != nil {
+			return nil, err
+		}
+		dumps[k] = TreeDump{Config: meta.TreeConfigs[k], Nodes: nodes}
+		if k < len(meta.TreeImportances) {
+			dumps[k].Importances = append([]float64(nil), meta.TreeImportances[k]...)
+		}
+	}
+	return dumps, nil
+}

@@ -179,6 +179,16 @@ func (g *GradientBoosted) Dump() (*GBRDump, error) {
 		Base:        g.base,
 		Importances: append([]float64(nil), g.importances...),
 	}
+	if g.trees == nil {
+		// Flat-restored model: decompile the kernel table back to the
+		// canonical preorder dumps (bit-identical to the originals).
+		dumps, err := treeDumpsFromTable(&g.compiled.tab, g.flatMeta)
+		if err != nil {
+			return nil, err
+		}
+		d.Trees = dumps
+		return d, nil
+	}
 	for _, t := range g.trees {
 		td, err := t.Dump()
 		if err != nil {
@@ -208,6 +218,12 @@ func LoadGBR(d *GBRDump, opt LoadOptions) (*GradientBoosted, error) {
 	if err := checkImportances(d.Importances); err != nil {
 		return nil, err
 	}
+	// The JSON load path pays a full re-compile (every tree's node list is
+	// decoded, validated, and re-packed into the kernel table); count and
+	// time it so restore paths that skip it — the binary flat form — are
+	// provably compile-free (the counter stays absent from snapshots).
+	opt.Obs.Counter("ml.compiles").Inc()
+	defer opt.Obs.WallTimer("ml.compile_seconds").Start()()
 	g := NewGradientBoosted(GBRConfig{
 		NumStages:      d.Params.NumStages,
 		LearningRate:   d.Params.LearningRate,
@@ -253,6 +269,14 @@ func (f *RandomForest) Dump() (*ForestDump, error) {
 		},
 		Importances: append([]float64(nil), f.importances...),
 	}
+	if f.trees == nil {
+		dumps, err := treeDumpsFromTable(&f.compiled.tab, f.flatMeta)
+		if err != nil {
+			return nil, err
+		}
+		d.Trees = dumps
+		return d, nil
+	}
 	for _, t := range f.trees {
 		td, err := t.Dump()
 		if err != nil {
@@ -274,6 +298,10 @@ func LoadForest(d *ForestDump, opt LoadOptions) (*RandomForest, error) {
 	if err := checkImportances(d.Importances); err != nil {
 		return nil, err
 	}
+	// See LoadGBR: the JSON path's re-compile is metered so the binary
+	// flat path can prove it never compiles.
+	opt.Obs.Counter("ml.compiles").Inc()
+	defer opt.Obs.WallTimer("ml.compile_seconds").Start()()
 	f := NewRandomForest(ForestConfig{
 		NumTrees:       d.Params.NumTrees,
 		MaxDepth:       d.Params.MaxDepth,

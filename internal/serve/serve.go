@@ -212,6 +212,21 @@ func (s *Service) Load(sys *merchandiser.System) {
 	s.sysMu.Unlock()
 }
 
+// LoadArtifact restores the system artifact at path and installs it,
+// timing the restore as the volatile serve.restore_seconds wall timer
+// on the service's registry — the daemon's cold-start cost, visible in
+// /metricsz. Restore options (observer, workers) pass through.
+func (s *Service) LoadArtifact(ctx context.Context, path string, opts ...merchandiser.RestoreOption) (*merchandiser.System, error) {
+	stop := s.cfg.Obs.WallTimer("serve.restore_seconds").Start()
+	sys, err := merchandiser.RestoreFile(ctx, path, opts...)
+	stop()
+	if err != nil {
+		return nil, err
+	}
+	s.Load(sys)
+	return sys, nil
+}
+
 // Ready reports whether the service can answer placement requests: an
 // artifact is loaded and the service is not draining.
 func (s *Service) Ready() bool {

@@ -1,0 +1,105 @@
+package store
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// refSlot is the naive reference model of one binary section: plain
+// copies of what was stored, with none of the real codec's framing.
+type refSlot struct {
+	kind       uint32
+	recordSize uint32
+	aux        [24]byte
+	records    []byte
+	tail       []byte
+}
+
+// TestSlotCodecAgainstReferenceModel drives the real slot codec and a
+// trivially-correct in-memory map through randomized Set/Get/
+// encode/decode sequences; any divergence — a lost section, a mangled
+// record, framing that does not round-trip through the container — is
+// a codec bug. (Model-vs-implementation, in the style of slot caches.)
+func TestSlotCodecAgainstReferenceModel(t *testing.T) {
+	names := []string{"m0.bin", "m1.bin", "m2.bin", "m3.bin", "m4.bin"}
+	sizes := []uint32{1, 8, 24, 100}
+
+	for seed := int64(0); seed < 5; seed++ {
+		seed := seed
+		t.Run(fmt.Sprintf("seed%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			ref := map[string]*refSlot{}
+			art := &Artifact{Tool: "prop"}
+
+			checkGet := func(name string) {
+				t.Helper()
+				want, inRef := ref[name]
+				data, inArt := art.Get(name)
+				if inRef != inArt {
+					t.Fatalf("presence of %q disagrees: ref=%v art=%v", name, inRef, inArt)
+				}
+				if !inRef {
+					return
+				}
+				got, err := DecodeSlotSection(data)
+				if err != nil {
+					t.Fatalf("section %q no longer decodes: %v", name, err)
+				}
+				if got.Kind != want.kind || got.RecordSize != want.recordSize || got.Aux != want.aux ||
+					!bytes.Equal(got.Records, want.records) || !bytes.Equal(got.Tail, want.tail) {
+					t.Fatalf("section %q diverged from the reference model", name)
+				}
+			}
+
+			for op := 0; op < 200; op++ {
+				name := names[rng.Intn(len(names))]
+				switch rng.Intn(4) {
+				case 0, 1: // Set: write a fresh random section to both models
+					rs := sizes[rng.Intn(len(sizes))]
+					s := &SlotSection{
+						Kind:       uint32(rng.Intn(8)),
+						RecordSize: rs,
+						Records:    randBytes(rng, int(rs)*rng.Intn(50)),
+						Tail:       randBytes(rng, rng.Intn(100)),
+					}
+					rng.Read(s.Aux[:])
+					data, err := EncodeSlotSection(s)
+					if err != nil {
+						t.Fatalf("op %d: encode: %v", op, err)
+					}
+					art.Set(name, data)
+					ref[name] = &refSlot{
+						kind:       s.Kind,
+						recordSize: s.RecordSize,
+						aux:        s.Aux,
+						records:    append([]byte(nil), s.Records...),
+						tail:       append([]byte(nil), s.Tail...),
+					}
+				case 2: // Get: decode one section and compare
+					checkGet(name)
+				case 3: // Round-trip the whole artifact through the container
+					var buf bytes.Buffer
+					if err := art.Encode(&buf); err != nil {
+						t.Fatalf("op %d: container encode: %v", op, err)
+					}
+					decoded, err := Decode(bytes.NewReader(buf.Bytes()))
+					if err != nil {
+						t.Fatalf("op %d: container decode: %v", op, err)
+					}
+					art = decoded
+				}
+			}
+			for _, name := range names {
+				checkGet(name)
+			}
+		})
+	}
+}
+
+func randBytes(rng *rand.Rand, n int) []byte {
+	b := make([]byte, n)
+	rng.Read(b)
+	return b
+}

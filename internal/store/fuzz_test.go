@@ -74,6 +74,16 @@ func FuzzRestoreArtifact(f *testing.F) {
 				}
 			}
 		}
+		if a.HasBinaryModel() {
+			fm, err := a.ModelFlat()
+			if err != nil {
+				if !errors.Is(err, merr.ErrBadArtifact) {
+					t.Fatalf("binary model failure %v is not classified", err)
+				}
+			} else if _, err := ml.LoadFlat(fm, ml.LoadOptions{}); err != nil && !errors.Is(err, merr.ErrBadArtifact) {
+				t.Fatalf("flat model load failure %v is not classified", err)
+			}
+		}
 		if a.Has(SectionAlpha) {
 			if _, err := a.Alpha(); err != nil && !errors.Is(err, merr.ErrBadArtifact) {
 				t.Fatalf("alpha section failure %v is not classified", err)

@@ -1,0 +1,84 @@
+package store
+
+import (
+	"bytes"
+	"math"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"merchandiser/internal/ml"
+	"merchandiser/internal/pmc"
+)
+
+const goldenBinaryPath = "testdata/golden.binary.artifact"
+
+// TestGoldenBinaryArtifact pins the binary slot format the same way
+// TestGoldenArtifact pins the JSON container: the committed fixture —
+// the golden system converted to FormatBinary — must be reproduced
+// bit-for-bit from source, still decode, and restore a model that
+// predicts identically to the JSON-restored one. The last check is the
+// forward-compat guard: committed bytes written under the current
+// SlotVersion must keep decoding until the version is deliberately
+// bumped (at which point this test fails loudly and the fixture is
+// regenerated with -update alongside the bump).
+func TestGoldenBinaryArtifact(t *testing.T) {
+	conv, err := ConvertSystemFormat(testArtifact(t), FormatBinary)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := encode(t, conv)
+
+	if *updateGolden {
+		if err := os.MkdirAll(filepath.Dir(goldenBinaryPath), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(goldenBinaryPath, fresh, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden binary fixture rewritten (%d bytes)", len(fresh))
+	}
+
+	want, err := os.ReadFile(goldenBinaryPath)
+	if err != nil {
+		t.Fatalf("golden binary fixture unreadable (regenerate with -update): %v", err)
+	}
+	if !bytes.Equal(fresh, want) {
+		t.Fatal("freshly converted binary artifact differs from the golden fixture: the slot format drifted without a SlotVersion bump")
+	}
+
+	a, err := Decode(bytes.NewReader(want))
+	if err != nil {
+		t.Fatalf("golden binary fixture no longer decodes: %v", err)
+	}
+	if !a.HasBinaryModel() {
+		t.Fatal("golden binary fixture lost its slot sections")
+	}
+	fm, err := a.ModelFlat()
+	if err != nil {
+		t.Fatalf("golden slot sections no longer decode: %v", err)
+	}
+	binModel, err := ml.LoadFlat(fm, ml.LoadOptions{})
+	if err != nil {
+		t.Fatalf("golden flat model no longer loads: %v", err)
+	}
+	jsonModel, err := ml.LoadModel(testSystemState(t).Model, ml.LoadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(23))
+	for i := 0; i < 50; i++ {
+		x := make([]float64, len(pmc.SelectedEvents)+1)
+		for j := range x {
+			x[j] = rng.Float64()
+		}
+		w, g := jsonModel.Predict(x), binModel.Predict(x)
+		if math.Float64bits(w) != math.Float64bits(g) {
+			t.Fatalf("prediction %d differs between golden binary and JSON models", i)
+		}
+	}
+	if !bytes.Equal(encode(t, a), want) {
+		t.Fatal("golden binary fixture round trip is not byte-identical")
+	}
+}

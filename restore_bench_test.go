@@ -1,0 +1,100 @@
+package merchandiser
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"merchandiser/internal/ml"
+	"merchandiser/internal/model"
+	"merchandiser/internal/pmc"
+)
+
+// benchEnsembles spans the cold-start story: small is merchbench's
+// quick profile, large is ~20x the paper's Table 3 ensemble — the
+// regime where JSON restore visibly stalls a daemon boot.
+var benchEnsembles = []struct {
+	name          string
+	stages, depth int
+	rows          int
+}{
+	{"small", 16, 4, 400},
+	{"medium", 64, 6, 800},
+	{"large", 256, 8, 1600},
+}
+
+// benchFormatArtifacts fits one synthetic GBR system per size and
+// snapshots it in both formats.
+func benchFormatArtifacts(b *testing.B, stages, depth, rows int) (jsonBytes, binBytes []byte) {
+	b.Helper()
+	rng := rand.New(rand.NewSource(int64(stages)))
+	d := len(pmc.SelectedEvents) + 1
+	X := make([][]float64, rows)
+	y := make([]float64, rows)
+	for i := range X {
+		row := make([]float64, d)
+		for j := range row {
+			row[j] = rng.Float64() * 10
+		}
+		X[i] = row
+		y[i] = row[0]*0.4 + row[1]*row[2]*0.05 + rng.NormFloat64()*0.1
+	}
+	g := ml.NewGradientBoosted(ml.GBRConfig{NumStages: stages, MaxDepth: depth, Seed: 7})
+	if err := g.Fit(X, y); err != nil {
+		b.Fatal(err)
+	}
+	sys := &System{
+		Spec:      DefaultSpec(),
+		Perf:      &model.PerfModel{Corr: &model.CorrelationFunc{Model: g, Events: append([]string(nil), pmc.SelectedEvents...)}},
+		TrainedR2: 0.9,
+	}
+	var jb, bb bytes.Buffer
+	if err := sys.SnapshotFormat(&jb, SaveJSON); err != nil {
+		b.Fatal(err)
+	}
+	if err := sys.SnapshotFormat(&bb, SaveBinary); err != nil {
+		b.Fatal(err)
+	}
+	return jb.Bytes(), bb.Bytes()
+}
+
+func benchRestore(b *testing.B, data []byte) {
+	b.Helper()
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sys, err := Restore(context.Background(), bytes.NewReader(data))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if sys.Perf.Corr == nil {
+			b.Fatal("restored without a model")
+		}
+	}
+}
+
+// BenchmarkRestoreJSON is the daemon cold-start cost of the portable
+// format: container decode + JSON node decode + table re-compile,
+// scaling with ensemble size.
+func BenchmarkRestoreJSON(b *testing.B) {
+	for _, e := range benchEnsembles {
+		jsonBytes, _ := benchFormatArtifacts(b, e.stages, e.depth, e.rows)
+		b.Run(fmt.Sprintf("%s_stages%d_depth%d", e.name, e.stages, e.depth), func(b *testing.B) {
+			benchRestore(b, jsonBytes)
+		})
+	}
+}
+
+// BenchmarkRestoreBinary is the slot-format cold start: the node table
+// is one contiguous read plus an O(n) structural validation — no JSON
+// node decode, no pointer rebuild, no re-compile.
+func BenchmarkRestoreBinary(b *testing.B) {
+	for _, e := range benchEnsembles {
+		_, binBytes := benchFormatArtifacts(b, e.stages, e.depth, e.rows)
+		b.Run(fmt.Sprintf("%s_stages%d_depth%d", e.name, e.stages, e.depth), func(b *testing.B) {
+			benchRestore(b, binBytes)
+		})
+	}
+}

@@ -6,8 +6,9 @@
 # daemon's batcher) under the race detector, hold the compiled
 # inference engine to zero allocations per single-point predict and
 # smoke its pointer-vs-compiled benchmarks, smoke the compile-tree,
-# event-encoder and artifact-decoder fuzz targets on their seed corpora
-# plus 10s of new inputs each, run the end-to-end save/load/serve smoke
+# event-encoder, artifact-decoder and binary-slot-decoder fuzz targets
+# on their seed corpora plus 10s of new inputs each, run the end-to-end
+# save/load/serve smoke (binary-format artifact, boot-to-ready timed)
 # against a real
 # merchserved process, and hold internal/obs to a coverage floor. Every
 # test invocation gets a per-package timeout (60s plain, 600s for the
@@ -81,6 +82,9 @@ go test -timeout 60s ./internal/obs -run '^$' -fuzz '^FuzzEventEncode$' -fuzztim
 
 echo "== fuzz smoke (FuzzRestoreArtifact, 10s)"
 go test -timeout 60s ./internal/store -run '^$' -fuzz '^FuzzRestoreArtifact$' -fuzztime 10s
+
+echo "== fuzz smoke (FuzzBinaryDecode, 10s)"
+go test -timeout 60s ./internal/store -run '^$' -fuzz '^FuzzBinaryDecode$' -fuzztime 10s
 
 echo "== e2e save/load/serve smoke (merchserved)"
 go build -o bin/merchserved ./cmd/merchserved

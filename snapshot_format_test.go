@@ -1,0 +1,210 @@
+package merchandiser
+
+import (
+	"bytes"
+	"context"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"merchandiser/internal/ml"
+	"merchandiser/internal/model"
+	"merchandiser/internal/placement"
+	"merchandiser/internal/pmc"
+)
+
+// formatSnapshot snapshots sys in the given format and returns the bytes.
+func formatSnapshot(t *testing.T, sys *System, f SaveFormat) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := sys.SnapshotFormat(&buf, f); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// bitIdenticalPlans asserts two systems produce Float64bits-identical
+// MinMakespanPlan output on the standard probe.
+func bitIdenticalPlans(t *testing.T, want, got *System, label string) {
+	t.Helper()
+	dc := want.Spec.CapacityPages(DRAM)
+	wp, err := placement.MinMakespanPlan(planProbe(), dc, want.Perf, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gp, err := placement.MinMakespanPlan(planProbe(), dc, got.Perf, 0.01)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(wp, gp) {
+		t.Fatalf("%s: MinMakespanPlan differs:\n%+v\nvs\n%+v", label, wp, gp)
+	}
+	for i := range wp.Predicted {
+		if math.Float64bits(wp.Predicted[i]) != math.Float64bits(gp.Predicted[i]) {
+			t.Fatalf("%s: predicted time %d not bit-identical", label, i)
+		}
+	}
+}
+
+// TestSaveFormatsServeIdentically is the differential acceptance test
+// for the binary artifact format: the same trained system saved as
+// json, binary, and both must restore to systems whose Compare and
+// MinMakespanPlan outputs are byte-identical — and the binary restore
+// must be provably free of training, JSON node decoding and
+// re-compilation (obs counters flat).
+func TestSaveFormatsServeIdentically(t *testing.T) {
+	if testing.Short() {
+		t.Skip("trains a quick corpus")
+	}
+	sys, err := NewSystem(testSpec(), TrainQuick)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jsonBytes := formatSnapshot(t, sys, SaveJSON)
+	binBytes := formatSnapshot(t, sys, SaveBinary)
+	bothBytes := formatSnapshot(t, sys, SaveBoth)
+	if bytes.Equal(jsonBytes, binBytes) {
+		t.Fatal("binary snapshot encodes identically to JSON; the format knob is dead")
+	}
+
+	// JSON restore pays the re-compile and says so on the registry.
+	regJSON := NewObserver()
+	fromJSON, err := Restore(context.Background(), bytes.NewReader(jsonBytes), WithObserver(regJSON))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := regJSON.Snapshot(true).Counters["ml.compiles"]; got != 1 {
+		t.Fatalf("JSON restore recorded %v compiles, want 1", got)
+	}
+
+	// Binary restore does zero training work AND zero compile work: the
+	// fit counter is zero and the compile counter/timer never register.
+	regBin := NewObserver()
+	fromBin, err := Restore(context.Background(), bytes.NewReader(binBytes), WithObserver(regBin))
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := regBin.Snapshot(true)
+	if got := snap.Counters["ml.gbr.fits"]; got != 0 {
+		t.Fatalf("binary restore recorded %v fits, want 0", got)
+	}
+	if _, ok := snap.Counters["ml.compiles"]; ok {
+		t.Fatal("binary restore recorded a compile; the flat path must not re-compile")
+	}
+	if _, ok := snap.Timers["ml.compile_seconds"]; ok {
+		t.Fatal("binary restore started the compile timer")
+	}
+
+	fromBoth, err := Restore(context.Background(), bytes.NewReader(bothBytes))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// All three restores serve bit-identical plans.
+	bitIdenticalPlans(t, sys, fromJSON, "json")
+	bitIdenticalPlans(t, sys, fromBin, "binary")
+	bitIdenticalPlans(t, sys, fromBoth, "both")
+	if regBin.Counter("ml.gbr.predictions").Value() == 0 {
+		t.Fatal("binary-restored model predictions not observed")
+	}
+
+	// And byte-identical Compare output (the full-simulation check, run
+	// once against the binary restore — the format under test).
+	app := buildTestApp(t, 3)
+	opts := Options{StepSec: 0.001, IntervalSec: 0.02}
+	want, err := sys.Compare(context.Background(), app, opts, sys.PMOnly(), sys.Merchandiser())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := fromBin.Compare(context.Background(), buildTestApp(t, 3), opts, fromBin.PMOnly(), fromBin.Merchandiser())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(want, got) {
+		t.Fatal("Compare output differs through the binary format")
+	}
+
+	// Cross-format re-encode stability: the binary-restored system must
+	// reproduce BOTH formats' original bytes (binary→json→binary and
+	// json→binary→json are closed loops), and the JSON-restored system
+	// must reproduce the binary bytes.
+	if !bytes.Equal(formatSnapshot(t, fromBin, SaveBinary), binBytes) {
+		t.Fatal("binary re-snapshot of a binary-restored system is not byte-identical")
+	}
+	if !bytes.Equal(formatSnapshot(t, fromBin, SaveJSON), jsonBytes) {
+		t.Fatal("JSON re-snapshot of a binary-restored system is not byte-identical")
+	}
+	if !bytes.Equal(formatSnapshot(t, fromJSON, SaveBinary), binBytes) {
+		t.Fatal("binary re-snapshot of a JSON-restored system is not byte-identical")
+	}
+	if !bytes.Equal(formatSnapshot(t, fromBoth, SaveBoth), bothBytes) {
+		t.Fatal("both re-snapshot of a both-restored system is not byte-identical")
+	}
+}
+
+// TestSaveFormatForest runs the same differential loop over a
+// forest-model system (built directly, no corpus training) so both
+// ensemble kinds cross the binary boundary in the corpus of tested
+// systems.
+func TestSaveFormatForest(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	d := len(pmc.SelectedEvents) + 1
+	X := make([][]float64, 150)
+	y := make([]float64, len(X))
+	for i := range X {
+		row := make([]float64, d)
+		for j := range row {
+			row[j] = rng.Float64()
+		}
+		X[i] = row
+		y[i] = 0.2 + 0.6*row[0] + 0.3*row[1]*row[2]
+	}
+	f := ml.NewRandomForest(ml.ForestConfig{NumTrees: 5, MaxDepth: 5, Seed: 13})
+	if err := f.Fit(X, y); err != nil {
+		t.Fatal(err)
+	}
+	sys := &System{
+		Spec:      testSpec(),
+		Perf:      &model.PerfModel{Corr: &model.CorrelationFunc{Model: f, Events: append([]string(nil), pmc.SelectedEvents...)}},
+		TrainedR2: 0.5,
+	}
+	jsonBytes := formatSnapshot(t, sys, SaveJSON)
+	binBytes := formatSnapshot(t, sys, SaveBinary)
+	fromJSON, err := Restore(context.Background(), bytes.NewReader(jsonBytes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromBin, err := Restore(context.Background(), bytes.NewReader(binBytes))
+	if err != nil {
+		t.Fatal(err)
+	}
+	bitIdenticalPlans(t, fromJSON, fromBin, "forest")
+	if !bytes.Equal(formatSnapshot(t, fromBin, SaveJSON), jsonBytes) {
+		t.Fatal("forest binary→json re-encode is not byte-identical")
+	}
+	if !bytes.Equal(formatSnapshot(t, fromBin, SaveBinary), binBytes) {
+		t.Fatal("forest binary re-encode is not byte-stable")
+	}
+}
+
+// TestSaveFormatUntrained: with no model, every format produces the
+// identical (slot-free) artifact.
+func TestSaveFormatUntrained(t *testing.T) {
+	sys, err := NewSystem(testSpec(), TrainNone)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jsonBytes := formatSnapshot(t, sys, SaveJSON)
+	for _, f := range []SaveFormat{SaveBinary, SaveBoth} {
+		if !bytes.Equal(formatSnapshot(t, sys, f), jsonBytes) {
+			t.Fatalf("untrained %s snapshot differs from JSON", f)
+		}
+	}
+	if err := sys.SnapshotFormat(&bytes.Buffer{}, SaveFormat("yaml")); err == nil {
+		t.Fatal("unknown save format accepted")
+	}
+	if _, err := ParseSaveFormat("binary"); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -14,6 +14,10 @@
 //	merchbench -load sys.artifact        # serve from a checkpoint, no retraining
 //	merchbench -load a.artifact -convert b.artifact -save-format binary  # re-encode an artifact
 //	merchbench -bench-restore BENCH.json # cold-start microbenchmark, json vs binary
+//	merchbench -exp replan -quick        # PhaseShift epoch re-planning study
+//	merchbench -exp cosched -tenants spgemm=1228,bfs=512   # multi-tenant quota study
+//	merchbench -replan drift -exp fig4   # run Merchandiser cells with drift re-planning
+//	merchbench -exp replan -bench-replan BENCH_8.json -quick   # re-planning benchmark report
 //	merchbench -exp fig4 -out results/   # relative outputs land under results/
 //	merchbench -exp fig4 -cpuprofile cpu.pb.gz   # CPU profile of the run
 //	merchbench -exp fig4 -memprofile mem.pb.gz   # post-run heap profile
@@ -35,6 +39,7 @@ import (
 	"syscall"
 
 	"merchandiser"
+	"merchandiser/internal/core"
 	"merchandiser/internal/corpus"
 	"merchandiser/internal/experiments"
 	"merchandiser/internal/obs"
@@ -44,7 +49,7 @@ import (
 )
 
 func main() {
-	exp := flag.String("exp", "all", "experiment to run: table1,table2,table3,table4,fig3,fig4,fig5,fig6,fig7,alpha,ablations,cxl or 'all'")
+	exp := flag.String("exp", "all", "experiment to run: table1,table2,table3,table4,fig3,fig4,fig5,fig6,fig7,alpha,ablations,cxl,replan,cosched or 'all' (replan and cosched run only when named)")
 	quick := flag.Bool("quick", false, "reduced scale (smaller apps and corpus)")
 	seed := flag.Int64("seed", 1, "random seed")
 	workers := flag.Int("workers", 0, "concurrency of training and evaluation (0 = NumCPU); results are identical for any value")
@@ -61,6 +66,10 @@ func main() {
 	loadPath := flag.String("load", "", "skip training and restore the system from this artifact file")
 	convertPath := flag.String("convert", "", "with -load: rewrite the loaded artifact container to this path in the -save-format encoding and exit (no restore, no retraining)")
 	benchRestore := flag.String("bench-restore", "", "measure artifact restore cold-start (json vs binary, three ensemble sizes) and write the report (schema "+experiments.BenchSchema+") to this file, then exit")
+	replanMode := flag.String("replan", "", "Merchandiser re-planning mode for every cell: off, drift or interval (default off — byte-identical to plan-once)")
+	replanEpoch := flag.Int("replan-epoch", 0, "epoch length in policy ticks for -replan (0 = default)")
+	tenants := flag.String("tenants", "", "per-tenant DRAM page quotas for -exp cosched as name=pages pairs, e.g. spgemm=1228,bfs=512 (default: a 60/25 split of DRAM)")
+	benchReplan := flag.String("bench-replan", "", "run the PhaseShift re-planning study at Workers=1 and 8, verify they agree exactly, and write the report (schema "+experiments.BenchSchema+") to this file")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile (taken after the run, post-GC) to this file")
 	flag.Parse()
@@ -86,6 +95,7 @@ func main() {
 	*savePath = outPath(*savePath)
 	*convertPath = outPath(*convertPath)
 	*benchRestore = outPath(*benchRestore)
+	*benchReplan = outPath(*benchReplan)
 	*cpuProfile = outPath(*cpuProfile)
 	*memProfile = outPath(*memProfile)
 
@@ -122,6 +132,11 @@ func main() {
 		Quick: *quick, Seed: *seed, Workers: *workers,
 		Obs: reg, Trace: *tracePath != "",
 	}
+	rmode, err := core.ParseReplanMode(*replanMode)
+	fail(err)
+	cfg.Replan = core.ReplanConfig{Mode: rmode, EpochTicks: *replanEpoch}
+	tenantQuotas, err := parseTenants(*tenants)
+	fail(err)
 
 	// Container-level format conversion: decode, re-section, write. The
 	// model crosses formats without a restore, so this is cheap enough
@@ -166,7 +181,8 @@ func main() {
 	w := os.Stdout
 
 	needsArtifacts := all || want["table3"] || want["table4"] || want["fig4"] ||
-		want["fig5"] || want["fig6"] || want["fig7"] || want["alpha"] || want["ablations"]
+		want["fig5"] || want["fig6"] || want["fig7"] || want["alpha"] || want["ablations"] ||
+		want["replan"] || want["cosched"] || *benchReplan != ""
 	needsEval := all || want["table4"] || want["fig4"] || want["fig5"] ||
 		want["fig6"] || want["alpha"] || *jsonPath != "" || *metricsPath != "" || *tracePath != ""
 
@@ -285,6 +301,23 @@ func main() {
 		_, err := experiments.CXL(ctx, w, cfg)
 		fail(err)
 	}
+	if want["replan"] && *benchReplan == "" { // not part of 'all': new epoch-lifecycle cells, opt-in (-bench-replan prints the same table itself)
+		_, err := experiments.ReplanStudy(ctx, w, art, cfg)
+		fail(err)
+	}
+	if want["cosched"] { // not part of 'all' for the same reason
+		_, err := experiments.MultiTenantStudy(ctx, w, art, cfg, tenantQuotas)
+		fail(err)
+	}
+	if *benchReplan != "" {
+		rep, err := experiments.ReplanBench(ctx, w, art, cfg)
+		fail(err)
+		f, err := os.Create(*benchReplan)
+		fail(err)
+		fail(rep.WriteJSON(f))
+		fail(f.Close())
+		fmt.Fprintf(w, "replan bench report written to %s (drift recovers %.2fx)\n", *benchReplan, rep.SpeedupDrift)
+	}
 
 	if *metricsPath != "" {
 		f, err := os.Create(*metricsPath)
@@ -350,6 +383,28 @@ func saveArtifacts(path string, format merchandiser.SaveFormat, art *experiments
 		},
 	}
 	return sys.SaveFileFormat(path, format)
+}
+
+// parseTenants parses the -tenants spec ("name=pages,name=pages") into a
+// quota map; an empty spec returns nil (the study's default split).
+func parseTenants(spec string) (map[string]uint64, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	out := map[string]uint64{}
+	for _, kv := range strings.Split(spec, ",") {
+		kv = strings.TrimSpace(kv)
+		name, pages, ok := strings.Cut(kv, "=")
+		if !ok || name == "" {
+			return nil, fmt.Errorf("-tenants: %q is not name=pages", kv)
+		}
+		var n uint64
+		if _, err := fmt.Sscanf(pages, "%d", &n); err != nil {
+			return nil, fmt.Errorf("-tenants: bad page count in %q: %v", kv, err)
+		}
+		out[name] = n
+	}
+	return out, nil
 }
 
 func fail(err error) {

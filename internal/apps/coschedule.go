@@ -1,0 +1,101 @@
+package apps
+
+import (
+	"fmt"
+	"strings"
+
+	"merchandiser/internal/hm"
+	"merchandiser/internal/merr"
+	"merchandiser/internal/task"
+)
+
+// CoScheduledApp merges N applications into one task group sharing one
+// memory system — the multi-tenant scenario: each sub-app is a tenant,
+// its allocations are tagged and renamed "tenant/…" through
+// Memory.DefaultTenant, and (when the runner installs a quota ledger)
+// its DRAM usage is capped at the tenant's budget. Every instance runs
+// the union of the sub-apps' task groups concurrently, so the tenants
+// contend for tier bandwidth and DRAM capacity exactly as co-located
+// jobs on one node would.
+type CoScheduledApp struct {
+	tenants []string
+	apps    []task.App
+	n       int
+}
+
+// CoSchedule combines the given apps under the given tenant names
+// (pairwise). The combined run length is the shortest sub-app's instance
+// count, so every instance has every tenant's work.
+func CoSchedule(tenants []string, apps []task.App) (*CoScheduledApp, error) {
+	if len(apps) == 0 || len(tenants) != len(apps) {
+		return nil, merr.Errorf(merr.ErrBadApp, "apps: CoSchedule needs one tenant name per app (%d tenants, %d apps)",
+			len(tenants), len(apps))
+	}
+	seen := map[string]bool{}
+	n := 0
+	for i, tn := range tenants {
+		if tn == "" || strings.ContainsRune(tn, '/') {
+			return nil, merr.Errorf(merr.ErrBadApp, "apps: CoSchedule tenant %q invalid (empty or contains '/')", tn)
+		}
+		if seen[tn] {
+			return nil, merr.Errorf(merr.ErrBadApp, "apps: CoSchedule tenant %q duplicated", tn)
+		}
+		seen[tn] = true
+		if i == 0 || apps[i].NumInstances() < n {
+			n = apps[i].NumInstances()
+		}
+	}
+	return &CoScheduledApp{tenants: tenants, apps: apps, n: n}, nil
+}
+
+// Name implements task.App.
+func (c *CoScheduledApp) Name() string {
+	names := make([]string, len(c.apps))
+	for i, a := range c.apps {
+		names[i] = a.Name()
+	}
+	return "CoSched(" + strings.Join(names, "+") + ")"
+}
+
+// Tenants returns the tenant names in scheduling order.
+func (c *CoScheduledApp) Tenants() []string { return append([]string(nil), c.tenants...) }
+
+// NumInstances implements task.App.
+func (c *CoScheduledApp) NumInstances() int { return c.n }
+
+// Setup implements task.App: each sub-app allocates its long-lived
+// objects under its tenant tag.
+func (c *CoScheduledApp) Setup(mem *hm.Memory) error {
+	for i, a := range c.apps {
+		mem.DefaultTenant = c.tenants[i]
+		err := a.Setup(mem)
+		mem.DefaultTenant = ""
+		if err != nil {
+			return fmt.Errorf("apps: tenant %s setup: %w", c.tenants[i], err)
+		}
+	}
+	return nil
+}
+
+// Instance implements task.App: the union of every tenant's task group,
+// task names prefixed "tenant/" to match the tenant-tagged objects.
+// Per-instance allocations a sub-app makes inside Instance are tagged
+// the same way via DefaultTenant.
+func (c *CoScheduledApp) Instance(i int, mem *hm.Memory) ([]hm.TaskWork, error) {
+	var out []hm.TaskWork
+	for ai, a := range c.apps {
+		mem.DefaultTenant = c.tenants[ai]
+		works, err := a.Instance(i, mem)
+		mem.DefaultTenant = ""
+		if err != nil {
+			return nil, fmt.Errorf("apps: tenant %s instance %d: %w", c.tenants[ai], i, err)
+		}
+		for _, tw := range works {
+			tw.Name = c.tenants[ai] + "/" + tw.Name
+			out = append(out, tw)
+		}
+	}
+	return out, nil
+}
+
+var _ task.App = (*CoScheduledApp)(nil)

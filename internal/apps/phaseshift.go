@@ -1,0 +1,199 @@
+package apps
+
+import (
+	"fmt"
+
+	"merchandiser/internal/access"
+	"merchandiser/internal/hm"
+	"merchandiser/internal/task"
+)
+
+// PhaseShiftConfig parameterizes the phase-shift application.
+type PhaseShiftConfig struct {
+	Tasks int // parallel tasks (default 8)
+	// StreamElems is each task's per-instance stream length (elements).
+	StreamElems int
+	// GatherElems is each task's per-instance gather count before the
+	// shift (elements).
+	GatherElems int
+	Instances   int
+	// ShiftInstance is the first instance at which the shifted tasks'
+	// access mix changes (default 2 — after the base profile and one
+	// well-predicted planned instance).
+	ShiftInstance int
+	// ShiftTasks is how many tasks change behavior (default Tasks/2,
+	// rounded up). Shifting a subset is what breaks load balance: the
+	// offline plan keeps treating every task as stream-bound while the
+	// shifted half turns gather-bound.
+	ShiftTasks int
+	// ShiftFactor multiplies the shifted tasks' gather accesses from
+	// ShiftInstance on (default 24).
+	ShiftFactor float64
+	Rep         float64 // kernel replication factor
+	Seed        int64
+}
+
+func (c PhaseShiftConfig) withDefaults() PhaseShiftConfig {
+	if c.Tasks <= 0 {
+		c.Tasks = 8
+	}
+	if c.StreamElems <= 0 {
+		c.StreamElems = 160 << 10
+	}
+	if c.GatherElems <= 0 {
+		c.GatherElems = 256 << 10
+	}
+	if c.Instances <= 0 {
+		c.Instances = 6
+	}
+	if c.ShiftInstance <= 0 {
+		c.ShiftInstance = 2
+	}
+	if c.ShiftTasks <= 0 {
+		c.ShiftTasks = (c.Tasks + 1) / 2
+	}
+	if c.ShiftTasks > c.Tasks {
+		c.ShiftTasks = c.Tasks
+	}
+	if c.ShiftFactor <= 1 {
+		c.ShiftFactor = 24
+	}
+	if c.Rep <= 0 {
+		c.Rep = 4
+	}
+	return c
+}
+
+// PhaseShiftApp is the dynamic-phase workload of the epoch-lifecycle
+// evaluation: each task sweeps its stream buffer and then gathers from a
+// lookup table. Through ShiftInstance−1 the stream dominates; from
+// ShiftInstance on, a subset of tasks' gather phase explodes by
+// ShiftFactor — the task's dominant access pattern flips from stream to
+// random mid-run. Object sizes never change, so Merchandiser's offline
+// §5.2 predictor (which scales base-instance phase times by size ratios)
+// keeps predicting the pre-shift times: the offline plan goes stale in a
+// way α refinement cannot repair, which is exactly the drift the
+// epoch-based re-planner exists to catch.
+//
+// The gather is computed for real: each task owns a seeded xorshift table
+// and accumulates a checksum over its gathered values; Checksums exposes
+// the per-instance results for cross-policy verification.
+type PhaseShiftApp struct {
+	cfg PhaseShiftConfig
+
+	table     [][]uint64 // per-task lookup table values
+	checksums [][]uint64 // [instance][task] gather checksums
+
+	str []*hm.Object // per-task stream buffers
+	tbl []*hm.Object // per-task lookup tables
+}
+
+// NewPhaseShift builds the application and runs every instance's real
+// gather kernel once (replicated Rep times in simulation).
+func NewPhaseShift(cfg PhaseShiftConfig) (*PhaseShiftApp, error) {
+	cfg = cfg.withDefaults()
+	app := &PhaseShiftApp{cfg: cfg}
+	app.table = make([][]uint64, cfg.Tasks)
+	for t := range app.table {
+		tab := make([]uint64, cfg.GatherElems)
+		s := uint64(cfg.Seed)*0x9e3779b97f4a7c15 + uint64(t+1)
+		for i := range tab {
+			s ^= s << 13
+			s ^= s >> 7
+			s ^= s << 17
+			tab[i] = s
+		}
+		app.table[t] = tab
+	}
+	for i := 0; i < cfg.Instances; i++ {
+		sums := make([]uint64, cfg.Tasks)
+		for t := 0; t < cfg.Tasks; t++ {
+			n := app.gatherCount(i, t)
+			idx := uint64(cfg.Seed) + uint64(i*1000+t)
+			var sum uint64
+			tab := app.table[t]
+			for k := 0; k < n; k++ {
+				idx ^= idx << 13
+				idx ^= idx >> 7
+				idx ^= idx << 17
+				sum += tab[idx%uint64(len(tab))]
+			}
+			sums[t] = sum
+		}
+		app.checksums = append(app.checksums, sums)
+	}
+	return app, nil
+}
+
+// gatherCount is the real per-instance gather iteration count of task t.
+func (a *PhaseShiftApp) gatherCount(i, t int) int {
+	n := a.cfg.GatherElems
+	if i >= a.cfg.ShiftInstance && t < a.cfg.ShiftTasks {
+		n = int(float64(n) * a.cfg.ShiftFactor)
+	}
+	return n
+}
+
+// Name implements task.App.
+func (a *PhaseShiftApp) Name() string { return "PhaseShift" }
+
+// NumInstances implements task.App.
+func (a *PhaseShiftApp) NumInstances() int { return a.cfg.Instances }
+
+// Checksums returns the per-instance, per-task gather checksums —
+// identical across placement policies.
+func (a *PhaseShiftApp) Checksums() [][]uint64 { return a.checksums }
+
+func (a *PhaseShiftApp) taskName(t int) string { return fmt.Sprintf("shift%02d", t) }
+
+// Setup implements task.App.
+func (a *PhaseShiftApp) Setup(mem *hm.Memory) error {
+	a.str = make([]*hm.Object, a.cfg.Tasks)
+	a.tbl = make([]*hm.Object, a.cfg.Tasks)
+	for t := 0; t < a.cfg.Tasks; t++ {
+		s, err := mem.Alloc(fmt.Sprintf("ps/str%02d", t), a.taskName(t), uint64(a.cfg.StreamElems)*8, hm.PM)
+		if err != nil {
+			return err
+		}
+		a.str[t] = s
+		o, err := mem.Alloc(fmt.Sprintf("ps/tbl%02d", t), a.taskName(t), uint64(a.cfg.GatherElems)*8, hm.PM)
+		if err != nil {
+			return err
+		}
+		a.tbl[t] = o
+	}
+	return nil
+}
+
+// Instance implements task.App.
+func (a *PhaseShiftApp) Instance(i int, mem *hm.Memory) ([]hm.TaskWork, error) {
+	works := make([]hm.TaskWork, a.cfg.Tasks)
+	sweep := access.Pattern{Kind: access.Stream, ElemSize: 8}
+	gather := access.Pattern{Kind: access.Random, ElemSize: 8, Skew: 0.2, InputDependent: true}
+	for t := 0; t < a.cfg.Tasks; t++ {
+		es := float64(a.cfg.StreamElems) * a.cfg.Rep
+		eg := float64(a.gatherCount(i, t)) * a.cfg.Rep
+		works[t] = hm.TaskWork{
+			Name: a.taskName(t),
+			Phases: []hm.Phase{
+				{
+					Name:           "sweep",
+					ComputeSeconds: 1.0e-9 * es,
+					Accesses: []hm.PhaseAccess{
+						{Obj: a.str[t], Pattern: sweep, ProgramAccesses: es, WriteFrac: 0.2},
+					},
+				},
+				{
+					Name:           "gather",
+					ComputeSeconds: 1.5e-9 * eg,
+					Accesses: []hm.PhaseAccess{
+						{Obj: a.tbl[t], Pattern: gather, ProgramAccesses: eg, Seed: int64(11 + t)},
+					},
+				},
+			},
+		}
+	}
+	return works, nil
+}
+
+var _ task.App = (*PhaseShiftApp)(nil)

@@ -20,9 +20,11 @@ package baseline
 
 import (
 	"context"
+	"errors"
 	"sort"
 
 	"merchandiser/internal/hm"
+	"merchandiser/internal/merr"
 	"merchandiser/internal/placement"
 	"merchandiser/internal/profiler"
 	"merchandiser/internal/task"
@@ -315,7 +317,12 @@ func (d *Daemon) Tick(now float64, mem *hm.Memory, tasks []hm.TaskStatus) {
 					break
 				}
 			}
-			if mem.Migrate(c.obj, p, hm.DRAM) != nil {
+			if err := mem.Migrate(c.obj, p, hm.DRAM); err != nil {
+				if errors.Is(err, merr.ErrQuota) {
+					// Only this candidate's tenant is out of quota;
+					// candidates of other tenants may still have room.
+					break
+				}
 				stop = true
 				break
 			}

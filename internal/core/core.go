@@ -22,12 +22,15 @@ package core
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"sort"
+	"strings"
 
 	"merchandiser/internal/access"
 	"merchandiser/internal/baseline"
 	"merchandiser/internal/hm"
+	"merchandiser/internal/merr"
 	"merchandiser/internal/model"
 	"merchandiser/internal/obs"
 	"merchandiser/internal/placement"
@@ -63,7 +66,10 @@ type Config struct {
 	// binary-search min-makespan planner (ablation: how much does the
 	// 5%-step greedy leave on the table?).
 	OptimalPlanner bool
-	Seed           int64
+	// Replan configures the epoch-based re-planning lifecycle. The zero
+	// value (ReplanOff) runs the paper's plan-once workflow unchanged.
+	Replan ReplanConfig
+	Seed   int64
 	// Obs, when non-nil, receives the runtime's metrics (plans built,
 	// migration-gate blocks) and is forwarded to Algorithm 1 as
 	// Algorithm.Obs unless that is set explicitly.
@@ -131,6 +137,15 @@ type Merchandiser struct {
 	// Predictions records (task, predicted time, instance) tuples for the
 	// Table 4 accuracy study.
 	Predictions []Prediction
+
+	// replan is the current instance's epoch lifecycle; nil while
+	// re-planning is off or during the base instance.
+	replan *replanState
+	// EpochReports records every epoch boundary's observation and action
+	// across instances; deterministic, for experiments and tests.
+	EpochReports []EpochReport
+	// Replans counts residual plans actually applied.
+	Replans int
 }
 
 // Prediction is one Equation 2 prediction paired against the measured
@@ -166,9 +181,13 @@ func New(cfg Config) *Merchandiser {
 func (m *Merchandiser) Name() string { return "Merchandiser" }
 
 // Tick implements the unified task.Policy contract by driving the gated
-// migration daemon at every engine tick.
+// migration daemon at every engine tick, then advancing the epoch
+// lifecycle when re-planning is enabled.
 func (m *Merchandiser) Tick(now float64, mem *hm.Memory, tasks []hm.TaskStatus) {
 	m.daemon.Tick(now, mem, tasks)
+	if m.replan != nil {
+		m.replanTick(now, mem, tasks)
+	}
 }
 
 // GateBlocked reports how many migration candidates the load-balance gate
@@ -180,12 +199,13 @@ func (m *Merchandiser) Daemon() *baseline.Daemon { return m.daemon }
 
 // BeforeInstance implements task.Policy.
 func (m *Merchandiser) BeforeInstance(ctx context.Context, i int, mem *hm.Memory, works []hm.TaskWork) error {
+	m.replan = nil
 	if i == 0 {
 		// Base input: build profile skeletons and measure basic blocks
 		// offline; the instance itself runs ungated for profiling.
 		return m.initProfiles(ctx, works)
 	}
-	return m.plan(i, mem, works)
+	return m.plan(ctx, i, mem, works)
 }
 
 // initProfiles builds the per-task profile skeletons from the base
@@ -307,7 +327,7 @@ func (m *Merchandiser) measureBlocksGrouped(ctx context.Context, works []hm.Task
 
 // plan runs Equation 1, the §5.2 predictor and Algorithm 1 for instance i
 // and installs the resulting gate.
-func (m *Merchandiser) plan(i int, mem *hm.Memory, works []hm.TaskWork) error {
+func (m *Merchandiser) plan(ctx context.Context, i int, mem *hm.Memory, works []hm.TaskWork) error {
 	if len(m.profiles) != len(works) {
 		return fmt.Errorf("core: instance %d has %d tasks, base had %d", i, len(works), len(m.profiles))
 	}
@@ -381,6 +401,7 @@ func (m *Merchandiser) plan(i int, mem *hm.Memory, works []hm.TaskWork) error {
 		}
 		inputs[ti] = placement.TaskInput{
 			Name:           tw.Name,
+			Tenant:         tenantOf(tw.Name, mem),
 			TPmOnly:        tPm,
 			TDramOnly:      tDram,
 			Events:         tp.events,
@@ -393,9 +414,13 @@ func (m *Merchandiser) plan(i int, mem *hm.Memory, works []hm.TaskWork) error {
 	var plan *placement.Plan
 	var err error
 	if m.cfg.OptimalPlanner {
-		plan, err = placement.MinMakespanPlan(inputs, m.cfg.Spec.CapacityPages(hm.DRAM), m.cfg.Perf, 1e-3)
+		plan, err = placement.MinMakespanPlanConstrained(inputs, m.constraints(mem), m.cfg.Perf, 1e-3)
 	} else {
-		plan, err = placement.GreedyLoadBalance(inputs, m.cfg.Spec.CapacityPages(hm.DRAM), m.cfg.Perf, m.cfg.Algorithm)
+		acfg := m.cfg.Algorithm
+		if mem.Quotas != nil {
+			acfg.TenantQuota = mem.Quotas.Quotas()
+		}
+		plan, err = placement.GreedyLoadBalance(inputs, m.cfg.Spec.CapacityPages(hm.DRAM), m.cfg.Perf, acfg)
 	}
 	if err != nil {
 		return fmt.Errorf("core: Algorithm 1: %w", err)
@@ -417,6 +442,17 @@ func (m *Merchandiser) plan(i int, mem *hm.Memory, works []hm.TaskWork) error {
 	}
 	m.daemon.Gate = gate
 	m.applyPlan(mem, works, inputs, plan)
+
+	if m.cfg.Replan.Mode != ReplanOff {
+		m.replan = &replanState{
+			cfg:       m.cfg.Replan.withDefaults(),
+			ctx:       ctx,
+			instance:  i,
+			inputs:    inputs,
+			works:     works,
+			predicted: append([]float64(nil), plan.Predicted...),
+		}
+	}
 
 	// Refresh the per-task predictions against the placement actually
 	// realized: shared objects one task pulled into DRAM serve the other
@@ -502,6 +538,12 @@ func (m *Merchandiser) AlphaReport() map[string]float64 {
 // the migration traffic is charged to the memory system and drains
 // against tier bandwidth during the instance.
 func (m *Merchandiser) applyPlan(mem *hm.Memory, works []hm.TaskWork, inputs []placement.TaskInput, plan *placement.Plan) {
+	m.realize(mem, computeDesired(mem, works, inputs, plan))
+}
+
+// computeDesired converts a plan's per-task page budgets into desired
+// DRAM pages per object, densest objects of each task first.
+func computeDesired(mem *hm.Memory, works []hm.TaskWork, inputs []placement.TaskInput, plan *placement.Plan) map[*hm.Object]uint64 {
 	byName := map[string]*hm.Object{}
 	for _, tw := range works {
 		for _, ph := range tw.Phases {
@@ -510,7 +552,6 @@ func (m *Merchandiser) applyPlan(mem *hm.Memory, works []hm.TaskWork, inputs []p
 			}
 		}
 	}
-	// Desired DRAM pages per object, densest objects of each task first.
 	desired := map[*hm.Object]uint64{}
 	for ti, in := range inputs {
 		budget := plan.DRAMPages[ti]
@@ -533,7 +574,7 @@ func (m *Merchandiser) applyPlan(mem *hm.Memory, works []hm.TaskWork, inputs []p
 			}
 			// Claim real pages of the object (shared objects can be
 			// claimed by several tasks up to their full size; the
-			// DRAM-full guard below keeps realization within capacity).
+			// DRAM-full guard in realize keeps placement within capacity).
 			take := uint64(obj.NumPages()) - desired[obj]
 			if take > budget {
 				take = budget
@@ -542,9 +583,33 @@ func (m *Merchandiser) applyPlan(mem *hm.Memory, works []hm.TaskWork, inputs []p
 			budget -= take
 		}
 	}
-	// Demote pages above desire (coldest first by profiled history),
-	// then promote up to desire (hottest first; fresh objects without
-	// history get an interleaved spread).
+	return desired
+}
+
+// countMoves returns how many page migrations realizing the desired
+// placement would issue: demotions of pages above desire plus promotions
+// up to desire. It is the re-planner's migration-cost input, computed
+// without touching the page table.
+func countMoves(mem *hm.Memory, desired map[*hm.Object]uint64) uint64 {
+	var moves uint64
+	for _, o := range mem.Objects() {
+		want := desired[o]
+		have := o.DRAMPages()
+		if have > want {
+			moves += have - want
+		} else {
+			moves += want - have
+		}
+	}
+	return moves
+}
+
+// realize walks the memory system toward the desired placement: pages
+// above desire are demoted (coldest first by profiled history), then
+// objects are promoted up to desire (hottest first; fresh objects without
+// history get an interleaved spread). A tenant whose quota refuses a
+// promotion skips to the next object; other tenants' grants still apply.
+func (m *Merchandiser) realize(mem *hm.Memory, desired map[*hm.Object]uint64) {
 	for _, o := range mem.Objects() {
 		want := desired[o]
 		if o.DRAMPages() <= want {
@@ -568,12 +633,28 @@ func (m *Merchandiser) applyPlan(mem *hm.Memory, works []hm.TaskWork, inputs []p
 				break
 			}
 			if o.Loc[p] != hm.DRAM {
-				if mem.Migrate(o, p, hm.DRAM) != nil {
+				if err := mem.Migrate(o, p, hm.DRAM); err != nil {
+					if errors.Is(err, merr.ErrQuota) {
+						break // this tenant is capped; others may proceed
+					}
 					return // DRAM full; plan bounded this, but stay safe
 				}
 			}
 		}
 	}
+}
+
+// tenantOf extracts the tenant prefix from a co-scheduled task's name
+// ("tenant/task") when the memory system runs with a quota ledger;
+// single-tenant runs return "".
+func tenantOf(name string, mem *hm.Memory) string {
+	if mem == nil || mem.Quotas == nil {
+		return ""
+	}
+	if i := strings.IndexByte(name, '/'); i > 0 {
+		return name[:i]
+	}
+	return ""
 }
 
 // pagesByHistory orders an object's pages by cumulative profiled accesses

@@ -1,0 +1,128 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"merchandiser/internal/apps"
+	"merchandiser/internal/model"
+	"merchandiser/internal/obs"
+)
+
+// dynArt is the dynamic-cell test fixture: the experiment spec with an
+// untrained performance model (linear interpolation — no corpus, fast).
+func dynArt() *Artifacts {
+	return &Artifacts{Spec: apps.ExperimentSpec(), Perf: &model.PerfModel{}}
+}
+
+func dynCfg() Config {
+	return Config{Quick: true, Seed: 1, StepSec: 0.0005}
+}
+
+// TestReplanBenchDeterministicAndRecovers is the acceptance bar for the
+// epoch lifecycle in one shot: the PhaseShift study must agree exactly
+// between Workers=1 and Workers=8 (ReplanBench errors out otherwise),
+// re-planning must actually fire, and drift mode must beat the static
+// plan end to end.
+func TestReplanBenchDeterministicAndRecovers(t *testing.T) {
+	rep, err := ReplanBench(context.Background(), nil, dynArt(), dynCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.Deterministic {
+		t.Fatal("report not marked deterministic")
+	}
+	if len(rep.Rows) != 3 || rep.Rows[0].Mode != "off" {
+		t.Fatalf("unexpected rows: %+v", rep.Rows)
+	}
+	off, drift := rep.Rows[0], rep.Rows[1]
+	if drift.Replans == 0 || drift.Epochs == 0 {
+		t.Fatalf("drift mode never re-planned: %+v", drift)
+	}
+	if off.Replans != 0 || off.Epochs != 0 {
+		t.Fatalf("off mode ran the lifecycle: %+v", off)
+	}
+	if drift.TotalTime >= off.TotalTime {
+		t.Fatalf("drift re-planning did not recover makespan: %.3fs vs off %.3fs",
+			drift.TotalTime, off.TotalTime)
+	}
+	if rep.SpeedupDrift <= 1 {
+		t.Fatalf("speedup_drift = %.3f, want > 1", rep.SpeedupDrift)
+	}
+}
+
+// TestReplanStudyGolden pins the study rows — makespans, re-plan counts,
+// drift magnitudes, pages moved — to a golden file, so any change to the
+// epoch lifecycle's observable behavior is a reviewed diff. Regenerate
+// with -update after intentional changes.
+func TestReplanStudyGolden(t *testing.T) {
+	rows, err := ReplanStudy(context.Background(), nil, dynArt(), dynCfg())
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := json.MarshalIndent(rows, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+	path := filepath.Join("testdata", "replan_study.golden.json")
+	if *update {
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run with -update to create): %v", err)
+	}
+	if d := obs.DiffText(string(want), string(got)); d != "" {
+		t.Errorf("replan study drift (re-run with -update if intentional):\n%s", d)
+	}
+}
+
+// TestMultiTenantStudyHoldsQuotas runs the co-schedule study under the
+// default quota split and checks the ledger did real work: at least one
+// tenant saturated DRAM demand, and nobody exceeded its budget (the
+// study itself errors on violation; the engine's Debug invariant sweep
+// cross-checks the page table against the ledger every tick).
+func TestMultiTenantStudyHoldsQuotas(t *testing.T) {
+	res, err := MultiTenantStudy(context.Background(), nil, dynArt(), dynCfg(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Tenants) != 2 {
+		t.Fatalf("want 2 tenants, got %+v", res.Tenants)
+	}
+	anyUsed := false
+	for _, row := range res.Tenants {
+		if row.MaxUsedPages > row.QuotaPages {
+			t.Fatalf("tenant %s peaked over quota: %+v", row.Tenant, row)
+		}
+		if row.MaxUsedPages > 0 {
+			anyUsed = true
+		}
+	}
+	if !anyUsed {
+		t.Fatal("no tenant ever held DRAM — the study exercised nothing")
+	}
+}
+
+// TestMultiTenantZeroQuotaRuns pins the degradation contract end to end:
+// a tenant whose DRAM budget is zero still runs to completion — all its
+// placements degrade to PM — rather than erroring out of the run.
+func TestMultiTenantZeroQuotaRuns(t *testing.T) {
+	quotas := map[string]uint64{"spgemm": 1024, "bfs": 0}
+	res, err := MultiTenantStudy(context.Background(), nil, dynArt(), dynCfg(), quotas)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range res.Tenants {
+		if row.Tenant == "bfs" && row.MaxUsedPages != 0 {
+			t.Fatalf("zero-quota tenant held %d DRAM pages", row.MaxUsedPages)
+		}
+	}
+}

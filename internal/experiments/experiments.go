@@ -66,6 +66,10 @@ type Config struct {
 	// Trace additionally enables per-cell event logs (AppRun.Events);
 	// requires Obs.
 	Trace bool
+	// Replan configures Merchandiser's epoch-based re-planning lifecycle
+	// for every cell that builds it (the -replan knob). The zero value
+	// (off) keeps all outputs byte-identical to the plan-once evaluation.
+	Replan core.ReplanConfig
 }
 
 func (c Config) step() float64 {
@@ -261,10 +265,11 @@ var PolicyNames = []string{"PM-only", "MemoryMode", "MemoryOptimizer", "Merchand
 // seed offsets exactly, so evaluation outputs are unchanged.
 func buildPolicy(name string, art *Artifacts, cfg Config, reg *obs.Registry) (task.Policy, error) {
 	pol, err := policyreg.Build(name, policyreg.Params{
-		Spec: art.Spec,
-		Perf: art.Perf,
-		Seed: cfg.Seed,
-		Obs:  reg,
+		Spec:   art.Spec,
+		Perf:   art.Perf,
+		Seed:   cfg.Seed,
+		Obs:    reg,
+		Replan: cfg.Replan,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("experiments: %w", err)

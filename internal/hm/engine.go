@@ -51,6 +51,16 @@ type TaskStatus struct {
 	// IntervalAccesses is the task's main-memory accesses during the
 	// last interval.
 	IntervalAccesses float64
+	// DoneAccesses / PlannedAccesses are the task's cumulative main-memory
+	// accesses so far and the total its declared phases will issue. They
+	// are engine-internal progress counters — always populated, with or
+	// without an observer — so re-planning policies can measure progress
+	// and drift without the obs registry.
+	DoneAccesses    float64
+	PlannedAccesses float64
+	// StallSeconds is the cumulative time the task has spent
+	// memory-stalled (not overlapped with compute).
+	StallSeconds float64
 	// Objects are the data objects the task touches in its current phase.
 	Objects []*Object
 }
@@ -104,6 +114,21 @@ type BWSample struct {
 	MigGBs [NumTiers]float64 // migration-only portion
 }
 
+// EpochProgress is a deterministic progress snapshot recorded every
+// Engine.EpochTicks policy ticks (plus one final snapshot at run end).
+// Every field derives from simulated time and counters — never wall
+// clock — so snapshots are byte-identical across worker counts.
+type EpochProgress struct {
+	Index int     // epoch number, starting at 0
+	Time  float64 // simulated seconds at the epoch boundary
+	// Done is each task's completed fraction of its planned main-memory
+	// accesses, in task order (1 for finished tasks).
+	Done []float64
+	// Occupancy is pages in use per tier at the boundary, before the
+	// policy's tick ran.
+	Occupancy [NumTiers]uint64
+}
+
 // RunResult is the outcome of one engine run (one task-group instance
 // between global synchronizations).
 type RunResult struct {
@@ -111,6 +136,9 @@ type RunResult struct {
 	Makespan  float64   // max task time = time at the sync point
 	Counters  []TaskCounters
 	Bandwidth []BWSample
+	// Epochs holds per-epoch progress snapshots; empty unless
+	// Engine.EpochTicks > 0.
+	Epochs []EpochProgress
 }
 
 // Engine executes a group of tasks concurrently over a Memory, sharing
@@ -130,6 +158,10 @@ type Engine struct {
 	MemoryMode bool
 	// MaxSteps guards against runaway simulations (default 50M).
 	MaxSteps int
+	// EpochTicks, when > 0, records an EpochProgress snapshot into the
+	// RunResult every EpochTicks policy ticks (tick-count based, so epoch
+	// boundaries are deterministic). 0 disables epoch recording.
+	EpochTicks int
 	// Debug enables per-tick invariant checking.
 	Debug bool
 	// Obs, when non-nil, receives the engine's run metrics (per-tier bytes
@@ -170,6 +202,11 @@ type taskState struct {
 	overlap    float64 // compute/memory overlap factor for the current phase
 	finished   bool
 	counters   TaskCounters
+	// planned is the total main-memory accesses the task's declared
+	// phases will issue, precomputed at run start (patterns are pure
+	// functions of the declared workload, so this costs nothing at
+	// steady state and exists even without an observer).
+	planned float64
 	// intervalAccesses counts main-memory accesses since the last policy
 	// tick (exposed via TaskStatus.IntervalAccesses).
 	intervalAccesses float64
@@ -213,6 +250,14 @@ func (e *Engine) Run(ctx context.Context, tasks []TaskWork) (*RunResult, error) 
 	for i, tw := range tasks {
 		st := &taskState{work: tw, phaseIdx: -1}
 		st.counters.Name = tw.Name
+		for _, ph := range tw.Phases {
+			for _, pa := range ph.Accesses {
+				if pa.Obj == nil {
+					continue // surfaces as an error when the phase starts
+				}
+				st.planned += pa.Pattern.MainMemoryAccesses(pa.ProgramAccesses, float64(pa.Obj.Bytes), e.Mem.Spec.LLCBytes)
+			}
+		}
 		states[i] = st
 		if err := e.advancePhase(st); err != nil {
 			return nil, err
@@ -246,6 +291,7 @@ func (e *Engine) Run(ctx context.Context, tasks []TaskWork) (*RunResult, error) 
 
 	now := 0.0
 	nextTick := interval
+	tickCount := 0
 	var tickBytes, tickMigBytes [NumTiers]float64
 	running := 0
 	for _, st := range states {
@@ -406,6 +452,10 @@ func (e *Engine) Run(ctx context.Context, tasks []TaskWork) (*RunResult, error) 
 			}
 			obsTicks.Inc()
 			res.Bandwidth = append(res.Bandwidth, s)
+			tickCount++
+			if e.EpochTicks > 0 && (tickCount%e.EpochTicks == 0 || running == 0) {
+				res.Epochs = append(res.Epochs, e.epochSnapshot(len(res.Epochs), now, states))
+			}
 
 			// The cancellation point: checked once per policy tick, so a
 			// canceled context aborts the run within one interval.
@@ -786,6 +836,35 @@ func (e *Engine) flushEntryCounters(st *taskState) {
 	}
 }
 
+// epochSnapshot captures per-task progress and tier occupancy at an
+// epoch boundary.
+func (e *Engine) epochSnapshot(idx int, now float64, states []*taskState) EpochProgress {
+	ep := EpochProgress{Index: idx, Time: now, Done: make([]float64, len(states))}
+	for i, st := range states {
+		ep.Done[i] = taskDoneFraction(st)
+	}
+	for t := TierID(0); t < NumTiers; t++ {
+		ep.Occupancy[t] = e.Mem.UsedPages(t)
+	}
+	return ep
+}
+
+// taskDoneFraction is the task's completed fraction of its planned
+// main-memory accesses, clamped to [0, 1].
+func taskDoneFraction(st *taskState) float64 {
+	if st.finished {
+		return 1
+	}
+	if st.planned <= 0 {
+		return 0
+	}
+	f := st.counters.MainAccesses / st.planned
+	if f > 1 {
+		f = 1
+	}
+	return f
+}
+
 // taskStatuses builds the policy-facing snapshot.
 func (e *Engine) taskStatuses(states []*taskState) []TaskStatus {
 	out := make([]TaskStatus, len(states))
@@ -794,6 +873,9 @@ func (e *Engine) taskStatuses(states []*taskState) []TaskStatus {
 		ts.RDRAM = st.counters.RDRAM()
 		ts.IntervalAccesses = st.intervalAccesses
 		st.intervalAccesses = 0
+		ts.DoneAccesses = st.counters.MainAccesses
+		ts.PlannedAccesses = st.planned
+		ts.StallSeconds = st.counters.StallSeconds
 		if !st.finished {
 			for j := range st.entries {
 				ts.Objects = append(ts.Objects, st.entries[j].pa.Obj)

@@ -1,0 +1,129 @@
+package hm
+
+import (
+	"sort"
+	"sync"
+)
+
+// QuotaLedger is the multi-tenant DRAM capacity ledger: each tenant (a
+// co-scheduled application sharing one memory system) gets a page budget,
+// and every DRAM placement of a tenant-tagged object is charged against
+// it. Tenants without a configured quota are unconstrained (only the
+// tier's physical capacity applies), and objects with no tenant tag are
+// never charged — so a ledger-free run and a run whose ledger has no
+// quotas behave identically.
+//
+// The ledger is mutex-protected: the memory system itself is
+// single-goroutine, but policies may consult the ledger from a re-plan
+// worker while the engine drives migrations, and tests hammer it from
+// many goroutines under -race.
+type QuotaLedger struct {
+	mu   sync.Mutex
+	caps map[string]uint64
+	used map[string]uint64
+}
+
+// NewQuotaLedger returns an empty ledger (no quotas, nothing charged).
+func NewQuotaLedger() *QuotaLedger {
+	return &QuotaLedger{caps: map[string]uint64{}, used: map[string]uint64{}}
+}
+
+// SetQuota caps tenant's DRAM usage at pages. Setting a quota below the
+// tenant's current usage does not evict pages — it only blocks further
+// charges until usage drains below the cap.
+func (q *QuotaLedger) SetQuota(tenant string, pages uint64) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	q.caps[tenant] = pages
+}
+
+// Quota returns tenant's configured cap and whether one is set.
+func (q *QuotaLedger) Quota(tenant string) (uint64, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	c, ok := q.caps[tenant]
+	return c, ok
+}
+
+// Used returns how many DRAM pages are currently charged to tenant.
+func (q *QuotaLedger) Used(tenant string) uint64 {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.used[tenant]
+}
+
+// Quotas returns the configured (tenant, cap) pairs sorted by tenant —
+// the planner's per-tenant constraint input.
+func (q *QuotaLedger) Quotas() map[string]uint64 {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make(map[string]uint64, len(q.caps))
+	for t, c := range q.caps {
+		out[t] = c
+	}
+	return out
+}
+
+// Tenants returns every tenant with a configured quota, sorted.
+func (q *QuotaLedger) Tenants() []string {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make([]string, 0, len(q.caps))
+	for t := range q.caps {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// charge atomically charges n DRAM pages to tenant; it refuses (false,
+// charging nothing) if that would exceed the tenant's quota. Untagged
+// tenants ("") and tenants without a quota always succeed.
+func (q *QuotaLedger) charge(tenant string, n uint64) bool {
+	if tenant == "" || n == 0 {
+		return true
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if cap, ok := q.caps[tenant]; ok && q.used[tenant]+n > cap {
+		return false
+	}
+	q.used[tenant] += n
+	return true
+}
+
+// chargeUpTo charges as many of n pages as the tenant's quota allows and
+// returns how many were granted (n when unconstrained).
+func (q *QuotaLedger) chargeUpTo(tenant string, n uint64) uint64 {
+	if tenant == "" || n == 0 {
+		return n
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	grant := n
+	if cap, ok := q.caps[tenant]; ok {
+		if q.used[tenant] >= cap {
+			grant = 0
+		} else if room := cap - q.used[tenant]; room < grant {
+			grant = room
+		}
+	}
+	q.used[tenant] += grant
+	return grant
+}
+
+// credit returns n DRAM pages of tenant to the ledger.
+func (q *QuotaLedger) credit(tenant string, n uint64) {
+	if tenant == "" || n == 0 {
+		return
+	}
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.used[tenant] < n {
+		// Defensive: never underflow; CheckInvariants catches the
+		// accounting bug that would get us here.
+		q.used[tenant] = 0
+		return
+	}
+	q.used[tenant] -= n
+}

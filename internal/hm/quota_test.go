@@ -1,0 +1,182 @@
+package hm
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+
+	"merchandiser/internal/merr"
+)
+
+func quotaSpec() SystemSpec {
+	s := DefaultSpec()
+	s.Tiers[DRAM].CapacityBytes = 64 * 4096
+	s.Tiers[PM].CapacityBytes = 1024 * 4096
+	s.LLCBytes = 16 << 10
+	return s
+}
+
+func TestQuotaLedgerChargeSemantics(t *testing.T) {
+	q := NewQuotaLedger()
+	q.SetQuota("a", 10)
+
+	if !q.charge("a", 10) {
+		t.Fatal("charge up to quota refused")
+	}
+	if q.charge("a", 1) {
+		t.Fatal("charge over quota accepted")
+	}
+	if got := q.Used("a"); got != 10 {
+		t.Fatalf("used = %d, want 10 (refused charge must not partially apply)", got)
+	}
+	q.credit("a", 4)
+	if got := q.chargeUpTo("a", 100); got != 4 {
+		t.Fatalf("chargeUpTo granted %d, want the 4 remaining", got)
+	}
+	// Unknown tenants and the empty tenant are unconstrained.
+	if !q.charge("other", 1<<40) {
+		t.Fatal("tenant without quota should be unconstrained")
+	}
+	if !q.charge("", 1<<40) {
+		t.Fatal("empty tenant should never be charged")
+	}
+	if q.Used("") != 0 {
+		t.Fatal("empty tenant must not accumulate usage")
+	}
+	// Defensive credit: never underflows.
+	q.credit("a", 1000)
+	if got := q.Used("a"); got != 0 {
+		t.Fatalf("over-credit left used = %d, want 0", got)
+	}
+}
+
+func TestQuotaLedgerConcurrentCharges(t *testing.T) {
+	q := NewQuotaLedger()
+	const cap = 1000
+	q.SetQuota("a", cap)
+	var wg sync.WaitGroup
+	granted := make([]uint64, 8)
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 500; i++ {
+				granted[g] += q.chargeUpTo("a", 1)
+			}
+		}(g)
+	}
+	wg.Wait()
+	var total uint64
+	for _, g := range granted {
+		total += g
+	}
+	if total != cap || q.Used("a") != cap {
+		t.Fatalf("concurrent grants = %d (ledger %d), want exactly %d", total, q.Used("a"), cap)
+	}
+}
+
+// TestZeroQuotaTenantDegradesToPM is the degradation contract: a tenant
+// with a zero DRAM budget still allocates successfully — everything
+// lands on PM — and DRAM migration is refused with ErrQuota, not a
+// capacity error and not a panic.
+func TestZeroQuotaTenantDegradesToPM(t *testing.T) {
+	m := NewMemory(quotaSpec())
+	m.Quotas = NewQuotaLedger()
+	m.Quotas.SetQuota("z", 0)
+	m.DefaultTenant = "z"
+
+	o, err := m.Alloc("obj", "task", 10*4096, DRAM)
+	if err != nil {
+		t.Fatalf("zero-quota DRAM alloc should degrade, got error: %v", err)
+	}
+	if o.DRAMPages() != 0 {
+		t.Fatalf("zero-quota tenant holds %d DRAM pages, want 0", o.DRAMPages())
+	}
+	for i, tier := range o.Loc {
+		if tier != PM {
+			t.Fatalf("page %d on tier %v, want PM", i, tier)
+		}
+	}
+	if err := m.Migrate(o, 0, DRAM); !errors.Is(err, merr.ErrQuota) {
+		t.Fatalf("zero-quota migrate error = %v, want ErrQuota", err)
+	}
+	if err := m.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuotaPropertyNeverExceeded drives a randomized alloc / migrate /
+// free workload over three tenants and checks, after every operation,
+// that (a) each tenant's charged DRAM pages stay within its quota, (b)
+// the charged total never exceeds the tier's physical capacity, and (c)
+// the full page-table/ledger invariant sweep passes.
+func TestQuotaPropertyNeverExceeded(t *testing.T) {
+	spec := quotaSpec()
+	capPages := spec.CapacityPages(DRAM)
+	quotas := map[string]uint64{"a": 30, "b": 20, "c": 0}
+
+	rng := rand.New(rand.NewSource(7))
+	m := NewMemory(spec)
+	m.Quotas = NewQuotaLedger()
+	for tn, q := range quotas {
+		m.Quotas.SetQuota(tn, q)
+	}
+	tenants := []string{"a", "b", "c", ""}
+
+	check := func(step int) {
+		t.Helper()
+		if err := m.CheckInvariants(); err != nil {
+			t.Fatalf("step %d: %v", step, err)
+		}
+		var tenantTotal uint64
+		for tn, q := range quotas {
+			u := m.Quotas.Used(tn)
+			if u > q {
+				t.Fatalf("step %d: tenant %s charged %d > quota %d", step, tn, u, q)
+			}
+			tenantTotal += u
+		}
+		if tenantTotal > capPages {
+			t.Fatalf("step %d: tenants hold %d DRAM pages > capacity %d", step, tenantTotal, capPages)
+		}
+	}
+
+	var live []*Object
+	for step := 0; step < 2000; step++ {
+		switch op := rng.Intn(10); {
+		case op < 4: // alloc, randomly tenant-tagged, randomly on DRAM or PM
+			m.DefaultTenant = tenants[rng.Intn(len(tenants))]
+			tier := TierID(rng.Intn(int(NumTiers)))
+			pages := uint64(1 + rng.Intn(12))
+			o, err := m.Alloc(fmt.Sprintf("o%d", step), "t", pages*spec.PageSize, tier)
+			m.DefaultTenant = ""
+			if err != nil {
+				if !errors.Is(err, merr.ErrCapacity) {
+					t.Fatalf("step %d: alloc: %v", step, err)
+				}
+				break // full is fine; quota refusal must NOT error
+			}
+			live = append(live, o)
+		case op < 7 && len(live) > 0: // migrate one page either way
+			o := live[rng.Intn(len(live))]
+			p := rng.Intn(o.NumPages())
+			to := DRAM
+			if o.Loc[p] == DRAM {
+				to = PM
+			}
+			if err := m.Migrate(o, p, to); err != nil &&
+				!errors.Is(err, merr.ErrQuota) && !errors.Is(err, merr.ErrCapacity) {
+				t.Fatalf("step %d: migrate: %v", step, err)
+			}
+		case len(live) > 0: // free
+			i := rng.Intn(len(live))
+			if err := m.Free(live[i]); err != nil {
+				t.Fatalf("step %d: free: %v", step, err)
+			}
+			live = append(live[:i], live[i+1:]...)
+		}
+		check(step)
+	}
+}

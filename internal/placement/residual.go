@@ -1,0 +1,82 @@
+package placement
+
+import (
+	"merchandiser/internal/hm"
+)
+
+// ResidualProgress is one task's observed mid-run state, used to shrink a
+// plan's TaskInputs down to the work that remains.
+type ResidualProgress struct {
+	// Done is the task's completed fraction of its planned main-memory
+	// accesses, in [0, 1].
+	Done float64
+	// Correction is the observed-over-predicted slowdown factor for the
+	// task so far (1 = running exactly as the plan predicted, 2 = taking
+	// twice as long). Values <= 0 are treated as 1. Scaling the time
+	// bounds by it folds the observed drift into the residual plan, which
+	// is what lets re-planning react to phase shifts the offline profile
+	// never saw.
+	Correction float64
+}
+
+// minResidual keeps a finished task's residual inputs valid (planners
+// require strictly positive time bounds) while making its remaining work
+// small enough that any planner grants it effectively nothing.
+const minResidual = 1e-6
+
+// ResidualInputs scales each task's inputs to its remaining work:
+// predicted time bounds and total accesses shrink by the undone fraction,
+// time bounds additionally stretch by the observed correction factor, and
+// per-object access estimates shrink proportionally. Footprints are
+// unchanged — the task's pages stay resident until it finishes, so the
+// page cost of a DRAM-access goal is what it always was. The result is
+// index-aligned with tasks (finished tasks degrade to minResidual rather
+// than being dropped), so plan slots keep matching task slots.
+func ResidualInputs(tasks []TaskInput, prog []ResidualProgress) []TaskInput {
+	out := make([]TaskInput, len(tasks))
+	for i, t := range tasks {
+		rem := 1.0
+		corr := 1.0
+		if i < len(prog) {
+			rem = 1 - prog[i].Done
+			if prog[i].Correction > 0 {
+				corr = prog[i].Correction
+			}
+		}
+		if rem < minResidual {
+			rem = minResidual
+		}
+		if rem > 1 {
+			rem = 1
+		}
+		rt := t
+		rt.TPmOnly = t.TPmOnly * rem * corr
+		rt.TDramOnly = t.TDramOnly * rem * corr
+		rt.TotalAccesses = t.TotalAccesses * rem
+		if len(t.Objects) > 0 {
+			rt.Objects = make([]ObjectLoad, len(t.Objects))
+			for j, o := range t.Objects {
+				o.Accesses *= rem
+				rt.Objects[j] = o
+			}
+		}
+		out[i] = rt
+	}
+	return out
+}
+
+// MigrationCost estimates the simulated seconds needed to move pages
+// between tiers: page bytes over the migration share of PM's bandwidth
+// (a migration is charged to both tiers' pools, and PM is the narrower
+// pipe, so it bounds the drain rate). Re-planning charges this cost
+// against a new plan's projected makespan win before applying it.
+func MigrationCost(movedPages uint64, spec hm.SystemSpec) float64 {
+	if movedPages == 0 {
+		return 0
+	}
+	bw := spec.BytesPerSecond(hm.PM) * spec.MigrationShare
+	if bw <= 0 {
+		return 0
+	}
+	return float64(movedPages) * float64(spec.PageSize) / bw
+}

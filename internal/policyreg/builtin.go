@@ -27,6 +27,7 @@ func init() {
 			Spec:   p.Spec,
 			Perf:   p.Perf,
 			Daemon: baseline.DaemonConfig{Seed: p.Seed + 20},
+			Replan: p.Replan,
 			Seed:   p.Seed + 21,
 			Obs:    p.Obs,
 		}), nil

@@ -15,6 +15,7 @@ import (
 	"sort"
 	"sync"
 
+	"merchandiser/internal/core"
 	"merchandiser/internal/hm"
 	"merchandiser/internal/merr"
 	"merchandiser/internal/model"
@@ -32,6 +33,11 @@ type Params struct {
 	Perf *model.PerfModel
 	Seed int64
 	Obs  *obs.Registry
+	// Replan configures the epoch-based re-planning lifecycle for
+	// policies that support it (Merchandiser). The zero value (off)
+	// keeps every factory's output byte-identical to the pre-replan
+	// catalogue.
+	Replan core.ReplanConfig
 }
 
 // Factory builds one fresh policy instance from the given parameters.

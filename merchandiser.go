@@ -195,6 +195,52 @@ func (s *System) MerchandiserWithObserver(reg *Observer) PolicyFactory {
 	})
 }
 
+// ReplanMode selects the epoch-based re-planning trigger for
+// MerchandiserReplan: off (the historical plan-once behavior), drift
+// (re-plan when observed progress projects the makespan past the
+// predicted one by more than the threshold), or interval (re-plan at
+// every epoch boundary regardless of drift).
+type ReplanMode = core.ReplanMode
+
+// Re-planning trigger modes.
+const (
+	ReplanOff      = core.ReplanOff
+	ReplanDrift    = core.ReplanDrift
+	ReplanInterval = core.ReplanInterval
+)
+
+// ParseReplanMode parses "off", "drift" or "interval" (empty = off).
+func ParseReplanMode(s string) (ReplanMode, error) { return core.ParseReplanMode(s) }
+
+// ReplanConfig tunes the epoch lifecycle: trigger mode, epoch length in
+// policy ticks, drift threshold, migration-cost scaling and the per-
+// instance re-plan budget. The zero value means off — byte-identical to
+// the plan-once policy.
+type ReplanConfig = core.ReplanConfig
+
+// EpochReport records one epoch boundary's drift decision (and, when a
+// re-plan was applied, its migration cost); read them from
+// MerchandiserReplan policies via core's EpochReports.
+type EpochReport = core.EpochReport
+
+// EpochProgress is the engine's per-epoch progress snapshot, recorded
+// into each instance's result when Options.EpochTicks > 0.
+type EpochProgress = hm.EpochProgress
+
+// MerchandiserReplan returns a factory for the paper's policy extended
+// with the epoch-based re-planning lifecycle: within each instance the
+// policy snapshots progress every ReplanConfig.EpochTicks policy ticks,
+// measures predicted-vs-observed makespan drift, and — per the
+// configured mode — re-invokes the min-makespan planner on the residual
+// workload, applying the delta as migrations only when the projected win
+// exceeds the migration cost. With cfg.Mode == ReplanOff the factory is
+// byte-identical to Merchandiser().
+func (s *System) MerchandiserReplan(cfg ReplanConfig) PolicyFactory {
+	return NewFactory("Merchandiser", func() (Policy, error) {
+		return core.New(core.Config{Spec: s.Spec, Perf: s.Perf, Replan: cfg}), nil
+	})
+}
+
 // PMOnly returns a factory for the slow-tier-only baseline policy.
 func (s *System) PMOnly() PolicyFactory {
 	return NewFactory("PM-only", func() (Policy, error) {

@@ -3,7 +3,8 @@
 # concurrency-bearing packages (root session pipeline, corpus worker
 # pool, parallel ml fitting, memoized placement, pooled evaluation
 # matrix, observability registries shared across workers, the serving
-# daemon's batcher) under the race detector, hold the compiled
+# daemon's batcher, the epoch re-plan lifecycle and the multi-tenant
+# quota ledger) under the race detector, hold the compiled
 # inference engine to zero allocations per single-point predict and
 # smoke its pointer-vs-compiled benchmarks, smoke the compile-tree,
 # event-encoder, artifact-decoder and binary-slot-decoder fuzz targets
@@ -63,6 +64,23 @@ echo "== pipeline identity smoke (Workers=1 vs Workers=8 byte-identical)"
 # worker counts plus the barriered Prepare->RunEvaluation reference and
 # requires identical models, corpora and evaluation matrices.
 go test -timeout 300s -count=1 -run '^TestRunPipelineIdentity$' ./internal/experiments
+
+echo "== replan/quota race tier (epoch lifecycle + multi-tenant ledger)"
+# The epoch lifecycle spawns a re-plan worker per epoch request and the
+# quota ledger is charged from both the policy goroutine and the
+# engine's workers; run exactly those paths — including mid-epoch
+# cancellation and the randomized quota property test — under the race
+# detector.
+go test -race -timeout 600s -count=1 -run 'Replan|Quota|MultiTenant' \
+	./internal/hm ./internal/core ./internal/experiments
+
+echo "== replan identity smoke (off == plan-once, Workers=1 vs Workers=8)"
+# The lifecycle's gating contract: ReplanOff must be byte-identical to
+# the pre-replan policy, and the drift study must agree exactly across
+# worker counts (TestReplanBenchDeterministicAndRecovers runs the bench
+# at Workers=1 and Workers=8 and requires identical rows).
+go test -timeout 300s -count=1 -run '^TestReplanOffByteIdentical$' ./internal/core
+go test -timeout 300s -count=1 -run '^TestReplanBenchDeterministicAndRecovers$' ./internal/experiments
 
 echo "== allocation gate (compiled single-point predict must not allocate)"
 # Deliberately outside the -race tier: the assertion is exact (0

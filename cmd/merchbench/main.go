@@ -18,6 +18,7 @@
 //	merchbench -exp cosched -tenants spgemm=1228,bfs=512   # multi-tenant quota study
 //	merchbench -replan drift -exp fig4   # run Merchandiser cells with drift re-planning
 //	merchbench -exp replan -bench-replan BENCH_8.json -quick   # re-planning benchmark report
+//	merchbench -exp none -quick -save sys.artifact -registry /var/merch -publish v1 -promote   # train, publish, promote
 //	merchbench -exp fig4 -out results/   # relative outputs land under results/
 //	merchbench -exp fig4 -cpuprofile cpu.pb.gz   # CPU profile of the run
 //	merchbench -exp fig4 -memprofile mem.pb.gz   # post-run heap profile
@@ -45,6 +46,7 @@ import (
 	"merchandiser/internal/obs"
 	"merchandiser/internal/pmc"
 	"merchandiser/internal/policyreg"
+	"merchandiser/internal/registry"
 	"merchandiser/internal/store"
 )
 
@@ -70,12 +72,21 @@ func main() {
 	replanEpoch := flag.Int("replan-epoch", 0, "epoch length in policy ticks for -replan (0 = default)")
 	tenants := flag.String("tenants", "", "per-tenant DRAM page quotas for -exp cosched as name=pages pairs, e.g. spgemm=1228,bfs=512 (default: a 60/25 split of DRAM)")
 	benchReplan := flag.String("bench-replan", "", "run the PhaseShift re-planning study at Workers=1 and 8, verify they agree exactly, and write the report (schema "+experiments.BenchSchema+") to this file")
+	registryRoot := flag.String("registry", "", "model registry root for -publish/-promote (see cmd/merchserved -registry)")
+	publish := flag.String("publish", "", "with -save and -registry: publish the saved artifact into the registry under this version name")
+	promote := flag.Bool("promote", false, "with -publish: promote the published version to CURRENT (replicas pick it up on SIGHUP or POST /reloadz)")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile of the whole run to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile (taken after the run, post-GC) to this file")
 	flag.Parse()
 
 	if *savePath != "" && *loadPath != "" {
 		fail(fmt.Errorf("-save and -load are mutually exclusive"))
+	}
+	if *publish != "" && (*savePath == "" || *registryRoot == "") {
+		fail(fmt.Errorf("-publish needs -save (the artifact to publish) and -registry (where to publish it)"))
+	}
+	if *promote && *publish == "" {
+		fail(fmt.Errorf("-promote needs -publish"))
 	}
 	format, err := merchandiser.ParseSaveFormat(*saveFormat)
 	fail(err)
@@ -231,7 +242,29 @@ func main() {
 	}
 	if *savePath != "" {
 		fail(saveArtifacts(*savePath, format, art, cfg))
+		// A replan-study run embeds its drift-mode epoch reports into the
+		// checkpoint: the serving replica then answers /replanz with the
+		// provenance of the exact model it is running.
+		if want["replan"] {
+			recs, err := experiments.ReplanEpochRecords(ctx, art, cfg)
+			fail(err)
+			fail(embedEpochs(*savePath, recs))
+			fmt.Fprintf(w, "embedded %d epoch reports into the checkpoint\n", len(recs))
+		}
 		fmt.Fprintf(w, "checkpoint written to %s (%s)\n\n", *savePath, format)
+		if *publish != "" {
+			reg, err := registry.Open(*registryRoot)
+			fail(err)
+			ent, err := reg.Publish(*publish, *savePath)
+			fail(err)
+			fmt.Fprintf(w, "published %s to %s (sha256 %s…)\n", ent.Version, *registryRoot, ent.SHA256[:12])
+			if *promote {
+				fail(reg.Promote(*publish))
+				fmt.Fprintf(w, "promoted %s to CURRENT\n\n", *publish)
+			} else {
+				fmt.Fprintln(w)
+			}
+		}
 	}
 	if needsEval && eval == nil {
 		eval, err = experiments.RunEvaluation(ctx, art, cfg)
@@ -383,6 +416,19 @@ func saveArtifacts(path string, format merchandiser.SaveFormat, art *experiments
 		},
 	}
 	return sys.SaveFileFormat(path, format)
+}
+
+// embedEpochs attaches epoch-lifecycle records to an already-written
+// artifact as its "epochs" section.
+func embedEpochs(path string, recs []store.EpochRecord) error {
+	a, err := store.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	if err := a.SetEpochs(recs); err != nil {
+		return err
+	}
+	return store.WriteFile(path, a)
 }
 
 // parseTenants parses the -tenants spec ("name=pages,name=pages") into a

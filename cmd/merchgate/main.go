@@ -1,0 +1,157 @@
+// Command merchgate is the fleet front tier: it consistent-hashes
+// placement requests across N merchserved replicas, routes around
+// replicas whose /readyz stops answering, and retries bounded hops along
+// the hash ring on connection failure — so a rolling artifact promotion
+// (publish → promote → SIGHUP each replica) is invisible to clients.
+//
+//	merchserved -artifact sys.artifact -addr localhost:8077 &
+//	merchserved -artifact sys.artifact -addr localhost:8078 &
+//	merchgate -backends http://localhost:8077,http://localhost:8078 -addr localhost:8070
+//	curl localhost:8070/fleetz
+//	curl -X POST localhost:8070/place -H 'X-Merch-Key: app-7' -d @req.json
+//
+// Endpoints: /healthz (liveness), /readyz (200 while ≥1 replica is
+// routable), /metricsz (gate counters), /fleetz (per-replica health and
+// serving model version/sha), /place (proxied placement request; routed
+// by the X-Merch-Key header, else the first task's name).
+//
+// With -loadgen the binary is a replay load generator instead of a
+// server: it drives a deterministic ~1M-request synthetic trace at
+// -target and reports throughput and p50/p90/p99, optionally as a
+// merchbench/bench/v1 JSON report (-bench-out).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"merchandiser"
+	"merchandiser/internal/gate"
+)
+
+func main() {
+	addr := flag.String("addr", "localhost:8070", "listen address (host:port; port 0 picks a free port)")
+	backends := flag.String("backends", "", "comma-separated replica base URLs (required unless -loadgen)")
+	vnodes := flag.Int("vnodes", 128, "virtual nodes per replica on the hash ring")
+	retries := flag.Int("retries", 2, "max additional ring nodes to try after the primary fails")
+	probe := flag.Duration("probe", 250*time.Millisecond, "/readyz health-probe interval")
+	eject := flag.Int("eject", 2, "consecutive probe failures that eject a replica")
+	readmit := flag.Int("readmit", 2, "consecutive probe successes that re-admit a replica")
+	timeout := flag.Duration("timeout", 15*time.Second, "per proxied request timeout")
+	addrfile := flag.String("addrfile", "", "write the bound listen address to this file once serving")
+
+	loadgen := flag.Bool("loadgen", false, "run as a replay load generator instead of a server")
+	target := flag.String("target", "", "loadgen: base URL to drive (a merchgate or a bare merchserved)")
+	requests := flag.Int("requests", 1_000_000, "loadgen: trace length")
+	workers := flag.Int("workers", 32, "loadgen: closed-loop client count")
+	apps := flag.Int("apps", 64, "loadgen: synthetic application (hash key) universe size")
+	tasks := flag.Int("tasks", 8, "loadgen: tasks per placement request")
+	seed := flag.Int64("seed", 1, "loadgen: trace seed")
+	replicas := flag.Int("replicas", 1, "loadgen: fleet replica count, recorded in report row keys")
+	benchOut := flag.String("bench-out", "", "loadgen: write a merchbench/bench/v1 JSON report here")
+	flag.Parse()
+
+	if *loadgen {
+		runLoadgen(gate.LoadgenConfig{
+			Target:          strings.TrimRight(*target, "/"),
+			Requests:        *requests,
+			Workers:         *workers,
+			Apps:            *apps,
+			TasksPerRequest: *tasks,
+			Seed:            *seed,
+			Replicas:        *replicas,
+		}, *benchOut)
+		return
+	}
+
+	var urls []string
+	for _, b := range strings.Split(*backends, ",") {
+		if b = strings.TrimSpace(b); b != "" {
+			urls = append(urls, b)
+		}
+	}
+	if len(urls) == 0 {
+		log.Fatal("merchgate: -backends is required (comma-separated replica base URLs)")
+	}
+
+	obs := merchandiser.NewObserver()
+	g := gate.New(gate.Config{
+		Backends:       urls,
+		VNodes:         *vnodes,
+		Retries:        *retries,
+		HealthInterval: *probe,
+		EjectAfter:     *eject,
+		ReadmitAfter:   *readmit,
+		Timeout:        *timeout,
+		Obs:            obs,
+	})
+	defer g.Close()
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatalf("merchgate: %v", err)
+	}
+	if *addrfile != "" {
+		if err := os.WriteFile(*addrfile, []byte(ln.Addr().String()+"\n"), 0o644); err != nil {
+			log.Fatalf("merchgate: %v", err)
+		}
+	}
+	srv := &http.Server{Handler: g.Handler()}
+	log.Printf("routing %d replicas on %s", len(urls), ln.Addr())
+
+	errc := make(chan error, 1)
+	go func() { errc <- srv.Serve(ln) }()
+
+	stop := make(chan os.Signal, 1)
+	signal.Notify(stop, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-stop:
+		log.Printf("%v: shutting down", sig)
+	case err := <-errc:
+		log.Fatalf("merchgate: %v", err)
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		log.Printf("merchgate: http drain: %v", err)
+	}
+}
+
+func runLoadgen(cfg gate.LoadgenConfig, benchOut string) {
+	if cfg.Target == "" {
+		log.Fatal("merchgate: -loadgen requires -target")
+	}
+	log.Printf("replaying %d requests (%d workers, %d apps) against %s",
+		cfg.Requests, cfg.Workers, cfg.Apps, cfg.Target)
+	res, err := gate.RunLoadgen(context.Background(), cfg)
+	if err != nil {
+		log.Fatalf("merchgate: loadgen: %v", err)
+	}
+	log.Printf("done in %s: %.0f req/s, errors=%d, p50=%.0fµs p90=%.0fµs p99=%.0fµs",
+		res.Elapsed.Round(time.Millisecond), res.ThroughputRPS, res.Errors, res.P50, res.P90, res.P99)
+	if res.Errors > 0 {
+		defer os.Exit(1)
+	}
+	if benchOut != "" {
+		f, err := os.Create(benchOut)
+		if err != nil {
+			log.Fatalf("merchgate: %v", err)
+		}
+		if err := res.BenchReport(cfg).WriteJSON(f); err != nil {
+			log.Fatalf("merchgate: %v", err)
+		}
+		if err := f.Close(); err != nil {
+			log.Fatalf("merchgate: %v", err)
+		}
+		log.Printf("bench report written to %s", benchOut)
+	}
+}

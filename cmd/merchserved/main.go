@@ -9,12 +9,24 @@
 //	curl -X POST localhost:8077/place -d '{"tasks":[{"name":"t0","t_pm_only":2,"t_dram_only":0.8,"total_accesses":4e6,"footprint_pages":300}]}'
 //
 // Endpoints: /healthz (liveness), /readyz (503 until the artifact is
-// loaded and during drain), /metricsz (obs registry snapshot), /place
-// (POST placement request). Concurrent requests are micro-batched into
-// single MinMakespanPlan evaluations. SIGTERM/SIGINT drains gracefully:
+// loaded and during drain; the JSON body names the serving model's
+// version and SHA-256), /metricsz (obs registry snapshot), /replanz
+// (the loaded model's epoch-lifecycle reports), /reloadz (POST;
+// hot-swap to the registry's promoted version) and /place (POST
+// placement request). Concurrent requests are micro-batched into single
+// MinMakespanPlan evaluations. SIGTERM/SIGINT drains gracefully:
 // admitted requests are answered, new ones get 503, then the process
 // exits. -pprof localhost:6060 additionally serves net/http/pprof on
 // that separate address (off by default, never on the serving address).
+//
+// With -registry the daemon serves the registry's CURRENT version
+// instead of a fixed -artifact path, and hot-reloads on SIGHUP (or POST
+// /reloadz): the newly promoted artifact is restored in the background
+// and swapped in between micro-batches — zero admitted requests dropped,
+// /readyz never flaps.
+//
+//	merchbench -exp none -quick -save sys.artifact -registry /var/merch -publish v2 -promote
+//	kill -HUP $(pidof merchserved)   # or: curl -X POST localhost:8077/reloadz
 package main
 
 import (
@@ -33,13 +45,15 @@ import (
 	"time"
 
 	"merchandiser"
+	"merchandiser/internal/registry"
 	"merchandiser/internal/serve"
 	"merchandiser/internal/store"
 )
 
 func main() {
 	addr := flag.String("addr", "localhost:8077", "listen address (host:port; port 0 picks a free port)")
-	artifact := flag.String("artifact", "", "trained-system artifact to serve (required; see merchbench -save)")
+	artifact := flag.String("artifact", "", "trained-system artifact to serve (see merchbench -save); mutually exclusive with -registry")
+	registryRoot := flag.String("registry", "", "model registry root: serve the CURRENT version and hot-reload on SIGHUP or POST /reloadz")
 	queue := flag.Int("queue", 64, "bounded request queue depth; overflow answers 429")
 	batch := flag.Int("batch", 16, "max placement requests co-planned per MinMakespanPlan evaluation")
 	window := flag.Duration("window", 2*time.Millisecond, "micro-batching window after the first request of a batch")
@@ -50,16 +64,35 @@ func main() {
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this separate address (e.g. localhost:6060); off by default")
 	flag.Parse()
 
-	if *artifact == "" {
-		log.Fatal("merchserved: -artifact is required (write one with merchbench -save)")
+	if (*artifact == "") == (*registryRoot == "") {
+		log.Fatal("merchserved: exactly one of -artifact or -registry is required (write one with merchbench -save)")
 	}
 
 	reg := merchandiser.NewObserver()
 	cfg := serve.Config{
-		QueueDepth:  *queue,
-		MaxBatch:    *batch,
-		BatchWindow: *window,
-		Obs:         reg,
+		QueueDepth:     *queue,
+		MaxBatch:       *batch,
+		BatchWindow:    *window,
+		Obs:            reg,
+		RestoreOptions: []merchandiser.RestoreOption{merchandiser.WithObserver(reg)},
+	}
+	var modelReg *registry.Registry
+	if *registryRoot != "" {
+		var err error
+		modelReg, err = registry.Open(*registryRoot)
+		if err != nil {
+			log.Fatalf("merchserved: %v", err)
+		}
+		// The reload source: whatever the registry promotes. Resolution
+		// re-verifies the artifact's recorded SHA-256, so bit rot is caught
+		// before a restore is attempted.
+		cfg.Source = func(ctx context.Context) (string, string, error) {
+			ent, err := modelReg.Current()
+			if err != nil {
+				return "", "", err
+			}
+			return ent.Path, ent.Version, nil
+		}
 	}
 	if *planlog != "" {
 		if err := os.MkdirAll(*planlog, 0o755); err != nil {
@@ -73,12 +106,49 @@ func main() {
 	// /metricsz exposes the daemon's cold-start cost (binary-format
 	// artifacts make it near-constant in model size).
 	start := time.Now()
-	sys, err := svc.LoadArtifact(context.Background(), *artifact, merchandiser.WithObserver(reg))
+	var sys *merchandiser.System
+	var err error
+	if modelReg != nil {
+		ent, rerr := modelReg.Current()
+		if rerr != nil {
+			log.Fatalf("merchserved: %v (publish and promote a version with merchbench -publish -promote)", rerr)
+		}
+		sys, err = svc.LoadArtifactAs(context.Background(), ent.Path, ent.Version, merchandiser.WithObserver(reg))
+		if err == nil {
+			log.Printf("registry %s version %s loaded in %s: level=%s samples=%d heldout-R²=%.3f",
+				*registryRoot, ent.Version, time.Since(start).Round(time.Microsecond), sys.Meta.Level, sys.Meta.Samples, sys.TrainedR2)
+		}
+	} else {
+		sys, err = svc.LoadArtifact(context.Background(), *artifact, merchandiser.WithObserver(reg))
+		if err == nil {
+			log.Printf("artifact %s loaded in %s: level=%s samples=%d heldout-R²=%.3f",
+				*artifact, time.Since(start).Round(time.Microsecond), sys.Meta.Level, sys.Meta.Samples, sys.TrainedR2)
+		}
+	}
 	if err != nil {
 		log.Fatalf("merchserved: %v", err)
 	}
-	log.Printf("artifact %s loaded in %s: level=%s samples=%d heldout-R²=%.3f",
-		*artifact, time.Since(start).Round(time.Microsecond), sys.Meta.Level, sys.Meta.Samples, sys.TrainedR2)
+
+	// SIGHUP hot-reloads the promoted version: restore happens in the
+	// background, the swap lands between micro-batches, and in-flight
+	// requests are answered by whichever model planned their batch.
+	if modelReg != nil {
+		hup := make(chan os.Signal, 1)
+		signal.Notify(hup, syscall.SIGHUP)
+		go func() {
+			for range hup {
+				info, reloaded, err := svc.Reload(context.Background())
+				switch {
+				case err != nil:
+					log.Printf("SIGHUP reload failed (still serving %s): %v", svc.Info().Version, err)
+				case reloaded:
+					log.Printf("SIGHUP: reloaded to version %s (sha256 %s…)", info.Version, info.SHA256[:12])
+				default:
+					log.Printf("SIGHUP: version %s already current", info.Version)
+				}
+			}
+		}()
+	}
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {

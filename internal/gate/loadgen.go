@@ -1,0 +1,220 @@
+package gate
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"merchandiser/internal/experiments"
+	"merchandiser/internal/serve"
+)
+
+// LoadgenConfig shapes a replay run against a gate (or a bare replica).
+type LoadgenConfig struct {
+	// Target is the base URL whose /place endpoint the trace replays
+	// against.
+	Target string
+	// Requests is the trace length. Default 1_000_000.
+	Requests int
+	// Workers is the closed-loop client count. Default 32.
+	Workers int
+	// Apps is the key-universe size: requests are issued on behalf of
+	// this many synthetic applications, each a sticky hash key. Default
+	// 64.
+	Apps int
+	// TasksPerRequest is each request's concurrent-task count. Default 8.
+	TasksPerRequest int
+	// Seed makes the trace reproducible.
+	Seed int64
+	// Replicas is recorded into the report's row keys (it is not used to
+	// drive the run).
+	Replicas int
+	// Client overrides the HTTP client; nil builds a pooled one.
+	Client *http.Client
+}
+
+func (c LoadgenConfig) withDefaults() LoadgenConfig {
+	if c.Requests <= 0 {
+		c.Requests = 1_000_000
+	}
+	if c.Workers <= 0 {
+		c.Workers = 32
+	}
+	if c.Apps <= 0 {
+		c.Apps = 64
+	}
+	if c.TasksPerRequest <= 0 {
+		c.TasksPerRequest = 8
+	}
+	return c
+}
+
+// LoadgenResult summarizes one replay run.
+type LoadgenResult struct {
+	Requests      int           `json:"requests"`
+	Errors        int           `json:"errors"`
+	Elapsed       time.Duration `json:"-"`
+	ElapsedSec    float64       `json:"elapsed_seconds"`
+	ThroughputRPS float64       `json:"throughput_rps"`
+	P50           float64       `json:"p50_micros"`
+	P90           float64       `json:"p90_micros"`
+	P99           float64       `json:"p99_micros"`
+}
+
+// traceBodies pre-renders one request body per app: the trace replays a
+// fixed working set of per-app request shapes (what a real replay file
+// would hold) so the hot loop measures the serving path, not
+// json.Marshal.
+func traceBodies(cfg LoadgenConfig) [][]byte {
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	bodies := make([][]byte, cfg.Apps)
+	for a := range bodies {
+		req := serve.PlacementRequest{Tasks: make([]serve.TaskRequest, cfg.TasksPerRequest)}
+		for t := range req.Tasks {
+			tPm := 2 + 6*rng.Float64()
+			req.Tasks[t] = serve.TaskRequest{
+				Name:           fmt.Sprintf("app-%03d/task-%d", a, t),
+				TPmOnly:        tPm,
+				TDramOnly:      tPm * (0.3 + 0.5*rng.Float64()),
+				TotalAccesses:  1e6 * (1 + rng.Float64()),
+				FootprintPages: uint64(1024 + rng.Intn(4096)),
+			}
+		}
+		b, err := json.Marshal(&req)
+		if err != nil {
+			panic(err) // static shape; cannot fail
+		}
+		bodies[a] = b
+	}
+	return bodies
+}
+
+// RunLoadgen replays a deterministic synthetic trace against
+// cfg.Target's /place: cfg.Workers closed-loop clients each walk a
+// seeded per-app request sequence, stamping KeyHeader so the gate's ring
+// keeps every app pinned to its replica. It returns throughput and
+// latency quantiles over the whole run. An error is returned only when
+// the run cannot start or ctx dies; per-request failures are counted.
+func RunLoadgen(ctx context.Context, cfg LoadgenConfig) (*LoadgenResult, error) {
+	cfg = cfg.withDefaults()
+	client := cfg.Client
+	if client == nil {
+		client = &http.Client{
+			Timeout: 30 * time.Second,
+			Transport: &http.Transport{
+				MaxIdleConns:        cfg.Workers * 2,
+				MaxIdleConnsPerHost: cfg.Workers * 2,
+			},
+		}
+	}
+	bodies := traceBodies(cfg)
+	url := cfg.Target + "/place"
+
+	perWorker := cfg.Requests / cfg.Workers
+	extra := cfg.Requests % cfg.Workers
+
+	type shard struct {
+		lat    []float64 // micros
+		errors int
+	}
+	shards := make([]shard, cfg.Workers)
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < cfg.Workers; w++ {
+		n := perWorker
+		if w < extra {
+			n++
+		}
+		wg.Add(1)
+		go func(w, n int) {
+			defer wg.Done()
+			sh := &shards[w]
+			sh.lat = make([]float64, 0, n)
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(w)*7919))
+			for i := 0; i < n; i++ {
+				if ctx.Err() != nil {
+					return
+				}
+				app := rng.Intn(cfg.Apps)
+				req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(bodies[app]))
+				if err != nil {
+					sh.errors++
+					continue
+				}
+				req.Header.Set("Content-Type", "application/json")
+				req.Header.Set(KeyHeader, fmt.Sprintf("app-%03d", app))
+				t0 := time.Now()
+				resp, err := client.Do(req)
+				if err != nil {
+					sh.errors++
+					continue
+				}
+				io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					sh.errors++
+					continue
+				}
+				sh.lat = append(sh.lat, float64(time.Since(t0).Microseconds()))
+			}
+		}(w, n)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+
+	var lat []float64
+	res := &LoadgenResult{Requests: cfg.Requests, Elapsed: elapsed, ElapsedSec: elapsed.Seconds()}
+	for i := range shards {
+		res.Errors += shards[i].errors
+		lat = append(lat, shards[i].lat...)
+	}
+	sort.Float64s(lat)
+	res.P50 = quantile(lat, 0.50)
+	res.P90 = quantile(lat, 0.90)
+	res.P99 = quantile(lat, 0.99)
+	if elapsed > 0 {
+		res.ThroughputRPS = float64(len(lat)) / elapsed.Seconds()
+	}
+	return res, nil
+}
+
+// quantile reads q from sorted samples (nearest-rank).
+func quantile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i]
+}
+
+// BenchReport renders the run in the repo's merchbench/bench/v1 layout
+// so BENCH_*.json files stay uniformly parseable across PRs. The replica
+// count is part of every row key: fleet throughput only means something
+// relative to how many replicas absorbed it.
+func (r *LoadgenResult) BenchReport(cfg LoadgenConfig) *experiments.BenchReport {
+	cfg = cfg.withDefaults()
+	prefix := fmt.Sprintf("gate_replicas=%d_", cfg.Replicas)
+	return &experiments.BenchReport{
+		Schema:  experiments.BenchSchema,
+		Seed:    cfg.Seed,
+		Workers: cfg.Workers,
+		Ops: map[string]float64{
+			prefix + "requests":       float64(r.Requests),
+			prefix + "errors":         float64(r.Errors),
+			prefix + "throughput_rps": r.ThroughputRPS,
+			prefix + "p50_micros":     r.P50,
+			prefix + "p90_micros":     r.P90,
+			prefix + "p99_micros":     r.P99,
+		},
+	}
+}

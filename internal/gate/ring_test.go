@@ -1,0 +1,90 @@
+package gate
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRingDeterministicAcrossInstances(t *testing.T) {
+	nodes := []string{"http://a:1", "http://b:2", "http://c:3"}
+	r1 := NewRing(nodes, 128)
+	r2 := NewRing(nodes, 128)
+	for i := 0; i < 200; i++ {
+		key := fmt.Sprintf("app-%03d", i)
+		a := r1.Sequence(key, 3)
+		b := r2.Sequence(key, 3)
+		if len(a) != len(b) {
+			t.Fatalf("key %s: sequence lengths differ", key)
+		}
+		for j := range a {
+			if a[j] != b[j] {
+				t.Fatalf("key %s: rings disagree: %v vs %v", key, a, b)
+			}
+		}
+	}
+}
+
+func TestRingSequenceDistinctAndCapped(t *testing.T) {
+	r := NewRing([]string{"a", "b", "c"}, 64)
+	for i := 0; i < 100; i++ {
+		seq := r.Sequence(fmt.Sprintf("k%d", i), 10)
+		if len(seq) != 3 {
+			t.Fatalf("key k%d: want all 3 nodes, got %v", i, seq)
+		}
+		seen := map[int]bool{}
+		for _, n := range seq {
+			if seen[n] {
+				t.Fatalf("key k%d: duplicate node in %v", i, seq)
+			}
+			seen[n] = true
+		}
+	}
+	if got := r.Sequence("k", 1); len(got) != 1 {
+		t.Fatalf("max=1: got %v", got)
+	}
+	if got := r.Sequence("k", 0); got != nil {
+		t.Fatalf("max=0: got %v", got)
+	}
+	empty := NewRing(nil, 128)
+	if got := empty.Sequence("k", 3); got != nil {
+		t.Fatalf("empty ring: got %v", got)
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	nodes := []string{"a", "b", "c", "d"}
+	r := NewRing(nodes, 128)
+	counts := make([]int, len(nodes))
+	const keys = 10000
+	for i := 0; i < keys; i++ {
+		counts[r.Sequence(fmt.Sprintf("app-%d", i), 1)[0]]++
+	}
+	for n, c := range counts {
+		// 128 vnodes keeps each node within a loose 2x band of fair share.
+		if c < keys/len(nodes)/2 || c > keys/len(nodes)*2 {
+			t.Fatalf("node %d owns %d of %d keys — ring badly unbalanced: %v", n, c, keys, counts)
+		}
+	}
+}
+
+func TestRingStabilityUnderNodeLoss(t *testing.T) {
+	all := []string{"a", "b", "c", "d"}
+	without := []string{"a", "b", "c"} // drop d
+	rAll := NewRing(all, 128)
+	rLess := NewRing(without, 128)
+	const keys = 4000
+	moved := 0
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("app-%d", i)
+		before := all[rAll.Sequence(key, 1)[0]]
+		after := without[rLess.Sequence(key, 1)[0]]
+		if before != "d" && before != after {
+			moved++
+		}
+	}
+	// Consistent hashing's contract: keys not owned by the lost node stay
+	// put. A small tolerance absorbs vnode boundary effects.
+	if moved > keys/50 {
+		t.Fatalf("%d of %d keys moved despite their node surviving", moved, keys)
+	}
+}

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"merchandiser/internal/merr"
+	"merchandiser/internal/store"
 )
 
 // maxBodyBytes bounds a /place request body.
@@ -21,12 +22,40 @@ type HTTPConfig struct {
 	RequestTimeout time.Duration
 }
 
+// ReadyResponse is the /readyz body: readiness plus the identity of the
+// serving model, so a gate (or an operator curl) can see which version
+// each replica of a fleet is on.
+type ReadyResponse struct {
+	Ready   bool   `json:"ready"`
+	Version string `json:"version,omitempty"`
+	SHA256  string `json:"sha256,omitempty"`
+}
+
+// ReloadResponse is the /reloadz body.
+type ReloadResponse struct {
+	Reloaded bool   `json:"reloaded"`
+	Version  string `json:"version,omitempty"`
+	SHA256   string `json:"sha256,omitempty"`
+}
+
+// ReplanResponse is the /replanz body: the serving model's identity and
+// the epoch-lifecycle reports that traveled with it — the live answer to
+// "why did placement change".
+type ReplanResponse struct {
+	Version string              `json:"version,omitempty"`
+	SHA256  string              `json:"sha256,omitempty"`
+	Epochs  []store.EpochRecord `json:"epochs"`
+}
+
 // Handler exposes the service over HTTP:
 //
 //	GET  /healthz  — liveness: 200 while the process runs
 //	GET  /readyz   — readiness: 200 once an artifact is loaded (503
-//	                 before load and during drain)
+//	                 before load and during drain); the JSON body names
+//	                 the serving model's version and artifact SHA-256
 //	GET  /metricsz — the obs registry's deterministic JSON snapshot
+//	GET  /replanz  — the loaded model's epoch-lifecycle reports
+//	POST /reloadz  — re-resolve the reload source and hot-swap the model
 //	POST /place    — one PlacementRequest in, one PlacementResponse out
 func (s *Service) Handler(cfg HTTPConfig) http.Handler {
 	mux := http.NewServeMux()
@@ -35,13 +64,43 @@ func (s *Service) Handler(cfg HTTPConfig) http.Handler {
 		w.Write([]byte("ok\n"))
 	})
 	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		if !s.Ready() {
+		w.Header().Set("Content-Type", "application/json")
+		info := s.Info()
+		out := ReadyResponse{Ready: s.Ready(), Version: info.Version, SHA256: info.SHA256}
+		if !out.Ready {
 			w.WriteHeader(http.StatusServiceUnavailable)
-			w.Write([]byte("not ready\n"))
+		}
+		json.NewEncoder(w).Encode(out)
+	})
+	mux.HandleFunc("/reloadz", func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost {
+			http.Error(w, "POST to reload", http.StatusMethodNotAllowed)
 			return
 		}
-		w.Write([]byte("ready\n"))
+		if s.cfg.Source == nil {
+			http.Error(w, "no reload source configured (start the daemon with -registry)", http.StatusNotImplemented)
+			return
+		}
+		info, reloaded, err := s.Reload(r.Context())
+		if err != nil {
+			status := httpStatus(err)
+			if status == 0 {
+				return
+			}
+			http.Error(w, err.Error(), status)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(ReloadResponse{Reloaded: reloaded, Version: info.Version, SHA256: info.SHA256})
+	})
+	mux.HandleFunc("/replanz", func(w http.ResponseWriter, r *http.Request) {
+		info := s.Info()
+		out := ReplanResponse{Version: info.Version, SHA256: info.SHA256, Epochs: s.Epochs()}
+		if out.Epochs == nil {
+			out.Epochs = []store.EpochRecord{}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(out)
 	})
 	mux.HandleFunc("/metricsz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")

@@ -15,8 +15,12 @@
 package serve
 
 import (
+	"bytes"
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"math"
+	"os"
 	"sync"
 	"time"
 
@@ -69,12 +73,24 @@ type TaskPlacement struct {
 
 // PlacementResponse is the plan for one request. BatchSize reports how
 // many requests were co-planned in the same MinMakespanPlan evaluation —
-// the observable footprint of micro-batching.
+// the observable footprint of micro-batching. ModelVersion and
+// ModelSHA256 identify the artifact whose model planned this batch, so a
+// client behind a mixed-version fleet can tell which model answered.
 type PlacementResponse struct {
-	Tasks     []TaskPlacement `json:"tasks"`
-	Rounds    int             `json:"rounds"`
-	Makespan  float64         `json:"predicted_makespan_seconds"`
-	BatchSize int             `json:"batch_size"`
+	Tasks        []TaskPlacement `json:"tasks"`
+	Rounds       int             `json:"rounds"`
+	Makespan     float64         `json:"predicted_makespan_seconds"`
+	BatchSize    int             `json:"batch_size"`
+	ModelVersion string          `json:"model_version,omitempty"`
+	ModelSHA256  string          `json:"model_sha256,omitempty"`
+}
+
+// ModelInfo identifies a loaded artifact: the registry version name and
+// the SHA-256 of the artifact file. Both are empty for a system
+// installed directly via Load (no artifact involved).
+type ModelInfo struct {
+	Version string `json:"version,omitempty"`
+	SHA256  string `json:"sha256,omitempty"`
 }
 
 func validRequest(req *PlacementRequest) error {
@@ -144,6 +160,13 @@ type Config struct {
 	// artifact-store form) after a successful evaluation. Called from the
 	// batcher goroutine; keep it fast.
 	PlanLog func(*store.PlanRecord)
+	// Source, when non-nil, resolves where the next Reload should restore
+	// from: an artifact path plus its version name (e.g. the registry's
+	// CURRENT). Reload without a Source fails.
+	Source func(ctx context.Context) (path, version string, err error)
+	// RestoreOptions pass to every artifact restore (boot and reloads) —
+	// typically WithObserver so restored models record into /metricsz.
+	RestoreOptions []merchandiser.RestoreOption
 }
 
 func (c Config) withDefaults() Config {
@@ -175,14 +198,29 @@ type result struct {
 	err error
 }
 
+// loadedModel bundles everything one artifact load installs: the system,
+// its identity, and its optional epoch provenance. The bundle swaps as a
+// single pointer, so a batch can never pair one model's plan with
+// another model's version stamp.
+type loadedModel struct {
+	sys    *merchandiser.System
+	info   ModelInfo
+	epochs []store.EpochRecord
+}
+
 // Service is the placement daemon core: an optional loaded system, a
 // bounded queue, and one batcher goroutine. Create with New, feed it a
-// system via Load or LoadArtifact, stop it with Shutdown.
+// system via Load or LoadArtifact, swap it live with Reload, stop it
+// with Shutdown.
 type Service struct {
 	cfg Config
 
 	sysMu sync.RWMutex
-	sys   *merchandiser.System
+	cur   *loadedModel
+
+	// reloadMu serializes Reload calls: concurrent SIGHUPs and /reloadz
+	// posts coalesce into one restore at a time.
+	reloadMu sync.Mutex
 
 	// mu guards draining and queue sends, making close(queue) safe: once
 	// draining is set, no sender can race the close.
@@ -204,45 +242,159 @@ func New(cfg Config) *Service {
 	return s
 }
 
-// Load installs a restored (or freshly trained) system. The service
-// reports ready once a system is loaded.
+// Load installs a restored (or freshly trained) system with no artifact
+// identity. The service reports ready once a system is loaded.
 func (s *Service) Load(sys *merchandiser.System) {
+	s.install(&loadedModel{sys: sys})
+}
+
+// install atomically swaps the serving bundle. The batcher reads the
+// bundle once per micro-batch, so the swap lands exactly between
+// batches: every request already picked up by the batcher is answered by
+// the model that planned it, and /readyz never observes a nil system.
+func (s *Service) install(lm *loadedModel) {
 	s.sysMu.Lock()
-	s.sys = sys
+	s.cur = lm
 	s.sysMu.Unlock()
 }
 
 // LoadArtifact restores the system artifact at path and installs it,
 // timing the restore as the volatile serve.restore_seconds wall timer
 // on the service's registry — the daemon's cold-start cost, visible in
-// /metricsz. Restore options (observer, workers) pass through.
+// /metricsz. The loaded model's version is recorded as the file's base
+// name; use LoadArtifactAs to attach a registry version. Restore options
+// (observer, workers) pass through, appended to Config.RestoreOptions.
 func (s *Service) LoadArtifact(ctx context.Context, path string, opts ...merchandiser.RestoreOption) (*merchandiser.System, error) {
+	lm, err := s.restoreBundle(ctx, path, "", opts)
+	if err != nil {
+		return nil, err
+	}
+	s.install(lm)
+	return lm.sys, nil
+}
+
+// LoadArtifactAs is LoadArtifact with an explicit version name (e.g. the
+// registry version the path was resolved from).
+func (s *Service) LoadArtifactAs(ctx context.Context, path, version string, opts ...merchandiser.RestoreOption) (*merchandiser.System, error) {
+	lm, err := s.restoreBundle(ctx, path, version, opts)
+	if err != nil {
+		return nil, err
+	}
+	s.install(lm)
+	return lm.sys, nil
+}
+
+// restoreBundle reads the artifact once, hashes it, restores the system
+// from the in-memory bytes, and lifts the optional epochs section. It
+// runs entirely off the serving path: the current model keeps answering
+// while a reload restores.
+func (s *Service) restoreBundle(ctx context.Context, path, version string, opts []merchandiser.RestoreOption) (*loadedModel, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, merr.Wrap(merr.ErrBadArtifact, "serve: read artifact", err)
+	}
+	sum := sha256.Sum256(data)
+	if version == "" {
+		version = "unversioned"
+	}
 	stop := s.cfg.Obs.WallTimer("serve.restore_seconds").Start()
-	sys, err := merchandiser.RestoreFile(ctx, path, opts...)
+	restoreOpts := append(append([]merchandiser.RestoreOption{}, s.cfg.RestoreOptions...), opts...)
+	sys, err := merchandiser.Restore(ctx, bytes.NewReader(data), restoreOpts...)
 	stop()
 	if err != nil {
 		return nil, err
 	}
-	s.Load(sys)
-	return sys, nil
+	// Epoch provenance rides in an optional section; the container was
+	// already validated by Restore, so only the section decode can fail.
+	a, err := store.Decode(bytes.NewReader(data))
+	if err != nil {
+		return nil, err
+	}
+	epochs, err := a.Epochs()
+	if err != nil {
+		return nil, err
+	}
+	return &loadedModel{
+		sys:    sys,
+		info:   ModelInfo{Version: version, SHA256: hex.EncodeToString(sum[:])},
+		epochs: epochs,
+	}, nil
+}
+
+// Reload re-resolves Config.Source and, if it names bytes different from
+// what is serving, restores the artifact in the background and swaps it
+// in between micro-batches — zero admitted requests dropped, /readyz
+// never flaps. It returns the (possibly unchanged) loaded info and
+// whether a swap happened. Concurrent Reloads serialize.
+func (s *Service) Reload(ctx context.Context) (ModelInfo, bool, error) {
+	if s.cfg.Source == nil {
+		return s.Info(), false, merr.Errorf(merr.ErrBadSpec, "serve: no reload source configured")
+	}
+	s.reloadMu.Lock()
+	defer s.reloadMu.Unlock()
+	path, version, err := s.cfg.Source(ctx)
+	if err != nil {
+		s.cfg.Obs.Counter("serve.reload_errors").Inc()
+		return s.Info(), false, err
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		s.cfg.Obs.Counter("serve.reload_errors").Inc()
+		return s.Info(), false, merr.Wrap(merr.ErrBadArtifact, "serve: read artifact", err)
+	}
+	sum := sha256.Sum256(data)
+	if cur := s.Info(); cur.SHA256 == hex.EncodeToString(sum[:]) {
+		s.cfg.Obs.Counter("serve.reload_noops").Inc()
+		return cur, false, nil
+	}
+	lm, err := s.restoreBundle(ctx, path, version, nil)
+	if err != nil {
+		s.cfg.Obs.Counter("serve.reload_errors").Inc()
+		return s.Info(), false, err
+	}
+	s.install(lm)
+	s.cfg.Obs.Counter("serve.reloads").Inc()
+	return lm.info, true, nil
+}
+
+// Info returns the identity of the loaded artifact (zero for none or for
+// a Load-installed system).
+func (s *Service) Info() ModelInfo {
+	s.sysMu.RLock()
+	defer s.sysMu.RUnlock()
+	if s.cur == nil {
+		return ModelInfo{}
+	}
+	return s.cur.info
+}
+
+// Epochs returns the loaded model's epoch-lifecycle provenance (nil when
+// the artifact carried none) — what GET /replanz serves.
+func (s *Service) Epochs() []store.EpochRecord {
+	s.sysMu.RLock()
+	defer s.sysMu.RUnlock()
+	if s.cur == nil {
+		return nil
+	}
+	return s.cur.epochs
 }
 
 // Ready reports whether the service can answer placement requests: an
 // artifact is loaded and the service is not draining.
 func (s *Service) Ready() bool {
 	s.sysMu.RLock()
-	sys := s.sys
+	loaded := s.cur != nil
 	s.sysMu.RUnlock()
 	s.mu.Lock()
 	draining := s.draining
 	s.mu.Unlock()
-	return sys != nil && !draining
+	return loaded && !draining
 }
 
-func (s *Service) system() *merchandiser.System {
+func (s *Service) loaded() *loadedModel {
 	s.sysMu.RLock()
 	defer s.sysMu.RUnlock()
-	return s.sys
+	return s.cur
 }
 
 // Place answers one placement request. It validates, enqueues (rejecting
@@ -254,7 +406,7 @@ func (s *Service) Place(ctx context.Context, req *PlacementRequest) (*PlacementR
 		s.cfg.Obs.Counter("serve.rejected_invalid").Inc()
 		return nil, err
 	}
-	if s.system() == nil {
+	if s.loaded() == nil {
 		s.cfg.Obs.Counter("serve.rejected_not_ready").Inc()
 		return nil, merr.Errorf(merr.ErrNotReady, "serve: no artifact loaded")
 	}
@@ -349,13 +501,18 @@ func (s *Service) runBatch(batch []*pending) {
 	if len(live) == 0 {
 		return
 	}
-	sys := s.system()
-	if sys == nil {
+	// One bundle read per batch: the whole batch plans on one model and
+	// is stamped with that model's identity. A concurrent Reload swaps
+	// the bundle pointer, so its new model takes effect at the next
+	// batch boundary — never mid-batch.
+	cur := s.loaded()
+	if cur == nil {
 		for _, p := range live {
 			p.resp <- result{err: merr.Errorf(merr.ErrNotReady, "serve: no artifact loaded")}
 		}
 		return
 	}
+	sys := cur.sys
 
 	var tasks []placement.TaskInput
 	offsets := make([]int, len(live)+1)
@@ -377,14 +534,19 @@ func (s *Service) runBatch(batch []*pending) {
 	s.cfg.Obs.Histogram("serve.batch_size").Observe(float64(len(live)))
 	s.cfg.Obs.Counter("serve.planned_tasks").Add(float64(len(tasks)))
 	if s.cfg.PlanLog != nil {
-		s.cfg.PlanLog(store.PlanRecordFrom(tasks, plan))
+		rec := store.PlanRecordFrom(tasks, plan)
+		rec.ModelVersion = cur.info.Version
+		rec.ModelSHA256 = cur.info.SHA256
+		s.cfg.PlanLog(rec)
 	}
 	for i, p := range live {
 		lo, hi := offsets[i], offsets[i+1]
 		out := &PlacementResponse{
-			Rounds:    plan.Rounds,
-			Makespan:  plan.PredictedMakespan(),
-			BatchSize: len(live),
+			Rounds:       plan.Rounds,
+			Makespan:     plan.PredictedMakespan(),
+			BatchSize:    len(live),
+			ModelVersion: cur.info.Version,
+			ModelSHA256:  cur.info.SHA256,
 		}
 		for j := lo; j < hi; j++ {
 			out.Tasks = append(out.Tasks, TaskPlacement{

@@ -19,6 +19,11 @@ const (
 	// SectionPlan holds a PlanRecord: one Algorithm 1 / MinMakespanPlan
 	// output.
 	SectionPlan = "plan"
+	// SectionEpochs holds []EpochRecord: the epoch-lifecycle boundaries
+	// observed for the model during its training-time re-planning study.
+	// They travel with the checkpoint so a serving daemon can answer
+	// "why did placement change" (GET /replanz) for the model it serves.
+	SectionEpochs = "epochs"
 )
 
 // FeatureStats summarizes the training matrix the correlation function
@@ -205,8 +210,63 @@ func (a *Artifact) Alpha() (AlphaTable, error) {
 	return t, nil
 }
 
+// EpochRecord is the persistable form of one core.EpochReport: an epoch
+// boundary's drift observation and re-plan decision. A slice of them is
+// the epochs section.
+type EpochRecord struct {
+	Instance      int     `json:"instance"`
+	Epoch         int     `json:"epoch"`
+	Time          float64 `json:"time"`
+	Drift         float64 `json:"drift"`
+	Projected     float64 `json:"projected"`
+	Replanned     bool    `json:"replanned"`
+	Residual      float64 `json:"residual"`
+	MigrationCost float64 `json:"migration_cost"`
+	MovedPages    uint64  `json:"moved_pages"`
+}
+
+func validEpochs(eps []EpochRecord) error {
+	for i, e := range eps {
+		if e.Instance < 0 || e.Epoch < 0 {
+			return badf("epoch record %d has negative instance or epoch", i)
+		}
+		for _, v := range []float64{e.Time, e.Drift, e.Projected, e.Residual, e.MigrationCost} {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return badf("epoch record %d has a non-finite value", i)
+			}
+		}
+	}
+	return nil
+}
+
+// SetEpochs validates eps and stores them as the epochs section.
+func (a *Artifact) SetEpochs(eps []EpochRecord) error {
+	if err := validEpochs(eps); err != nil {
+		return err
+	}
+	return a.SetJSON(SectionEpochs, eps)
+}
+
+// Epochs decodes and validates the epochs section; a missing section
+// yields (nil, nil) — epoch provenance is optional.
+func (a *Artifact) Epochs() ([]EpochRecord, error) {
+	if !a.Has(SectionEpochs) {
+		return nil, nil
+	}
+	var eps []EpochRecord
+	if err := a.GetJSON(SectionEpochs, &eps); err != nil {
+		return nil, err
+	}
+	if err := validEpochs(eps); err != nil {
+		return nil, err
+	}
+	return eps, nil
+}
+
 // PlanRecord is a persistable Algorithm 1 / MinMakespanPlan output with
 // the task names it applies to — what a serving daemon logs per batch.
+// ModelVersion and ModelSHA256 identify the artifact that planned the
+// batch, so a mixed-version fleet's audit logs are diagnosable.
 type PlanRecord struct {
 	Tasks        []string  `json:"tasks"`
 	DRAMAccesses []float64 `json:"dram_accesses"`
@@ -215,6 +275,8 @@ type PlanRecord struct {
 	Predicted    []float64 `json:"predicted"`
 	Rounds       int       `json:"rounds"`
 	Makespan     float64   `json:"makespan"`
+	ModelVersion string    `json:"model_version,omitempty"`
+	ModelSHA256  string    `json:"model_sha256,omitempty"`
 }
 
 // PlanRecordFrom pairs a plan with the task names it was computed for.

@@ -287,10 +287,13 @@ func truncate(s string, n int) string {
 	return s[:n] + "..."
 }
 
-// WriteFile encodes the artifact to path atomically: the bytes land in a
-// temporary file in the same directory, are synced, and replace path via
-// rename, so readers never observe a partial artifact.
-func WriteFile(path string, a *Artifact) (err error) {
+// AtomicWriteFile writes data to path atomically and durably: the bytes
+// land in a temporary file in the same directory, are fsynced, replace
+// path via rename, and the directory entry itself is fsynced so the
+// rename survives a crash. Readers never observe a partial file. This is
+// the one write-then-rename dance in the repo — artifact checkpoints and
+// the registry's CURRENT pointer both go through it.
+func AtomicWriteFile(path string, data []byte) (err error) {
 	dir := filepath.Dir(path)
 	tmp, err := os.CreateTemp(dir, filepath.Base(path)+".tmp-*")
 	if err != nil {
@@ -302,8 +305,8 @@ func WriteFile(path string, a *Artifact) (err error) {
 			os.Remove(tmp.Name())
 		}
 	}()
-	if err = a.Encode(tmp); err != nil {
-		return err
+	if _, err = tmp.Write(data); err != nil {
+		return fmt.Errorf("store: write %s: %w", tmp.Name(), err)
 	}
 	if err = tmp.Sync(); err != nil {
 		return fmt.Errorf("store: sync %s: %w", tmp.Name(), err)
@@ -314,7 +317,45 @@ func WriteFile(path string, a *Artifact) (err error) {
 	if err = os.Rename(tmp.Name(), path); err != nil {
 		return fmt.Errorf("store: rename into %s: %w", path, err)
 	}
+	// Durability of the rename itself: fsync the directory entry. Without
+	// this a crash can roll the directory back to the old (or no) file
+	// even though the data blocks are on disk.
+	d, err := os.Open(dir)
+	if err != nil {
+		return fmt.Errorf("store: open dir %s: %w", dir, err)
+	}
+	defer d.Close()
+	if err = d.Sync(); err != nil {
+		return fmt.Errorf("store: sync dir %s: %w", dir, err)
+	}
 	return nil
+}
+
+// WriteFile encodes the artifact to path atomically via AtomicWriteFile,
+// so readers never observe a partial artifact.
+func WriteFile(path string, a *Artifact) error {
+	var buf bytes.Buffer
+	if err := a.Encode(&buf); err != nil {
+		return err
+	}
+	return AtomicWriteFile(path, buf.Bytes())
+}
+
+// FileSHA256 hashes the file at path and returns the hex digest and
+// byte length — the artifact identity the registry records on publish
+// and the serving daemon stamps into responses and audit logs.
+func FileSHA256(path string) (string, int64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return "", 0, fmt.Errorf("store: hash %s: %w", path, err)
+	}
+	defer f.Close()
+	h := sha256.New()
+	n, err := io.Copy(h, f)
+	if err != nil {
+		return "", 0, fmt.Errorf("store: hash %s: %w", path, err)
+	}
+	return hex.EncodeToString(h.Sum(nil)), n, nil
 }
 
 // ReadFile decodes the artifact at path.

@@ -350,3 +350,80 @@ func TestEncodeRejectsBadSectionNames(t *testing.T) {
 		t.Fatalf("got %v, want ErrBadArtifact", err)
 	}
 }
+
+func TestAtomicWriteFileAndSHA(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "blob.bin")
+	data := []byte("merchandiser atomic write")
+	if err := AtomicWriteFile(path, data); err != nil {
+		t.Fatal(err)
+	}
+	back, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(back, data) {
+		t.Fatalf("read back %q", back)
+	}
+	// Overwrite is atomic too: the new content fully replaces the old.
+	if err := AtomicWriteFile(path, []byte("v2")); err != nil {
+		t.Fatal(err)
+	}
+	sha, n, err := FileSHA256(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 || len(sha) != 64 {
+		t.Fatalf("sha %q len %d", sha, n)
+	}
+	// No temp files left behind.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Fatalf("directory holds %d entries after atomic writes, want 1", len(entries))
+	}
+	if err := AtomicWriteFile(filepath.Join(dir, "no", "such", "dir", "f"), data); err == nil {
+		t.Fatal("write into a missing directory succeeded")
+	}
+	if _, _, err := FileSHA256(filepath.Join(dir, "missing")); err == nil {
+		t.Fatal("FileSHA256 on a missing file succeeded")
+	}
+}
+
+func TestEpochsSectionRoundTrip(t *testing.T) {
+	a := testArtifact(t)
+	if eps, err := a.Epochs(); err != nil || eps != nil {
+		t.Fatalf("missing section: got %v, %v; want nil, nil", eps, err)
+	}
+	recs := []EpochRecord{
+		{Instance: 0, Epoch: 1, Time: 0.4, Drift: 0.12, Projected: 2.1},
+		{Instance: 2, Epoch: 3, Time: 1.1, Drift: 0.31, Projected: 3.0, Replanned: true, Residual: 1.2, MigrationCost: 0.05, MovedPages: 40},
+	}
+	if err := a.SetEpochs(recs); err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := Decode(bytes.NewReader(encode(t, a)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := decoded.Epochs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 2 || back[1] != recs[1] || back[0] != recs[0] {
+		t.Fatalf("epochs mangled: %+v", back)
+	}
+	// Validation gates both directions.
+	if err := a.SetEpochs([]EpochRecord{{Instance: -1}}); !errors.Is(err, merr.ErrBadArtifact) {
+		t.Fatalf("negative instance accepted: %v", err)
+	}
+	if err := a.SetEpochs([]EpochRecord{{Drift: math.Inf(1)}}); !errors.Is(err, merr.ErrBadArtifact) {
+		t.Fatalf("non-finite drift accepted: %v", err)
+	}
+	a.Set(SectionEpochs, []byte("not json"))
+	if _, err := a.Epochs(); !errors.Is(err, merr.ErrBadArtifact) {
+		t.Fatalf("junk epochs section decoded: %v", err)
+	}
+}

@@ -11,7 +11,9 @@
 # on their seed corpora plus 10s of new inputs each, run the end-to-end
 # save/load/serve smoke (binary-format artifact, boot-to-ready timed)
 # against a real
-# merchserved process, and hold internal/obs to a coverage floor. Every
+# merchserved process, run the fleet smoke (registry publish/promote,
+# two registry-backed replicas behind merchgate, zero-drop SIGHUP
+# reload), and hold internal/obs to a coverage floor. Every
 # test invocation gets a per-package timeout (60s plain, 600s for the
 # ~10x-slower race tier) so a hung run fails instead of wedging CI.
 set -eu
@@ -46,7 +48,8 @@ echo "== go test -race (root session pipeline + corpus, ml, placement, experimen
 # scaled bound; it still fails fast on a genuine hang.
 go test -race -timeout 600s . ./internal/corpus ./internal/ml ./internal/placement \
 	./internal/experiments ./internal/obs ./internal/hm ./internal/task \
-	./internal/store ./internal/serve ./internal/model
+	./internal/store ./internal/serve ./internal/model \
+	./internal/registry ./internal/gate
 
 echo "== pipeline race tier (streaming corpus -> paced fit -> pipelined eval)"
 # The pace-car pipeline is the repo's densest channel topology: corpus
@@ -104,9 +107,20 @@ go test -timeout 60s ./internal/store -run '^$' -fuzz '^FuzzRestoreArtifact$' -f
 echo "== fuzz smoke (FuzzBinaryDecode, 10s)"
 go test -timeout 60s ./internal/store -run '^$' -fuzz '^FuzzBinaryDecode$' -fuzztime 10s
 
+echo "== registry/gate race tier (publish/promote vs resolve, reload under fire, ring routing)"
+# The fleet paths: racing publishers and promoters against a resolver,
+# the serve bundle swap hammered by concurrent Place calls, and the
+# gate's prober/proxy shared backend state.
+go test -race -timeout 600s -count=1 -run 'Concurrent|ReloadUnderFire|Gate|Ring|Loadgen' \
+	./internal/registry ./internal/serve ./internal/gate
+
 echo "== e2e save/load/serve smoke (merchserved)"
 go build -o bin/merchserved ./cmd/merchserved
 go run ./scripts/servesmoke -daemon bin/merchserved
+
+echo "== e2e fleet smoke (registry publish/promote + 2 replicas + merchgate, zero-drop SIGHUP reload)"
+go build -o bin/merchgate ./cmd/merchgate
+go run ./scripts/gatesmoke -daemon bin/merchserved -gate bin/merchgate
 
 echo "== coverage floor (internal/obs >= 70%)"
 cov=$(go test -timeout 60s -cover ./internal/obs | awk '{for (i=1;i<=NF;i++) if ($i ~ /^[0-9.]+%$/) {sub(/%/,"",$i); print $i}}')

@@ -1,0 +1,12 @@
+#!/bin/sh
+# Fleet end-to-end smoke, runnable on its own (check.sh also invokes the
+# same harness): train -> publish v1 -> boot 2 registry-backed replicas
+# + merchgate -> serve continuous traffic -> publish v2 -> promote ->
+# SIGHUP both replicas -> assert zero dropped requests and a clean
+# v1->v2 flip in every replica's plan-log audit trail.
+set -eu
+cd "$(dirname "$0")/.."
+
+go build -o bin/merchserved ./cmd/merchserved
+go build -o bin/merchgate ./cmd/merchgate
+go run ./scripts/gatesmoke -daemon bin/merchserved -gate bin/merchgate

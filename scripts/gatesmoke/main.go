@@ -1,0 +1,361 @@
+// Command gatesmoke is check.sh's fleet end-to-end smoke: it trains a
+// quick System, publishes it to a model registry as v1, boots two real
+// merchserved replicas off the registry plus a merchgate front tier,
+// serves continuous traffic through the gate, then publishes and
+// promotes v2 and SIGHUPs both replicas mid-traffic. It asserts that
+// not one request failed across the live promotion (zero-drop
+// hot-reload), that the gate's /fleetz converges on v2, and that each
+// replica's plan-log audit trail records the version flip — v1 plans
+// strictly before v2 plans, nothing else.
+//
+//	go build -o bin/merchserved ./cmd/merchserved
+//	go build -o bin/merchgate ./cmd/merchgate
+//	go run ./scripts/gatesmoke -daemon bin/merchserved -gate bin/merchgate
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"merchandiser"
+	"merchandiser/internal/gate"
+	"merchandiser/internal/registry"
+	"merchandiser/internal/serve"
+	"merchandiser/internal/store"
+)
+
+const replicas = 2
+
+func main() {
+	daemon := flag.String("daemon", "bin/merchserved", "path to the merchserved binary")
+	gateBin := flag.String("gate", "bin/merchgate", "path to the merchgate binary")
+	flag.Parse()
+	log.SetFlags(0)
+	log.SetPrefix("gatesmoke: ")
+
+	dir, err := os.MkdirTemp("", "gatesmoke-*")
+	check(err, "temp dir")
+	defer os.RemoveAll(dir)
+
+	// Train once, publish v1, promote. v2 is the same quick model with a
+	// different seed stamp — distinct bytes, so the reload's SHA-based
+	// noop detection must see a real change.
+	root := filepath.Join(dir, "registry")
+	reg, err := registry.Open(root)
+	check(err, "open registry")
+	publish(reg, dir, "v1", 1)
+	check(reg.Promote("v1"), "promote v1")
+	log.Print("registry ready with v1 promoted")
+
+	// Boot the fleet: two registry-backed replicas and the gate.
+	var procs []*exec.Cmd
+	var replicaAddrs []string
+	planlogs := make([]string, replicas)
+	for i := 0; i < replicas; i++ {
+		addrfile := filepath.Join(dir, fmt.Sprintf("replica%d.addr", i))
+		planlogs[i] = filepath.Join(dir, fmt.Sprintf("plans%d", i))
+		cmd := exec.Command(*daemon,
+			"-registry", root,
+			"-addr", "127.0.0.1:0",
+			"-addrfile", addrfile,
+			"-planlog", planlogs[i],
+			"-drain", "10s",
+		)
+		cmd.Stdout = os.Stderr
+		cmd.Stderr = os.Stderr
+		check(cmd.Start(), "start replica")
+		procs = append(procs, cmd)
+		replicaAddrs = append(replicaAddrs, "http://"+strings.TrimSpace(waitForFile(addrfile, 10*time.Second)))
+	}
+	defer func() {
+		for _, p := range procs {
+			p.Process.Kill()
+		}
+	}()
+	gateAddrfile := filepath.Join(dir, "gate.addr")
+	gateCmd := exec.Command(*gateBin,
+		"-backends", strings.Join(replicaAddrs, ","),
+		"-addr", "127.0.0.1:0",
+		"-addrfile", gateAddrfile,
+		"-probe", "50ms",
+		"-readmit", "1",
+	)
+	gateCmd.Stdout = os.Stderr
+	gateCmd.Stderr = os.Stderr
+	check(gateCmd.Start(), "start gate")
+	procs = append(procs, gateCmd)
+	gateURL := "http://" + strings.TrimSpace(waitForFile(gateAddrfile, 10*time.Second))
+	waitFor(gateURL+"/readyz", http.StatusOK, 10*time.Second)
+	log.Printf("fleet up: %d replicas behind %s", replicas, gateURL)
+
+	// Continuous traffic through the gate for the whole promotion window:
+	// 4 clients, 8 sticky app keys, every response must be a 200. A
+	// single failed request fails the smoke — that is the zero-drop bar.
+	var sent, failed atomic.Int64
+	stopTraffic := make(chan struct{})
+	var wg sync.WaitGroup
+	for c := 0; c < 4; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			i := 0
+			for {
+				select {
+				case <-stopTraffic:
+					return
+				default:
+				}
+				i++
+				key := fmt.Sprintf("app-%d", (c*2+i)%8)
+				if !place(gateURL, key) {
+					failed.Add(1)
+				}
+				sent.Add(1)
+			}
+		}(c)
+	}
+
+	// Let v1 traffic land in both plan logs first, so the audit trail has
+	// a flip to show.
+	waitForVersions(planlogs, "v1", 10*time.Second)
+
+	// Live promotion: publish v2, promote, SIGHUP both replicas.
+	publish(reg, dir, "v2", 2)
+	check(reg.Promote("v2"), "promote v2")
+	for _, p := range procs[:replicas] {
+		check(p.Process.Signal(syscall.SIGHUP), "SIGHUP replica")
+	}
+	log.Print("v2 promoted, replicas signaled")
+
+	// The fleet view must converge on v2 while traffic keeps flowing.
+	waitForFleetVersion(gateURL, "v2", 10*time.Second)
+	waitForVersions(planlogs, "v2", 10*time.Second)
+	close(stopTraffic)
+	wg.Wait()
+	if failed.Load() > 0 {
+		log.Fatalf("%d of %d requests failed across the live promotion — hot reload dropped traffic", failed.Load(), sent.Load())
+	}
+	log.Printf("zero drops: %d requests served across the v1->v2 promotion", sent.Load())
+
+	// /replanz answers on every replica (empty epochs for this artifact).
+	for _, a := range replicaAddrs {
+		var rp serve.ReplanResponse
+		getJSON(a+"/replanz", &rp)
+		if rp.Version != "v2" || rp.Epochs == nil {
+			log.Fatalf("replica %s /replanz: %+v", a, rp)
+		}
+	}
+
+	// Drain the fleet.
+	for _, p := range procs {
+		check(p.Process.Signal(syscall.SIGTERM), "SIGTERM")
+	}
+	for _, p := range procs {
+		waitExit(p, 15*time.Second)
+	}
+	log.Print("fleet drained cleanly")
+
+	// Audit trail: each replica's plan log must show v1 plans strictly
+	// before v2 plans (the batch-boundary swap), every record carrying the
+	// artifact SHA the registry recorded.
+	want := map[string]string{}
+	for _, v := range []string{"v1", "v2"} {
+		ent, err := reg.Verify(v)
+		check(err, "verify "+v)
+		want[v] = ent.SHA256
+	}
+	for i, dir := range planlogs {
+		versions := auditVersions(dir, want)
+		flip := strings.Join(dedup(versions), ",")
+		if flip != "v1,v2" {
+			log.Fatalf("replica %d audit log shows versions %q, want a clean v1,v2 flip", i, flip)
+		}
+		log.Printf("replica %d audit log: %d plans, clean v1->v2 flip", i, len(versions))
+	}
+	fmt.Println("gatesmoke: PASS")
+}
+
+// publish trains/stamps a quick system and publishes it under version.
+func publish(reg *registry.Registry, dir, version string, seed int64) {
+	sys, err := merchandiser.NewSystem(merchandiser.DefaultSpec(), merchandiser.TrainQuick)
+	check(err, "build system")
+	sys.Meta.Seed = seed
+	path := filepath.Join(dir, version+".artifact")
+	check(sys.SaveFileFormat(path, merchandiser.SaveBinary), "save "+version)
+	_, err = reg.Publish(version, path)
+	check(err, "publish "+version)
+}
+
+// place POSTs one placement request through the gate; true on a 200
+// with a plausible plan.
+func place(base, key string) bool {
+	body := `{"tasks":[{"name":"` + key + `/t0","t_pm_only":2,"t_dram_only":0.8,"total_accesses":4e6,"footprint_pages":300}]}`
+	req, err := http.NewRequest(http.MethodPost, base+"/place", strings.NewReader(body))
+	if err != nil {
+		return false
+	}
+	req.Header.Set("Content-Type", "application/json")
+	req.Header.Set(gate.KeyHeader, key)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return false
+	}
+	defer resp.Body.Close()
+	var out serve.PlacementResponse
+	if json.NewDecoder(resp.Body).Decode(&out) != nil {
+		return false
+	}
+	return resp.StatusCode == http.StatusOK && len(out.Tasks) == 1 && out.Makespan > 0
+}
+
+// auditVersions reads a replica's plan log in sequence order and returns
+// each record's version, checking the stamped SHA against the registry.
+func auditVersions(dir string, want map[string]string) []string {
+	entries, err := os.ReadDir(dir)
+	check(err, "read plan log")
+	if len(entries) == 0 {
+		log.Fatalf("plan log %s is empty", dir)
+	}
+	var versions []string
+	for _, e := range entries { // ReadDir sorts by name = batch sequence
+		a, err := store.ReadFile(filepath.Join(dir, e.Name()))
+		check(err, "decode plan artifact")
+		rec, err := a.Plan()
+		check(err, "validate plan record")
+		sha, ok := want[rec.ModelVersion]
+		if !ok {
+			log.Fatalf("plan %s stamped with unknown version %q", e.Name(), rec.ModelVersion)
+		}
+		if rec.ModelSHA256 != sha {
+			log.Fatalf("plan %s: version %s stamped sha %s, registry has %s", e.Name(), rec.ModelVersion, rec.ModelSHA256, sha)
+		}
+		versions = append(versions, rec.ModelVersion)
+	}
+	return versions
+}
+
+func dedup(s []string) []string {
+	var out []string
+	for _, v := range s {
+		if len(out) == 0 || out[len(out)-1] != v {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// waitForVersions waits until every plan log contains a record stamped
+// with version.
+func waitForVersions(dirs []string, version string, timeout time.Duration) {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		have := 0
+		for _, d := range dirs {
+			entries, err := os.ReadDir(d)
+			if err != nil {
+				continue
+			}
+			for i := len(entries) - 1; i >= 0; i-- { // newest first
+				a, err := store.ReadFile(filepath.Join(d, entries[i].Name()))
+				if err != nil {
+					continue // mid-write; the next poll sees it
+				}
+				if rec, err := a.Plan(); err == nil && rec.ModelVersion == version {
+					have++
+					break
+				}
+			}
+		}
+		if have == len(dirs) {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	log.Fatalf("not every replica served a %s-planned batch within %s", version, timeout)
+}
+
+// waitForFleetVersion waits until the gate's /fleetz shows every replica
+// healthy on version.
+func waitForFleetVersion(gateURL, version string, timeout time.Duration) {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		var fleet []gate.BackendStatus
+		getJSON(gateURL+"/fleetz", &fleet)
+		n := 0
+		for _, b := range fleet {
+			if b.Healthy && b.Version == version {
+				n++
+			}
+		}
+		if n == replicas {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	log.Fatalf("gate fleet view never converged on %s", version)
+}
+
+func getJSON(url string, out any) {
+	resp, err := http.Get(url)
+	check(err, "GET "+url)
+	defer resp.Body.Close()
+	check(json.NewDecoder(resp.Body).Decode(out), "decode "+url)
+}
+
+func waitFor(url string, status int, timeout time.Duration) {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if resp, err := http.Get(url); err == nil {
+			resp.Body.Close()
+			if resp.StatusCode == status {
+				return
+			}
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	log.Fatalf("%s never answered %d", url, status)
+}
+
+func waitExit(cmd *exec.Cmd, timeout time.Duration) {
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }()
+	ctx, cancel := context.WithTimeout(context.Background(), timeout)
+	defer cancel()
+	select {
+	case err := <-done:
+		check(err, "process exit status")
+	case <-ctx.Done():
+		log.Fatal("process did not exit within the drain budget")
+	}
+}
+
+func waitForFile(path string, timeout time.Duration) string {
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if data, err := os.ReadFile(path); err == nil && len(bytes.TrimSpace(data)) > 0 {
+			return string(data)
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	log.Fatalf("process never wrote %s", path)
+	return ""
+}
+
+func check(err error, what string) {
+	if err != nil {
+		log.Fatalf("%s: %v", what, err)
+	}
+}

@@ -1,0 +1,79 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+
+	"merchandiser"
+	"merchandiser/internal/experiments"
+	"merchandiser/internal/serve"
+)
+
+// runCacheBench measures the replica-side response cache: it saves a
+// small synthetic system, boots an in-process serve.Service on it, and
+// times /place both cold (planner runs) and warm (cache hit). The ops
+// block carries both latency distributions plus the hit speedup so
+// BENCH files can assert the cache actually pays.
+func runCacheBench(ctx context.Context, w io.Writer, out string, cfg experiments.Config) error {
+	dir, err := os.MkdirTemp("", "merchbench-cache-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+
+	sys := syntheticSystem(16, 4, 400)
+	path := filepath.Join(dir, "cache.artifact")
+	if err := sys.SaveFileFormat(path, merchandiser.SaveBinary); err != nil {
+		return err
+	}
+
+	iters := 256
+	if cfg.Quick {
+		iters = 64
+	}
+	res, err := serve.CacheBench(ctx, path, iters)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "replica response cache (%d distinct requests):\n", res.Iters)
+	fmt.Fprintf(w, "  %-6s %12s %12s\n", "path", "p50", "p99")
+	fmt.Fprintf(w, "  %-6s %10.0fus %10.0fus\n", "miss", res.MissP50, res.MissP99)
+	fmt.Fprintf(w, "  %-6s %10.0fus %10.0fus\n", "hit", res.HitP50, res.HitP99)
+	fmt.Fprintf(w, "  hit speedup: %.1fx\n\n", res.HitSpeedupX)
+
+	workers := cfg.Workers
+	if workers <= 0 {
+		workers = runtime.NumCPU()
+	}
+	rep := &experiments.BenchReport{
+		Schema:  experiments.BenchSchema,
+		Quick:   cfg.Quick,
+		Seed:    cfg.Seed,
+		Workers: workers,
+		Ops: map[string]float64{
+			"cache_iters":           float64(res.Iters),
+			"cache_miss_p50_micros": res.MissP50,
+			"cache_miss_p99_micros": res.MissP99,
+			"cache_hit_p50_micros":  res.HitP50,
+			"cache_hit_p99_micros":  res.HitP99,
+			"cache_hit_speedup_x":   res.HitSpeedupX,
+		},
+	}
+	f, err := os.Create(out)
+	if err != nil {
+		return err
+	}
+	if err := rep.WriteJSON(f); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "cache bench report written to %s\n", out)
+	return nil
+}

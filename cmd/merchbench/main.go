@@ -68,6 +68,7 @@ func main() {
 	loadPath := flag.String("load", "", "skip training and restore the system from this artifact file")
 	convertPath := flag.String("convert", "", "with -load: rewrite the loaded artifact container to this path in the -save-format encoding and exit (no restore, no retraining)")
 	benchRestore := flag.String("bench-restore", "", "measure artifact restore cold-start (json vs binary, three ensemble sizes) and write the report (schema "+experiments.BenchSchema+") to this file, then exit")
+	benchCache := flag.String("bench-cache", "", "measure the replica response cache (/place cold vs cached) and write the report (schema "+experiments.BenchSchema+") to this file, then exit")
 	replanMode := flag.String("replan", "", "Merchandiser re-planning mode for every cell: off, drift or interval (default off — byte-identical to plan-once)")
 	replanEpoch := flag.Int("replan-epoch", 0, "epoch length in policy ticks for -replan (0 = default)")
 	tenants := flag.String("tenants", "", "per-tenant DRAM page quotas for -exp cosched as name=pages pairs, e.g. spgemm=1228,bfs=512 (default: a 60/25 split of DRAM)")
@@ -106,6 +107,7 @@ func main() {
 	*savePath = outPath(*savePath)
 	*convertPath = outPath(*convertPath)
 	*benchRestore = outPath(*benchRestore)
+	*benchCache = outPath(*benchCache)
 	*benchReplan = outPath(*benchReplan)
 	*cpuProfile = outPath(*cpuProfile)
 	*memProfile = outPath(*memProfile)
@@ -169,6 +171,12 @@ func main() {
 	// just the restore path, both formats, three ensemble sizes.
 	if *benchRestore != "" {
 		fail(runRestoreBench(ctx, os.Stdout, *benchRestore, cfg))
+		return
+	}
+	// Standalone cache benchmark: one synthetic artifact, one in-process
+	// replica, /place timed cold and warm.
+	if *benchCache != "" {
+		fail(runCacheBench(ctx, os.Stdout, *benchCache, cfg))
 		return
 	}
 	if *policies != "" {

@@ -47,6 +47,7 @@ func main() {
 	eject := flag.Int("eject", 2, "consecutive probe failures that eject a replica")
 	readmit := flag.Int("readmit", 2, "consecutive probe successes that re-admit a replica")
 	timeout := flag.Duration("timeout", 15*time.Second, "per proxied request timeout")
+	cacheEntries := flag.Int("cache-entries", 0, "gate response-cache capacity: identical requests are answered from cached replica bodies while the fleet serves one model SHA (0 disables)")
 	addrfile := flag.String("addrfile", "", "write the bound listen address to this file once serving")
 
 	loadgen := flag.Bool("loadgen", false, "run as a replay load generator instead of a server")
@@ -57,6 +58,8 @@ func main() {
 	tasks := flag.Int("tasks", 8, "loadgen: tasks per placement request")
 	seed := flag.Int64("seed", 1, "loadgen: trace seed")
 	replicas := flag.Int("replicas", 1, "loadgen: fleet replica count, recorded in report row keys")
+	zipf := flag.Float64("zipf", 0, "loadgen: Zipf skew exponent for app selection (0 = uniform legacy draw; ~1.1 = hot-app web-traffic shape)")
+	rowTag := flag.String("row-tag", "", "loadgen: extra report row-key segment (e.g. cache=on_zipf=1.1_)")
 	benchOut := flag.String("bench-out", "", "loadgen: write a merchbench/bench/v1 JSON report here")
 	flag.Parse()
 
@@ -69,6 +72,8 @@ func main() {
 			TasksPerRequest: *tasks,
 			Seed:            *seed,
 			Replicas:        *replicas,
+			ZipfS:           *zipf,
+			Tag:             *rowTag,
 		}, *benchOut)
 		return
 	}
@@ -92,6 +97,7 @@ func main() {
 		EjectAfter:     *eject,
 		ReadmitAfter:   *readmit,
 		Timeout:        *timeout,
+		CacheEntries:   *cacheEntries,
 		Obs:            obs,
 	})
 	defer g.Close()

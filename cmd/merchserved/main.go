@@ -59,6 +59,7 @@ func main() {
 	window := flag.Duration("window", 2*time.Millisecond, "micro-batching window after the first request of a batch")
 	timeout := flag.Duration("timeout", 10*time.Second, "per-request deadline (queue wait + evaluation); expired requests answer 504")
 	drain := flag.Duration("drain", 30*time.Second, "graceful-drain budget on SIGTERM before the process gives up waiting")
+	cacheEntries := flag.Int("cache-entries", 0, "response-cache capacity: identical requests against the same model skip the planner entirely (0 disables)")
 	planlog := flag.String("planlog", "", "directory to write one plan artifact per batch (for audit/replay)")
 	addrfile := flag.String("addrfile", "", "write the bound listen address to this file once serving (for harnesses using port 0)")
 	pprofAddr := flag.String("pprof", "", "serve net/http/pprof on this separate address (e.g. localhost:6060); off by default")
@@ -73,6 +74,7 @@ func main() {
 		QueueDepth:     *queue,
 		MaxBatch:       *batch,
 		BatchWindow:    *window,
+		CacheEntries:   *cacheEntries,
 		Obs:            reg,
 		RestoreOptions: []merchandiser.RestoreOption{merchandiser.WithObserver(reg)},
 	}

@@ -8,11 +8,14 @@ import (
 	"net"
 	"net/http"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 	"time"
 
+	"merchandiser/internal/merr"
 	"merchandiser/internal/obs"
+	"merchandiser/internal/rcache"
 	"merchandiser/internal/serve"
 )
 
@@ -23,6 +26,11 @@ const maxBodyBytes = 1 << 20
 // back to the first task's name — per-app streams hash to the same
 // replica either way.
 const KeyHeader = "X-Merch-Key"
+
+// CacheHeader marks responses the gate served from its response cache
+// (or collapsed into an identical in-flight request) without touching a
+// replica.
+const CacheHeader = "X-Merch-Cache"
 
 // Config tunes the gate.
 type Config struct {
@@ -44,6 +52,13 @@ type Config struct {
 	ReadmitAfter int
 	// Timeout caps one proxied request. Default 15s.
 	Timeout time.Duration
+	// CacheEntries bounds the gate's response cache: serialized upstream
+	// 200 bodies keyed on (fleet-converged model SHA, order-sensitive
+	// request hash), served without touching any replica. Caching engages
+	// only while every healthy replica reports the same non-empty SHA. 0
+	// (the default) disables the cache and leaves the gate byte-identical
+	// to a build without it.
+	CacheEntries int
 	// Obs, when non-nil, receives gate metrics; it is what /metricsz
 	// serves.
 	Obs *obs.Registry
@@ -99,6 +114,22 @@ type BackendStatus struct {
 	LastErr string `json:"last_error,omitempty"`
 }
 
+// FleetResponse is the /fleetz body when the response cache is enabled:
+// the replica rows plus the cache's counters. With the cache off the
+// endpoint keeps serving the legacy bare array of BackendStatus.
+type FleetResponse struct {
+	Backends []BackendStatus `json:"backends"`
+	Cache    *FleetCache     `json:"cache,omitempty"`
+}
+
+// FleetCache is the /fleetz cache block.
+type FleetCache struct {
+	rcache.Stats
+	Collapsed    uint64  `json:"collapsed"`
+	HitRate      float64 `json:"hit_rate"`
+	ConvergedSHA string  `json:"converged_sha,omitempty"`
+}
+
 // Gate routes placement requests across a replica set. Create with New,
 // stop the probers with Close.
 type Gate struct {
@@ -106,6 +137,11 @@ type Gate struct {
 	ring     *Ring
 	backends []*backend
 	client   *http.Client
+
+	// cache/flight/hashers exist only when Config.CacheEntries > 0.
+	cache   *rcache.Cache
+	flight  *rcache.Group
+	hashers sync.Pool
 
 	stop chan struct{}
 	wg   sync.WaitGroup
@@ -122,6 +158,11 @@ func New(cfg Config) *Gate {
 	}
 	if g.client == nil {
 		g.client = &http.Client{Timeout: cfg.Timeout}
+	}
+	if cfg.CacheEntries > 0 {
+		g.cache = rcache.New(rcache.Config{Entries: cfg.CacheEntries, Obs: cfg.Obs, Metric: "gate.cache_"})
+		g.flight = &rcache.Group{}
+		g.hashers.New = func() any { return rcache.NewHasher() }
 	}
 	for _, u := range cfg.Backends {
 		b := &backend{url: strings.TrimRight(u, "/")}
@@ -262,18 +303,65 @@ func isConnError(err error) bool {
 	return errors.Is(err, io.EOF) || errors.Is(err, io.ErrUnexpectedEOF)
 }
 
-// proxyPlace routes one placement request: primary replica by key, then
-// bounded retries along the ring on connection failure or a 503 (a
-// draining replica answers 503; its key space should fail over).
-func (g *Gate) proxyPlace(w http.ResponseWriter, r *http.Request) {
-	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
-	if err != nil {
-		http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
-		return
-	}
-	key := routeKey(r, body)
-	g.cfg.Obs.Counter("gate.requests").Inc()
+// upstreamResult is one routed request's outcome in writable form: the
+// status, body and headers handlePlace (or a cache hit replaying it)
+// sends to the client.
+type upstreamResult struct {
+	status     int
+	ctype      string
+	body       []byte
+	retryAfter string // upstream Retry-After, if any; bounded on write
+	nosniff    bool   // gate-generated plain-text error (http.Error parity)
+}
 
+// textResult is a gate-generated error in upstreamResult form,
+// byte-compatible with what http.Error used to produce.
+func textResult(status int, msg string) *upstreamResult {
+	return &upstreamResult{
+		status:  status,
+		ctype:   "text/plain; charset=utf-8",
+		body:    []byte(msg + "\n"),
+		nosniff: true,
+	}
+}
+
+// writeUpstream sends a result to the client, preserving the upstream
+// Content-Type (including on replayed error bodies) and attaching a
+// bounded Retry-After hint to 429/503 answers so well-behaved clients
+// back off instead of hammering a draining fleet.
+func writeUpstream(w http.ResponseWriter, res *upstreamResult) {
+	if res.ctype != "" {
+		w.Header().Set("Content-Type", res.ctype)
+	}
+	if res.nosniff {
+		w.Header().Set("X-Content-Type-Options", "nosniff")
+	}
+	if res.status == http.StatusTooManyRequests || res.status == http.StatusServiceUnavailable {
+		w.Header().Set("Retry-After", boundedRetryAfter(res.retryAfter))
+	}
+	w.WriteHeader(res.status)
+	w.Write(res.body)
+}
+
+// boundedRetryAfter clamps an upstream Retry-After (seconds form) into
+// [1, 30]; anything absent or unparseable becomes the 1-second floor.
+func boundedRetryAfter(upstream string) string {
+	secs, err := strconv.Atoi(strings.TrimSpace(upstream))
+	if err != nil || secs < 1 {
+		secs = 1
+	}
+	if secs > 30 {
+		secs = 30
+	}
+	return strconv.Itoa(secs)
+}
+
+// forward routes one placement request: primary replica by key, then
+// bounded retries along the ring on connection failure or a 503 (a
+// draining replica answers 503; its key space should fail over). It
+// returns nil only when the client's context died — there is nothing
+// left to answer.
+func (g *Gate) forward(r *http.Request, body []byte, key string) *upstreamResult {
 	seq := g.ring.Sequence(key, 1+g.cfg.Retries)
 	// Healthy replicas first, in ring-preference order; ejected ones only
 	// as a last resort (the prober may simply not have re-admitted yet).
@@ -290,33 +378,29 @@ func (g *Gate) proxyPlace(w http.ResponseWriter, r *http.Request) {
 	}
 	if len(ordered) == 0 {
 		g.cfg.Obs.Counter("gate.rejected_no_backend").Inc()
-		http.Error(w, "gate: no routable replica", http.StatusServiceUnavailable)
-		return
+		return textResult(http.StatusServiceUnavailable, "gate: no routable replica")
 	}
 
-	var lastStatus int
-	var lastBody []byte
+	var last *upstreamResult
 	for hop, b := range ordered {
 		if hop > 0 {
 			g.cfg.Obs.Counter("gate.retries").Inc()
 		}
 		req, err := http.NewRequestWithContext(r.Context(), http.MethodPost, b.url+"/place", bytes.NewReader(body))
 		if err != nil {
-			http.Error(w, err.Error(), http.StatusInternalServerError)
-			return
+			return textResult(http.StatusInternalServerError, err.Error())
 		}
 		req.Header.Set("Content-Type", "application/json")
 		resp, err := g.client.Do(req)
 		if err != nil {
 			if r.Context().Err() != nil {
-				return // client gave up; nothing to answer
+				return nil // client gave up; nothing to answer
 			}
 			b.noteFailure(g.cfg.EjectAfter, err.Error())
 			if isConnError(err) {
 				continue
 			}
-			http.Error(w, "gate: "+err.Error(), http.StatusBadGateway)
-			return
+			return textResult(http.StatusBadGateway, "gate: "+err.Error())
 		}
 		respBody, readErr := io.ReadAll(io.LimitReader(resp.Body, maxBodyBytes))
 		resp.Body.Close()
@@ -326,22 +410,149 @@ func (g *Gate) proxyPlace(w http.ResponseWriter, r *http.Request) {
 		}
 		if resp.StatusCode == http.StatusServiceUnavailable {
 			// Draining or not-yet-loaded replica: its share fails over.
-			lastStatus, lastBody = resp.StatusCode, respBody
+			last = &upstreamResult{
+				status:     resp.StatusCode,
+				ctype:      resp.Header.Get("Content-Type"),
+				body:       respBody,
+				retryAfter: resp.Header.Get("Retry-After"),
+			}
 			continue
 		}
 		g.cfg.Obs.Counter("gate.proxied").Inc()
-		w.Header().Set("Content-Type", resp.Header.Get("Content-Type"))
-		w.WriteHeader(resp.StatusCode)
-		w.Write(respBody)
-		return
+		return &upstreamResult{
+			status:     resp.StatusCode,
+			ctype:      resp.Header.Get("Content-Type"),
+			body:       respBody,
+			retryAfter: resp.Header.Get("Retry-After"),
+		}
 	}
 	g.cfg.Obs.Counter("gate.exhausted").Inc()
-	if lastStatus != 0 {
-		w.WriteHeader(lastStatus)
-		w.Write(lastBody)
+	if last != nil {
+		return last
+	}
+	return textResult(http.StatusBadGateway, "gate: every candidate replica failed")
+}
+
+// convergedSHA returns the model SHA the whole routable fleet serves,
+// or "" while replicas disagree (mid-promotion), report no SHA, or none
+// is healthy. Caching on a converged SHA means a response body cached
+// now is exact for any replica the ring could have picked.
+func (g *Gate) convergedSHA() string {
+	sha := ""
+	for _, b := range g.backends {
+		b.mu.Lock()
+		healthy, s := b.healthy, b.sha256
+		b.mu.Unlock()
+		if !healthy {
+			continue
+		}
+		if s == "" || (sha != "" && s != sha) {
+			return ""
+		}
+		sha = s
+	}
+	return sha
+}
+
+// cacheKey parses and canonically hashes a request body. ok is false
+// when the body is not a cacheable placement request (malformed JSON,
+// no tasks, oversized) — those flow straight to a replica for its
+// verdict.
+func (g *Gate) cacheKey(modelSHA string, body []byte) (rcache.Key, bool) {
+	var req serve.PlacementRequest
+	if err := json.Unmarshal(body, &req); err != nil || len(req.Tasks) == 0 || len(req.Tasks) > 1<<12 {
+		return rcache.Key{}, false
+	}
+	h := g.hashers.Get().(*rcache.Hasher)
+	digest, perm := h.Hash(&req)
+	ordered := h.OrderedDigest(digest, perm)
+	g.hashers.Put(h)
+	return rcache.Key{Model: modelSHA, Request: ordered}, true
+}
+
+// handlePlace answers one client /place: response cache first (when
+// configured and the fleet is converged), then singleflight-collapsed
+// forwarding along the ring.
+func (g *Gate) handlePlace(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(http.MaxBytesReader(w, r.Body, maxBodyBytes))
+	if err != nil {
+		http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
 		return
 	}
-	http.Error(w, "gate: every candidate replica failed", http.StatusBadGateway)
+	key := routeKey(r, body)
+	g.cfg.Obs.Counter("gate.requests").Inc()
+
+	if g.cache != nil {
+		if sha := g.convergedSHA(); sha != "" {
+			if ckey, ok := g.cacheKey(sha, body); ok {
+				g.placeCached(w, r, body, key, ckey)
+				return
+			}
+		} else {
+			g.cfg.Obs.Counter("gate.cache_unconverged").Inc()
+		}
+	}
+	if res := g.forward(r, body, key); res != nil {
+		writeUpstream(w, res)
+	}
+}
+
+// placeCached serves from the gate cache, collapsing concurrent
+// identical misses into one upstream request. Only 200 bodies whose
+// stamped model SHA matches the converged SHA are stored: a response
+// that raced a promotion is answered but never cached.
+func (g *Gate) placeCached(w http.ResponseWriter, r *http.Request, body []byte, key string, ckey rcache.Key) {
+	if v, ok := g.cache.Get(ckey); ok {
+		w.Header().Set(CacheHeader, "hit")
+		writeUpstream(w, v.(*upstreamResult))
+		return
+	}
+	v, shared, err := g.flight.Do(r.Context(), ckey, func() (any, error) {
+		res := g.forward(r, body, key)
+		if res == nil {
+			return nil, merr.Canceled("gate: leader canceled", r.Context().Err())
+		}
+		if res.status == http.StatusOK && upstreamModelSHA(res.body) == ckey.Model {
+			g.cache.Put(ckey, res)
+		}
+		return res, nil
+	})
+	if shared {
+		g.cfg.Obs.Counter("gate.cache_collapsed").Inc()
+	}
+	if err != nil {
+		// The leader's client (or ours) gave up. If we are still live,
+		// the request deserves its own trip upstream.
+		if r.Context().Err() != nil {
+			return
+		}
+		if res := g.forward(r, body, key); res != nil {
+			writeUpstream(w, res)
+		}
+		return
+	}
+	res := v.(*upstreamResult)
+	if shared {
+		w.Header().Set(CacheHeader, "hit")
+	}
+	writeUpstream(w, res)
+}
+
+// upstreamModelSHA lifts model_sha256 from a replica's response body.
+func upstreamModelSHA(body []byte) string {
+	var out struct {
+		ModelSHA256 string `json:"model_sha256"`
+	}
+	if err := json.Unmarshal(body, &out); err != nil {
+		return ""
+	}
+	return out.ModelSHA256
+}
+
+// CacheStats reports the gate cache's counters (zero when off) and the
+// singleflight collapse count.
+func (g *Gate) CacheStats() (rcache.Stats, uint64) {
+	return g.cache.Stats(), g.flight.Collapsed()
 }
 
 // Handler exposes the gate over HTTP:
@@ -376,14 +587,28 @@ func (g *Gate) Handler() http.Handler {
 	})
 	mux.HandleFunc("/fleetz", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
-		json.NewEncoder(w).Encode(g.Fleet())
+		if g.cache == nil {
+			// Cache off: the legacy bare-array body, byte-identical.
+			json.NewEncoder(w).Encode(g.Fleet())
+			return
+		}
+		stats, collapsed := g.CacheStats()
+		json.NewEncoder(w).Encode(FleetResponse{
+			Backends: g.Fleet(),
+			Cache: &FleetCache{
+				Stats:        stats,
+				Collapsed:    collapsed,
+				HitRate:      stats.HitRate(),
+				ConvergedSHA: g.convergedSHA(),
+			},
+		})
 	})
 	mux.HandleFunc("/place", func(w http.ResponseWriter, r *http.Request) {
 		if r.Method != http.MethodPost {
 			http.Error(w, "POST a placement request", http.StatusMethodNotAllowed)
 			return
 		}
-		g.proxyPlace(w, r)
+		g.handlePlace(w, r)
 	})
 	return mux
 }

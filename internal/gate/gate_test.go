@@ -24,6 +24,10 @@ type fakeReplica struct {
 	ready   atomic.Bool
 	version atomic.Value // string
 	places  atomic.Int64
+	// placeSHA, when set, overrides the model SHA stamped into /place
+	// responses (normally "sha-"+version) — it simulates a replica whose
+	// answer raced a promotion.
+	placeSHA atomic.Value // string
 }
 
 func newFakeReplica(t *testing.T, version string) *fakeReplica {
@@ -51,10 +55,16 @@ func newFakeReplica(t *testing.T, version string) *fakeReplica {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
+		v := f.version.Load().(string)
+		sha := "sha-" + v
+		if s, ok := f.placeSHA.Load().(string); ok {
+			sha = s
+		}
 		w.Header().Set("Content-Type", "application/json")
 		json.NewEncoder(w).Encode(serve.PlacementResponse{
 			BatchSize:    1,
-			ModelVersion: f.version.Load().(string),
+			ModelVersion: v,
+			ModelSHA256:  sha,
 		})
 	})
 	f.srv = httptest.NewServer(mux)

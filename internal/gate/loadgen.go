@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"math/rand"
 	"net/http"
 	"sort"
@@ -36,6 +37,15 @@ type LoadgenConfig struct {
 	// Replicas is recorded into the report's row keys (it is not used to
 	// drive the run).
 	Replicas int
+	// ZipfS skews app selection: app ranks are drawn with probability
+	// proportional to 1/rank^s, the classic web-traffic shape. 0 (the
+	// default) keeps the legacy uniform draw, byte-identical trace
+	// included. s around 1.1 makes a few hot apps dominate — the regime
+	// where a response cache pays.
+	ZipfS float64
+	// Tag is appended to the report's row-key prefix (e.g.
+	// "cache=on_zipf=1.1_") so one BENCH file can hold several legs.
+	Tag string
 	// Client overrides the HTTP client; nil builds a pooled one.
 	Client *http.Client
 }
@@ -116,6 +126,7 @@ func RunLoadgen(ctx context.Context, cfg LoadgenConfig) (*LoadgenResult, error) 
 	}
 	bodies := traceBodies(cfg)
 	url := cfg.Target + "/place"
+	zipfCDF := zipfTable(cfg.Apps, cfg.ZipfS)
 
 	perWorker := cfg.Requests / cfg.Workers
 	extra := cfg.Requests % cfg.Workers
@@ -142,7 +153,7 @@ func RunLoadgen(ctx context.Context, cfg LoadgenConfig) (*LoadgenResult, error) 
 				if ctx.Err() != nil {
 					return
 				}
-				app := rng.Intn(cfg.Apps)
+				app := pickApp(rng, cfg.Apps, zipfCDF)
 				req, err := http.NewRequestWithContext(ctx, http.MethodPost, url, bytes.NewReader(bodies[app]))
 				if err != nil {
 					sh.errors++
@@ -188,6 +199,39 @@ func RunLoadgen(ctx context.Context, cfg LoadgenConfig) (*LoadgenResult, error) 
 	return res, nil
 }
 
+// zipfTable precomputes the CDF of a Zipf(s) distribution over apps
+// (rank r drawn with weight 1/r^s). A zero or negative s returns nil —
+// the uniform legacy draw, kept on the exact rng.Intn path so existing
+// seeded traces replay unchanged.
+func zipfTable(apps int, s float64) []float64 {
+	if s <= 0 {
+		return nil
+	}
+	cdf := make([]float64, apps)
+	sum := 0.0
+	for r := 0; r < apps; r++ {
+		sum += 1 / math.Pow(float64(r+1), s)
+		cdf[r] = sum
+	}
+	for r := range cdf {
+		cdf[r] /= sum
+	}
+	return cdf
+}
+
+// pickApp draws an app index: uniform when cdf is nil, else by
+// inverse-CDF lookup (app 0 is the hottest rank).
+func pickApp(rng *rand.Rand, apps int, cdf []float64) int {
+	if cdf == nil {
+		return rng.Intn(apps)
+	}
+	i := sort.SearchFloat64s(cdf, rng.Float64())
+	if i >= apps {
+		i = apps - 1
+	}
+	return i
+}
+
 // quantile reads q from sorted samples (nearest-rank).
 func quantile(sorted []float64, q float64) float64 {
 	if len(sorted) == 0 {
@@ -203,7 +247,7 @@ func quantile(sorted []float64, q float64) float64 {
 // relative to how many replicas absorbed it.
 func (r *LoadgenResult) BenchReport(cfg LoadgenConfig) *experiments.BenchReport {
 	cfg = cfg.withDefaults()
-	prefix := fmt.Sprintf("gate_replicas=%d_", cfg.Replicas)
+	prefix := fmt.Sprintf("gate_replicas=%d_%s", cfg.Replicas, cfg.Tag)
 	return &experiments.BenchReport{
 		Schema:  experiments.BenchSchema,
 		Seed:    cfg.Seed,

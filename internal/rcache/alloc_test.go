@@ -1,0 +1,28 @@
+package rcache
+
+import "testing"
+
+// TestHashAndGetZeroAllocs is the zero-alloc gate on the cache-hit
+// path: after warm-up, hashing a request with a reused Hasher and
+// looking the key up must not touch the allocator. scripts/check.sh
+// runs this test by name.
+func TestHashAndGetZeroAllocs(t *testing.T) {
+	// Box the task list once: serve hands the Hasher a *PlacementRequest,
+	// so the interface conversion is allocation-free there.
+	var tl TaskList = taskSlice(sampleTasks())
+	h := NewHasher()
+	c := New(Config{Entries: 64, Shards: 4})
+	d, _ := h.Hash(tl)
+	key := Key{Model: "0123456789abcdef", Request: d}
+	c.Put(key, "resp")
+
+	allocs := testing.AllocsPerRun(200, func() {
+		d, _ := h.Hash(tl)
+		if v, ok := c.Get(Key{Model: key.Model, Request: d}); !ok || v != "resp" {
+			t.Fatalf("lookup failed")
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("cache-hit path allocates %.1f times per op, want 0", allocs)
+	}
+}

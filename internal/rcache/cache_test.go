@@ -1,0 +1,141 @@
+package rcache
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"merchandiser/internal/obs"
+)
+
+func digestOf(i int) Digest {
+	return HashTasks([]Task{{Name: fmt.Sprintf("task-%d", i)}})
+}
+
+func TestCacheNilIsNoop(t *testing.T) {
+	var c *Cache
+	k := Key{Model: "m", Request: digestOf(0)}
+	c.Put(k, "v")
+	if _, ok := c.Get(k); ok {
+		t.Fatalf("nil cache returned a hit")
+	}
+	if c.Len() != 0 || c.Stats() != (Stats{}) {
+		t.Fatalf("nil cache reports state")
+	}
+	if New(Config{Entries: 0}) != nil {
+		t.Fatalf("Entries=0 should build a nil (disabled) cache")
+	}
+}
+
+func TestCacheGetPut(t *testing.T) {
+	c := New(Config{Entries: 64, Shards: 4})
+	k1 := Key{Model: "sha-a", Request: digestOf(1)}
+	k2 := Key{Model: "sha-b", Request: digestOf(1)} // same request, other model
+	if _, ok := c.Get(k1); ok {
+		t.Fatalf("empty cache hit")
+	}
+	c.Put(k1, "v1")
+	if v, ok := c.Get(k1); !ok || v != "v1" {
+		t.Fatalf("Get(k1) = %v, %v", v, ok)
+	}
+	if _, ok := c.Get(k2); ok {
+		t.Fatalf("model SHA is not part of the key")
+	}
+	c.Put(k1, "v1b")
+	if v, _ := c.Get(k1); v != "v1b" {
+		t.Fatalf("Put did not refresh the value")
+	}
+	if c.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", c.Len())
+	}
+	st := c.Stats()
+	if st.Hits != 2 || st.Misses != 2 || st.Entries != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if got := st.HitRate(); got != 0.5 {
+		t.Fatalf("hit rate = %v, want 0.5", got)
+	}
+}
+
+func TestCacheLRUEviction(t *testing.T) {
+	// One shard of capacity 3 makes the recency order directly observable.
+	c := New(Config{Entries: 3, Shards: 1})
+	keys := make([]Key, 4)
+	for i := range keys {
+		keys[i] = Key{Model: "m", Request: digestOf(i)}
+	}
+	c.Put(keys[0], 0)
+	c.Put(keys[1], 1)
+	c.Put(keys[2], 2)
+	c.Get(keys[0]) // 0 is now most recent; 1 is LRU
+	c.Put(keys[3], 3)
+	if _, ok := c.Get(keys[1]); ok {
+		t.Fatalf("LRU entry survived eviction")
+	}
+	for _, i := range []int{0, 2, 3} {
+		if _, ok := c.Get(keys[i]); !ok {
+			t.Fatalf("entry %d evicted out of LRU order", i)
+		}
+	}
+	st := c.Stats()
+	if st.Evictions != 1 || st.Entries != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestCacheBoundedUnderChurn(t *testing.T) {
+	const entries = 128
+	c := New(Config{Entries: entries, Shards: 8})
+	for i := 0; i < 10*entries; i++ {
+		c.Put(Key{Model: "m", Request: digestOf(i)}, i)
+	}
+	// Per-shard caps round up, so the bound is entries + shards - 1.
+	if n := c.Len(); n > entries+7 {
+		t.Fatalf("cache grew to %d entries, cap %d", n, entries)
+	}
+	if c.Stats().Evictions == 0 {
+		t.Fatalf("churn produced no evictions")
+	}
+}
+
+func TestCacheObsCounters(t *testing.T) {
+	reg := obs.New()
+	c := New(Config{Entries: 8, Shards: 1, Obs: reg, Metric: "serve.cache_"})
+	k := Key{Model: "m", Request: digestOf(0)}
+	c.Get(k)
+	c.Put(k, 1)
+	c.Get(k)
+	snap := reg.Snapshot(true)
+	if snap.Counters["serve.cache_hits"] != 1 || snap.Counters["serve.cache_misses"] != 1 {
+		t.Fatalf("obs counters = %v", snap.Counters)
+	}
+	if snap.Gauges["serve.cache_entries"].Value != 1 {
+		t.Fatalf("obs entries gauge = %+v", snap.Gauges["serve.cache_entries"])
+	}
+}
+
+func TestCacheConcurrent(t *testing.T) {
+	c := New(Config{Entries: 256, Shards: 8})
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 2000; i++ {
+				k := Key{Model: "m", Request: digestOf(i % 300)}
+				if v, ok := c.Get(k); ok {
+					if v.(int) != i%300 {
+						panic("value mismatch")
+					}
+				} else {
+					c.Put(k, i%300)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	st := c.Stats()
+	if st.Hits == 0 || st.Misses == 0 {
+		t.Fatalf("concurrent run produced no mix of hits and misses: %+v", st)
+	}
+}

@@ -1,0 +1,223 @@
+package rcache
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"merchandiser/internal/merr"
+)
+
+func sampleTasks() []Task {
+	return []Task{
+		{
+			Name:           "blas-dgemm",
+			TPmOnly:        12.5,
+			TDramOnly:      4.25,
+			TotalAccesses:  1e6,
+			FootprintPages: 4096,
+			Events:         map[string]float64{"llc_miss": 1234, "tlb_miss": 9, "stall": 0.5},
+		},
+		{
+			Name:           "fft-radix2",
+			TPmOnly:        3.5,
+			TDramOnly:      1.75,
+			TotalAccesses:  5e5,
+			FootprintPages: 128,
+		},
+		{
+			Name:           "apply-halo",
+			TPmOnly:        7,
+			TDramOnly:      6.5,
+			TotalAccesses:  2e5,
+			FootprintPages: 64,
+			Events:         map[string]float64{"llc_miss": 77},
+		},
+	}
+}
+
+func TestHashPermutationInvariant(t *testing.T) {
+	tasks := sampleTasks()
+	want := HashTasks(tasks)
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 50; trial++ {
+		perm := append([]Task(nil), tasks...)
+		rng.Shuffle(len(perm), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+		if got := HashTasks(perm); got != want {
+			t.Fatalf("trial %d: permuted hash %x != %x", trial, got, want)
+		}
+	}
+}
+
+func TestHashSensitiveToEveryField(t *testing.T) {
+	base := sampleTasks()
+	want := HashTasks(base)
+	mutations := map[string]func([]Task){
+		"name":            func(ts []Task) { ts[0].Name = "blas-dgemm2" },
+		"tpm":             func(ts []Task) { ts[1].TPmOnly += 0.001 },
+		"tdram":           func(ts []Task) { ts[1].TDramOnly *= 2 },
+		"total_accesses":  func(ts []Task) { ts[2].TotalAccesses++ },
+		"footprint":       func(ts []Task) { ts[0].FootprintPages++ },
+		"event_value":     func(ts []Task) { ts[0].Events["llc_miss"]++ },
+		"event_renamed":   func(ts []Task) { delete(ts[0].Events, "stall"); ts[0].Events["stall2"] = 0.5 },
+		"event_added":     func(ts []Task) { ts[1].Events = map[string]float64{"llc_miss": 1} },
+		"event_removed":   func(ts []Task) { ts[2].Events = nil },
+		"task_dropped":    func(ts []Task) { copy(ts, ts[1:]) }, // caller truncates below
+		"negative_zero_v": func(ts []Task) { ts[0].Events["llc_miss"] = math.Copysign(0, -1) },
+	}
+	for name, mutate := range mutations {
+		ts := make([]Task, len(base))
+		for i, task := range base {
+			ts[i] = task
+			ts[i].Events = make(map[string]float64, len(task.Events))
+			for k, v := range task.Events {
+				ts[i].Events[k] = v
+			}
+		}
+		mutate(ts)
+		if name == "task_dropped" {
+			ts = ts[:len(ts)-1]
+		}
+		if got := HashTasks(ts); got == want {
+			t.Errorf("mutation %q did not change the hash", name)
+		}
+	}
+}
+
+func TestHashDistinguishesZeroValueVariants(t *testing.T) {
+	// An empty event map and a nil one are the same semantic content.
+	a := []Task{{Name: "t", Events: nil}}
+	b := []Task{{Name: "t", Events: map[string]float64{}}}
+	if HashTasks(a) != HashTasks(b) {
+		t.Fatalf("nil and empty event maps should hash identically")
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	tasks := sampleTasks()
+	enc := EncodeTasks(tasks)
+	dec, err := DecodeTasks(enc)
+	if err != nil {
+		t.Fatalf("DecodeTasks: %v", err)
+	}
+	if !bytes.Equal(EncodeTasks(dec), enc) {
+		t.Fatalf("re-encoding the decode changed the bytes")
+	}
+	// Decode yields the canonical order; content must match up to
+	// permutation, which re-hashing checks exactly.
+	if HashTasks(dec) != HashTasks(tasks) {
+		t.Fatalf("decoded tasks hash differently")
+	}
+	if len(dec) != len(tasks) {
+		t.Fatalf("decoded %d tasks, want %d", len(dec), len(tasks))
+	}
+}
+
+func TestDecodeRejectsGarbage(t *testing.T) {
+	enc := EncodeTasks(sampleTasks())
+	cases := map[string][]byte{
+		"empty":       {},
+		"bad magic":   append([]byte("MRQ9"), enc[4:]...),
+		"truncated":   enc[:len(enc)-3],
+		"trailing":    append(append([]byte(nil), enc...), 0xAB),
+		"count lies":  append([]byte("MRQ1\xff\xff\x00\x00"), enc[8:]...),
+		"wrong order": swapFirstTwoRecords(t, enc),
+	}
+	for name, data := range cases {
+		if _, err := DecodeTasks(data); err == nil {
+			t.Errorf("%s: decode accepted invalid input", name)
+		} else if !errors.Is(err, merr.ErrBadArtifact) {
+			t.Errorf("%s: error %v is not ErrBadArtifact", name, err)
+		}
+	}
+}
+
+// swapFirstTwoRecords re-orders the first two task records so the
+// canonical-order check must fire.
+func swapFirstTwoRecords(t *testing.T, enc []byte) []byte {
+	t.Helper()
+	tasks, err := DecodeTasks(enc)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if len(tasks) < 2 {
+		t.Fatalf("need >= 2 tasks")
+	}
+	// Re-encode each task alone to find record boundaries.
+	one := len(EncodeTasks(tasks[:1])) - 8
+	two := len(EncodeTasks([]Task{tasks[1]})) - 8
+	out := append([]byte(nil), enc[:8]...)
+	out = append(out, enc[8+one:8+one+two]...)
+	out = append(out, enc[8:8+one]...)
+	out = append(out, enc[8+one+two:]...)
+	return out
+}
+
+func TestHasherMatchesEncodeTasks(t *testing.T) {
+	h := NewHasher()
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		n := rng.Intn(6)
+		tasks := make([]Task, n)
+		for i := range tasks {
+			tasks[i] = randomTask(rng)
+		}
+		want := HashTasks(tasks)
+		got, perm := h.Hash(taskSlice(tasks))
+		if got != want {
+			t.Fatalf("trial %d: reused hasher digest mismatch", trial)
+		}
+		if len(perm) != n {
+			t.Fatalf("trial %d: perm has %d entries, want %d", trial, len(perm), n)
+		}
+		seen := make(map[int]bool, n)
+		for _, idx := range perm {
+			if idx < 0 || idx >= n || seen[idx] {
+				t.Fatalf("trial %d: perm %v is not a permutation", trial, perm)
+			}
+			seen[idx] = true
+		}
+	}
+}
+
+func TestPermMapsCanonicalToCaller(t *testing.T) {
+	tasks := sampleTasks()
+	enc := EncodeTasks(tasks)
+	canonical, err := DecodeTasks(enc)
+	if err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	_, perm := NewHasher().Hash(taskSlice(tasks))
+	for pos, callerIdx := range perm {
+		if !reflect.DeepEqual(normalizeEvents(canonical[pos]), normalizeEvents(tasks[callerIdx])) {
+			t.Fatalf("perm[%d]=%d does not map canonical position to caller task", pos, callerIdx)
+		}
+	}
+}
+
+func normalizeEvents(t Task) Task {
+	if len(t.Events) == 0 {
+		t.Events = nil
+	}
+	return t
+}
+
+func randomTask(rng *rand.Rand) Task {
+	t := Task{
+		Name:           string(rune('a' + rng.Intn(26))),
+		TPmOnly:        rng.Float64() * 100,
+		TDramOnly:      rng.Float64() * 50,
+		TotalAccesses:  float64(rng.Intn(1_000_000)),
+		FootprintPages: uint64(rng.Intn(10_000)),
+	}
+	for i := rng.Intn(4); i > 0; i-- {
+		if t.Events == nil {
+			t.Events = make(map[string]float64)
+		}
+		t.Events[string(rune('p'+rng.Intn(8)))] = rng.Float64()
+	}
+	return t
+}

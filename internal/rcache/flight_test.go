@@ -1,0 +1,143 @@
+package rcache
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"merchandiser/internal/merr"
+)
+
+func TestFlightCollapsesConcurrentMisses(t *testing.T) {
+	var g Group
+	key := Key{Model: "m", Request: digestOf(1)}
+	var calls atomic.Int64
+	started := make(chan struct{})
+	release := make(chan struct{})
+
+	const followers = 16
+	var wg sync.WaitGroup
+	results := make([]any, followers)
+	leaderGone := make(chan struct{})
+	go func() {
+		defer close(leaderGone)
+		v, shared, err := g.Do(context.Background(), key, func() (any, error) {
+			calls.Add(1)
+			close(started)
+			<-release
+			return "computed", nil
+		})
+		if err != nil || shared || v != "computed" {
+			t.Errorf("leader: v=%v shared=%v err=%v", v, shared, err)
+		}
+	}()
+	<-started
+	for i := 0; i < followers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v, shared, err := g.Do(context.Background(), key, func() (any, error) {
+				calls.Add(1)
+				return "recomputed", nil
+			})
+			if err != nil || !shared {
+				t.Errorf("follower %d: shared=%v err=%v", i, shared, err)
+			}
+			results[i] = v
+		}(i)
+	}
+	// Wait until every follower has joined the flight before releasing
+	// the leader, so none can arrive late and start a second computation.
+	for g.Collapsed() < followers {
+		runtime.Gosched()
+	}
+	close(release)
+	wg.Wait()
+	<-leaderGone
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("fn ran %d times, want 1", got)
+	}
+	for i, v := range results {
+		if v != "computed" {
+			t.Fatalf("follower %d got %v", i, v)
+		}
+	}
+	if g.Collapsed() != followers {
+		t.Fatalf("collapsed = %d, want %d", g.Collapsed(), followers)
+	}
+}
+
+func TestFlightSeparateKeysDoNotCollapse(t *testing.T) {
+	var g Group
+	var calls atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			_, _, err := g.Do(context.Background(), Key{Model: "m", Request: digestOf(i)}, func() (any, error) {
+				calls.Add(1)
+				return i, nil
+			})
+			if err != nil {
+				t.Errorf("Do: %v", err)
+			}
+		}(i)
+	}
+	wg.Wait()
+	if calls.Load() != 4 {
+		t.Fatalf("fn ran %d times, want 4", calls.Load())
+	}
+}
+
+func TestFlightFollowerCancel(t *testing.T) {
+	var g Group
+	key := Key{Model: "m", Request: digestOf(9)}
+	started := make(chan struct{})
+	release := make(chan struct{})
+	defer close(release)
+	go g.Do(context.Background(), key, func() (any, error) {
+		close(started)
+		<-release
+		return "late", nil
+	})
+	<-started
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, shared, err := g.Do(ctx, key, func() (any, error) { return "own", nil })
+	if !shared {
+		t.Fatalf("canceled follower should report shared")
+	}
+	if !errors.Is(err, merr.ErrCanceled) || !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want ErrCanceled wrapping context.Canceled", err)
+	}
+}
+
+func TestFlightLeaderErrorPropagates(t *testing.T) {
+	var g Group
+	key := Key{Model: "m", Request: digestOf(2)}
+	boom := errors.New("boom")
+	_, shared, err := g.Do(context.Background(), key, func() (any, error) { return nil, boom })
+	if shared || !errors.Is(err, boom) {
+		t.Fatalf("shared=%v err=%v", shared, err)
+	}
+	// The failed flight must not poison later calls.
+	v, shared, err := g.Do(context.Background(), key, func() (any, error) { return "ok", nil })
+	if err != nil || shared || v != "ok" {
+		t.Fatalf("after failure: v=%v shared=%v err=%v", v, shared, err)
+	}
+}
+
+func TestFlightNilGroupRunsDirect(t *testing.T) {
+	var g *Group
+	v, shared, err := g.Do(context.Background(), Key{}, func() (any, error) { return 7, nil })
+	if err != nil || shared || v != 7 {
+		t.Fatalf("nil group: v=%v shared=%v err=%v", v, shared, err)
+	}
+	if g.Collapsed() != 0 {
+		t.Fatalf("nil group collapsed count")
+	}
+}

@@ -1,0 +1,34 @@
+package rcache
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzCanonicalEncode feeds arbitrary bytes to the strict decoder: it
+// must never panic, and everything it accepts must round-trip — the
+// re-encoding of the decode is byte-identical, so the canonical form is
+// unique.
+func FuzzCanonicalEncode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("MRQ1"))
+	f.Add(EncodeTasks(nil))
+	f.Add(EncodeTasks(sampleTasks()))
+	f.Add(EncodeTasks([]Task{{Name: "x", Events: map[string]float64{"": 0}}}))
+	corrupt := EncodeTasks(sampleTasks())
+	corrupt[len(corrupt)/2] ^= 0x40
+	f.Add(corrupt)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tasks, err := DecodeTasks(data)
+		if err != nil {
+			return
+		}
+		re := EncodeTasks(tasks)
+		if !bytes.Equal(re, data) {
+			t.Fatalf("accepted input does not round-trip:\n in: %x\nout: %x", data, re)
+		}
+		if HashTasks(tasks) != HashTasks(append([]Task(nil), tasks...)) {
+			t.Fatalf("hash is not deterministic")
+		}
+	})
+}

@@ -1,0 +1,110 @@
+package serve
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"time"
+)
+
+// CacheBenchResult reports the replica-side cost of the two /place
+// paths: a cold request that runs the planner and a warm repeat served
+// from the response cache.
+type CacheBenchResult struct {
+	Iters       int     `json:"iters"`
+	MissP50     float64 `json:"miss_p50_micros"`
+	MissP99     float64 `json:"miss_p99_micros"`
+	HitP50      float64 `json:"hit_p50_micros"`
+	HitP99      float64 `json:"hit_p99_micros"`
+	HitSpeedupX float64 `json:"hit_speedup_x"`
+}
+
+// CacheBench boots a service on the artifact at path and times iters
+// distinct placement requests twice: once cold (every request a cache
+// miss that runs MinMakespanPlan) and once warm (every request a hit).
+// MaxBatch is 1 so a miss closes its micro-batch immediately — the
+// numbers compare planning cost against cache lookup, not against the
+// batch window.
+func CacheBench(ctx context.Context, path string, iters int) (*CacheBenchResult, error) {
+	if iters <= 0 {
+		iters = 256
+	}
+	s := New(Config{MaxBatch: 1, QueueDepth: 4, CacheEntries: 2 * iters})
+	defer func() {
+		sctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		s.Shutdown(sctx)
+	}()
+	if _, err := s.LoadArtifactAs(ctx, path, "bench"); err != nil {
+		return nil, err
+	}
+
+	reqs := make([]*PlacementRequest, iters)
+	for i := range reqs {
+		req := &PlacementRequest{}
+		for j := 0; j < 8; j++ {
+			req.Tasks = append(req.Tasks, TaskRequest{
+				Name:           fmt.Sprintf("bench-%d-%d", i, j),
+				TPmOnly:        2.0 + float64(j)*0.3,
+				TDramOnly:      0.8,
+				TotalAccesses:  4e6 + float64(i),
+				FootprintPages: 300,
+			})
+		}
+		reqs[i] = req
+	}
+
+	time1 := func(req *PlacementRequest, wantCached bool) (float64, error) {
+		start := time.Now()
+		out, err := s.Place(ctx, req)
+		micros := float64(time.Since(start).Nanoseconds()) / 1e3
+		if err != nil {
+			return 0, err
+		}
+		if out.Cached != wantCached {
+			return 0, fmt.Errorf("serve: cache bench expected cached=%v, got %v", wantCached, out.Cached)
+		}
+		return micros, nil
+	}
+
+	miss := make([]float64, 0, iters)
+	hit := make([]float64, 0, iters)
+	for _, req := range reqs {
+		m, err := time1(req, false)
+		if err != nil {
+			return nil, err
+		}
+		miss = append(miss, m)
+	}
+	for _, req := range reqs {
+		h, err := time1(req, true)
+		if err != nil {
+			return nil, err
+		}
+		hit = append(hit, h)
+	}
+
+	res := &CacheBenchResult{
+		Iters:   iters,
+		MissP50: percentile(miss, 0.50),
+		MissP99: percentile(miss, 0.99),
+		HitP50:  percentile(hit, 0.50),
+		HitP99:  percentile(hit, 0.99),
+	}
+	if res.HitP50 > 0 {
+		res.HitSpeedupX = res.MissP50 / res.HitP50
+	}
+	return res, nil
+}
+
+// percentile sorts a copy of samples and returns the pth quantile by
+// nearest-rank.
+func percentile(samples []float64, p float64) float64 {
+	if len(samples) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), samples...)
+	sort.Float64s(sorted)
+	idx := int(p * float64(len(sorted)-1))
+	return sorted[idx]
+}

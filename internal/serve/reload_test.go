@@ -129,23 +129,46 @@ func TestReloadWithoutSourceFails(t *testing.T) {
 // TestReloadUnderFire is the zero-drop contract under live promotion
 // churn: clients hammer Place while versions are published, promoted and
 // reloaded concurrently. Every admitted request must be answered (no
-// drops, no errors), every response must carry a version that was
-// promoted at some point, readiness must never flap, and no goroutines
-// may leak. Run with -race.
+// drops, no errors), every response must carry a (version, SHA) pair
+// that was published at some point, readiness must never flap, and no
+// goroutines may leak. The cache variant repeats identical requests
+// through the response cache during the same churn, proving a hit can
+// never resurrect a model that was never promoted — stale entries are
+// orphaned by the SHA half of the key. Run with -race.
 func TestReloadUnderFire(t *testing.T) {
+	t.Run("nocache", func(t *testing.T) { runReloadUnderFire(t, 0) })
+	t.Run("cache", func(t *testing.T) { runReloadUnderFire(t, 256) })
+}
+
+func runReloadUnderFire(t *testing.T, cacheEntries int) {
 	before := runtime.NumGoroutine()
 	dir := t.TempDir()
 	reg, err := registry.Open(filepath.Join(dir, "reg"))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := reg.Publish("v000", saveVersionedArtifact(t, dir, 0)); err != nil {
+	// publish records version → artifact SHA before Promote, so a client
+	// can check the exact pair its response was stamped with.
+	promoted := sync.Map{} // version -> artifact SHA-256
+	publish := func(version string, seq int) error {
+		path := saveVersionedArtifact(t, dir, seq)
+		sha, _, err := store.FileSHA256(path)
+		if err != nil {
+			return err
+		}
+		if _, err := reg.Publish(version, path); err != nil {
+			return err
+		}
+		promoted.Store(version, sha)
+		return nil
+	}
+	if err := publish("v000", 0); err != nil {
 		t.Fatal(err)
 	}
 	if err := reg.Promote("v000"); err != nil {
 		t.Fatal(err)
 	}
-	s := New(Config{QueueDepth: 512, BatchWindow: 200 * time.Microsecond, Source: registrySource(reg)})
+	s := New(Config{QueueDepth: 512, BatchWindow: 200 * time.Microsecond, Source: registrySource(reg), CacheEntries: cacheEntries})
 	if _, _, err := s.Reload(context.Background()); err != nil {
 		t.Fatal(err)
 	}
@@ -154,8 +177,6 @@ func TestReloadUnderFire(t *testing.T) {
 		clients  = 8
 		versions = 12
 	)
-	promoted := sync.Map{} // version -> true, recorded before Promote
-	promoted.Store("v000", true)
 
 	stop := make(chan struct{})
 	var flaps atomic.Int64
@@ -190,11 +211,10 @@ func TestReloadUnderFire(t *testing.T) {
 		defer close(stop)
 		for i := 1; i <= versions; i++ {
 			v := fmt.Sprintf("v%03d", i)
-			if _, err := reg.Publish(v, saveVersionedArtifact(t, dir, i)); err != nil {
+			if err := publish(v, i); err != nil {
 				setErr(err)
 				return
 			}
-			promoted.Store(v, true)
 			if err := reg.Promote(v); err != nil {
 				setErr(err)
 				return
@@ -211,6 +231,9 @@ func TestReloadUnderFire(t *testing.T) {
 				}()
 			}
 			rwg.Wait()
+			// Let traffic flow against this version before the next swap,
+			// so repeats can land under a stable SHA.
+			time.Sleep(2 * time.Millisecond)
 			if i%5 == 0 {
 				if _, err := reg.Rollback(); err != nil {
 					setErr(err)
@@ -231,13 +254,19 @@ func TestReloadUnderFire(t *testing.T) {
 		wg.Add(1)
 		go func(c int) {
 			defer wg.Done()
+			// A shared request shape (clients pair up) keeps identical
+			// requests flowing concurrently: with the cache on, repeats
+			// land as hits or collapses whenever a promotion did not land
+			// in between — and a stale entry would surface as a
+			// never-published (version, SHA) pair below.
+			shared := testRequest(fmt.Sprintf("c%d", c%(clients/2)), 1)
 			for {
 				select {
 				case <-stop:
 					return
 				default:
 				}
-				out, err := s.Place(context.Background(), testRequest(fmt.Sprintf("c%d", c), 1))
+				out, err := s.Place(context.Background(), shared)
 				if err != nil {
 					// Capacity rejections happen before admission; anything
 					// else is a dropped/erred admitted request.
@@ -253,8 +282,14 @@ func TestReloadUnderFire(t *testing.T) {
 					errCh <- fmt.Errorf("response missing model version")
 					return
 				}
-				if _, ok := promoted.Load(out.ModelVersion); !ok {
+				wantSHA, ok := promoted.Load(out.ModelVersion)
+				if !ok {
 					errCh <- fmt.Errorf("response version %q was never promoted", out.ModelVersion)
+					return
+				}
+				if out.ModelSHA256 != wantSHA.(string) {
+					errCh <- fmt.Errorf("stale response: version %q stamped with SHA %s, published as %s",
+						out.ModelVersion, out.ModelSHA256, wantSHA)
 					return
 				}
 			}
@@ -278,10 +313,37 @@ func TestReloadUnderFire(t *testing.T) {
 	if admitted.Load() != answered.Load() {
 		t.Fatalf("admitted %d != answered %d", admitted.Load(), answered.Load())
 	}
+	stats, collapsed := s.CacheStats()
+	if cacheEntries > 0 {
+		if stats.Hits+collapsed == 0 {
+			t.Fatal("cache variant served no hits or collapses; the stale-hit check exercised nothing")
+		}
+		// Churn is over: a back-to-back repeat must now be a
+		// deterministic hit, stamped with the final promoted pair.
+		req := testRequest("epilogue", 1)
+		for rep := 0; rep < 2; rep++ {
+			out, err := s.Place(context.Background(), req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if rep > 0 && !out.Cached {
+				t.Fatal("post-churn repeat did not hit the cache")
+			}
+			wantSHA, ok := promoted.Load(out.ModelVersion)
+			if !ok || out.ModelSHA256 != wantSHA.(string) {
+				t.Fatalf("epilogue response pair (%q, %s) was never published", out.ModelVersion, out.ModelSHA256)
+			}
+		}
+		stats, _ = s.CacheStats()
+	}
+	if cacheEntries == 0 && (stats.Hits != 0 || stats.Misses != 0) {
+		t.Fatalf("cache-off variant touched the cache: %+v", stats)
+	}
 
 	shutdown(t, s)
 	settleGoroutines(t, before)
-	t.Logf("served %d requests across %d promotions with zero drops", answered.Load(), versions)
+	t.Logf("served %d requests across %d promotions with zero drops (cache hits %d, collapsed %d)",
+		answered.Load(), versions, stats.Hits, collapsed)
 }
 
 func TestHTTPReloadAndReplanEndpoints(t *testing.T) {

@@ -19,6 +19,7 @@ import (
 	"context"
 	"crypto/sha256"
 	"encoding/hex"
+	"errors"
 	"math"
 	"os"
 	"sync"
@@ -30,6 +31,7 @@ import (
 	"merchandiser/internal/obs"
 	"merchandiser/internal/placement"
 	"merchandiser/internal/pmc"
+	"merchandiser/internal/rcache"
 	"merchandiser/internal/store"
 )
 
@@ -76,6 +78,10 @@ type TaskPlacement struct {
 // the observable footprint of micro-batching. ModelVersion and
 // ModelSHA256 identify the artifact whose model planned this batch, so a
 // client behind a mixed-version fleet can tell which model answered.
+// Cached marks a response that skipped the batcher: served from the
+// response cache or collapsed into another caller's identical in-flight
+// request. It is omitted when false, so the cache-off wire format is
+// byte-identical to a build without the cache.
 type PlacementResponse struct {
 	Tasks        []TaskPlacement `json:"tasks"`
 	Rounds       int             `json:"rounds"`
@@ -83,6 +89,25 @@ type PlacementResponse struct {
 	BatchSize    int             `json:"batch_size"`
 	ModelVersion string          `json:"model_version,omitempty"`
 	ModelSHA256  string          `json:"model_sha256,omitempty"`
+	Cached       bool            `json:"cached,omitempty"`
+}
+
+// NTasks and CanonTask let the cache hash a request without copying its
+// tasks: *PlacementRequest is an rcache.TaskList.
+func (r *PlacementRequest) NTasks() int { return len(r.Tasks) }
+
+// CanonTask returns task i's semantic fields in the canonical form the
+// request hash is computed over.
+func (r *PlacementRequest) CanonTask(i int) rcache.Task {
+	t := &r.Tasks[i]
+	return rcache.Task{
+		Name:           t.Name,
+		TPmOnly:        t.TPmOnly,
+		TDramOnly:      t.TDramOnly,
+		Events:         t.Events,
+		TotalAccesses:  t.TotalAccesses,
+		FootprintPages: t.FootprintPages,
+	}
 }
 
 // ModelInfo identifies a loaded artifact: the registry version name and
@@ -152,6 +177,12 @@ type Config struct {
 	BatchWindow time.Duration
 	// Tolerance is MinMakespanPlan's binary-search tolerance. Default 0.01.
 	Tolerance float64
+	// CacheEntries bounds the placement-response cache: responses are
+	// cached under (model SHA-256, canonical request hash), so a hit skips
+	// the batcher entirely and a model promotion orphans every old entry.
+	// 0 (the default) disables the cache; disabled, the service behaves
+	// byte-identically to a build without it.
+	CacheEntries int
 	// Obs, when non-nil, receives service metrics (request, rejection and
 	// batch counters, batch-size histogram). It is also what /metricsz
 	// serves.
@@ -228,6 +259,13 @@ type Service struct {
 	draining bool
 	queue    chan *pending
 	done     chan struct{}
+
+	// cache/flight/hashers exist only when Config.CacheEntries > 0; all
+	// three are nil-safe, so the cache-off request path has no branches
+	// beyond the one in Place.
+	cache   *rcache.Cache
+	flight  *rcache.Group
+	hashers sync.Pool
 }
 
 // New builds the service and starts its batcher.
@@ -237,6 +275,11 @@ func New(cfg Config) *Service {
 		cfg:   cfg,
 		queue: make(chan *pending, cfg.QueueDepth),
 		done:  make(chan struct{}),
+	}
+	if cfg.CacheEntries > 0 {
+		s.cache = rcache.New(rcache.Config{Entries: cfg.CacheEntries, Obs: cfg.Obs, Metric: "serve.cache_"})
+		s.flight = &rcache.Group{}
+		s.hashers.New = func() any { return rcache.NewHasher() }
 	}
 	go s.batcher()
 	return s
@@ -397,22 +440,39 @@ func (s *Service) loaded() *loadedModel {
 	return s.cur
 }
 
-// Place answers one placement request. It validates, enqueues (rejecting
-// with merr.ErrCapacity on overflow and merr.ErrNotReady before an
-// artifact is loaded or during drain), and waits for the batcher — or
-// for ctx, returning merr.ErrCanceled if the caller gives up first.
+// Place answers one placement request. It validates, consults the
+// response cache when one is configured (a hit or a collapse into an
+// identical in-flight request skips the batcher entirely), then
+// enqueues (rejecting with merr.ErrCapacity on overflow and
+// merr.ErrNotReady before an artifact is loaded or during drain) and
+// waits for the batcher — or for ctx, returning merr.ErrCanceled if the
+// caller gives up first.
 func (s *Service) Place(ctx context.Context, req *PlacementRequest) (*PlacementResponse, error) {
 	if err := validRequest(req); err != nil {
 		s.cfg.Obs.Counter("serve.rejected_invalid").Inc()
 		return nil, err
 	}
-	if s.loaded() == nil {
+	cur := s.loaded()
+	if cur == nil {
 		s.cfg.Obs.Counter("serve.rejected_not_ready").Inc()
 		return nil, merr.Errorf(merr.ErrNotReady, "serve: no artifact loaded")
 	}
 	if err := merr.FromContext(ctx, "serve: request canceled"); err != nil {
 		return nil, err
 	}
+	// A Load-installed system has no artifact SHA: no key half, no
+	// caching. The key's SHA comes from the same bundle pointer the
+	// batcher reads, so a promote mid-request can only make us miss and
+	// recompute — never serve the new model's plan under the old key.
+	if s.cache == nil || cur.info.SHA256 == "" {
+		return s.placeQueued(ctx, req)
+	}
+	return s.placeCached(ctx, req, cur.info.SHA256)
+}
+
+// placeQueued is the uncached request path: enqueue and wait for the
+// batcher. It is byte-for-byte the pre-cache Place tail.
+func (s *Service) placeQueued(ctx context.Context, req *PlacementRequest) (*PlacementResponse, error) {
 	p := &pending{ctx: ctx, req: req, resp: make(chan result, 1)}
 	if err := s.enqueue(p); err != nil {
 		return nil, err
@@ -424,6 +484,113 @@ func (s *Service) Place(ctx context.Context, req *PlacementRequest) (*PlacementR
 	case <-ctx.Done():
 		return nil, merr.FromContext(ctx, "serve: request canceled")
 	}
+}
+
+// cachedPlan is a response in canonical task order — the form the cache
+// and singleflight share, so a request that is a task-permutation of
+// the one that populated the entry still gets its tasks back in its own
+// order. A cachedPlan is immutable once built.
+type cachedPlan struct {
+	tasks    []TaskPlacement
+	rounds   int
+	makespan float64
+	batch    int
+	version  string
+	sha      string
+}
+
+// canonicalPlan reorders a freshly computed response (caller task
+// order) into canonical order. perm[pos] is the caller index of the
+// task at canonical position pos.
+func canonicalPlan(out *PlacementResponse, perm []int) *cachedPlan {
+	cp := &cachedPlan{
+		tasks:    make([]TaskPlacement, len(out.Tasks)),
+		rounds:   out.Rounds,
+		makespan: out.Makespan,
+		batch:    out.BatchSize,
+		version:  out.ModelVersion,
+		sha:      out.ModelSHA256,
+	}
+	for pos, idx := range perm {
+		cp.tasks[pos] = out.Tasks[idx]
+	}
+	return cp
+}
+
+// response materializes the plan in the caller's task order.
+func (cp *cachedPlan) response(perm []int, cached bool) *PlacementResponse {
+	out := &PlacementResponse{
+		Tasks:        make([]TaskPlacement, len(cp.tasks)),
+		Rounds:       cp.rounds,
+		Makespan:     cp.makespan,
+		BatchSize:    cp.batch,
+		ModelVersion: cp.version,
+		ModelSHA256:  cp.sha,
+		Cached:       cached,
+	}
+	for pos, idx := range perm {
+		out.Tasks[idx] = cp.tasks[pos]
+	}
+	return out
+}
+
+// placeCached is the cached request path: hash the request, look up
+// (model SHA, request hash), and on a miss collapse into any identical
+// in-flight computation before spending a micro-batch slot.
+func (s *Service) placeCached(ctx context.Context, req *PlacementRequest, modelSHA string) (*PlacementResponse, error) {
+	h := s.hashers.Get().(*rcache.Hasher)
+	digest, perm := h.Hash(req)
+	key := rcache.Key{Model: modelSHA, Request: digest}
+	if v, ok := s.cache.Get(key); ok {
+		out := v.(*cachedPlan).response(perm, true)
+		s.hashers.Put(h)
+		s.cfg.Obs.Counter("serve.requests").Inc()
+		return out, nil
+	}
+	// The hasher's perm aliases its scratch; copy it before the pool can
+	// hand the hasher to another goroutine.
+	permCopy := append(make([]int, 0, len(perm)), perm...)
+	s.hashers.Put(h)
+
+	v, shared, err := s.flight.Do(ctx, key, func() (any, error) {
+		out, err := s.placeQueued(ctx, req)
+		if err != nil {
+			return nil, err
+		}
+		cp := canonicalPlan(out, permCopy)
+		// Store only under the SHA that actually answered: a reload can
+		// swap the bundle between our key derivation and the batch that
+		// planned us, and caching that response under the old SHA would
+		// serve the new model's plan after a rollback.
+		if out.ModelSHA256 == key.Model {
+			s.cache.Put(key, cp)
+		}
+		return cp, nil
+	})
+	if shared {
+		s.cfg.Obs.Counter("serve.cache_collapsed").Inc()
+	}
+	if err != nil {
+		// A shared failure is the leader's: if the leader's caller gave up
+		// but we are still live, compute for ourselves instead of
+		// propagating a cancellation the client never issued.
+		if shared && errors.Is(err, merr.ErrCanceled) && merr.FromContext(ctx, "") == nil {
+			return s.placeQueued(ctx, req)
+		}
+		return nil, err
+	}
+	cp := v.(*cachedPlan)
+	if shared {
+		s.cfg.Obs.Counter("serve.requests").Inc()
+		return cp.response(permCopy, true), nil
+	}
+	return cp.response(permCopy, false), nil
+}
+
+// CacheStats reports the response cache's counters (zero when the cache
+// is off) plus how many requests collapsed into an in-flight duplicate.
+func (s *Service) CacheStats() (rcache.Stats, uint64) {
+	return s.cache.Stats(), s.flight.Collapsed()
 }
 
 func (s *Service) enqueue(p *pending) error {

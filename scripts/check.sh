@@ -13,7 +13,11 @@
 # against a real
 # merchserved process, run the fleet smoke (registry publish/promote,
 # two registry-backed replicas behind merchgate, zero-drop SIGHUP
-# reload), and hold internal/obs to a coverage floor. Every
+# reload, then a second cache-enabled leg asserting zero stale
+# responses and a nonzero gate hit rate across the promotion), hold the
+# response-cache hot path (canonical hash + LRU lookup) to zero
+# allocations, smoke the canonical-encoding fuzz target, and hold
+# internal/obs to a coverage floor. Every
 # test invocation gets a per-package timeout (60s plain, 600s for the
 # ~10x-slower race tier) so a hung run fails instead of wedging CI.
 set -eu
@@ -49,7 +53,7 @@ echo "== go test -race (root session pipeline + corpus, ml, placement, experimen
 go test -race -timeout 600s . ./internal/corpus ./internal/ml ./internal/placement \
 	./internal/experiments ./internal/obs ./internal/hm ./internal/task \
 	./internal/store ./internal/serve ./internal/model \
-	./internal/registry ./internal/gate
+	./internal/registry ./internal/gate ./internal/rcache
 
 echo "== pipeline race tier (streaming corpus -> paced fit -> pipelined eval)"
 # The pace-car pipeline is the repo's densest channel topology: corpus
@@ -107,12 +111,25 @@ go test -timeout 60s ./internal/store -run '^$' -fuzz '^FuzzRestoreArtifact$' -f
 echo "== fuzz smoke (FuzzBinaryDecode, 10s)"
 go test -timeout 60s ./internal/store -run '^$' -fuzz '^FuzzBinaryDecode$' -fuzztime 10s
 
-echo "== registry/gate race tier (publish/promote vs resolve, reload under fire, ring routing)"
+echo "== registry/gate race tier (publish/promote vs resolve, reload under fire, ring routing, response caches)"
 # The fleet paths: racing publishers and promoters against a resolver,
-# the serve bundle swap hammered by concurrent Place calls, and the
-# gate's prober/proxy shared backend state.
-go test -race -timeout 600s -count=1 -run 'Concurrent|ReloadUnderFire|Gate|Ring|Loadgen' \
-	./internal/registry ./internal/serve ./internal/gate
+# the serve bundle swap hammered by concurrent Place calls, the gate's
+# prober/proxy shared backend state, and both tiers' response caches
+# (sharded LRU + singleflight under concurrent identical requests,
+# including ReloadUnderFire's cache variant that asserts zero stale
+# responses across 12 promote/rollback cycles).
+go test -race -timeout 600s -count=1 -run 'Concurrent|ReloadUnderFire|Gate|Ring|Loadgen|Cache|Flight|Zipf' \
+	./internal/registry ./internal/serve ./internal/gate ./internal/rcache
+
+echo "== allocation gate (canonical hash + cache lookup must not allocate)"
+# Same contract as the compiled-predict gate: the replica's cache-hit
+# fast path (canonical encode, SHA-256, shard lookup) runs per request
+# and must stay allocation-free. Outside -race: instrumented builds
+# allocate.
+go test -timeout 60s ./internal/rcache -run '^TestHashAndGetZeroAllocs$' -count=1 -v | grep -E '^(=== RUN|--- (PASS|FAIL)|ok)' || exit 1
+
+echo "== fuzz smoke (FuzzCanonicalEncode, 10s)"
+go test -timeout 60s ./internal/rcache -run '^$' -fuzz '^FuzzCanonicalEncode$' -fuzztime 10s
 
 echo "== e2e save/load/serve smoke (merchserved)"
 go build -o bin/merchserved ./cmd/merchserved

@@ -8,6 +8,13 @@
 // replica's plan-log audit trail records the version flip — v1 plans
 // strictly before v2 plans, nothing else.
 //
+// The smoke runs twice: once with the response caches off (the legacy
+// leg, byte-identical wire behavior) and once with -cache-entries set
+// on both tiers. The cache leg additionally asserts that every response
+// across the promotion is stamped with a published model SHA (zero
+// stale answers), that the gate's cache landed a nonzero hit rate, and
+// that a post-promotion repeat is served from cache already stamped v2.
+//
 //	go build -o bin/merchserved ./cmd/merchserved
 //	go build -o bin/merchgate ./cmd/merchgate
 //	go run ./scripts/gatesmoke -daemon bin/merchserved -gate bin/merchgate
@@ -46,6 +53,20 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("gatesmoke: ")
 
+	runLeg(*daemon, *gateBin, 0)
+	runLeg(*daemon, *gateBin, 4096)
+	fmt.Println("gatesmoke: PASS")
+}
+
+// runLeg runs one full fleet smoke. cacheEntries > 0 enables the
+// response cache on both tiers and turns on the cache assertions.
+func runLeg(daemon, gateBin string, cacheEntries int) {
+	leg := "cache=off"
+	if cacheEntries > 0 {
+		leg = fmt.Sprintf("cache=%d", cacheEntries)
+	}
+	log.Printf("=== leg %s", leg)
+
 	dir, err := os.MkdirTemp("", "gatesmoke-*")
 	check(err, "temp dir")
 	defer os.RemoveAll(dir)
@@ -60,6 +81,14 @@ func main() {
 	check(reg.Promote("v1"), "promote v1")
 	log.Print("registry ready with v1 promoted")
 
+	// published collects the SHA of every version the registry has
+	// served; in the cache leg a response stamped with anything else is
+	// stale by definition.
+	published := sync.Map{} // sha -> version
+	ent, err := reg.Verify("v1")
+	check(err, "verify v1")
+	published.Store(ent.SHA256, "v1")
+
 	// Boot the fleet: two registry-backed replicas and the gate.
 	var procs []*exec.Cmd
 	var replicaAddrs []string
@@ -67,13 +96,17 @@ func main() {
 	for i := 0; i < replicas; i++ {
 		addrfile := filepath.Join(dir, fmt.Sprintf("replica%d.addr", i))
 		planlogs[i] = filepath.Join(dir, fmt.Sprintf("plans%d", i))
-		cmd := exec.Command(*daemon,
+		args := []string{
 			"-registry", root,
 			"-addr", "127.0.0.1:0",
 			"-addrfile", addrfile,
 			"-planlog", planlogs[i],
 			"-drain", "10s",
-		)
+		}
+		if cacheEntries > 0 {
+			args = append(args, "-cache-entries", fmt.Sprint(cacheEntries))
+		}
+		cmd := exec.Command(daemon, args...)
 		cmd.Stdout = os.Stderr
 		cmd.Stderr = os.Stderr
 		check(cmd.Start(), "start replica")
@@ -86,13 +119,17 @@ func main() {
 		}
 	}()
 	gateAddrfile := filepath.Join(dir, "gate.addr")
-	gateCmd := exec.Command(*gateBin,
+	gateArgs := []string{
 		"-backends", strings.Join(replicaAddrs, ","),
 		"-addr", "127.0.0.1:0",
 		"-addrfile", gateAddrfile,
 		"-probe", "50ms",
 		"-readmit", "1",
-	)
+	}
+	if cacheEntries > 0 {
+		gateArgs = append(gateArgs, "-cache-entries", fmt.Sprint(cacheEntries))
+	}
+	gateCmd := exec.Command(gateBin, gateArgs...)
 	gateCmd.Stdout = os.Stderr
 	gateCmd.Stderr = os.Stderr
 	check(gateCmd.Start(), "start gate")
@@ -104,7 +141,9 @@ func main() {
 	// Continuous traffic through the gate for the whole promotion window:
 	// 4 clients, 8 sticky app keys, every response must be a 200. A
 	// single failed request fails the smoke — that is the zero-drop bar.
-	var sent, failed atomic.Int64
+	// In the cache leg every response's stamped SHA must also be a
+	// published one — that is the zero-stale bar.
+	var sent, failed, stale atomic.Int64
 	stopTraffic := make(chan struct{})
 	var wg sync.WaitGroup
 	for c := 0; c < 4; c++ {
@@ -120,8 +159,14 @@ func main() {
 				}
 				i++
 				key := fmt.Sprintf("app-%d", (c*2+i)%8)
-				if !place(gateURL, key) {
+				res := place(gateURL, key)
+				if !res.ok {
 					failed.Add(1)
+				} else if cacheEntries > 0 {
+					if v, known := published.Load(res.sha); !known || v != res.version {
+						stale.Add(1)
+						log.Printf("stale response: stamped (%s, %s) is not a published (version, sha) pair", res.version, res.sha)
+					}
 				}
 				sent.Add(1)
 			}
@@ -132,8 +177,13 @@ func main() {
 	// a flip to show.
 	waitForVersions(planlogs, "v1", 10*time.Second)
 
-	// Live promotion: publish v2, promote, SIGHUP both replicas.
+	// Live promotion: publish v2, promote, SIGHUP both replicas. The
+	// published set grows BEFORE any replica can serve v2.
 	publish(reg, dir, "v2", 2)
+	ent, err = reg.Verify("v2")
+	check(err, "verify v2")
+	published.Store(ent.SHA256, "v2")
+	shaV2 := ent.SHA256
 	check(reg.Promote("v2"), "promote v2")
 	for _, p := range procs[:replicas] {
 		check(p.Process.Signal(syscall.SIGHUP), "SIGHUP replica")
@@ -141,14 +191,21 @@ func main() {
 	log.Print("v2 promoted, replicas signaled")
 
 	// The fleet view must converge on v2 while traffic keeps flowing.
-	waitForFleetVersion(gateURL, "v2", 10*time.Second)
+	waitForFleetVersion(gateURL, "v2", cacheEntries > 0, 10*time.Second)
 	waitForVersions(planlogs, "v2", 10*time.Second)
 	close(stopTraffic)
 	wg.Wait()
 	if failed.Load() > 0 {
 		log.Fatalf("%d of %d requests failed across the live promotion — hot reload dropped traffic", failed.Load(), sent.Load())
 	}
+	if stale.Load() > 0 {
+		log.Fatalf("%d of %d responses were stamped with an unpublished model SHA — the cache served stale plans", stale.Load(), sent.Load())
+	}
 	log.Printf("zero drops: %d requests served across the v1->v2 promotion", sent.Load())
+
+	if cacheEntries > 0 {
+		cacheLegChecks(gateURL, shaV2)
+	}
 
 	// /replanz answers on every replica (empty epochs for this artifact).
 	for _, a := range replicaAddrs {
@@ -185,7 +242,40 @@ func main() {
 		}
 		log.Printf("replica %d audit log: %d plans, clean v1->v2 flip", i, len(versions))
 	}
-	fmt.Println("gatesmoke: PASS")
+	log.Printf("leg %s OK", leg)
+}
+
+// cacheLegChecks asserts the cache-enabled leg's extra invariants after
+// the fleet has converged on v2: the gate's cache landed hits during
+// the run, and a deterministic repeat is served from cache already
+// stamped with the new model.
+func cacheLegChecks(gateURL, shaV2 string) {
+	// An identical pair after convergence: the second must be a gate
+	// cache hit carrying v2's SHA. Retry briefly — the first pair after
+	// the flip may race the probers re-converging.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		place(gateURL, "epilogue")
+		res := place(gateURL, "epilogue")
+		if res.ok && res.cacheHit && res.sha == shaV2 {
+			break
+		}
+		if time.Now().After(deadline) {
+			log.Fatalf("post-promotion repeat never served from cache with v2's SHA (ok=%v hit=%v sha=%q)", res.ok, res.cacheHit, res.sha)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	var fleet gate.FleetResponse
+	getJSON(gateURL+"/fleetz", &fleet)
+	if fleet.Cache == nil {
+		log.Fatal("cache leg /fleetz has no cache block")
+	}
+	if fleet.Cache.Hits == 0 {
+		log.Fatalf("gate cache served zero hits across the run: %+v", fleet.Cache)
+	}
+	log.Printf("gate cache: %d hits / %d misses (%.0f%% hit rate), %d collapsed",
+		fleet.Cache.Hits, fleet.Cache.Misses, 100*fleet.Cache.HitRate, fleet.Cache.Collapsed)
 }
 
 // publish trains/stamps a quick system and publishes it under version.
@@ -199,26 +289,38 @@ func publish(reg *registry.Registry, dir, version string, seed int64) {
 	check(err, "publish "+version)
 }
 
-// place POSTs one placement request through the gate; true on a 200
-// with a plausible plan.
-func place(base, key string) bool {
+// placeResult is one proxied request's verdict.
+type placeResult struct {
+	ok       bool
+	cacheHit bool
+	version  string
+	sha      string
+}
+
+// place POSTs one placement request through the gate.
+func place(base, key string) placeResult {
 	body := `{"tasks":[{"name":"` + key + `/t0","t_pm_only":2,"t_dram_only":0.8,"total_accesses":4e6,"footprint_pages":300}]}`
 	req, err := http.NewRequest(http.MethodPost, base+"/place", strings.NewReader(body))
 	if err != nil {
-		return false
+		return placeResult{}
 	}
 	req.Header.Set("Content-Type", "application/json")
 	req.Header.Set(gate.KeyHeader, key)
 	resp, err := http.DefaultClient.Do(req)
 	if err != nil {
-		return false
+		return placeResult{}
 	}
 	defer resp.Body.Close()
 	var out serve.PlacementResponse
 	if json.NewDecoder(resp.Body).Decode(&out) != nil {
-		return false
+		return placeResult{}
 	}
-	return resp.StatusCode == http.StatusOK && len(out.Tasks) == 1 && out.Makespan > 0
+	return placeResult{
+		ok:       resp.StatusCode == http.StatusOK && len(out.Tasks) == 1 && out.Makespan > 0,
+		cacheHit: resp.Header.Get(gate.CacheHeader) == "hit",
+		version:  out.ModelVersion,
+		sha:      out.ModelSHA256,
+	}
 }
 
 // auditVersions reads a replica's plan log in sequence order and returns
@@ -288,14 +390,21 @@ func waitForVersions(dirs []string, version string, timeout time.Duration) {
 }
 
 // waitForFleetVersion waits until the gate's /fleetz shows every replica
-// healthy on version.
-func waitForFleetVersion(gateURL, version string, timeout time.Duration) {
+// healthy on version. The body shape follows the gate's cache config:
+// the legacy bare array when off, the FleetResponse object when on.
+func waitForFleetVersion(gateURL, version string, cached bool, timeout time.Duration) {
 	deadline := time.Now().Add(timeout)
 	for time.Now().Before(deadline) {
-		var fleet []gate.BackendStatus
-		getJSON(gateURL+"/fleetz", &fleet)
+		var backends []gate.BackendStatus
+		if cached {
+			var fleet gate.FleetResponse
+			getJSON(gateURL+"/fleetz", &fleet)
+			backends = fleet.Backends
+		} else {
+			getJSON(gateURL+"/fleetz", &backends)
+		}
 		n := 0
-		for _, b := range fleet {
+		for _, b := range backends {
 			if b.Healthy && b.Version == version {
 				n++
 			}
